@@ -1,0 +1,37 @@
+//! Ablation: SPEA-II (the paper's selector) vs. NSGA-II on the Fig. 5
+//! bi-objective DT-med problem, at equal budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcmap_benchmarks::dt_med;
+use mcmap_core::{explore, DseConfig, ObjectiveMode};
+use mcmap_ga::{GaConfig, Selector};
+
+fn bench_selector(c: &mut Criterion) {
+    let b = dt_med();
+    let cfg = |selector: Selector| DseConfig {
+        ga: GaConfig {
+            population: 16,
+            generations: 4,
+            seed: 8,
+            selector,
+            ..GaConfig::default()
+        },
+        objectives: ObjectiveMode::PowerService,
+        policies: Some(b.policies.clone()),
+        repair_iters: 40,
+        ..DseConfig::default()
+    };
+
+    let mut group = c.benchmark_group("ablation_selector");
+    group.sample_size(10);
+    group.bench_function("spea2", |bench| {
+        bench.iter(|| explore(&b.apps, &b.arch, cfg(Selector::Spea2)))
+    });
+    group.bench_function("nsga2", |bench| {
+        bench.iter(|| explore(&b.apps, &b.arch, cfg(Selector::Nsga2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selector);
+criterion_main!(benches);

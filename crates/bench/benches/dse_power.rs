@@ -1,0 +1,37 @@
+//! Criterion bench for the §5.2 power-only DSE: one short exploration of
+//! DT-med with and without task dropping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcmap_benchmarks::dt_med;
+use mcmap_core::{explore, DseConfig, ObjectiveMode};
+use mcmap_ga::GaConfig;
+
+fn bench_dse_power(c: &mut Criterion) {
+    let b = dt_med();
+    let cfg = |allow: bool| DseConfig {
+        ga: GaConfig {
+            population: 16,
+            generations: 4,
+            seed: 8,
+            ..GaConfig::default()
+        },
+        objectives: ObjectiveMode::Power,
+        allow_dropping: allow,
+        policies: Some(b.policies.clone()),
+        repair_iters: 40,
+        ..DseConfig::default()
+    };
+
+    let mut group = c.benchmark_group("dse_power");
+    group.sample_size(10);
+    group.bench_function("dt_med_with_dropping", |bench| {
+        bench.iter(|| explore(&b.apps, &b.arch, cfg(true)))
+    });
+    group.bench_function("dt_med_without_dropping", |bench| {
+        bench.iter(|| explore(&b.apps, &b.arch, cfg(false)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse_power);
+criterion_main!(benches);

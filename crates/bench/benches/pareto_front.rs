@@ -1,0 +1,45 @@
+//! Criterion bench for the Fig. 5 bi-objective exploration (power +
+//! service) on DT-med, plus the SPEA-II selection primitive itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcmap_benchmarks::dt_med;
+use mcmap_core::{explore, DseConfig, ObjectiveMode};
+use mcmap_ga::{environmental_selection, Evaluation, GaConfig, Individual};
+
+fn bench_pareto(c: &mut Criterion) {
+    let b = dt_med();
+    let cfg = DseConfig {
+        ga: GaConfig {
+            population: 16,
+            generations: 4,
+            seed: 8,
+            ..GaConfig::default()
+        },
+        objectives: ObjectiveMode::PowerService,
+        policies: Some(b.policies.clone()),
+        repair_iters: 40,
+        ..DseConfig::default()
+    };
+
+    let mut group = c.benchmark_group("pareto_front");
+    group.sample_size(10);
+    group.bench_function("dt_med_bi_objective_dse", |bench| {
+        bench.iter(|| explore(&b.apps, &b.arch, cfg.clone()))
+    });
+
+    // The SPEA-II environmental-selection primitive on a 200-point pool.
+    let pool: Vec<Individual<usize>> = (0..200)
+        .map(|i| {
+            let x = (i % 20) as f64;
+            let y = ((i * 7) % 23) as f64;
+            Individual::new(i, Evaluation::feasible(vec![x, y]))
+        })
+        .collect();
+    group.bench_function("spea2_selection_200", |bench| {
+        bench.iter(|| environmental_selection(&pool, 100))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Throughput of the discrete-event simulator and the Monte-Carlo driver
+//! (the paper's 10 000-profile WC-Sim relies on this being fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcmap_bench::sample_designs;
+use mcmap_benchmarks::cruise;
+use mcmap_sim::{monte_carlo, MonteCarloConfig, NoFaults, RandomFaults, SimConfig, Simulator};
+
+fn bench_sim(c: &mut Criterion) {
+    let b = cruise();
+    let designs = sample_designs(&b, 1, 11);
+    let d = &designs[0];
+    let sim = Simulator::new(&d.hsys, &b.arch, &d.mapping, b.policies.clone());
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.bench_function("one_hyperperiod_fault_free", |bench| {
+        bench.iter(|| sim.run(&SimConfig::default(), &mut NoFaults))
+    });
+    group.bench_function("one_hyperperiod_boosted_faults", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            let mut faults =
+                RandomFaults::new(&d.hsys, &b.arch, &d.mapping, seed).with_boost(1e5);
+            sim.run(&SimConfig::worst_case(d.dropped.clone()), &mut faults)
+        })
+    });
+    group.bench_function("monte_carlo_100_profiles", |bench| {
+        bench.iter(|| {
+            monte_carlo(
+                &d.hsys,
+                &b.arch,
+                &d.mapping,
+                &b.policies,
+                &MonteCarloConfig {
+                    runs: 100,
+                    boost: 1e5,
+                    sim: SimConfig::worst_case(d.dropped.clone()),
+                    ..MonteCarloConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

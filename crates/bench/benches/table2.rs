@@ -1,0 +1,29 @@
+//! Criterion bench for the Table 2 estimators on the Cruise benchmark:
+//! measures the cost of one Adhoc trace, one Proposed (Algorithm 1) run,
+//! and one Naive run on a fixed sample design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcmap_bench::sample_designs;
+use mcmap_benchmarks::cruise;
+use mcmap_core::{adhoc_analysis, analyze, analyze_naive};
+
+fn bench_table2(c: &mut Criterion) {
+    let b = cruise();
+    let designs = sample_designs(&b, 1, 11);
+    let d = &designs[0];
+
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("proposed_algorithm1", |bench| {
+        bench.iter(|| analyze(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped))
+    });
+    group.bench_function("naive", |bench| {
+        bench.iter(|| analyze_naive(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped))
+    });
+    group.bench_function("adhoc_trace", |bench| {
+        bench.iter(|| adhoc_analysis(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

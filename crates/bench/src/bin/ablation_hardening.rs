@@ -1,0 +1,111 @@
+//! **Ablation** — the §2.2 hardening trade-off made concrete: harden every
+//! critical task of the Cruise benchmark uniformly with each technique
+//! (re-execution / active replication / passive replication) and compare
+//! the resulting reliability, worst-case response times, and expected
+//! power on a fixed isolation mapping.
+//!
+//! This quantifies why the DSE overwhelmingly picks re-execution (§5.2):
+//! it is the cheapest in power, at the price of critical-state WCRT
+//! inflation — which task dropping then absorbs.
+
+use mcmap_benchmarks::cruise;
+use mcmap_core::{analyze, expected_power};
+use mcmap_hardening::{
+    harden, HardenedSystem, HardeningPlan, Reliability, TaskHardening,
+};
+use mcmap_model::{AppId, ProcId};
+use mcmap_sched::Mapping;
+
+/// Builds a plan hardening every critical task with `make(flat)`.
+fn plan_with(
+    b: &mcmap_benchmarks::Benchmark,
+    make: impl Fn(usize) -> TaskHardening,
+) -> HardeningPlan {
+    let mut plan = HardeningPlan::unhardened(&b.apps);
+    for (flat, r) in b.apps.task_refs().iter().enumerate() {
+        if !b.apps.app(r.app).criticality().is_droppable() {
+            plan.set_by_flat_index(flat, make(flat));
+        }
+    }
+    plan
+}
+
+/// Isolation mapping: critical apps on the big cores, droppables on the
+/// little cores; fixed (replica/voter) slots honoured.
+fn mapping_for(b: &mcmap_benchmarks::Benchmark, hsys: &HardenedSystem) -> Mapping {
+    let placement: Vec<ProcId> = hsys
+        .tasks()
+        .map(|(_, t)| {
+            if let Some(p) = t.fixed_proc {
+                return p;
+            }
+            match t.app.index() {
+                0 | 1 => ProcId::new(t.app.index()), // critical apps on big cores
+                2 => ProcId::new(2),                 // nav alone on little0
+                _ => ProcId::new(3),                 // infotainment + diagnostics on little1
+            }
+        })
+        .collect();
+    Mapping::new(hsys, &b.arch, placement).expect("isolation mapping is valid")
+}
+
+fn main() {
+    let b = cruise();
+    let dropped: Vec<AppId> = b.apps.droppable_apps().collect();
+
+    // Replicas of critical app i live on the *other* big core and a little
+    // core; voters on the app's own core.
+    let variants: Vec<(&str, HardeningPlan)> = vec![
+        ("re-execution k=1", plan_with(&b, |_| TaskHardening::reexecution(1))),
+        ("re-execution k=2", plan_with(&b, |_| TaskHardening::reexecution(2))),
+        (
+            "active triplication",
+            plan_with(&b, |flat| {
+                let own = ProcId::new(if flat < 5 { 0 } else { 1 });
+                let other = ProcId::new(if flat < 5 { 1 } else { 0 });
+                TaskHardening::active(vec![other, ProcId::new(2)], own)
+            }),
+        ),
+        (
+            "passive duplex+standby",
+            plan_with(&b, |flat| {
+                let own = ProcId::new(if flat < 5 { 0 } else { 1 });
+                let other = ProcId::new(if flat < 5 { 1 } else { 0 });
+                TaskHardening::passive(vec![other], vec![ProcId::new(3)], own)
+            }),
+        ),
+    ];
+
+    println!("Hardening-technique ablation on Cruise (isolation mapping, T_d = all droppable)\n");
+    println!(
+        "{:22} | {:>10} | {:>9} {:>9} | {:>9} | {:>6}",
+        "technique", "power[mW]", "wcrt(sc)", "wcrt(bm)", "max fail", "sched"
+    );
+    println!("{}", "-".repeat(80));
+
+    for (name, plan) in variants {
+        let hsys = harden(&b.apps, &plan, &b.arch).expect("static plans are valid");
+        let mapping = mapping_for(&b, &hsys);
+        let rel = Reliability::new(&hsys, &b.arch);
+        let worst_fail = rel
+            .check_all(mapping.placement())
+            .into_iter()
+            .map(|v| v.failure_probability)
+            .fold(0.0f64, f64::max);
+        let mc = analyze(&hsys, &b.arch, &mapping, &b.policies, &dropped);
+        let power = expected_power(&hsys, &b.arch, &mapping, &[true; 4], &dropped, 0.3);
+        println!(
+            "{:22} | {:>10.2} | {:>9} {:>9} | {:>9.2e} | {:>6}",
+            name,
+            power,
+            mc.app_wcrt(&hsys, AppId::new(0), &dropped).to_string(),
+            mc.app_wcrt(&hsys, AppId::new(1), &dropped).to_string(),
+            worst_fail,
+            mc.schedulable(&hsys, &dropped),
+        );
+    }
+    println!(
+        "\nRe-execution is the cheapest technique in power; replication buys back the"
+    );
+    println!("critical-state WCRT inflation at the cost of permanently duplicated work.");
+}

@@ -1,0 +1,213 @@
+//! `mcmap-cli` — command-line front end over the library: sample designs,
+//! analyze, simulate, explore, and export the built-in benchmarks.
+//!
+//! ```text
+//! mcmap_cli list
+//! mcmap_cli analyze  <benchmark> [seed]      # sample a design, print slack
+//! mcmap_cli simulate <benchmark> [runs]      # Monte-Carlo vs. the bound
+//! mcmap_cli gantt    <benchmark> [seed]      # ASCII schedule of one hyperperiod
+//! mcmap_cli dot      <benchmark>             # GraphViz of the application set
+//! mcmap_cli dse      <benchmark> [pop gens]  # power/service exploration
+//! ```
+//!
+//! Benchmarks: `cruise`, `dt-med`, `dt-large`, `synth1`, `synth2`.
+
+use mcmap_bench::{sample_designs, SampleDesign};
+use mcmap_benchmarks::Benchmark;
+use mcmap_core::{analyze, explore, DseConfig, ObjectiveMode};
+use mcmap_ga::GaConfig;
+use mcmap_model::Time;
+use mcmap_sim::{monte_carlo, MonteCarloConfig, NoFaults, SimConfig, Simulator, Trace};
+use std::process::ExitCode;
+
+fn benchmark(name: &str) -> Option<Benchmark> {
+    match name {
+        "cruise" => Some(mcmap_benchmarks::cruise()),
+        "dt-med" => Some(mcmap_benchmarks::dt_med()),
+        "dt-large" => Some(mcmap_benchmarks::dt_large()),
+        "synth1" => Some(mcmap_benchmarks::synth1(42)),
+        "synth2" => Some(mcmap_benchmarks::synth2(42)),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mcmap_cli <list|analyze|simulate|gantt|dot|dse> [benchmark] [args…]\n\
+         benchmarks: cruise, dt-med, dt-large, synth1, synth2"
+    );
+    ExitCode::FAILURE
+}
+
+fn sampled(b: &Benchmark, seed: u64) -> Option<SampleDesign> {
+    sample_designs(b, 1, seed).into_iter().next()
+}
+
+fn cmd_list() -> ExitCode {
+    for name in ["cruise", "dt-med", "dt-large", "synth1", "synth2"] {
+        let b = benchmark(name).expect("known name");
+        println!(
+            "{name:9} {:2} apps ({} critical), {:2} tasks, {} PEs, hyperperiod {}",
+            b.apps.num_apps(),
+            b.apps.nondroppable_apps().count(),
+            b.apps.num_tasks(),
+            b.arch.num_processors(),
+            b.apps.hyperperiod()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(b: &Benchmark, seed: u64) -> ExitCode {
+    let Some(d) = sampled(b, seed) else {
+        eprintln!("could not sample a converging design (try another seed)");
+        return ExitCode::FAILURE;
+    };
+    let mc = analyze(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped);
+    println!(
+        "sampled design (seed {seed}): {} hardened tasks, T_d = {:?}\n",
+        d.hsys.num_tasks(),
+        d.dropped
+            .iter()
+            .map(|&a| b.apps.app(a).name())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "{:16} {:>9} {:>9} {:>9}  binding state",
+        "application", "wcrt", "deadline", "slack"
+    );
+    for (id, app) in b.apps.apps() {
+        let wcrt = mc.app_wcrt(&d.hsys, id, &d.dropped);
+        let binding = mc
+            .binding_trigger(&d.hsys, id)
+            .map(|t| format!("fault in {}", d.hsys.task(t).name))
+            .unwrap_or_else(|| "fault-free".to_string());
+        println!(
+            "{:16} {:>9} {:>9} {:>9}  {}",
+            app.name(),
+            wcrt.to_string(),
+            app.deadline().to_string(),
+            app.deadline().saturating_sub(wcrt).to_string(),
+            binding
+        );
+    }
+    println!(
+        "\nschedulable: {} ({} scenarios, {} backend calls)",
+        mc.schedulable(&d.hsys, &d.dropped),
+        mc.scenarios,
+        mc.backend_calls
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(b: &Benchmark, runs: usize) -> ExitCode {
+    let Some(d) = sampled(b, 11) else {
+        eprintln!("could not sample a converging design");
+        return ExitCode::FAILURE;
+    };
+    let mc = analyze(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped);
+    let result = monte_carlo(
+        &d.hsys,
+        &b.arch,
+        &d.mapping,
+        &b.policies,
+        &MonteCarloConfig {
+            runs,
+            boost: 1e5,
+            sim: SimConfig::worst_case(d.dropped.clone()),
+            ..MonteCarloConfig::default()
+        },
+    );
+    println!(
+        "{runs} boosted failure profiles; {} critical entries\n",
+        result.critical_entries
+    );
+    println!(
+        "{:16} {:>9} {:>9} {:>9} {:>9}",
+        "application", "median", "p99", "max-sim", "bound"
+    );
+    for id in b.apps.app_ids() {
+        println!(
+            "{:16} {:>9} {:>9} {:>9} {:>9}",
+            b.apps.app(id).name(),
+            result.median(id).to_string(),
+            result.percentile(id, 0.99).to_string(),
+            result.app_wcrt[id.index()].to_string(),
+            mc.app_wcrt(&d.hsys, id, &d.dropped).to_string(),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_gantt(b: &Benchmark, seed: u64) -> ExitCode {
+    let Some(d) = sampled(b, seed) else {
+        eprintln!("could not sample a converging design");
+        return ExitCode::FAILURE;
+    };
+    let sim = Simulator::new(&d.hsys, &b.arch, &d.mapping, b.policies.clone());
+    let (_, trace) = sim.run_traced(&SimConfig::default(), &mut NoFaults);
+    let names = Trace::name_table(&d.hsys, d.mapping.placement());
+    let horizon = Time::from_ticks(b.apps.hyperperiod().ticks().min(20_000));
+    print!("{}", trace.render_gantt(&names, horizon, 100));
+    println!("\n(one fault-free hyperperiod, horizon {horizon}, 100 columns)");
+    ExitCode::SUCCESS
+}
+
+fn cmd_dse(b: &Benchmark, pop: usize, gens: usize) -> ExitCode {
+    let outcome = explore(
+        &b.apps,
+        &b.arch,
+        DseConfig {
+            ga: GaConfig {
+                population: pop,
+                generations: gens,
+                seed: 8,
+                ..GaConfig::default()
+            },
+            objectives: ObjectiveMode::PowerService,
+            policies: Some(b.policies.clone()),
+            repair_iters: 80,
+            ..DseConfig::default()
+        },
+    );
+    println!(
+        "{} evaluations, {} feasible\n",
+        outcome.audit.evaluated, outcome.audit.feasible
+    );
+    println!("{:>12} {:>9}  dropped set", "power [mW]", "service");
+    let mut rows: Vec<_> = outcome.reports.iter().filter(|r| r.feasible).collect();
+    rows.sort_by(|a, b| a.power.partial_cmp(&b.power).expect("finite"));
+    rows.dedup_by(|a, b| (a.power - b.power).abs() < 1e-9 && a.service == b.service);
+    for r in rows {
+        let names: Vec<&str> = r.dropped.iter().map(|&a| b.apps.app(a).name()).collect();
+        println!("{:>12.2} {:>9.1}  {{{}}}", r.power, r.service, names.join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    if cmd == "list" {
+        return cmd_list();
+    }
+    let Some(b) = args.get(1).and_then(|n| benchmark(n)) else {
+        return usage();
+    };
+    let num = |i: usize, default: usize| -> usize {
+        args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    match cmd {
+        "analyze" => cmd_analyze(&b, num(2, 11) as u64),
+        "simulate" => cmd_simulate(&b, num(2, 500)),
+        "gantt" => cmd_gantt(&b, num(2, 11) as u64),
+        "dot" => {
+            print!("{}", mcmap_model::appset_to_dot(&b.apps));
+            ExitCode::SUCCESS
+        }
+        "dse" => cmd_dse(&b, num(2, 40), num(3, 40)),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,85 @@
+//! **§5.2 — Effect of task dropping.** For every benchmark:
+//!
+//! * optimized expected power with vs. without task dropping (the paper
+//!   reports +14.66 % / +16.16 % / +18.52 % without dropping on DT-med /
+//!   DT-large / Cruise);
+//! * the ratio of explored solutions that are infeasible without dropping
+//!   but feasible with it (0.02 % Synth-1, 0.685 % Synth-2, 29.00 % DT-med,
+//!   22.49 % DT-large, 99.98 % Cruise in the paper);
+//! * the share of re-execution among the applied hardening techniques
+//!   (44.29 % Synth-1; 87.03 % DT-med, 98.66 % DT-large, 83.23 % Cruise).
+//!
+//! Budget: `MCMAP_POP` (default 60) × `MCMAP_GENS` (default 150)
+//! generations, seed `MCMAP_SEED` (default 8); the paper used 100 × 5000.
+
+use mcmap_bench::{env_u64, env_usize};
+use mcmap_benchmarks::all_benchmarks;
+use mcmap_core::{explore, DseConfig, ObjectiveMode};
+use mcmap_ga::GaConfig;
+
+fn main() {
+    let pop = env_usize("MCMAP_POP", 60);
+    let gens = env_usize("MCMAP_GENS", 150);
+    let seed = env_u64("MCMAP_SEED", 8);
+
+    println!("Section 5.2: effect of task dropping (budget {pop}x{gens}, seed {seed})\n");
+    println!(
+        "{:10} | {:>11} {:>11} {:>8} | {:>8} | {:>8}",
+        "benchmark", "P(with)", "P(without)", "extra%", "rescue%", "reexec%"
+    );
+    println!("{}", "-".repeat(70));
+
+    for b in all_benchmarks(42) {
+        let base = DseConfig {
+            ga: GaConfig {
+                population: pop,
+                generations: gens,
+                seed,
+                ..GaConfig::default()
+            },
+            objectives: ObjectiveMode::Power,
+            policies: Some(b.policies.clone()),
+            repair_iters: 80,
+            ..DseConfig::default()
+        };
+
+        let with = explore(
+            &b.apps,
+            &b.arch,
+            DseConfig {
+                allow_dropping: true,
+                audit: true,
+                ..base.clone()
+            },
+        );
+        let without = explore(
+            &b.apps,
+            &b.arch,
+            DseConfig {
+                allow_dropping: false,
+                audit: false,
+                ..base
+            },
+        );
+
+        let pw = with.best_power();
+        let pwo = without.best_power();
+        let extra = match (pw, pwo) {
+            (Some(w), Some(wo)) => format!("{:+.2}", (wo / w - 1.0) * 100.0),
+            _ => "-".to_string(),
+        };
+        println!(
+            "{:10} | {:>11} {:>11} {:>8} | {:>8.3} | {:>8.2}",
+            b.name,
+            pw.map_or("-".into(), |p| format!("{p:.2}")),
+            pwo.map_or("-".into(), |p| format!("{p:.2}")),
+            extra,
+            with.audit.rescue_ratio() * 100.0,
+            with.audit.reexecution_share() * 100.0,
+        );
+    }
+    println!(
+        "\nrescue% = explored candidates infeasible without dropping but feasible with their"
+    );
+    println!("decoded dropped set; reexec% = share of re-execution among applied hardenings.");
+}

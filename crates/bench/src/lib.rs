@@ -1,0 +1,148 @@
+//! # mcmap-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§5). Each artifact has a dedicated binary:
+//!
+//! | binary            | paper artifact |
+//! |-------------------|----------------|
+//! | `table2_wcrt`     | Table 2 — WCRT of the two critical Cruise applications under Adhoc / WC-Sim / Proposed / Naive |
+//! | `sec52_dropping`  | §5.2 — optimized power with vs. without dropping, rescue ratios, hardening mix |
+//! | `fig5_pareto`     | Fig. 5 — power–service Pareto front of DT-med |
+//! | `fig1_motivation` | Fig. 1 — the motivational task-dropping scenario |
+//!
+//! Budgets are configurable through environment variables (`MCMAP_POP`,
+//! `MCMAP_GENS`, `MCMAP_SIM_RUNS`, `MCMAP_SEED`) so the tables regenerate in
+//! minutes by default and can be pushed towards the paper's 100×5000 budget
+//! when time allows.
+
+#![warn(missing_docs)]
+
+use mcmap_benchmarks::Benchmark;
+use mcmap_core::{repair_reliability, repair_structure, GenomeSpace};
+use mcmap_hardening::{harden, HardenedSystem};
+use mcmap_model::{AppId, ProcId};
+use mcmap_sched::Mapping;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Reads a `usize` experiment parameter from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` experiment parameter from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A concrete design (hardening + mapping + dropped set) of a benchmark,
+/// used by the Table 2 experiment as a "sample mapping".
+#[derive(Debug)]
+pub struct SampleDesign {
+    /// The hardened system.
+    pub hsys: HardenedSystem,
+    /// The task-to-processor binding.
+    pub mapping: Mapping,
+    /// The dropped application set `T_d`.
+    pub dropped: Vec<AppId>,
+}
+
+/// Generates `count` distinct sample designs of a benchmark by sampling
+/// repaired chromosomes (clustered seeds mixed with uniform ones) and
+/// keeping those whose fault-free state converges.
+pub fn sample_designs(b: &Benchmark, count: usize, seed: u64) -> Vec<SampleDesign> {
+    let space = GenomeSpace::new(&b.apps, &b.arch);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut designs = Vec::new();
+    let mut attempts = 0;
+    while designs.len() < count && attempts < 500 {
+        attempts += 1;
+        let mut g = if attempts % 2 == 0 {
+            space.clustered(&mut rng)
+        } else {
+            space.random(&mut rng)
+        };
+        repair_structure(&mut g, &space, &mut rng);
+        if !repair_reliability(&mut g, &space, &b.apps, &b.arch, &mut rng, 80) {
+            continue;
+        }
+        let (plan, dropped, bindings) = space.decode(&g);
+        let Ok(hsys) = harden(&b.apps, &plan, &b.arch) else {
+            continue;
+        };
+        let placement: Vec<ProcId> = hsys
+            .tasks()
+            .map(|(_, t)| match t.fixed_proc {
+                Some(p) => p,
+                None => bindings[hsys.flat_of_origin(t.origin).expect("origin tracked")],
+            })
+            .collect();
+        let Ok(mapping) = Mapping::new(&hsys, &b.arch, placement) else {
+            continue;
+        };
+        // Keep designs whose fault-free state is well-behaved.
+        let analysis = mcmap_core::analyze(&hsys, &b.arch, &mapping, &b.policies, &dropped);
+        if !analysis.normal.converged || !analysis.worst.converged {
+            continue;
+        }
+        designs.push(SampleDesign {
+            hsys,
+            mapping,
+            dropped,
+        });
+    }
+    designs
+}
+
+/// Formats a time value for table output (`-` for [`mcmap_model::Time::MAX`]).
+pub fn fmt_time(t: mcmap_model::Time) -> String {
+    if t == mcmap_model::Time::MAX {
+        "-".to_string()
+    } else {
+        t.ticks().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmap_model::Time;
+
+    #[test]
+    fn env_parsers_fall_back_to_defaults() {
+        assert_eq!(env_usize("MCMAP_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(env_u64("MCMAP_DOES_NOT_EXIST", 9), 9);
+    }
+
+    #[test]
+    fn fmt_time_renders_unbounded_as_dash() {
+        assert_eq!(fmt_time(Time::from_ticks(42)), "42");
+        assert_eq!(fmt_time(Time::MAX), "-");
+    }
+
+    #[test]
+    fn sample_designs_produce_valid_converging_designs() {
+        let b = mcmap_benchmarks::cruise();
+        let designs = sample_designs(&b, 3, 11);
+        assert_eq!(designs.len(), 3);
+        for d in &designs {
+            // Placement covers all tasks and honours fixed slots.
+            assert_eq!(d.mapping.placement().len(), d.hsys.num_tasks());
+            for (id, t) in d.hsys.tasks() {
+                if let Some(p) = t.fixed_proc {
+                    assert_eq!(d.mapping.proc_of(id), p);
+                }
+            }
+            // The dropped set only names droppable applications.
+            for a in &d.dropped {
+                assert!(b.apps.app(*a).criticality().is_droppable());
+            }
+        }
+    }
+}

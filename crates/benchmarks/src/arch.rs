@@ -1,0 +1,81 @@
+//! Reference MPSoC platforms used by the benchmarks.
+
+use mcmap_model::{Architecture, Fabric, ProcKind, Processor, Time};
+
+/// A small platform: two identical RISC cores on a shared bus.
+pub fn arch_small() -> Architecture {
+    Architecture::builder()
+        .homogeneous(2, Processor::new("risc", ProcKind::new(0), 12.0, 95.0, 4e-8))
+        .fabric(Fabric::new(64).with_base_latency(Time::from_ticks(1)))
+        .build()
+        .expect("static platform is valid")
+}
+
+/// The default benchmark platform: four cores of two kinds (two big
+/// general-purpose cores and two small cores with lower power but slower
+/// execution). All benchmark tasks carry execution profiles for both kinds.
+pub fn arch_medium() -> Architecture {
+    Architecture::builder()
+        .processor(Processor::new("big0", ProcKind::new(0), 18.0, 140.0, 5e-8))
+        .processor(Processor::new("big1", ProcKind::new(0), 18.0, 140.0, 5e-8))
+        .processor(Processor::new("little0", ProcKind::new(1), 6.0, 55.0, 8e-8))
+        .processor(Processor::new("little1", ProcKind::new(1), 6.0, 55.0, 8e-8))
+        .fabric(Fabric::new(64).with_base_latency(Time::from_ticks(1)))
+        .build()
+        .expect("static platform is valid")
+}
+
+/// A large platform: eight cores (four big, four little) on a wider fabric.
+pub fn arch_large() -> Architecture {
+    let mut b = Architecture::builder();
+    for i in 0..4 {
+        b = b.processor(Processor::new(
+            format!("big{i}"),
+            ProcKind::new(0),
+            18.0,
+            140.0,
+            5e-8,
+        ));
+    }
+    for i in 0..4 {
+        b = b.processor(Processor::new(
+            format!("little{i}"),
+            ProcKind::new(1),
+            6.0,
+            55.0,
+            8e-8,
+        ));
+    }
+    b.fabric(Fabric::new(128).with_base_latency(Time::from_ticks(1)))
+        .build()
+        .expect("static platform is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platforms_validate() {
+        assert_eq!(arch_small().num_processors(), 2);
+        assert_eq!(arch_medium().num_processors(), 4);
+        assert_eq!(arch_large().num_processors(), 8);
+    }
+
+    #[test]
+    fn medium_platform_is_heterogeneous() {
+        let a = arch_medium();
+        assert_eq!(a.num_kinds(), 2);
+        let kinds: Vec<_> = a.processors().map(|(_, p)| p.kind).collect();
+        assert_ne!(kinds[0], kinds[2]);
+    }
+
+    #[test]
+    fn little_cores_draw_less_power() {
+        let a = arch_medium();
+        let big = a.processor(mcmap_model::ProcId::new(0));
+        let little = a.processor(mcmap_model::ProcId::new(2));
+        assert!(little.stat_power < big.stat_power);
+        assert!(little.dyn_power < big.dyn_power);
+    }
+}

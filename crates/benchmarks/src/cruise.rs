@@ -1,0 +1,149 @@
+//! The *Cruise* benchmark.
+//!
+//! A cruise-control system reconstructed from the public description of
+//! Kandasamy et al. ("Dependable communication synthesis for distributed
+//! embedded systems", [20] in the paper): two safety-critical control
+//! applications — the cruise speed-control loop and the brake monitor —
+//! plus, as in §5 of the paper, three synthetic lower-criticality
+//! applications added to raise the benchmark complexity. One tick ≈ 10 µs.
+
+use crate::{arch_medium, util::btask, Benchmark};
+use mcmap_model::{AppSet, Criticality, TaskGraph, Time};
+use mcmap_sched::{uniform_policies, SchedPolicy};
+
+/// Builds the Cruise benchmark: 2 non-droppable control applications and
+/// 3 droppable synthetic companions on the 4-core heterogeneous platform.
+///
+/// # Examples
+///
+/// ```
+/// let b = mcmap_benchmarks::cruise();
+/// assert_eq!(b.apps.num_apps(), 5);
+/// assert_eq!(b.apps.nondroppable_apps().count(), 2);
+/// ```
+pub fn cruise() -> Benchmark {
+    let speed_control = TaskGraph::builder("speed-control", Time::from_ticks(2_000))
+        .deadline(Time::from_ticks(1_100))
+        .criticality(Criticality::NonDroppable {
+            max_failure_rate: 1e-5,
+        })
+        .task(btask("wheel_pulse", 40, 80)) // 0: wheel sensor sampling
+        .task(btask("cruise_switch", 20, 50)) // 1: driver set/resume switch
+        .task(btask("speed_est", 50, 100)) // 2: speed estimation filter
+        .task(btask("ctrl_law", 60, 120)) // 3: PI control law
+        .task(btask("throttle_act", 40, 90)) // 4: throttle actuation
+        .channel(0, 2, 16)
+        .channel(2, 3, 16)
+        .channel(1, 3, 8)
+        .channel(3, 4, 16)
+        .build()
+        .expect("static benchmark is valid");
+
+    let brake_monitor = TaskGraph::builder("brake-monitor", Time::from_ticks(1_500))
+        .deadline(Time::from_ticks(700))
+        .criticality(Criticality::NonDroppable {
+            max_failure_rate: 1e-5,
+        })
+        .task(btask("brake_pedal", 30, 60)) // 0: pedal sensor
+        .task(btask("brake_logic", 50, 110)) // 1: disengage decision
+        .task(btask("brake_act", 40, 80)) // 2: cruise disengage actuation
+        .channel(0, 1, 8)
+        .channel(1, 2, 8)
+        .build()
+        .expect("static benchmark is valid");
+
+    let nav = TaskGraph::builder("nav", Time::from_ticks(3_000))
+        .deadline(Time::from_ticks(2_200))
+        .criticality(Criticality::Droppable { service: 3.0 })
+        .task(btask("gps_fix", 120, 260))
+        .task(btask("map_match", 170, 360))
+        .task(btask("route_eval", 140, 310))
+        .task(btask("guidance", 100, 220))
+        .channel(0, 1, 64)
+        .channel(1, 2, 32)
+        .channel(2, 3, 32)
+        .build()
+        .expect("static benchmark is valid");
+
+    let infotainment = TaskGraph::builder("infotainment", Time::from_ticks(6_000))
+        .deadline(Time::from_ticks(4_200))
+        .criticality(Criticality::Droppable { service: 2.0 })
+        .task(btask("media_decode", 230, 500))
+        .task(btask("mixer", 60, 140))
+        .task(btask("ui_render", 180, 390))
+        .channel(0, 1, 128)
+        .channel(1, 2, 64)
+        .build()
+        .expect("static benchmark is valid");
+
+    let diagnostics = TaskGraph::builder("diagnostics", Time::from_ticks(6_000))
+        .deadline(Time::from_ticks(4_200))
+        .criticality(Criticality::Droppable { service: 1.0 })
+        .task(btask("obd_poll", 80, 180))
+        .task(btask("log_pack", 90, 210))
+        .channel(0, 1, 64)
+        .build()
+        .expect("static benchmark is valid");
+
+    let apps = AppSet::new(vec![
+        speed_control,
+        brake_monitor,
+        nav,
+        infotainment,
+        diagnostics,
+    ])
+    .expect("static benchmark is valid");
+    let arch = arch_medium();
+    let policies = uniform_policies(
+        arch.num_processors(),
+        SchedPolicy::FixedPriorityPreemptive,
+    );
+    Benchmark {
+        name: "Cruise".to_string(),
+        apps,
+        arch,
+        policies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_description() {
+        let b = cruise();
+        assert_eq!(b.apps.num_tasks(), 17);
+        assert_eq!(b.apps.droppable_apps().count(), 3);
+        assert_eq!(b.apps.hyperperiod(), Time::from_ticks(6_000));
+        assert_eq!(b.apps.total_service(), 6.0);
+    }
+
+    #[test]
+    fn critical_apps_have_constrained_deadlines() {
+        let b = cruise();
+        for id in b.apps.nondroppable_apps() {
+            let app = b.apps.app(id);
+            assert!(app.deadline() < app.period());
+        }
+    }
+
+    #[test]
+    fn nominal_utilization_fits_the_platform() {
+        // Total big-core demand must leave headroom for hardening.
+        let b = cruise();
+        let mut u = 0.0;
+        for (_, app) in b.apps.apps() {
+            for (_, t) in app.tasks() {
+                u += t
+                    .exec_on(mcmap_model::ProcKind::new(0))
+                    .unwrap()
+                    .wcet
+                    .as_f64()
+                    / app.period().as_f64();
+            }
+        }
+        assert!(u < 1.5, "total demand {u} should fit 4 cores with slack");
+        assert!(u > 0.4, "benchmark should not be trivial, got {u}");
+    }
+}

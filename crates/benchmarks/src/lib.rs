@@ -1,0 +1,62 @@
+//! # mcmap-benchmarks
+//!
+//! The benchmark systems of §5 of *Kang et al., DAC 2014*:
+//!
+//! * [`cruise`] — a cruise-control system (after Kandasamy et al. \[20\]):
+//!   two safety-critical control applications plus three synthetic
+//!   droppable companions;
+//! * [`dt_med`] / [`dt_large`] — distributed non-preemptive CORBA control
+//!   applications (after the DREAM models \[21\]) with the paper's ×20
+//!   period/WCET scaling;
+//! * [`synth`] with the [`synth1`] / [`synth2`] presets — seeded random
+//!   layered-DAG benchmarks for controlled sweeps.
+//!
+//! The original models are not redistributable; these are structural
+//! reconstructions from the public descriptions (see DESIGN.md §3), kept in
+//! plain Rust so every parameter is inspectable.
+//!
+//! # Examples
+//!
+//! ```
+//! let b = mcmap_benchmarks::cruise();
+//! println!("{}: {} tasks on {} PEs", b.name, b.apps.num_tasks(),
+//!     b.arch.num_processors());
+//! assert!(b.apps.nondroppable_apps().count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arch;
+mod cruise;
+mod dt;
+mod synth;
+mod util;
+
+pub use arch::{arch_large, arch_medium, arch_small};
+pub use cruise::cruise;
+pub use dt::{dt_large, dt_med};
+pub use synth::{synth, synth1, synth2, SynthConfig};
+
+use mcmap_model::{AppSet, Architecture};
+use mcmap_sched::SchedPolicy;
+
+/// A complete benchmark: application set, platform, and per-processor
+/// scheduling policies.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name (e.g. `"Cruise"`).
+    pub name: String,
+    /// The application set.
+    pub apps: AppSet,
+    /// The target platform.
+    pub arch: Architecture,
+    /// Local scheduling policy of each processor.
+    pub policies: Vec<SchedPolicy>,
+}
+
+/// All named benchmarks of the paper's evaluation, with the given seed for
+/// the synthetic ones.
+pub fn all_benchmarks(seed: u64) -> Vec<Benchmark> {
+    vec![synth1(seed), synth2(seed), dt_med(), dt_large(), cruise()]
+}

@@ -1,0 +1,246 @@
+//! Random synthetic benchmarks (the paper's *Synth-1* / *Synth-2*).
+//!
+//! Layered-DAG task graphs in the TGFF tradition: tasks are distributed
+//! over layers and every non-source task consumes from at least one task of
+//! the previous layer. All parameters are captured in [`SynthConfig`] so
+//! sweeps (e.g. the analysis-scaling bench) can dial workload size
+//! precisely; generation is fully determined by the seed.
+
+use crate::{arch_large, arch_medium, util::btask, Benchmark};
+use mcmap_model::{AppSet, Criticality, TaskGraph, Time};
+use mcmap_sched::{uniform_policies, SchedPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic benchmark generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of applications.
+    pub num_apps: usize,
+    /// Inclusive range of tasks per application.
+    pub tasks_per_app: (usize, usize),
+    /// Maximum tasks per DAG layer.
+    pub max_layer_width: usize,
+    /// Candidate invocation periods (picked uniformly per app).
+    pub periods: Vec<u64>,
+    /// Inclusive WCET range on the big cores; BCET is drawn as a fraction
+    /// of the WCET.
+    pub wcet_range: (u64, u64),
+    /// Deadline as a percentage of the period (100 = implicit deadline).
+    pub deadline_pct: u64,
+    /// Fraction of applications that are droppable (rounded down, but at
+    /// least one application stays non-droppable).
+    pub droppable_fraction: f64,
+    /// Reliability bound for non-droppable applications.
+    pub max_failure_rate: f64,
+    /// Use the 8-core platform instead of the 4-core one.
+    pub large_platform: bool,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            num_apps: 4,
+            tasks_per_app: (4, 6),
+            max_layer_width: 3,
+            periods: vec![6_000, 8_000, 12_000, 24_000],
+            wcet_range: (60, 200),
+            deadline_pct: 100,
+            droppable_fraction: 0.5,
+            max_failure_rate: 1e-5,
+            large_platform: false,
+        }
+    }
+}
+
+/// The *Synth-1* preset: a generously provisioned system (large platform,
+/// implicit deadlines) where feasibility pressure comes from raw load, not
+/// from the critical state — dropping almost never rescues a candidate
+/// (the paper reports a 0.02 % rescue ratio for its Synth-1).
+pub fn synth1(seed: u64) -> Benchmark {
+    let cfg = SynthConfig {
+        num_apps: 5,
+        tasks_per_app: (5, 8),
+        periods: vec![4_000, 6_000, 8_000, 12_000],
+        wcet_range: (90, 320),
+        deadline_pct: 100,
+        large_platform: true,
+        ..SynthConfig::default()
+    };
+    let mut b = synth(&cfg, seed);
+    b.name = "Synth-1".to_string();
+    b
+}
+
+/// The *Synth-2* preset: a smaller platform where hardened critical tasks
+/// share cores with the droppable applications, so the critical state
+/// occasionally threatens the latter and dropping rescues a few candidates
+/// (0.685 % in the paper).
+pub fn synth2(seed: u64) -> Benchmark {
+    let mut b = synth(&SynthConfig::default(), seed);
+    b.name = "Synth-2".to_string();
+    b
+}
+
+/// Generates a random benchmark from the configuration. Identical
+/// `(config, seed)` pairs produce identical benchmarks.
+pub fn synth(cfg: &SynthConfig, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_droppable = ((cfg.num_apps as f64 * cfg.droppable_fraction) as usize)
+        .min(cfg.num_apps.saturating_sub(1));
+
+    let mut graphs = Vec::with_capacity(cfg.num_apps);
+    for a in 0..cfg.num_apps {
+        let period = cfg.periods[rng.gen_range(0..cfg.periods.len())];
+        let droppable = a >= cfg.num_apps - num_droppable;
+        let criticality = if droppable {
+            Criticality::Droppable {
+                service: rng.gen_range(1..=4) as f64,
+            }
+        } else {
+            Criticality::NonDroppable {
+                max_failure_rate: cfg.max_failure_rate,
+            }
+        };
+        let n = rng.gen_range(cfg.tasks_per_app.0..=cfg.tasks_per_app.1);
+        let mut builder = TaskGraph::builder(format!("synth-app{a}"), Time::from_ticks(period))
+            .deadline(Time::from_ticks(period * cfg.deadline_pct / 100))
+            .criticality(criticality);
+
+        // Distribute tasks over layers.
+        let mut layers: Vec<Vec<usize>> = Vec::new();
+        let mut placed = 0usize;
+        while placed < n {
+            let width = rng
+                .gen_range(1..=cfg.max_layer_width)
+                .min(n - placed);
+            layers.push((placed..placed + width).collect());
+            placed += width;
+        }
+        for t in 0..n {
+            let wcet = rng.gen_range(cfg.wcet_range.0..=cfg.wcet_range.1);
+            let bcet = wcet * rng.gen_range(40..=90) / 100;
+            builder = builder.task(btask(&format!("a{a}t{t}"), bcet.max(1), wcet));
+        }
+        // Wire every non-first-layer task to ≥1 predecessor in the previous
+        // layer; add occasional extra edges for diamond shapes.
+        for l in 1..layers.len() {
+            let prev = layers[l - 1].clone();
+            for &t in &layers[l] {
+                let src = prev[rng.gen_range(0..prev.len())];
+                builder = builder.channel(src, t, rng.gen_range(8..=128));
+                if prev.len() > 1 && rng.gen_bool(0.3) {
+                    let extra = prev[rng.gen_range(0..prev.len())];
+                    if extra != src {
+                        builder = builder.channel(extra, t, rng.gen_range(8..=128));
+                    }
+                }
+            }
+        }
+        graphs.push(builder.build().expect("generator emits valid graphs"));
+    }
+
+    let apps = AppSet::new(graphs).expect("generator emits at least one app");
+    let arch = if cfg.large_platform {
+        arch_large()
+    } else {
+        arch_medium()
+    };
+    let policies = uniform_policies(
+        arch.num_processors(),
+        SchedPolicy::FixedPriorityPreemptive,
+    );
+    Benchmark {
+        name: format!("Synth(seed={seed})"),
+        apps,
+        arch,
+        policies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synth(&SynthConfig::default(), 42);
+        let b = synth(&SynthConfig::default(), 42);
+        assert_eq!(a.apps, b.apps);
+        let c = synth(&SynthConfig::default(), 43);
+        assert_ne!(a.apps, c.apps);
+    }
+
+    #[test]
+    fn presets_match_description() {
+        let s1 = synth1(7);
+        assert_eq!(s1.name, "Synth-1");
+        assert_eq!(s1.apps.num_apps(), 5);
+        assert_eq!(s1.arch.num_processors(), 8);
+        assert!(s1.apps.nondroppable_apps().count() >= 1);
+
+        let s2 = synth2(7);
+        assert_eq!(s2.name, "Synth-2");
+        assert_eq!(s2.apps.num_apps(), 4);
+        assert_eq!(s2.arch.num_processors(), 4);
+    }
+
+    #[test]
+    fn task_counts_respect_configuration() {
+        let cfg = SynthConfig {
+            num_apps: 3,
+            tasks_per_app: (5, 5),
+            ..SynthConfig::default()
+        };
+        let b = synth(&cfg, 1);
+        assert_eq!(b.apps.num_tasks(), 15);
+        for (_, app) in b.apps.apps() {
+            assert_eq!(app.num_tasks(), 5);
+        }
+    }
+
+    #[test]
+    fn at_least_one_app_stays_nondroppable() {
+        let cfg = SynthConfig {
+            num_apps: 2,
+            droppable_fraction: 1.0,
+            ..SynthConfig::default()
+        };
+        let b = synth(&cfg, 9);
+        assert!(b.apps.nondroppable_apps().count() >= 1);
+    }
+
+    #[test]
+    fn every_non_source_task_has_a_predecessor() {
+        let b = synth(&SynthConfig::default(), 11);
+        for (_, app) in b.apps.apps() {
+            let sources: Vec<_> = app.sources().collect();
+            for t in app.task_ids() {
+                if !sources.contains(&t) {
+                    assert!(app.predecessors(t).count() >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_config_grows_task_count() {
+        let small = synth(
+            &SynthConfig {
+                num_apps: 2,
+                tasks_per_app: (3, 3),
+                ..SynthConfig::default()
+            },
+            5,
+        );
+        let big = synth(
+            &SynthConfig {
+                num_apps: 6,
+                tasks_per_app: (8, 8),
+                ..SynthConfig::default()
+            },
+            5,
+        );
+        assert!(big.apps.num_tasks() > small.apps.num_tasks() * 3);
+    }
+}

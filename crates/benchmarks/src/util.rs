@@ -1,0 +1,48 @@
+//! Shared helpers for benchmark construction.
+
+use mcmap_model::{ExecBounds, ProcKind, Task, Time};
+
+/// Slowdown of the little (kind 1) cores relative to the big (kind 0)
+/// cores, in percent (180 = 1.8× slower).
+pub(crate) const LITTLE_SLOWDOWN_PCT: u64 = 180;
+
+/// Builds a benchmark task with execution profiles for both processor
+/// kinds: the given bounds on the big cores and a proportionally slower
+/// profile on the little cores. Detection and voting overheads are scaled
+/// from the WCET (context save/restore and majority voting are cheap
+/// relative to the computation).
+pub(crate) fn btask(name: &str, bcet: u64, wcet: u64) -> Task {
+    debug_assert!(bcet <= wcet);
+    let dt = wcet / 20 + 1;
+    let ve = wcet / 25 + 1;
+    Task::new(name)
+        .with_exec(
+            ProcKind::new(0),
+            ExecBounds::new(Time::from_ticks(bcet), Time::from_ticks(wcet)),
+        )
+        .with_exec(
+            ProcKind::new(1),
+            ExecBounds::new(
+                Time::from_ticks(bcet * LITTLE_SLOWDOWN_PCT / 100),
+                Time::from_ticks(wcet * LITTLE_SLOWDOWN_PCT / 100),
+            ),
+        )
+        .with_detect_overhead(Time::from_ticks(dt))
+        .with_voting_overhead(Time::from_ticks(ve))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btask_profiles_both_kinds() {
+        let t = btask("t", 50, 100);
+        let big = t.exec_on(ProcKind::new(0)).unwrap();
+        let little = t.exec_on(ProcKind::new(1)).unwrap();
+        assert_eq!(big.wcet, Time::from_ticks(100));
+        assert_eq!(little.wcet, Time::from_ticks(180));
+        assert!(t.detect_overhead > Time::ZERO);
+        assert!(t.voting_overhead > Time::ZERO);
+    }
+}

@@ -1,0 +1,627 @@
+//! Mixed-criticality, fault-tolerance-aware WCRT analysis.
+//!
+//! This module is the heart of the reproduction: Algorithm 1 of the paper
+//! ([`proposed_analysis`]) together with the two static comparison points of
+//! §5.1, [`naive_analysis`] and [`adhoc_analysis`].
+//!
+//! All three are *wrappers* over a pluggable [`SchedBackend`]; the proposed
+//! analysis enumerates the possible normal→critical state transitions and
+//! re-runs the backend with per-task execution bounds modified according to
+//! the chronological information of each transition, which is exactly what
+//! removes the pessimism of the naive treatment.
+
+use mcmap_hardening::{HTaskId, HardenedSystem};
+use mcmap_model::{AppId, Architecture, ExecBounds, Time};
+use mcmap_sched::{
+    nominal_bounds, HolisticAnalysis, Mapping, SchedBackend, SchedPolicy, TaskWindows,
+};
+use mcmap_sim::{ExhaustiveReexecution, SimConfig, Simulator};
+use std::collections::HashMap;
+
+/// Result of the mixed-criticality analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McAnalysis {
+    /// Windows of the fault-free (normal) state: passive replicas pinned to
+    /// `[0, 0]`, no re-executions, nothing dropped.
+    pub normal: TaskWindows,
+    /// Per-task worst case over the normal state **and** every possible
+    /// state transition (the return value of Algorithm 1, computed for all
+    /// tasks at once).
+    pub worst: TaskWindows,
+    /// Number of transition scenarios analyzed (one per trigger task).
+    pub scenarios: usize,
+    /// Number of backend invocations actually performed (the normal-state
+    /// run plus one per *distinct* scenario bound-vector — triggers whose
+    /// transitions classify every task identically share one run).
+    pub backend_calls: usize,
+    /// Per analyzed scenario: the trigger task and the per-application
+    /// worst-case response times of that scenario (diagnostic only).
+    pub scenario_app_wcrt: Vec<(HTaskId, Vec<Time>)>,
+}
+
+impl McAnalysis {
+    /// Worst-case response time of an application under the
+    /// mixed-criticality protocol: applications in the dropped set only
+    /// answer for their *normal-state* response (once dropped they provide
+    /// no service and have no deadline to meet); everything else answers
+    /// over all scenarios.
+    pub fn app_wcrt(&self, hsys: &HardenedSystem, app: AppId, dropped: &[AppId]) -> Time {
+        if dropped.contains(&app) {
+            self.normal.app_wcrt(hsys, app)
+        } else {
+            self.worst.app_wcrt(hsys, app)
+        }
+    }
+
+    /// The trigger task whose transition scenario produces the largest
+    /// response time for `app` — `None` when the fault-free state already
+    /// binds the WCRT (or the app has no tasks). Useful for explaining a
+    /// design: "the binding fault is in `wheel_pulse`".
+    pub fn binding_trigger(&self, hsys: &HardenedSystem, app: AppId) -> Option<HTaskId> {
+        let normal = self.normal.app_wcrt(hsys, app);
+        self.scenario_app_wcrt
+            .iter()
+            .map(|(trigger, wcrt)| (*trigger, wcrt[app.index()]))
+            .filter(|&(_, w)| w > normal)
+            .max_by_key(|&(_, w)| w)
+            .map(|(trigger, _)| trigger)
+    }
+
+    /// `true` when every application meets its deadline under the protocol
+    /// (dropped applications in the normal state, all others in every
+    /// scenario).
+    pub fn schedulable(&self, hsys: &HardenedSystem, dropped: &[AppId]) -> bool {
+        self.normal.converged
+            && self.worst.converged
+            && hsys
+                .apps()
+                .iter()
+                .all(|happ| self.app_wcrt(hsys, happ.app, dropped) <= happ.deadline)
+    }
+}
+
+/// Execution bounds of the normal (fault-free) state: nominal bounds with
+/// passive replicas pinned to `[0, 0]` (Algorithm 1, lines 2–6).
+pub fn normal_state_bounds(hsys: &HardenedSystem, nominal: &[ExecBounds]) -> Vec<ExecBounds> {
+    let mut bounds = nominal.to_vec();
+    for (id, t) in hsys.tasks() {
+        if t.is_passive() {
+            bounds[id.index()] = ExecBounds::ZERO;
+        }
+    }
+    bounds
+}
+
+/// Critical-state WCET of a task on its mapped processor: Eq. (1).
+fn critical_wcet(
+    hsys: &HardenedSystem,
+    arch: &Architecture,
+    mapping: &Mapping,
+    id: HTaskId,
+) -> Time {
+    let kind = arch.processor(mapping.proc_of(id)).kind;
+    hsys.task(id)
+        .critical_wcet(kind)
+        .expect("mapped processors are kind-compatible")
+}
+
+/// **Algorithm 1** of the paper, generic over the schedulability backend.
+///
+/// For every task `v` that may trigger a normal→critical transition
+/// (re-execution hardened or passively replicated), the bounds of every
+/// other task `w` are rewritten based on the *normal-state* windows:
+///
+/// * `maxFinish_w < minStart_v` — `w` completed before the first fault
+///   could occur: normal bounds (passive replicas stay `[0, 0]`);
+/// * otherwise, if `w` belongs to a dropped application:
+///   `minStart_w > maxFinish_v` — certainly dropped, `[0, 0]`; else in
+///   transition, `[0, wcet_w]`;
+/// * otherwise (non-droppable in the critical state): `[bcet_w, Eq. (1)]`
+///   (passive replicas get `[0, Eq. (1)]` — they may or may not be
+///   invoked).
+///
+/// The trigger `v` itself executes through its fault: `[bcet_v, Eq. (1)]`.
+///
+/// Returns the per-task maximum over the normal state and all transitions.
+pub fn proposed_analysis<B: SchedBackend + ?Sized>(
+    backend: &B,
+    hsys: &HardenedSystem,
+    arch: &Architecture,
+    mapping: &Mapping,
+    nominal: &[ExecBounds],
+    dropped: &[AppId],
+) -> McAnalysis {
+    let n = hsys.num_tasks();
+    assert_eq!(nominal.len(), n, "one bound per hardened task required");
+
+    let normal_bounds = normal_state_bounds(hsys, nominal);
+    let normal = backend.analyze(&normal_bounds);
+
+    let mut worst = normal.clone();
+    let mut scenarios = 0usize;
+    let mut backend_calls = 1usize; // the normal-state run
+    let mut scenario_app_wcrt = Vec::new();
+    // Distinct bound-vectors → cached backend results. Two triggers with
+    // identical windows produce identical scenarios; analyzing one suffices.
+    let mut cache: HashMap<Vec<ExecBounds>, TaskWindows> = HashMap::new();
+
+    for (v, vt) in hsys.tasks() {
+        if !vt.is_trigger() {
+            continue;
+        }
+        scenarios += 1;
+        let v_min_start = normal.min_start[v.index()];
+        let v_max_finish = normal.max_finish[v.index()];
+
+        let mut bounds = vec![ExecBounds::ZERO; n];
+        for (w, wt) in hsys.tasks() {
+            if w == v {
+                // The trigger executes through its fault: full re-execution
+                // budget (Eq. 1). A passive trigger is invoked and runs.
+                // Exception: a trigger belonging to a *dropped* application
+                // is discarded instead of re-executed the moment its fault
+                // is detected — it runs at most its nominal execution.
+                let wcet = if dropped.contains(&wt.app) {
+                    nominal[w.index()].wcet
+                } else {
+                    critical_wcet(hsys, arch, mapping, v)
+                };
+                bounds[w.index()] = ExecBounds::new(
+                    if wt.is_passive() || dropped.contains(&wt.app) {
+                        Time::ZERO
+                    } else {
+                        nominal[w.index()].bcet
+                    },
+                    wcet,
+                );
+                continue;
+            }
+            let w_normal = normal_bounds[w.index()];
+            if normal.max_finish[w.index()] < v_min_start {
+                // Completed before the fault: normal state.
+                bounds[w.index()] = w_normal;
+            } else if dropped.contains(&wt.app) {
+                if normal.min_start[w.index()] > v_max_finish {
+                    // Starts after the transition completed: never released.
+                    bounds[w.index()] = ExecBounds::ZERO;
+                } else {
+                    // Transition: either executed or dropped.
+                    bounds[w.index()] =
+                        ExecBounds::new(Time::ZERO, nominal[w.index()].wcet);
+                }
+            } else {
+                // Critical, non-droppable: may re-execute (Eq. 1); passive
+                // replicas may or may not be invoked.
+                let bcet = if wt.is_passive() {
+                    Time::ZERO
+                } else {
+                    nominal[w.index()].bcet
+                };
+                bounds[w.index()] =
+                    ExecBounds::new(bcet, critical_wcet(hsys, arch, mapping, w));
+            }
+        }
+
+        let scenario = cache.entry(bounds).or_insert_with_key(|b| {
+            backend_calls += 1;
+            backend.analyze(b)
+        });
+        worst.converged &= scenario.converged;
+        for i in 0..n {
+            worst.max_finish[i] = worst.max_finish[i].max(scenario.max_finish[i]);
+            worst.min_start[i] = worst.min_start[i].min(scenario.min_start[i]);
+        }
+        scenario_app_wcrt.push((
+            v,
+            hsys.apps()
+                .iter()
+                .map(|happ| scenario.app_wcrt(hsys, happ.app))
+                .collect(),
+        ));
+    }
+
+    McAnalysis {
+        normal,
+        worst,
+        scenarios,
+        backend_calls,
+        scenario_app_wcrt,
+    }
+}
+
+/// The **Naive** analysis of §3/§5.1: a single backend run where every task
+/// of a dropped application gets `[0, wcet]`, every other task gets its full
+/// critical-state bounds (`[bcet, Eq. (1)]`, passive replicas `[0, Eq. (1)]`).
+/// Safe but pessimistic — it ignores all chronological information.
+pub fn naive_analysis<B: SchedBackend + ?Sized>(
+    backend: &B,
+    hsys: &HardenedSystem,
+    arch: &Architecture,
+    mapping: &Mapping,
+    nominal: &[ExecBounds],
+    dropped: &[AppId],
+) -> TaskWindows {
+    let bounds: Vec<ExecBounds> = hsys
+        .tasks()
+        .map(|(w, wt)| {
+            if dropped.contains(&wt.app) {
+                ExecBounds::new(Time::ZERO, nominal[w.index()].wcet)
+            } else {
+                let bcet = if wt.is_passive() {
+                    Time::ZERO
+                } else {
+                    nominal[w.index()].bcet
+                };
+                ExecBounds::new(bcet, critical_wcet(hsys, arch, mapping, w))
+            }
+        })
+        .collect();
+    backend.analyze(&bounds)
+}
+
+/// The **Adhoc** estimator of §5.1: an artificial worst-case *scheduling
+/// trace* (not an analysis) where the system is critical from the beginning
+/// of the hyperperiod, every re-execution-hardened task is maximally
+/// re-executed, and dropped applications never release work. The paper uses
+/// it to show that such hand-built traces are **not** safe bounds.
+///
+/// Returns the per-application observed response times.
+pub fn adhoc_analysis(
+    hsys: &HardenedSystem,
+    arch: &Architecture,
+    mapping: &Mapping,
+    policies: &[SchedPolicy],
+    dropped: &[AppId],
+) -> Vec<Time> {
+    let sim = Simulator::new(hsys, arch, mapping, policies.to_vec());
+    let cfg = SimConfig {
+        dropped: dropped.to_vec(),
+        start_critical: true,
+        ..SimConfig::default()
+    };
+    let mut faults = ExhaustiveReexecution::new(hsys);
+    sim.run(&cfg, &mut faults).app_wcrt
+}
+
+/// Convenience wrapper running [`proposed_analysis`] with the library's
+/// holistic backend.
+pub fn analyze(
+    hsys: &HardenedSystem,
+    arch: &Architecture,
+    mapping: &Mapping,
+    policies: &[SchedPolicy],
+    dropped: &[AppId],
+) -> McAnalysis {
+    let backend = HolisticAnalysis::new(hsys, arch, mapping, policies.to_vec());
+    let nominal = nominal_bounds(hsys, arch, mapping);
+    proposed_analysis(&backend, hsys, arch, mapping, &nominal, dropped)
+}
+
+/// Convenience wrapper running [`naive_analysis`] with the library's
+/// holistic backend.
+pub fn analyze_naive(
+    hsys: &HardenedSystem,
+    arch: &Architecture,
+    mapping: &Mapping,
+    policies: &[SchedPolicy],
+    dropped: &[AppId],
+) -> TaskWindows {
+    let backend = HolisticAnalysis::new(hsys, arch, mapping, policies.to_vec());
+    let nominal = nominal_bounds(hsys, arch, mapping);
+    naive_analysis(&backend, hsys, arch, mapping, &nominal, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmap_hardening::{harden, HardeningPlan, TaskHardening};
+    use mcmap_model::{
+        AppSet, Criticality, ExecBounds, ProcId, ProcKind, Processor, Task, TaskGraph,
+    };
+    use mcmap_sched::uniform_policies;
+
+    fn arch(n: usize) -> Architecture {
+        Architecture::builder()
+            .homogeneous(n, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-7))
+            .build()
+            .unwrap()
+    }
+
+    fn task(name: &str, bcet: u64, wcet: u64) -> Task {
+        Task::new(name)
+            .with_uniform_exec(
+                1,
+                ExecBounds::new(Time::from_ticks(bcet), Time::from_ticks(wcet)),
+            )
+            .with_detect_overhead(Time::from_ticks(2))
+    }
+
+    /// hi: one re-executed task (wcet 30, k=1); lo: droppable task (wcet 20),
+    /// both on one PE, periods 200.
+    fn mixed_system(
+        drop_lo: bool,
+    ) -> (
+        Architecture,
+        HardenedSystem,
+        Mapping,
+        Vec<SchedPolicy>,
+        Vec<AppId>,
+    ) {
+        let hi = TaskGraph::builder("hi", Time::from_ticks(200))
+            .criticality(Criticality::NonDroppable {
+                max_failure_rate: 1.0,
+            })
+            .task(task("h", 30, 30))
+            .build()
+            .unwrap();
+        let lo = TaskGraph::builder("lo", Time::from_ticks(200))
+            .criticality(Criticality::Droppable { service: 1.0 })
+            .task(task("l", 20, 20))
+            .build()
+            .unwrap();
+        let apps = AppSet::new(vec![hi, lo]).unwrap();
+        let arch = arch(1);
+        let mut plan = HardeningPlan::unhardened(&apps);
+        plan.set_by_flat_index(0, TaskHardening::reexecution(1));
+        let hsys = harden(&apps, &plan, &arch).unwrap();
+        let mapping = Mapping::new(&hsys, &arch, vec![ProcId::new(0); 2]).unwrap();
+        let policies = uniform_policies(1, SchedPolicy::FixedPriorityPreemptive);
+        let dropped = if drop_lo { vec![AppId::new(1)] } else { vec![] };
+        (arch, hsys, mapping, policies, dropped)
+    }
+
+    #[test]
+    fn normal_state_pins_passive_replicas_to_zero() {
+        let g = TaskGraph::builder("g", Time::from_ticks(100))
+            .task(
+                Task::new("a")
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(10)))
+                    .with_voting_overhead(Time::from_ticks(1)),
+            )
+            .build()
+            .unwrap();
+        let apps = AppSet::new(vec![g]).unwrap();
+        let arch = arch(3);
+        let mut plan = HardeningPlan::unhardened(&apps);
+        plan.set_by_flat_index(
+            0,
+            TaskHardening::passive(vec![ProcId::new(1)], vec![ProcId::new(2)], ProcId::new(0)),
+        );
+        let hsys = harden(&apps, &plan, &arch).unwrap();
+        let mapping = Mapping::new(
+            &hsys,
+            &arch,
+            hsys.tasks()
+                .map(|(_, t)| t.fixed_proc.unwrap_or(ProcId::new(0)))
+                .collect(),
+        )
+        .unwrap();
+        let nominal = nominal_bounds(&hsys, &arch, &mapping);
+        let bounds = normal_state_bounds(&hsys, &nominal);
+        let passive = hsys
+            .tasks()
+            .find(|(_, t)| t.is_passive())
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(bounds[passive.index()], ExecBounds::ZERO);
+        // Non-passive tasks keep their nominal bounds.
+        assert_eq!(bounds[0], nominal[0]);
+    }
+
+    #[test]
+    fn proposed_covers_reexecution_worst_case() {
+        let (arch, hsys, mapping, policies, dropped) = mixed_system(false);
+        let mc = analyze(&hsys, &arch, &mapping, &policies, &dropped);
+        assert_eq!(mc.scenarios, 1);
+        // hi normal: 32 (wcet+dt); critical: 64.
+        let hi_wcrt = mc.app_wcrt(&hsys, AppId::new(0), &dropped);
+        assert!(hi_wcrt >= Time::from_ticks(64), "got {hi_wcrt}");
+        // Normal state is tighter than the merged worst case.
+        assert!(mc.normal.app_wcrt(&hsys, AppId::new(0)) < hi_wcrt);
+        // The binding fault is attributed to the (only) re-executed task.
+        assert_eq!(
+            mc.binding_trigger(&hsys, AppId::new(0)),
+            Some(mcmap_hardening::HTaskId::new(0))
+        );
+    }
+
+    #[test]
+    fn dropping_tightens_the_nondroppable_wcrt() {
+        let (arch, hsys, mapping, policies, _) = mixed_system(false);
+        let keep = analyze(&hsys, &arch, &mapping, &policies, &[]);
+        let drop = analyze(&hsys, &arch, &mapping, &policies, &[AppId::new(1)]);
+        let hi = AppId::new(0);
+        assert!(
+            drop.app_wcrt(&hsys, hi, &[AppId::new(1)]) <= keep.app_wcrt(&hsys, hi, &[]),
+            "dropping low-criticality work can only help the critical app"
+        );
+    }
+
+    #[test]
+    fn naive_upper_bounds_proposed() {
+        for drop_lo in [false, true] {
+            let (arch, hsys, mapping, policies, dropped) = mixed_system(drop_lo);
+            let mc = analyze(&hsys, &arch, &mapping, &policies, &dropped);
+            let naive = analyze_naive(&hsys, &arch, &mapping, &policies, &dropped);
+            for i in 0..hsys.num_tasks() {
+                assert!(
+                    naive.max_finish[i] >= mc.worst.max_finish[i],
+                    "naive must dominate proposed at task {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proposed_upper_bounds_adhoc_trace() {
+        let (arch, hsys, mapping, policies, dropped) = mixed_system(true);
+        let mc = analyze(&hsys, &arch, &mapping, &policies, &dropped);
+        let adhoc = adhoc_analysis(&hsys, &arch, &mapping, &policies, &dropped);
+        // The critical app's trace response is below the analysis bound.
+        assert!(adhoc[0] <= mc.app_wcrt(&hsys, AppId::new(0), &dropped));
+    }
+
+    #[test]
+    fn schedulable_verdict_respects_dropping_semantics() {
+        // Two pipelines over two PEs, mirroring Fig. 1's rescue: hi's head
+        // h0 (p0, re-executed) feeds h1 (p1); lo's head l0 (p0) feeds the
+        // expensive l1 (p1), which outranks h1 locally. Because l1 cannot
+        // start before l0's best case (40) — after the fault detection
+        // window of h0 (maxFinish 32) — a critical transition certainly
+        // drops l1, rescuing h1's deadline. Without dropping, l1's
+        // interference pushes hi past its 150-tick deadline.
+        let hi = TaskGraph::builder("hi", Time::from_ticks(400))
+            .deadline(Time::from_ticks(150))
+            .criticality(Criticality::NonDroppable {
+                max_failure_rate: 1.0,
+            })
+            .task(task("h0", 30, 30))
+            .task(task("h1", 30, 30))
+            .channel(0, 1, 0)
+            .build()
+            .unwrap();
+        let lo = TaskGraph::builder("lo", Time::from_ticks(400))
+            .criticality(Criticality::Droppable { service: 1.0 })
+            .task(task("l0", 40, 40))
+            .task(task("l1", 80, 80))
+            .channel(0, 1, 0)
+            .build()
+            .unwrap();
+        let apps = AppSet::new(vec![hi, lo]).unwrap();
+        let arch = arch(2);
+        let mut plan = HardeningPlan::unhardened(&apps);
+        plan.set_by_flat_index(0, TaskHardening::reexecution(1));
+        let hsys = harden(&apps, &plan, &arch).unwrap();
+        let mapping = Mapping::new(
+            &hsys,
+            &arch,
+            vec![ProcId::new(0), ProcId::new(1), ProcId::new(0), ProcId::new(1)],
+        )
+        .unwrap()
+        .with_priorities(vec![0, 3, 1, 2]);
+        let policies = uniform_policies(2, SchedPolicy::FixedPriorityPreemptive);
+
+        let without = analyze(&hsys, &arch, &mapping, &policies, &[]);
+        let with = analyze(&hsys, &arch, &mapping, &policies, &[AppId::new(1)]);
+        assert!(with.schedulable(&hsys, &[AppId::new(1)]));
+        assert!(!without.schedulable(&hsys, &[]));
+    }
+
+    #[test]
+    fn analysis_is_safe_against_the_simulator() {
+        use mcmap_sim::{RandomFaults, Simulator};
+        let (arch, hsys, mapping, policies, dropped) = mixed_system(true);
+        let mc = analyze(&hsys, &arch, &mapping, &policies, &dropped);
+        let sim = Simulator::new(&hsys, &arch, &mapping, policies.clone());
+        for seed in 0..40 {
+            let mut faults =
+                RandomFaults::new(&hsys, &arch, &mapping, seed).with_boost(1e5);
+            let r = sim.run(&SimConfig::worst_case(dropped.clone()), &mut faults);
+            // Non-dropped app: simulated response within the analysis bound.
+            assert!(
+                r.app_wcrt[0] <= mc.app_wcrt(&hsys, AppId::new(0), &dropped),
+                "seed {seed}: sim {} > bound {}",
+                r.app_wcrt[0],
+                mc.app_wcrt(&hsys, AppId::new(0), &dropped)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod dedup_tests {
+    use super::*;
+    use mcmap_hardening::{harden, HardeningPlan, TaskHardening};
+    use mcmap_model::{
+        AppSet, Criticality, ExecBounds, ProcId, ProcKind, Processor, Task, TaskGraph,
+    };
+    use mcmap_sched::uniform_policies;
+
+    /// Two identical independent re-executed tasks produce identical
+    /// transition scenarios: one backend call covers both.
+    #[test]
+    fn identical_scenarios_share_backend_calls() {
+        let arch = Architecture::builder()
+            .homogeneous(2, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-7))
+            .build()
+            .unwrap();
+        let mk = |name: &str| {
+            TaskGraph::builder(name, Time::from_ticks(1_000))
+                .criticality(Criticality::NonDroppable {
+                    max_failure_rate: 0.9,
+                })
+                .task(
+                    Task::new(name)
+                        .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(50)))
+                        .with_detect_overhead(Time::from_ticks(5)),
+                )
+                .build()
+                .unwrap()
+        };
+        let apps = AppSet::new(vec![mk("a"), mk("b")]).unwrap();
+        let mut plan = HardeningPlan::unhardened(&apps);
+        plan.set_by_flat_index(0, TaskHardening::reexecution(1));
+        plan.set_by_flat_index(1, TaskHardening::reexecution(1));
+        let hsys = harden(&apps, &plan, &arch).unwrap();
+        let mapping = Mapping::new(&hsys, &arch, vec![ProcId::new(0), ProcId::new(1)]).unwrap();
+        let policies = uniform_policies(2, SchedPolicy::FixedPriorityPreemptive);
+        let mc = analyze(&hsys, &arch, &mapping, &policies, &[]);
+        assert_eq!(mc.scenarios, 2);
+        // Scenario of `a`: a at Eq1, b at Eq1 (overlapping) — scenario of
+        // `b` is the mirror image with identical bounds on an isomorphic
+        // system? Not identical here (a's Eq1 vs b's Eq1 occupy different
+        // slots), so both run…
+        assert!(mc.backend_calls <= 3);
+        // …but a degenerate case with one trigger costs exactly 2 calls.
+        let mut plan2 = HardeningPlan::unhardened(&apps);
+        plan2.set_by_flat_index(0, TaskHardening::reexecution(1));
+        let hsys2 = harden(&apps, &plan2, &arch).unwrap();
+        let mapping2 = Mapping::new(&hsys2, &arch, vec![ProcId::new(0), ProcId::new(1)]).unwrap();
+        let mc2 = analyze(&hsys2, &arch, &mapping2, &policies, &[]);
+        assert_eq!(mc2.scenarios, 1);
+        assert_eq!(mc2.backend_calls, 2);
+    }
+
+    /// Triggers whose bound-vectors coincide exactly (same task, same
+    /// windows — e.g. symmetric replicas) are analyzed once.
+    #[test]
+    fn coinciding_bound_vectors_hit_the_cache() {
+        let arch = Architecture::builder()
+            .homogeneous(1, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-7))
+            .build()
+            .unwrap();
+        // Two re-executed tasks with identical parameters on ONE PE, same
+        // app, no precedence: their scenarios classify tasks identically
+        // only if the bound vectors match; with symmetric windows they do
+        // not in general, so simply assert the call count never exceeds
+        // scenarios + 1 and results are unchanged by caching.
+        let g = TaskGraph::builder("g", Time::from_ticks(1_000))
+            .criticality(Criticality::NonDroppable {
+                max_failure_rate: 0.9,
+            })
+            .task(
+                Task::new("x")
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(40)))
+                    .with_detect_overhead(Time::from_ticks(4)),
+            )
+            .task(
+                Task::new("y")
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(40)))
+                    .with_detect_overhead(Time::from_ticks(4)),
+            )
+            .build()
+            .unwrap();
+        let apps = AppSet::new(vec![g]).unwrap();
+        let mut plan = HardeningPlan::unhardened(&apps);
+        plan.set_by_flat_index(0, TaskHardening::reexecution(1));
+        plan.set_by_flat_index(1, TaskHardening::reexecution(1));
+        let hsys = harden(&apps, &plan, &arch).unwrap();
+        let mapping = Mapping::new(&hsys, &arch, vec![ProcId::new(0); 2]).unwrap();
+        let policies = uniform_policies(1, SchedPolicy::FixedPriorityPreemptive);
+        let mc = analyze(&hsys, &arch, &mapping, &policies, &[]);
+        assert!(mc.backend_calls <= mc.scenarios + 1);
+        // Both tasks inflated in both scenarios → identical bound vectors →
+        // exactly one scenario analysis.
+        assert_eq!(mc.backend_calls, 2);
+    }
+}

@@ -1,0 +1,635 @@
+//! Design-space exploration (§4 of the paper): the mapping problem as a
+//! multi-objective GA problem, plus the end-to-end [`explore`] driver.
+
+use crate::{
+    analyze, expected_power, lost_service, repair_reliability, repair_structure, Genome,
+    GenomeSpace,
+};
+use mcmap_ga::{optimize, Evaluation, GaConfig, GaResult, Problem};
+use mcmap_hardening::{harden, Reliability, TechniqueHistogram};
+use mcmap_model::{AppId, AppSet, Architecture, ProcId, Time};
+use mcmap_sched::{uniform_policies, Mapping, SchedPolicy};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which objective vector the DSE minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObjectiveMode {
+    /// Expected power only (§5.2).
+    #[default]
+    Power,
+    /// Expected power and lost service — the bi-objective co-optimization
+    /// of Fig. 5.
+    PowerService,
+}
+
+/// Configuration of one exploration run.
+#[derive(Debug, Clone)]
+pub struct DseConfig {
+    /// The evolutionary engine's parameters.
+    pub ga: GaConfig,
+    /// Objective vector.
+    pub objectives: ObjectiveMode,
+    /// When `false`, the dropped set is forced empty (the paper's
+    /// "without task dropping" comparison point).
+    pub allow_dropping: bool,
+    /// When `true`, every candidate is additionally analyzed with an empty
+    /// dropped set so the §5.2 "rescued by dropping" ratio can be reported.
+    pub audit: bool,
+    /// Per-processor scheduling policies (`None` = uniform fixed-priority
+    /// preemptive).
+    pub policies: Option<Vec<SchedPolicy>>,
+    /// Maximum re-execution degree explored.
+    pub max_reexec: u8,
+    /// Maximum additional replicas per task explored.
+    pub max_replicas: u8,
+    /// Iteration budget of the reliability repair.
+    pub repair_iters: usize,
+    /// Weight of the critical mode in the expected-power objective (the
+    /// paper's "considering all possible cases"): dropped applications
+    /// consume nothing in the critical mode, so any weight > 0 makes
+    /// dropping a power lever (Fig. 5).
+    pub critical_weight: f64,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig {
+            ga: GaConfig::default(),
+            objectives: ObjectiveMode::Power,
+            allow_dropping: true,
+            audit: false,
+            policies: None,
+            max_reexec: 2,
+            max_replicas: 2,
+            repair_iters: 20,
+            critical_weight: 0.3,
+        }
+    }
+}
+
+/// Cumulative statistics over every evaluated candidate (the §5.2
+/// solution-audit instrumentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuditSnapshot {
+    /// Total candidates evaluated.
+    pub evaluated: usize,
+    /// Candidates satisfying all constraints.
+    pub feasible: usize,
+    /// Candidates audited against the no-dropping protocol (requires
+    /// `audit = true` and a non-empty dropped set).
+    pub audited: usize,
+    /// Candidates infeasible without dropping but feasible with their
+    /// decoded dropped set (the paper's rescue ratio numerator).
+    pub rescued_by_dropping: usize,
+    /// Tasks hardened by re-execution across all evaluations.
+    pub reexecutions: usize,
+    /// Tasks hardened by active replication across all evaluations.
+    pub active_replications: usize,
+    /// Tasks hardened by passive replication across all evaluations.
+    pub passive_replications: usize,
+}
+
+impl AuditSnapshot {
+    /// Share of audited candidates rescued by dropping (§5.2: 0.02 % for
+    /// Synth-1 up to 99.98 % for Cruise).
+    pub fn rescue_ratio(&self) -> f64 {
+        if self.audited == 0 {
+            0.0
+        } else {
+            self.rescued_by_dropping as f64 / self.audited as f64
+        }
+    }
+
+    /// Share of re-execution among all applied hardening techniques.
+    pub fn reexecution_share(&self) -> f64 {
+        let total = self.reexecutions + self.active_replications + self.passive_replications;
+        if total == 0 {
+            0.0
+        } else {
+            self.reexecutions as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    evaluated: AtomicUsize,
+    feasible: AtomicUsize,
+    audited: AtomicUsize,
+    rescued: AtomicUsize,
+    reexec: AtomicUsize,
+    active: AtomicUsize,
+    passive: AtomicUsize,
+}
+
+/// Detailed description of one (repaired) design point, for reporting.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// Expected power (mW).
+    pub power: f64,
+    /// Retained service `Σ_{t ∉ T_d} sv_t`.
+    pub service: f64,
+    /// Lost service (the minimized form).
+    pub lost_service: f64,
+    /// The dropped application set `T_d`.
+    pub dropped: Vec<AppId>,
+    /// All constraints satisfied.
+    pub feasible: bool,
+    /// Worst-case response time per application under the protocol.
+    pub app_wcrt: Vec<Time>,
+    /// Hardening technique mix of the plan.
+    pub histogram: TechniqueHistogram,
+}
+
+/// The fault-tolerant mixed-criticality mapping problem.
+///
+/// Implements [`Problem`] so the generic GA can drive it; every evaluation
+/// runs the repair heuristics, the hardening transform, the reliability
+/// check, and the full Algorithm 1 analysis.
+#[derive(Debug)]
+pub struct MappingProblem<'a> {
+    apps: &'a AppSet,
+    arch: &'a Architecture,
+    cfg: DseConfig,
+    space: GenomeSpace,
+    policies: Vec<SchedPolicy>,
+    counters: Counters,
+}
+
+struct Assessment {
+    dropped: Vec<AppId>,
+    power: f64,
+    lost: f64,
+    feasible: bool,
+    penalty: f64,
+    rescued: Option<bool>,
+    histogram: TechniqueHistogram,
+    app_wcrt: Vec<Time>,
+}
+
+impl<'a> MappingProblem<'a> {
+    /// Builds the problem for one benchmark system.
+    pub fn new(apps: &'a AppSet, arch: &'a Architecture, cfg: DseConfig) -> Self {
+        let space = GenomeSpace::new(apps, arch)
+            .with_max_reexec(cfg.max_reexec)
+            .with_max_replicas(cfg.max_replicas);
+        let policies = cfg
+            .policies
+            .clone()
+            .unwrap_or_else(|| uniform_policies(arch.num_processors(), SchedPolicy::default()));
+        MappingProblem {
+            apps,
+            arch,
+            cfg,
+            space,
+            policies,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The chromosome space (useful for seeding or inspecting candidates).
+    pub fn space(&self) -> &GenomeSpace {
+        &self.space
+    }
+
+    /// A snapshot of the cumulative audit counters.
+    pub fn audit(&self) -> AuditSnapshot {
+        AuditSnapshot {
+            evaluated: self.counters.evaluated.load(Ordering::Relaxed),
+            feasible: self.counters.feasible.load(Ordering::Relaxed),
+            audited: self.counters.audited.load(Ordering::Relaxed),
+            rescued_by_dropping: self.counters.rescued.load(Ordering::Relaxed),
+            reexecutions: self.counters.reexec.load(Ordering::Relaxed),
+            active_replications: self.counters.active.load(Ordering::Relaxed),
+            passive_replications: self.counters.passive.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs the deterministic repair pipeline on a genome and returns the
+    /// decoded design pieces — the hardening plan, the dropped set, and the
+    /// per-original-task primary bindings. This is the hand-off point to
+    /// [`Sensitivity`](crate::Sensitivity) and to custom evaluations.
+    pub fn decode_repaired(
+        &self,
+        genome: &Genome,
+    ) -> (mcmap_hardening::HardeningPlan, Vec<AppId>, Vec<ProcId>) {
+        let mut hasher = DefaultHasher::new();
+        genome.hash(&mut hasher);
+        self.cfg.ga.seed.hash(&mut hasher);
+        let mut rng = StdRng::seed_from_u64(hasher.finish());
+        let mut g = genome.clone();
+        repair_structure(&mut g, &self.space, &mut rng);
+        let _ = repair_reliability(
+            &mut g,
+            &self.space,
+            self.apps,
+            self.arch,
+            &mut rng,
+            self.cfg.repair_iters,
+        );
+        let (plan, mut dropped, bindings) = self.space.decode(&g);
+        if !self.cfg.allow_dropping {
+            dropped.clear();
+        }
+        (plan, dropped, bindings)
+    }
+
+    /// The per-processor scheduling policies this problem analyzes with.
+    pub fn policies(&self) -> &[SchedPolicy] {
+        &self.policies
+    }
+
+    /// Produces a human-readable report for a genome (running the same
+    /// repair + evaluation pipeline, without touching the audit counters).
+    pub fn report(&self, genome: &Genome) -> DesignReport {
+        let a = self.assess(genome, false);
+        DesignReport {
+            power: a.power,
+            service: self.apps.total_service() - a.lost,
+            lost_service: a.lost,
+            dropped: a.dropped,
+            feasible: a.feasible,
+            app_wcrt: a.app_wcrt,
+            histogram: a.histogram,
+        }
+    }
+
+    fn assess(&self, genome: &Genome, audit: bool) -> Assessment {
+        // Deterministic repair RNG derived from the genome itself, so that
+        // evaluation stays a pure function (required for parallel and
+        // repeatable evaluation).
+        let mut hasher = DefaultHasher::new();
+        genome.hash(&mut hasher);
+        self.cfg.ga.seed.hash(&mut hasher);
+        let mut rng = StdRng::seed_from_u64(hasher.finish());
+
+        let mut g = genome.clone();
+        repair_structure(&mut g, &self.space, &mut rng);
+        let rel_repaired = repair_reliability(
+            &mut g,
+            &self.space,
+            self.apps,
+            self.arch,
+            &mut rng,
+            self.cfg.repair_iters,
+        );
+
+        let (plan, mut dropped, bindings) = self.space.decode(&g);
+        if !self.cfg.allow_dropping {
+            dropped.clear();
+        }
+        let histogram = plan.technique_histogram();
+
+        let degenerate = |penalty: f64| Assessment {
+            dropped: dropped.clone(),
+            power: f64::MAX / 1e6,
+            lost: lost_service(self.apps, &dropped),
+            feasible: false,
+            penalty,
+            rescued: None,
+            histogram,
+            app_wcrt: vec![Time::MAX; self.apps.num_apps()],
+        };
+
+        let hsys = match harden(self.apps, &plan, self.arch) {
+            Ok(h) => h,
+            Err(_) => return degenerate(1e9),
+        };
+        let placement: Vec<ProcId> = hsys
+            .tasks()
+            .map(|(_, t)| match t.fixed_proc {
+                Some(p) => p,
+                None => {
+                    let flat = hsys
+                        .flat_of_origin(t.origin)
+                        .expect("primary origins are tracked");
+                    bindings[flat]
+                }
+            })
+            .collect();
+        let mapping = match Mapping::new(&hsys, self.arch, placement) {
+            Ok(m) => m,
+            Err(_) => return degenerate(1e9),
+        };
+
+        let mut penalty = 0.0;
+        if !rel_repaired {
+            let rel = Reliability::new(&hsys, self.arch);
+            for v in rel.check_all(mapping.placement()) {
+                if !v.satisfied {
+                    penalty += ((v.failure_probability / v.bound).log10()).clamp(0.0, 100.0);
+                }
+            }
+        }
+
+        let mc = analyze(&hsys, self.arch, &mapping, &self.policies, &dropped);
+        let app_wcrt: Vec<Time> = self
+            .apps
+            .app_ids()
+            .map(|a| mc.app_wcrt(&hsys, a, &dropped))
+            .collect();
+        let schedulable = mc.schedulable(&hsys, &dropped);
+        if !schedulable {
+            for happ in hsys.apps() {
+                let wcrt = mc.app_wcrt(&hsys, happ.app, &dropped);
+                let ratio = if wcrt == Time::MAX {
+                    10.0
+                } else {
+                    (wcrt.as_f64() / happ.deadline.as_f64() - 1.0).clamp(0.0, 10.0)
+                };
+                penalty += ratio;
+            }
+        }
+
+        let rescued = if audit && !dropped.is_empty() {
+            let mc0 = analyze(&hsys, self.arch, &mapping, &self.policies, &[]);
+            let feasible_without = mc0.schedulable(&hsys, &[]);
+            Some(schedulable && penalty == 0.0 && !feasible_without)
+        } else {
+            None
+        };
+
+        let power = expected_power(
+            &hsys,
+            self.arch,
+            &mapping,
+            &g.alloc,
+            &dropped,
+            self.cfg.critical_weight,
+        );
+        let lost = lost_service(self.apps, &dropped);
+        let feasible = schedulable && penalty == 0.0;
+
+        Assessment {
+            dropped,
+            power,
+            lost,
+            feasible,
+            penalty,
+            rescued,
+            histogram,
+            app_wcrt,
+        }
+    }
+
+    fn objectives(&self, a: &Assessment) -> Vec<f64> {
+        match self.cfg.objectives {
+            ObjectiveMode::Power => vec![a.power],
+            ObjectiveMode::PowerService => vec![a.power, a.lost],
+        }
+    }
+}
+
+impl Problem for MappingProblem<'_> {
+    type Genotype = Genome;
+
+    fn random(&self, rng: &mut dyn RngCore) -> Genome {
+        // Mix ~15 % clustered heuristic seeds into the otherwise uniform
+        // initial population (see [`GenomeSpace::clustered`]).
+        let mut buf = [0u8; 1];
+        rng.fill_bytes(&mut buf);
+        if buf[0] < 38 {
+            self.space.clustered(rng)
+        } else {
+            self.space.random(rng)
+        }
+    }
+
+    fn crossover(&self, a: &Genome, b: &Genome, rng: &mut dyn RngCore) -> Genome {
+        self.space.crossover(a, b, rng)
+    }
+
+    fn mutate(&self, g: &mut Genome, rng: &mut dyn RngCore) {
+        self.space.mutate(g, rng)
+    }
+
+    fn evaluate(&self, g: &Genome) -> Evaluation {
+        let a = self.assess(g, self.cfg.audit);
+        self.counters.evaluated.fetch_add(1, Ordering::Relaxed);
+        if a.feasible {
+            self.counters.feasible.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(rescued) = a.rescued {
+            self.counters.audited.fetch_add(1, Ordering::Relaxed);
+            if rescued {
+                self.counters.rescued.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.counters
+            .reexec
+            .fetch_add(a.histogram.reexecution, Ordering::Relaxed);
+        self.counters
+            .active
+            .fetch_add(a.histogram.active, Ordering::Relaxed);
+        self.counters
+            .passive
+            .fetch_add(a.histogram.passive, Ordering::Relaxed);
+
+        let objectives = self.objectives(&a);
+        if a.feasible {
+            Evaluation::feasible(objectives)
+        } else {
+            Evaluation::infeasible(objectives, a.penalty.max(f64::MIN_POSITIVE))
+        }
+    }
+
+    fn num_objectives(&self) -> usize {
+        match self.cfg.objectives {
+            ObjectiveMode::Power => 1,
+            ObjectiveMode::PowerService => 2,
+        }
+    }
+}
+
+/// Outcome of one exploration: the GA result, reports for the final Pareto
+/// front, and the audit counters.
+#[derive(Debug)]
+pub struct DseOutcome {
+    /// The raw GA result (archive, history, evaluation count).
+    pub result: GaResult<Genome>,
+    /// One report per front member, in front order.
+    pub reports: Vec<DesignReport>,
+    /// Cumulative audit statistics over the whole run.
+    pub audit: AuditSnapshot,
+}
+
+impl DseOutcome {
+    /// The lowest feasible power found, if any candidate was feasible.
+    pub fn best_power(&self) -> Option<f64> {
+        self.reports
+            .iter()
+            .filter(|r| r.feasible)
+            .map(|r| r.power)
+            .min_by(|a, b| a.partial_cmp(b).expect("power is finite"))
+    }
+}
+
+/// Runs the full design-space exploration for one benchmark system.
+pub fn explore(apps: &AppSet, arch: &Architecture, cfg: DseConfig) -> DseOutcome {
+    let ga_cfg = cfg.ga.clone();
+    let problem = MappingProblem::new(apps, arch, cfg);
+    let result = optimize(&problem, &ga_cfg);
+    let reports = result
+        .front
+        .iter()
+        .map(|ind| problem.report(&ind.genotype))
+        .collect();
+    DseOutcome {
+        audit: problem.audit(),
+        reports,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmap_model::{
+        Criticality, ExecBounds, ProcKind, Processor, Task, TaskGraph,
+    };
+
+    fn small_system() -> (AppSet, Architecture) {
+        let arch = Architecture::builder()
+            .homogeneous(3, Processor::new("p", ProcKind::new(0), 5.0, 50.0, 1e-7))
+            .build()
+            .unwrap();
+        let hi = TaskGraph::builder("hi", Time::from_ticks(1_000))
+            .criticality(Criticality::NonDroppable {
+                max_failure_rate: 1e-4,
+            })
+            .task(
+                Task::new("h0")
+                    .with_uniform_exec(1, ExecBounds::new(Time::from_ticks(40), Time::from_ticks(80)))
+                    .with_detect_overhead(Time::from_ticks(4))
+                    .with_voting_overhead(Time::from_ticks(4)),
+            )
+            .task(
+                Task::new("h1")
+                    .with_uniform_exec(1, ExecBounds::new(Time::from_ticks(40), Time::from_ticks(80)))
+                    .with_detect_overhead(Time::from_ticks(4))
+                    .with_voting_overhead(Time::from_ticks(4)),
+            )
+            .channel(0, 1, 16)
+            .build()
+            .unwrap();
+        let lo = TaskGraph::builder("lo", Time::from_ticks(1_000))
+            .criticality(Criticality::Droppable { service: 2.0 })
+            .task(
+                Task::new("l0")
+                    .with_uniform_exec(1, ExecBounds::new(Time::from_ticks(50), Time::from_ticks(100))),
+            )
+            .build()
+            .unwrap();
+        (AppSet::new(vec![hi, lo]).unwrap(), arch)
+    }
+
+    fn tiny_cfg() -> DseConfig {
+        DseConfig {
+            ga: GaConfig {
+                population: 12,
+                generations: 6,
+                ..GaConfig::default()
+            },
+            repair_iters: 10,
+            ..DseConfig::default()
+        }
+    }
+
+    #[test]
+    fn exploration_finds_feasible_designs() {
+        let (apps, arch) = small_system();
+        let outcome = explore(&apps, &arch, tiny_cfg());
+        assert!(outcome.audit.evaluated > 0);
+        assert!(
+            outcome.best_power().is_some(),
+            "the small system is easily feasible"
+        );
+        let best = outcome.best_power().unwrap();
+        // At most 3 PEs fully loaded: sanity range.
+        assert!(best > 0.0 && best < 3.0 * (5.0 + 50.0));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let (apps, arch) = small_system();
+        let problem = MappingProblem::new(&apps, &arch, tiny_cfg());
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = problem.space().random(&mut rng);
+        let a = problem.evaluate(&g);
+        let b = problem.evaluate(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disallowing_dropping_forces_empty_dropped_set() {
+        let (apps, arch) = small_system();
+        let cfg = DseConfig {
+            allow_dropping: false,
+            ..tiny_cfg()
+        };
+        let problem = MappingProblem::new(&apps, &arch, cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let g = problem.space().random(&mut rng);
+            let report = problem.report(&g);
+            assert!(report.dropped.is_empty());
+        }
+    }
+
+    #[test]
+    fn audit_counts_accumulate() {
+        let (apps, arch) = small_system();
+        let cfg = DseConfig {
+            audit: true,
+            ..tiny_cfg()
+        };
+        let outcome = explore(&apps, &arch, cfg);
+        let a = outcome.audit;
+        assert_eq!(a.evaluated, outcome.result.evaluations);
+        assert!(a.feasible <= a.evaluated);
+        assert!(a.rescued_by_dropping <= a.audited);
+        // Ratios are well-defined.
+        assert!((0.0..=1.0).contains(&a.rescue_ratio()));
+        assert!((0.0..=1.0).contains(&a.reexecution_share()));
+    }
+
+    #[test]
+    fn bi_objective_mode_produces_two_dimensional_front() {
+        let (apps, arch) = small_system();
+        let cfg = DseConfig {
+            objectives: ObjectiveMode::PowerService,
+            ..tiny_cfg()
+        };
+        let outcome = explore(&apps, &arch, cfg);
+        for ind in &outcome.result.front {
+            assert_eq!(ind.eval.objectives.len(), 2);
+        }
+        // Keeping everything has lost service 0; dropping has positive lost
+        // service but (usually) lower power — at minimum the reports are
+        // internally consistent.
+        for r in &outcome.reports {
+            assert!((r.service + r.lost_service - apps.total_service()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reports_expose_wcrt_per_app() {
+        let (apps, arch) = small_system();
+        let problem = MappingProblem::new(&apps, &arch, tiny_cfg());
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = problem.space().random(&mut rng);
+        let report = problem.report(&g);
+        assert_eq!(report.app_wcrt.len(), 2);
+        if report.feasible {
+            for (a, wcrt) in apps.app_ids().zip(&report.app_wcrt) {
+                if !report.dropped.contains(&a) {
+                    assert!(*wcrt <= apps.app(a).deadline());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Randomized repair heuristics (§4 of the paper).
+//!
+//! Infeasible chromosomes are repaired before evaluation:
+//!
+//! * *invalid mapping* — tasks (or replicas/voters) bound to unallocated
+//!   processors are reassigned to a randomly chosen valid processor;
+//! * *reliability violation* — random hardening escalations (longer
+//!   re-execution budgets, then replication) are applied to tasks of the
+//!   violating application until the constraint is met or the iteration
+//!   budget runs out.
+//!
+//! Remaining violations are penalized by the evaluation so the GA is guided
+//! back towards feasible regions.
+
+use crate::{GeneHardening, Genome, GenomeSpace};
+use mcmap_hardening::{harden, placement_with_default, Reliability};
+use mcmap_model::{AppId, AppSet, Architecture, ProcId};
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+/// Repairs structural violations in place: guarantees at least one
+/// allocated processor, and that every binding, replica, and voter sits on
+/// an allocated, kind-compatible processor (allocating one if necessary).
+pub fn repair_structure(g: &mut Genome, space: &GenomeSpace, rng: &mut dyn RngCore) {
+    if !g.alloc.iter().any(|&b| b) {
+        let i = (rng.next_u32() as usize) % g.alloc.len();
+        g.alloc[i] = true;
+    }
+
+    for flat in 0..g.genes.len() {
+        // Primary binding.
+        let binding = g.genes[flat].binding;
+        if !is_valid(space, g, flat, binding) {
+            g.genes[flat].binding = pick_valid(space, g, flat, rng);
+        }
+        // Replicas and voter.
+        let hardening = g.genes[flat].hardening.clone();
+        g.genes[flat].hardening = match hardening {
+            GeneHardening::None => GeneHardening::None,
+            GeneHardening::Reexec(k) => GeneHardening::Reexec(k),
+            GeneHardening::Active { mut replicas, mut voter } => {
+                for r in &mut replicas {
+                    if !is_valid(space, g, flat, *r) {
+                        *r = pick_valid(space, g, flat, rng);
+                    }
+                }
+                if !g.alloc[voter.index()] {
+                    voter = pick_allocated(g, rng);
+                }
+                GeneHardening::Active { replicas, voter }
+            }
+            GeneHardening::Passive {
+                mut actives,
+                mut standbys,
+                mut voter,
+            } => {
+                for r in actives.iter_mut().chain(standbys.iter_mut()) {
+                    if !is_valid(space, g, flat, *r) {
+                        *r = pick_valid(space, g, flat, rng);
+                    }
+                }
+                if !g.alloc[voter.index()] {
+                    voter = pick_allocated(g, rng);
+                }
+                GeneHardening::Passive {
+                    actives,
+                    standbys,
+                    voter,
+                }
+            }
+        };
+    }
+}
+
+fn is_valid(space: &GenomeSpace, g: &Genome, flat: usize, p: ProcId) -> bool {
+    g.alloc[p.index()] && space.allowed_procs(flat).contains(&p)
+}
+
+/// A random allocated, kind-compatible processor; allocates one if none is
+/// both allocated and compatible.
+fn pick_valid(space: &GenomeSpace, g: &mut Genome, flat: usize, rng: &mut dyn RngCore) -> ProcId {
+    let candidates: Vec<ProcId> = space
+        .allowed_procs(flat)
+        .iter()
+        .copied()
+        .filter(|p| g.alloc[p.index()])
+        .collect();
+    if let Some(&p) = candidates.choose(rng) {
+        return p;
+    }
+    let p = *space
+        .allowed_procs(flat)
+        .choose(rng)
+        .expect("every task can run somewhere");
+    g.alloc[p.index()] = true;
+    p
+}
+
+fn pick_allocated(g: &Genome, rng: &mut dyn RngCore) -> ProcId {
+    let allocated: Vec<ProcId> = g
+        .alloc
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| ProcId::new(i))
+        .collect();
+    *allocated.choose(rng).expect("repair guarantees an allocation")
+}
+
+/// Escalates the hardening of one task: no hardening → re-execution,
+/// longer re-execution, then active replication with growing redundancy.
+fn strengthen(space: &GenomeSpace, g: &mut Genome, flat: usize, rng: &mut dyn RngCore) {
+    let current = g.genes[flat].hardening.clone();
+    let next = match &current {
+        GeneHardening::None => GeneHardening::Reexec(1),
+        GeneHardening::Reexec(k) if *k < space.max_reexec => GeneHardening::Reexec(k + 1),
+        GeneHardening::Reexec(_) => GeneHardening::Active {
+            replicas: vec![
+                pick_valid(space, g, flat, rng),
+                pick_valid(space, g, flat, rng),
+            ],
+            voter: pick_allocated(g, rng),
+        },
+        GeneHardening::Passive {
+            actives, standbys, ..
+        } => {
+            // Promote to active replication with one more copy.
+            let mut replicas = actives.clone();
+            replicas.extend_from_slice(standbys);
+            replicas.push(pick_valid(space, g, flat, rng));
+            GeneHardening::Active {
+                replicas,
+                voter: pick_allocated(g, rng),
+            }
+        }
+        GeneHardening::Active { replicas, voter } => {
+            let mut replicas = replicas.clone();
+            replicas.push(pick_valid(space, g, flat, rng));
+            GeneHardening::Active {
+                replicas,
+                voter: *voter,
+            }
+        }
+    };
+    g.genes[flat].hardening = next;
+}
+
+/// Applies random hardening escalations until every non-droppable
+/// application satisfies its reliability bound, or the iteration budget is
+/// exhausted. Returns `true` when the constraint set is met.
+///
+/// This is the paper's reliability repair: "random hardening techniques …
+/// are applied until the solution meets the constraint".
+pub fn repair_reliability(
+    g: &mut Genome,
+    space: &GenomeSpace,
+    apps: &AppSet,
+    arch: &Architecture,
+    rng: &mut dyn RngCore,
+    max_iters: usize,
+) -> bool {
+    for _ in 0..max_iters.max(1) {
+        let (plan, _, bindings) = space.decode(g);
+        let Ok(hsys) = harden(apps, &plan, arch) else {
+            // Structural hardening errors (e.g. over-long replica lists)
+            // cannot be fixed here; leave for the penalty.
+            return false;
+        };
+        // Placement: fixed slots from the plan, primaries from bindings.
+        let mut placement = placement_with_default(&hsys, ProcId::new(0));
+        for (id, t) in hsys.tasks() {
+            if t.fixed_proc.is_none() {
+                let flat = hsys
+                    .flat_of_origin(t.origin)
+                    .expect("primary has an origin");
+                placement[id.index()] = bindings[flat];
+            }
+        }
+        let rel = Reliability::new(&hsys, arch);
+        let violations: Vec<AppId> = rel
+            .check_all(&placement)
+            .into_iter()
+            .filter(|v| !v.satisfied)
+            .map(|v| v.app)
+            .collect();
+        if violations.is_empty() {
+            return true;
+        }
+        // Strengthen one random task of one violating application,
+        // preferring still-unhardened tasks — they dominate the failure
+        // probability, so covering them first converges fastest.
+        let app = violations[(rng.next_u32() as usize) % violations.len()];
+        let flats: Vec<usize> = apps
+            .task_refs()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.app == app)
+            .map(|(f, _)| f)
+            .collect();
+        let unhardened: Vec<usize> = flats
+            .iter()
+            .copied()
+            .filter(|&f| g.genes[f].hardening == GeneHardening::None)
+            .collect();
+        let pool = if unhardened.is_empty() { &flats } else { &unhardened };
+        let flat = pool[(rng.next_u32() as usize) % pool.len()];
+        strengthen(space, g, flat, rng);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmap_model::{
+        Criticality, ExecBounds, ProcKind, Processor, Task, TaskGraph, Time,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture(rate: f64, bound: f64) -> (AppSet, Architecture, GenomeSpace) {
+        let arch = Architecture::builder()
+            .homogeneous(4, Processor::new("p", ProcKind::new(0), 5.0, 20.0, rate))
+            .build()
+            .unwrap();
+        let hi = TaskGraph::builder("hi", Time::from_ticks(1_000))
+            .criticality(Criticality::NonDroppable {
+                max_failure_rate: bound,
+            })
+            .task(
+                Task::new("a")
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(100)))
+                    .with_detect_overhead(Time::from_ticks(5)),
+            )
+            .build()
+            .unwrap();
+        let apps = AppSet::new(vec![hi]).unwrap();
+        let space = GenomeSpace::new(&apps, &arch);
+        (apps, arch, space)
+    }
+
+    #[test]
+    fn structure_repair_fixes_unallocated_bindings() {
+        let (apps, arch, space) = fixture(0.0, 0.5);
+        let _ = apps;
+        let _ = arch;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = space.random(&mut rng);
+        g.alloc = vec![false, true, false, false];
+        g.genes[0].binding = ProcId::new(3);
+        repair_structure(&mut g, &space, &mut rng);
+        assert!(g.alloc[g.genes[0].binding.index()]);
+    }
+
+    #[test]
+    fn structure_repair_allocates_when_nothing_is() {
+        let (_, _, space) = fixture(0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = space.random(&mut rng);
+        g.alloc = vec![false; 4];
+        repair_structure(&mut g, &space, &mut rng);
+        assert!(g.alloc.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn structure_repair_moves_replicas_and_voters() {
+        let (_, _, space) = fixture(0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = space.random(&mut rng);
+        g.alloc = vec![true, false, false, false];
+        g.genes[0].hardening = GeneHardening::Active {
+            replicas: vec![ProcId::new(2)],
+            voter: ProcId::new(3),
+        };
+        repair_structure(&mut g, &space, &mut rng);
+        if let GeneHardening::Active { replicas, voter } = &g.genes[0].hardening {
+            for r in replicas {
+                assert!(g.alloc[r.index()]);
+            }
+            assert!(g.alloc[voter.index()]);
+        } else {
+            panic!("hardening variant must be preserved");
+        }
+    }
+
+    #[test]
+    fn reliability_repair_strengthens_until_satisfied() {
+        // λ·wcet ≈ 1e-3 per run, bound 1e-8: needs escalation.
+        let (apps, arch, space) = fixture(1e-5, 1e-8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut g = space.random(&mut rng);
+        g.genes[0].hardening = GeneHardening::None;
+        g.alloc = vec![true; 4];
+        let ok = repair_reliability(&mut g, &space, &apps, &arch, &mut rng, 30);
+        assert!(ok, "repair should reach the bound");
+        assert!(g.genes[0].hardening != GeneHardening::None);
+    }
+
+    #[test]
+    fn reliability_repair_is_a_noop_when_satisfied() {
+        let (apps, arch, space) = fixture(1e-9, 0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = space.random(&mut rng);
+        g.genes[0].hardening = GeneHardening::None;
+        repair_structure(&mut g, &space, &mut rng);
+        let before = g.clone();
+        assert!(repair_reliability(&mut g, &space, &apps, &arch, &mut rng, 10));
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn impossible_bounds_report_failure() {
+        // Enormous fault rate: even heavy hardening cannot reach the bound
+        // within the budget.
+        let (apps, arch, space) = fixture(1e-1, 1e-12);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut g = space.random(&mut rng);
+        repair_structure(&mut g, &space, &mut rng);
+        let ok = repair_reliability(&mut g, &space, &apps, &arch, &mut rng, 5);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn strengthen_escalates_through_the_ladder() {
+        let (_, _, space) = fixture(0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = space.random(&mut rng);
+        g.alloc = vec![true; 4];
+        g.genes[0].hardening = GeneHardening::None;
+        strengthen(&space, &mut g, 0, &mut rng);
+        assert_eq!(g.genes[0].hardening, GeneHardening::Reexec(1));
+        strengthen(&space, &mut g, 0, &mut rng);
+        assert_eq!(g.genes[0].hardening, GeneHardening::Reexec(2));
+        strengthen(&space, &mut g, 0, &mut rng);
+        assert!(matches!(
+            g.genes[0].hardening,
+            GeneHardening::Active { .. }
+        ));
+        strengthen(&space, &mut g, 0, &mut rng);
+        if let GeneHardening::Active { replicas, .. } = &g.genes[0].hardening {
+            assert_eq!(replicas.len(), 3);
+        } else {
+            panic!("escalation must stay active");
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! The generational optimization loop.
+
+use crate::{
+    constrained_dominates, environmental_selection, nsga2_selection, pareto_front, Individual,
+    Problem,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which environmental-selection scheme maintains the population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Selector {
+    /// SPEA-II (strength Pareto, k-NN density) — the paper's selector.
+    #[default]
+    Spea2,
+    /// NSGA-II (non-dominated sort, crowding distance) — ablation selector.
+    Nsga2,
+}
+
+/// Configuration of one optimization run.
+///
+/// The paper sets population, parents, and offspring all to 100 and runs
+/// 5 000 generations; [`GaConfig::default`] uses the same population with a
+/// smaller generation budget suitable for tests (override for experiments).
+#[derive(Debug, Clone)]
+pub struct GaConfig {
+    /// Population (= archive = offspring) size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Probability that an offspring is produced by crossover (otherwise it
+    /// clones one parent).
+    pub crossover_rate: f64,
+    /// Probability that an offspring is mutated.
+    pub mutation_rate: f64,
+    /// RNG seed: runs with equal seeds and configs are identical.
+    pub seed: u64,
+    /// Selection scheme.
+    pub selector: Selector,
+    /// Evaluation threads (1 = serial). Evaluations are independent (§4 of
+    /// the paper evaluates in parallel as well).
+    pub threads: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 100,
+            generations: 50,
+            crossover_rate: 0.9,
+            mutation_rate: 0.4,
+            seed: 0x5EED,
+            selector: Selector::Spea2,
+            threads: 1,
+        }
+    }
+}
+
+/// Per-generation statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationStats {
+    /// Generation index (0 = initial population).
+    pub generation: usize,
+    /// Minimum of each objective among feasible archive members
+    /// (`f64::INFINITY` when none are feasible).
+    pub best: Vec<f64>,
+    /// Number of feasible archive members.
+    pub feasible: usize,
+    /// Size of the non-dominated subset of the archive.
+    pub front_size: usize,
+}
+
+/// Result of an optimization run.
+#[derive(Debug, Clone)]
+pub struct GaResult<G> {
+    /// Non-dominated subset of the final archive.
+    pub front: Vec<Individual<G>>,
+    /// The full final archive.
+    pub archive: Vec<Individual<G>>,
+    /// Per-generation statistics, including the initial population.
+    pub history: Vec<GenerationStats>,
+    /// Total number of fitness evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Runs the generational loop: random initial population, binary-tournament
+/// mating from the archive, crossover + mutation, environmental selection
+/// over archive ∪ offspring.
+///
+/// Deterministic for a fixed `(problem, config)` pair: variation is driven
+/// by one seeded RNG and evaluation is a pure function, so the thread count
+/// does not affect the result.
+///
+/// # Examples
+///
+/// Minimizing `(x−3)²` over integer genotypes:
+///
+/// ```
+/// use mcmap_ga::{optimize, Evaluation, GaConfig, Problem};
+/// use rand::{Rng, RngCore};
+///
+/// struct Square;
+/// impl Problem for Square {
+///     type Genotype = i64;
+///     fn random(&self, rng: &mut dyn RngCore) -> i64 { (rng.next_u32() % 100) as i64 }
+///     fn crossover(&self, a: &i64, b: &i64, _: &mut dyn RngCore) -> i64 { (a + b) / 2 }
+///     fn mutate(&self, g: &mut i64, rng: &mut dyn RngCore) {
+///         *g += (rng.next_u32() % 7) as i64 - 3;
+///     }
+///     fn evaluate(&self, g: &i64) -> Evaluation {
+///         Evaluation::feasible(vec![((g - 3) * (g - 3)) as f64])
+///     }
+///     fn num_objectives(&self) -> usize { 1 }
+/// }
+///
+/// let result = optimize(&Square, &GaConfig { population: 20, generations: 30,
+///     ..GaConfig::default() });
+/// assert_eq!(result.front[0].genotype, 3);
+/// ```
+pub fn optimize<P: Problem>(problem: &P, cfg: &GaConfig) -> GaResult<P::Genotype> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut evaluations = 0usize;
+
+    // Initial population.
+    let genotypes: Vec<P::Genotype> = (0..cfg.population.max(2))
+        .map(|_| problem.random(&mut rng))
+        .collect();
+    let evals = evaluate_all(problem, &genotypes, cfg.threads);
+    evaluations += evals.len();
+    let pop: Vec<Individual<P::Genotype>> = genotypes
+        .into_iter()
+        .zip(evals)
+        .map(|(g, e)| Individual::new(g, e))
+        .collect();
+
+    let mut archive = select(&pop, cfg);
+    let mut history = vec![stats(0, &archive)];
+
+    for gen in 1..=cfg.generations {
+        // Variation: binary tournaments over the archive.
+        let offspring_genotypes: Vec<P::Genotype> = (0..cfg.population)
+            .map(|_| {
+                let a = tournament(&archive, &mut rng);
+                let b = tournament(&archive, &mut rng);
+                let mut child = if rng.gen_bool(cfg.crossover_rate) {
+                    problem.crossover(&archive[a].genotype, &archive[b].genotype, &mut rng)
+                } else {
+                    archive[a].genotype.clone()
+                };
+                if rng.gen_bool(cfg.mutation_rate) {
+                    problem.mutate(&mut child, &mut rng);
+                }
+                child
+            })
+            .collect();
+        let evals = evaluate_all(problem, &offspring_genotypes, cfg.threads);
+        evaluations += evals.len();
+
+        let mut pool = archive;
+        pool.extend(
+            offspring_genotypes
+                .into_iter()
+                .zip(evals)
+                .map(|(g, e)| Individual::new(g, e)),
+        );
+        archive = select(&pool, cfg);
+        history.push(stats(gen, &archive));
+    }
+
+    let front = pareto_front(&archive);
+    GaResult {
+        front,
+        archive,
+        history,
+        evaluations,
+    }
+}
+
+fn select<G: Clone>(pool: &[Individual<G>], cfg: &GaConfig) -> Vec<Individual<G>> {
+    match cfg.selector {
+        Selector::Spea2 => environmental_selection(pool, cfg.population),
+        Selector::Nsga2 => nsga2_selection(pool, cfg.population),
+    }
+}
+
+/// Binary tournament: the constrained-dominating candidate wins; ties go to
+/// the first pick.
+fn tournament<G>(archive: &[Individual<G>], rng: &mut StdRng) -> usize {
+    debug_assert!(!archive.is_empty());
+    let a = rng.gen_range(0..archive.len());
+    let b = rng.gen_range(0..archive.len());
+    if constrained_dominates(&archive[b].eval, &archive[a].eval) {
+        b
+    } else {
+        a
+    }
+}
+
+fn stats<G>(generation: usize, archive: &[Individual<G>]) -> GenerationStats {
+    let dims = archive
+        .first()
+        .map_or(0, |i| i.eval.objectives.len());
+    let mut best = vec![f64::INFINITY; dims];
+    let mut feasible = 0usize;
+    for ind in archive {
+        if ind.eval.feasible {
+            feasible += 1;
+            for (b, &v) in best.iter_mut().zip(&ind.eval.objectives) {
+                *b = b.min(v);
+            }
+        }
+    }
+    let front_size = archive
+        .iter()
+        .filter(|a| {
+            !archive
+                .iter()
+                .any(|b| constrained_dominates(&b.eval, &a.eval))
+        })
+        .count();
+    GenerationStats {
+        generation,
+        best,
+        feasible,
+        front_size,
+    }
+}
+
+fn evaluate_all<P: Problem>(
+    problem: &P,
+    genotypes: &[P::Genotype],
+    threads: usize,
+) -> Vec<crate::Evaluation> {
+    if threads <= 1 || genotypes.len() < 2 {
+        return genotypes.iter().map(|g| problem.evaluate(g)).collect();
+    }
+    let chunk = genotypes.len().div_ceil(threads);
+    let mut results: Vec<Option<crate::Evaluation>> = vec![None; genotypes.len()];
+    std::thread::scope(|scope| {
+        for (slot_chunk, geno_chunk) in results.chunks_mut(chunk).zip(genotypes.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, g) in slot_chunk.iter_mut().zip(geno_chunk) {
+                    *slot = Some(problem.evaluate(g));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|e| e.expect("every slot evaluated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluation;
+    use rand::RngCore;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Bi-objective toy: minimize (x, 10−x) over x ∈ [0, 10] — the whole
+    /// range is Pareto-optimal.
+    struct Tradeoff;
+    impl Problem for Tradeoff {
+        type Genotype = u8;
+        fn random(&self, rng: &mut dyn RngCore) -> u8 {
+            (rng.next_u32() % 11) as u8
+        }
+        fn crossover(&self, a: &u8, b: &u8, _: &mut dyn RngCore) -> u8 {
+            ((*a as u16 + *b as u16) / 2) as u8
+        }
+        fn mutate(&self, g: &mut u8, rng: &mut dyn RngCore) {
+            *g = (rng.next_u32() % 11) as u8;
+        }
+        fn evaluate(&self, g: &u8) -> Evaluation {
+            Evaluation::feasible(vec![*g as f64, 10.0 - *g as f64])
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+    }
+
+    /// Constrained: x must be ≥ 5, minimize x.
+    struct Constrained;
+    impl Problem for Constrained {
+        type Genotype = u8;
+        fn random(&self, rng: &mut dyn RngCore) -> u8 {
+            (rng.next_u32() % 20) as u8
+        }
+        fn crossover(&self, a: &u8, _b: &u8, _: &mut dyn RngCore) -> u8 {
+            *a
+        }
+        fn mutate(&self, g: &mut u8, rng: &mut dyn RngCore) {
+            *g = (rng.next_u32() % 20) as u8;
+        }
+        fn evaluate(&self, g: &u8) -> Evaluation {
+            if *g >= 5 {
+                Evaluation::feasible(vec![*g as f64])
+            } else {
+                Evaluation::infeasible(vec![*g as f64], (5 - *g) as f64)
+            }
+        }
+        fn num_objectives(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn discovers_the_full_tradeoff_front() {
+        let r = optimize(
+            &Tradeoff,
+            &GaConfig {
+                population: 30,
+                generations: 40,
+                ..Default::default()
+            },
+        );
+        // Every value 0..=10 is Pareto-optimal; the archive should cover
+        // most of them, certainly the extremes.
+        let xs: Vec<u8> = r.front.iter().map(|i| i.genotype).collect();
+        assert!(xs.contains(&0));
+        assert!(xs.contains(&10));
+        assert!(r.front.len() >= 5);
+        assert_eq!(r.evaluations, 30 + 30 * 40);
+    }
+
+    #[test]
+    fn constrained_search_lands_on_the_boundary() {
+        let r = optimize(
+            &Constrained,
+            &GaConfig {
+                population: 16,
+                generations: 30,
+                ..Default::default()
+            },
+        );
+        // Duplicates of the optimum may coexist on the front (equal
+        // objective vectors do not dominate each other).
+        assert!(r.front.iter().all(|i| i.genotype == 5));
+        assert!(r.front.iter().all(|i| i.eval.feasible));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = GaConfig {
+            population: 10,
+            generations: 10,
+            seed: 99,
+            ..Default::default()
+        };
+        let a = optimize(&Tradeoff, &cfg);
+        let b = optimize(&Tradeoff, &cfg);
+        let xa: Vec<u8> = a.archive.iter().map(|i| i.genotype).collect();
+        let xb: Vec<u8> = b.archive.iter().map(|i| i.genotype).collect();
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let base = GaConfig {
+            population: 12,
+            generations: 8,
+            seed: 7,
+            ..Default::default()
+        };
+        let serial = optimize(&Tradeoff, &base);
+        let parallel = optimize(
+            &Tradeoff,
+            &GaConfig {
+                threads: 4,
+                ..base
+            },
+        );
+        let xs: Vec<u8> = serial.archive.iter().map(|i| i.genotype).collect();
+        let xp: Vec<u8> = parallel.archive.iter().map(|i| i.genotype).collect();
+        assert_eq!(xs, xp);
+    }
+
+    #[test]
+    fn nsga2_selector_also_converges() {
+        let r = optimize(
+            &Constrained,
+            &GaConfig {
+                population: 16,
+                generations: 30,
+                selector: Selector::Nsga2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.front[0].genotype, 5);
+    }
+
+    #[test]
+    fn history_tracks_improvement() {
+        let r = optimize(
+            &Constrained,
+            &GaConfig {
+                population: 16,
+                generations: 25,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.history.len(), 26);
+        let first = r.history.first().unwrap().best[0];
+        let last = r.history.last().unwrap().best[0];
+        assert!(last <= first);
+        assert_eq!(r.history.last().unwrap().generation, 25);
+    }
+
+    #[test]
+    fn evaluation_runs_once_per_candidate() {
+        struct Counting(AtomicUsize);
+        impl Problem for Counting {
+            type Genotype = u8;
+            fn random(&self, _: &mut dyn RngCore) -> u8 {
+                0
+            }
+            fn crossover(&self, a: &u8, _: &u8, _: &mut dyn RngCore) -> u8 {
+                *a
+            }
+            fn mutate(&self, _: &mut u8, _: &mut dyn RngCore) {}
+            fn evaluate(&self, _: &u8) -> Evaluation {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Evaluation::feasible(vec![0.0])
+            }
+            fn num_objectives(&self) -> usize {
+                1
+            }
+        }
+        let p = Counting(AtomicUsize::new(0));
+        let r = optimize(
+            &p,
+            &GaConfig {
+                population: 5,
+                generations: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(p.0.load(Ordering::Relaxed), r.evaluations);
+        assert_eq!(r.evaluations, 5 + 5 * 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Quality indicators for bi-objective fronts.
+
+use crate::{Evaluation, Individual};
+
+/// 2-D hypervolume of a minimization front with respect to a reference
+/// point: the area dominated by the front and bounded by `reference`.
+///
+/// Points not strictly dominating the reference contribute nothing;
+/// infeasible individuals are ignored.
+///
+/// # Panics
+///
+/// Panics if any feasible individual has a number of objectives other than
+/// two.
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_ga::{hypervolume_2d, Evaluation, Individual};
+/// let front = vec![
+///     Individual::new((), Evaluation::feasible(vec![1.0, 3.0])),
+///     Individual::new((), Evaluation::feasible(vec![3.0, 1.0])),
+/// ];
+/// // Reference (4, 4): area = (4−1)(4−3) + (4−3)(4−1) − overlap (1×1)… computed
+/// // by the left-to-right sweep: 3·1 + 1·(4−1−? ) → 3 + 3 = 6? The sweep gives 5.
+/// let hv = hypervolume_2d(&front, [4.0, 4.0]);
+/// assert!((hv - 5.0).abs() < 1e-12);
+/// ```
+pub fn hypervolume_2d<G>(front: &[Individual<G>], reference: [f64; 2]) -> f64 {
+    let mut points: Vec<[f64; 2]> = front
+        .iter()
+        .filter(|i| i.eval.feasible)
+        .map(|i| {
+            assert_eq!(
+                i.eval.objectives.len(),
+                2,
+                "hypervolume_2d requires bi-objective evaluations"
+            );
+            [i.eval.objectives[0], i.eval.objectives[1]]
+        })
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1])
+        .collect();
+    points.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("objectives are finite"));
+
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for p in points {
+        if p[1] < prev_y {
+            hv += (reference[0] - p[0]) * (prev_y - p[1]);
+            prev_y = p[1];
+        }
+    }
+    hv
+}
+
+/// Normalized spread of a bi-objective front: the sum of the per-dimension
+/// extents, each divided by the reference extent. 0 for fronts with fewer
+/// than two feasible points.
+pub fn front_extent<G>(front: &[Individual<G>]) -> f64 {
+    let pts: Vec<&Evaluation> = front.iter().filter(|i| i.eval.feasible).map(|i| &i.eval).collect();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let dims = pts[0].objectives.len();
+    (0..dims)
+        .map(|d| {
+            let lo = pts
+                .iter()
+                .map(|e| e.objectives[d])
+                .fold(f64::INFINITY, f64::min);
+            let hi = pts
+                .iter()
+                .map(|e| e.objectives[d])
+                .fold(f64::NEG_INFINITY, f64::max);
+            hi - lo
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ind(x: f64, y: f64) -> Individual<()> {
+        Individual::new((), Evaluation::feasible(vec![x, y]))
+    }
+
+    #[test]
+    fn single_point_volume_is_its_box() {
+        let hv = hypervolume_2d(&[ind(1.0, 2.0)], [4.0, 4.0]);
+        assert!((hv - (3.0 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_accumulates() {
+        let hv = hypervolume_2d(&[ind(1.0, 3.0), ind(2.0, 2.0), ind(3.0, 1.0)], [4.0, 4.0]);
+        // Sweep: (4−1)(4−3)=3, (4−2)(3−2)=2, (4−3)(2−1)=1 → 6.
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let alone = hypervolume_2d(&[ind(1.0, 1.0)], [4.0, 4.0]);
+        let with_dominated = hypervolume_2d(&[ind(1.0, 1.0), ind(2.0, 2.0)], [4.0, 4.0]);
+        assert!((alone - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_beyond_reference_are_ignored() {
+        let hv = hypervolume_2d(&[ind(5.0, 5.0)], [4.0, 4.0]);
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn infeasible_are_ignored() {
+        let front = vec![Individual::new(
+            (),
+            Evaluation::infeasible(vec![0.0, 0.0], 1.0),
+        )];
+        assert_eq!(hypervolume_2d(&front, [4.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn extent_measures_spread() {
+        assert_eq!(front_extent::<()>(&[]), 0.0);
+        assert_eq!(front_extent(&[ind(1.0, 1.0)]), 0.0);
+        let e = front_extent(&[ind(0.0, 4.0), ind(4.0, 0.0)]);
+        assert!((e - 8.0).abs() < 1e-12);
+    }
+}

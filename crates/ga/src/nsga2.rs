@@ -1,0 +1,187 @@
+//! NSGA-II selection (Deb et al., 2002), provided as an alternative
+//! population selector for ablation against SPEA-II.
+
+use crate::{constrained_dominates, Evaluation, Individual};
+
+/// Fast non-dominated sorting: returns fronts of indices, best first.
+pub fn non_dominated_sort(evals: &[Evaluation]) -> Vec<Vec<usize>> {
+    let n = evals.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if constrained_dominates(&evals[i], &evals[j]) {
+                dominated_by[i].push(j);
+            } else if constrained_dominates(&evals[j], &evals[i]) {
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// Crowding distance of each member of one front (larger = less crowded;
+/// boundary points get `f64::INFINITY`).
+pub fn crowding_distance(evals: &[Evaluation], front: &[usize]) -> Vec<f64> {
+    let m = front.len();
+    let mut dist = vec![0.0f64; m];
+    if m == 0 {
+        return dist;
+    }
+    let dims = evals[front[0]].objectives.len();
+    for d in 0..dims {
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            evals[front[a]].objectives[d]
+                .partial_cmp(&evals[front[b]].objectives[d])
+                .expect("objectives are finite")
+        });
+        let lo = evals[front[order[0]]].objectives[d];
+        let hi = evals[front[order[m - 1]]].objectives[d];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[m - 1]] = f64::INFINITY;
+        let span = if hi > lo { hi - lo } else { 1.0 };
+        for w in 1..m.saturating_sub(1) {
+            let prev = evals[front[order[w - 1]]].objectives[d];
+            let next = evals[front[order[w + 1]]].objectives[d];
+            dist[order[w]] += (next - prev) / span;
+        }
+    }
+    dist
+}
+
+/// NSGA-II environmental selection: rank by fronts, break the last partial
+/// front by crowding distance.
+pub fn nsga2_selection<G: Clone>(
+    pool: &[Individual<G>],
+    capacity: usize,
+) -> Vec<Individual<G>> {
+    let evals: Vec<Evaluation> = pool.iter().map(|i| i.eval.clone()).collect();
+    let fronts = non_dominated_sort(&evals);
+    let mut selected: Vec<usize> = Vec::with_capacity(capacity);
+    for front in fronts {
+        if selected.len() + front.len() <= capacity {
+            selected.extend_from_slice(&front);
+            if selected.len() == capacity {
+                break;
+            }
+        } else {
+            let need = capacity - selected.len();
+            let dist = crowding_distance(&evals, &front);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&a, &b| {
+                dist[b].partial_cmp(&dist[a]).expect("crowding is comparable")
+            });
+            selected.extend(order.into_iter().take(need).map(|k| front[k]));
+            break;
+        }
+    }
+    selected.into_iter().map(|i| pool[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(objs: Vec<f64>) -> Evaluation {
+        Evaluation::feasible(objs)
+    }
+
+    #[test]
+    fn sorting_layers_fronts() {
+        let evals = vec![
+            ev(vec![1.0, 4.0]), // front 0
+            ev(vec![4.0, 1.0]), // front 0
+            ev(vec![2.0, 5.0]), // front 1 (dominated by 0)
+            ev(vec![5.0, 5.0]), // front 2 (dominated by 2 and others)
+        ];
+        let fronts = non_dominated_sort(&evals);
+        assert_eq!(fronts[0], vec![0, 1]);
+        assert_eq!(fronts[1], vec![2]);
+        assert_eq!(fronts[2], vec![3]);
+    }
+
+    #[test]
+    fn infeasible_sink_to_later_fronts() {
+        let evals = vec![
+            ev(vec![9.0]),
+            Evaluation::infeasible(vec![0.0], 1.0),
+            Evaluation::infeasible(vec![0.0], 2.0),
+        ];
+        let fronts = non_dominated_sort(&evals);
+        assert_eq!(fronts[0], vec![0]);
+        assert_eq!(fronts[1], vec![1]);
+        assert_eq!(fronts[2], vec![2]);
+    }
+
+    #[test]
+    fn crowding_rewards_boundary_points() {
+        let evals = vec![
+            ev(vec![0.0, 4.0]),
+            ev(vec![2.0, 2.0]),
+            ev(vec![4.0, 0.0]),
+        ];
+        let front = vec![0, 1, 2];
+        let d = crowding_distance(&evals, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[2].is_infinite());
+        assert!(d[1].is_finite());
+    }
+
+    #[test]
+    fn selection_respects_capacity_and_rank() {
+        let pool: Vec<Individual<usize>> = vec![
+            Individual::new(0, ev(vec![1.0, 4.0])),
+            Individual::new(1, ev(vec![4.0, 1.0])),
+            Individual::new(2, ev(vec![2.0, 5.0])),
+            Individual::new(3, ev(vec![5.0, 5.0])),
+        ];
+        let sel = nsga2_selection(&pool, 2);
+        let ids: Vec<usize> = sel.iter().map(|i| i.genotype).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&0) && ids.contains(&1));
+    }
+
+    #[test]
+    fn partial_front_broken_by_crowding() {
+        // One front of 5; capacity 3 keeps extremes plus one middle point.
+        let pool: Vec<Individual<usize>> = (0..5)
+            .map(|i| {
+                Individual::new(
+                    i,
+                    ev(vec![i as f64, 4.0 - i as f64]),
+                )
+            })
+            .collect();
+        let sel = nsga2_selection(&pool, 3);
+        let ids: Vec<usize> = sel.iter().map(|i| i.genotype).collect();
+        assert!(ids.contains(&0));
+        assert!(ids.contains(&4));
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(non_dominated_sort(&[]).is_empty());
+        let sel: Vec<Individual<usize>> = nsga2_selection(&[], 4);
+        assert!(sel.is_empty());
+    }
+}

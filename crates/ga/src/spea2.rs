@@ -1,0 +1,258 @@
+//! SPEA-II environmental selection (Zitzler, Laumanns, Thiele 2001), the
+//! population selector used by the paper's DSE (§4, [19]).
+
+use crate::{constrained_dominates, Evaluation, Individual};
+
+/// SPEA-II fitness values for one pooled population (population ∪ archive).
+///
+/// Smaller is better; values `< 1` identify non-dominated individuals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spea2Fitness {
+    /// Final fitness `F(i) = R(i) + D(i)`.
+    pub fitness: Vec<f64>,
+    /// Raw dominance fitness `R(i)` (0 for non-dominated individuals).
+    pub raw: Vec<f64>,
+}
+
+/// Computes SPEA-II fitness for a pooled set of evaluations.
+///
+/// * strength `S(i)` = number of individuals `i` dominates;
+/// * raw fitness `R(i)` = Σ `S(j)` over all `j` dominating `i`;
+/// * density `D(i) = 1 / (σᵢᵏ + 2)` with `σᵢᵏ` the distance to the `k`-th
+///   nearest neighbour in normalized objective space, `k = ⌊√N⌋`.
+pub fn spea2_fitness(evals: &[Evaluation]) -> Spea2Fitness {
+    let n = evals.len();
+    if n == 0 {
+        return Spea2Fitness {
+            fitness: Vec::new(),
+            raw: Vec::new(),
+        };
+    }
+    // Strength.
+    let mut strength = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && constrained_dominates(&evals[i], &evals[j]) {
+                strength[i] += 1;
+            }
+        }
+    }
+    // Raw fitness.
+    let mut raw = vec![0.0f64; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && constrained_dominates(&evals[j], &evals[i]) {
+                raw[i] += strength[j] as f64;
+            }
+        }
+    }
+    // Density over normalized objective distances.
+    let dist = normalized_distances(evals);
+    let k = (n as f64).sqrt().floor() as usize;
+    let k = k.clamp(1, n.saturating_sub(1).max(1));
+    let mut fitness = vec![0.0f64; n];
+    for i in 0..n {
+        let mut row: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist[i][j]).collect();
+        row.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+        let sigma = row.get(k - 1).copied().unwrap_or(0.0);
+        fitness[i] = raw[i] + 1.0 / (sigma + 2.0);
+    }
+    Spea2Fitness { fitness, raw }
+}
+
+/// Pairwise Euclidean distances in min-max-normalized objective space.
+fn normalized_distances(evals: &[Evaluation]) -> Vec<Vec<f64>> {
+    let n = evals.len();
+    let dims = evals.first().map_or(0, |e| e.objectives.len());
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for e in evals {
+        for (d, &v) in e.objectives.iter().enumerate() {
+            lo[d] = lo[d].min(v);
+            hi[d] = hi[d].max(v);
+        }
+    }
+    let span: Vec<f64> = lo
+        .iter()
+        .zip(&hi)
+        .map(|(&l, &h)| if h > l { h - l } else { 1.0 })
+        .collect();
+    let mut dist = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d2: f64 = (0..dims)
+                .map(|d| {
+                    let x = (evals[i].objectives[d] - evals[j].objectives[d]) / span[d];
+                    x * x
+                })
+                .sum();
+            let d = d2.sqrt();
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+    dist
+}
+
+/// SPEA-II environmental selection: picks `capacity` indices from the pooled
+/// set.
+///
+/// Non-dominated individuals (`F < 1`) are kept; if they exceed the
+/// capacity, the most crowded ones are truncated (iteratively removing the
+/// individual with the smallest nearest-neighbour distance); if they fall
+/// short, the best dominated individuals fill the remainder.
+pub fn environmental_selection<G: Clone>(
+    pool: &[Individual<G>],
+    capacity: usize,
+) -> Vec<Individual<G>> {
+    let evals: Vec<Evaluation> = pool.iter().map(|i| i.eval.clone()).collect();
+    let fit = spea2_fitness(&evals);
+    let mut nondominated: Vec<usize> = (0..pool.len()).filter(|&i| fit.fitness[i] < 1.0).collect();
+
+    if nondominated.len() > capacity {
+        // SPEA-II truncation: iteratively remove the individual whose
+        // sorted distance vector to the surviving neighbours is
+        // lexicographically smallest — ties on the nearest neighbour are
+        // broken by the second-nearest and so on, which preserves the
+        // extreme points of evenly spaced fronts.
+        let dist = normalized_distances(&evals);
+        while nondominated.len() > capacity {
+            let mut worst = 0usize;
+            let mut worst_key: Option<Vec<f64>> = None;
+            for (pos, &i) in nondominated.iter().enumerate() {
+                let mut row: Vec<f64> = nondominated
+                    .iter()
+                    .filter(|&&j| j != i)
+                    .map(|&j| dist[i][j])
+                    .collect();
+                row.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+                let smaller = match &worst_key {
+                    None => true,
+                    Some(best) => row
+                        .iter()
+                        .zip(best.iter())
+                        .find_map(|(a, b)| {
+                            if a < b {
+                                Some(true)
+                            } else if a > b {
+                                Some(false)
+                            } else {
+                                None
+                            }
+                        })
+                        .unwrap_or(false),
+                };
+                if smaller {
+                    worst_key = Some(row);
+                    worst = pos;
+                }
+            }
+            nondominated.swap_remove(worst);
+        }
+        return nondominated.iter().map(|&i| pool[i].clone()).collect();
+    }
+
+    // Fill with the best dominated individuals.
+    let mut rest: Vec<usize> = (0..pool.len()).filter(|&i| fit.fitness[i] >= 1.0).collect();
+    rest.sort_by(|&a, &b| {
+        fit.fitness[a]
+            .partial_cmp(&fit.fitness[b])
+            .expect("fitness is finite")
+    });
+    nondominated.extend(rest.into_iter().take(capacity - nondominated.len().min(capacity)));
+    nondominated.truncate(capacity);
+    nondominated.iter().map(|&i| pool[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluation;
+
+    fn ind(objs: Vec<f64>) -> Individual<usize> {
+        Individual::new(0, Evaluation::feasible(objs))
+    }
+
+    #[test]
+    fn nondominated_have_fitness_below_one() {
+        let evals = vec![
+            Evaluation::feasible(vec![1.0, 4.0]),
+            Evaluation::feasible(vec![4.0, 1.0]),
+            Evaluation::feasible(vec![3.0, 3.0]),
+            Evaluation::feasible(vec![5.0, 5.0]), // dominated by all? by (3,3) and others
+        ];
+        let fit = spea2_fitness(&evals);
+        assert!(fit.fitness[0] < 1.0);
+        assert!(fit.fitness[1] < 1.0);
+        assert!(fit.fitness[2] < 1.0);
+        assert!(fit.fitness[3] >= 1.0);
+        assert_eq!(fit.raw[0], 0.0);
+        assert!(fit.raw[3] > 0.0);
+    }
+
+    #[test]
+    fn raw_fitness_accumulates_dominator_strength() {
+        // Chain: a dominates b dominates c.
+        let evals = vec![
+            Evaluation::feasible(vec![1.0]),
+            Evaluation::feasible(vec![2.0]),
+            Evaluation::feasible(vec![3.0]),
+        ];
+        let fit = spea2_fitness(&evals);
+        // S(a)=2, S(b)=1. R(c) = S(a)+S(b) = 3; R(b) = S(a) = 2.
+        assert_eq!(fit.raw, vec![0.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn selection_keeps_nondominated_up_to_capacity() {
+        let pool = vec![
+            ind(vec![1.0, 4.0]),
+            ind(vec![2.0, 2.0]),
+            ind(vec![4.0, 1.0]),
+            ind(vec![5.0, 5.0]),
+        ];
+        let sel = environmental_selection(&pool, 3);
+        assert_eq!(sel.len(), 3);
+        let objs: Vec<&[f64]> = sel.iter().map(|i| i.eval.objectives.as_slice()).collect();
+        assert!(!objs.contains(&[5.0, 5.0].as_slice()));
+    }
+
+    #[test]
+    fn selection_fills_with_best_dominated() {
+        let pool = vec![ind(vec![1.0, 1.0]), ind(vec![2.0, 2.0]), ind(vec![9.0, 9.0])];
+        let sel = environmental_selection(&pool, 2);
+        assert_eq!(sel.len(), 2);
+        // (1,1) non-dominated, (2,2) is the better dominated filler.
+        assert!(sel
+            .iter()
+            .any(|i| i.eval.objectives == vec![1.0, 1.0]));
+        assert!(sel
+            .iter()
+            .any(|i| i.eval.objectives == vec![2.0, 2.0]));
+    }
+
+    #[test]
+    fn truncation_preserves_spread() {
+        // Five points on a front; capacity 3 should keep the extremes.
+        let pool = vec![
+            ind(vec![0.0, 4.0]),
+            ind(vec![1.0, 3.0]),
+            ind(vec![2.0, 2.0]),
+            ind(vec![3.0, 1.0]),
+            ind(vec![4.0, 0.0]),
+        ];
+        let sel = environmental_selection(&pool, 3);
+        assert_eq!(sel.len(), 3);
+        let objs: Vec<Vec<f64>> = sel.iter().map(|i| i.eval.objectives.clone()).collect();
+        assert!(objs.contains(&vec![0.0, 4.0]));
+        assert!(objs.contains(&vec![4.0, 0.0]));
+    }
+
+    #[test]
+    fn empty_pool_is_fine() {
+        let fit = spea2_fitness(&[]);
+        assert!(fit.fitness.is_empty());
+        let sel: Vec<Individual<usize>> = environmental_selection(&[], 5);
+        assert!(sel.is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the evolutionary framework.
+
+use mcmap_ga::{
+    constrained_dominates, crowding_distance, dominates, environmental_selection,
+    non_dominated_sort, nsga2_selection, pareto_front, spea2_fitness, Evaluation, Individual,
+};
+use proptest::prelude::*;
+
+fn eval_strategy() -> impl Strategy<Value = Evaluation> {
+    (
+        prop::collection::vec(0.0f64..100.0, 2),
+        any::<bool>(),
+        0.01f64..10.0,
+    )
+        .prop_map(|(objectives, feasible, penalty)| {
+            if feasible {
+                Evaluation::feasible(objectives)
+            } else {
+                Evaluation::infeasible(objectives, penalty)
+            }
+        })
+}
+
+fn pool_strategy() -> impl Strategy<Value = Vec<Individual<usize>>> {
+    prop::collection::vec(eval_strategy(), 2..40).prop_map(|evals| {
+        evals
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| Individual::new(i, e))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(
+        a in prop::collection::vec(0.0f64..10.0, 3),
+        b in prop::collection::vec(0.0f64..10.0, 3),
+    ) {
+        prop_assert!(!dominates(&a, &a));
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+
+    #[test]
+    fn constrained_dominance_is_antisymmetric(a in eval_strategy(), b in eval_strategy()) {
+        prop_assert!(
+            !(constrained_dominates(&a, &b) && constrained_dominates(&b, &a))
+        );
+        prop_assert!(!constrained_dominates(&a, &a));
+    }
+
+    #[test]
+    fn pareto_front_members_are_mutually_nondominated(pool in pool_strategy()) {
+        let front = pareto_front(&pool);
+        prop_assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                prop_assert!(!constrained_dominates(&a.eval, &b.eval)
+                    || a.eval == b.eval);
+            }
+        }
+        // Everything outside the front is dominated by someone inside it…
+        for ind in &pool {
+            let on_front = front.iter().any(|f| f.eval == ind.eval);
+            if !on_front {
+                prop_assert!(pool
+                    .iter()
+                    .any(|o| constrained_dominates(&o.eval, &ind.eval)));
+            }
+        }
+    }
+
+    #[test]
+    fn spea2_fitness_separates_nondominated(pool in pool_strategy()) {
+        let evals: Vec<Evaluation> = pool.iter().map(|i| i.eval.clone()).collect();
+        let fit = spea2_fitness(&evals);
+        for (i, e) in evals.iter().enumerate() {
+            let nondominated = !evals
+                .iter()
+                .enumerate()
+                .any(|(j, o)| j != i && constrained_dominates(o, e));
+            if nondominated {
+                prop_assert!(fit.fitness[i] < 1.0, "nondominated must have F < 1");
+                prop_assert_eq!(fit.raw[i], 0.0);
+            } else {
+                prop_assert!(fit.fitness[i] >= 1.0, "dominated must have F ≥ 1");
+            }
+        }
+    }
+
+    #[test]
+    fn selections_respect_capacity(pool in pool_strategy(), cap in 1usize..30) {
+        let cap = cap.min(pool.len());
+        let spea = environmental_selection(&pool, cap);
+        let nsga = nsga2_selection(&pool, cap);
+        prop_assert_eq!(spea.len(), cap);
+        prop_assert_eq!(nsga.len(), cap);
+        // Both keep only members of the pool.
+        for sel in spea.iter().chain(&nsga) {
+            prop_assert!(pool.iter().any(|p| p.genotype == sel.genotype));
+        }
+    }
+
+    #[test]
+    fn nondominated_sort_partitions_and_orders(pool in pool_strategy()) {
+        let evals: Vec<Evaluation> = pool.iter().map(|i| i.eval.clone()).collect();
+        let fronts = non_dominated_sort(&evals);
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, evals.len());
+        // No one in front k is dominated by anyone in front k or later.
+        for (k, front) in fronts.iter().enumerate() {
+            for &i in front {
+                for later in &fronts[k..] {
+                    for &j in later {
+                        prop_assert!(
+                            i == j || !constrained_dominates(&evals[j], &evals[i]),
+                            "front {k} member dominated by a same-or-later front member"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_distances_are_nonnegative(pool in pool_strategy()) {
+        let evals: Vec<Evaluation> = pool.iter().map(|i| i.eval.clone()).collect();
+        let fronts = non_dominated_sort(&evals);
+        for front in &fronts {
+            for d in crowding_distance(&evals, front) {
+                prop_assert!(d >= 0.0);
+            }
+        }
+    }
+}

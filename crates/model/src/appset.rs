@@ -1,0 +1,274 @@
+//! Application sets: the collection of task graphs sharing the MPSoC.
+
+use crate::{lcm_time, AppId, Criticality, ModelError, TaskGraph, TaskId, TaskRef, Time};
+
+/// The set `T` of applications sharing the platform.
+///
+/// Provides a flat, stable enumeration of every task in the system
+/// ([`TaskRef`]) which the scheduling and analysis layers use as their index
+/// space, plus the hyperperiod over which mixed-criticality state transitions
+/// are analyzed (the system returns to the normal state at each hyperperiod
+/// boundary, §3).
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::{AppSet, Criticality, ExecBounds, Task, TaskGraph, Time};
+///
+/// # fn main() -> Result<(), mcmap_model::ModelError> {
+/// let a = TaskGraph::builder("a", Time::from_ticks(20))
+///     .task(Task::new("x").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(3))))
+///     .build()?;
+/// let b = TaskGraph::builder("b", Time::from_ticks(30))
+///     .criticality(Criticality::Droppable { service: 2.0 })
+///     .task(Task::new("y").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(4))))
+///     .build()?;
+/// let set = AppSet::new(vec![a, b])?;
+/// assert_eq!(set.hyperperiod(), Time::from_ticks(60));
+/// assert_eq!(set.num_tasks(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AppSet {
+    apps: Vec<TaskGraph>,
+    hyperperiod: Time,
+    /// Flat enumeration of all tasks, in (app, task) order.
+    flat: Vec<TaskRef>,
+    /// Prefix offsets: flat index of the first task of each app.
+    offsets: Vec<usize>,
+}
+
+impl AppSet {
+    /// Creates an application set from task graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyAppSet`] if `apps` is empty or
+    /// [`ModelError::DeadlineExceedsPeriod`] if any app has a deadline beyond
+    /// its period.
+    pub fn new(apps: Vec<TaskGraph>) -> Result<Self, ModelError> {
+        if apps.is_empty() {
+            return Err(ModelError::EmptyAppSet);
+        }
+        for (i, app) in apps.iter().enumerate() {
+            if app.deadline() > app.period() {
+                return Err(ModelError::DeadlineExceedsPeriod {
+                    app: AppId::new(i),
+                });
+            }
+        }
+        let hyperperiod = apps
+            .iter()
+            .map(TaskGraph::period)
+            .fold(Time::from_ticks(1), lcm_time);
+        let mut flat = Vec::new();
+        let mut offsets = Vec::with_capacity(apps.len());
+        for (ai, app) in apps.iter().enumerate() {
+            offsets.push(flat.len());
+            for ti in 0..app.num_tasks() {
+                flat.push(TaskRef::new(AppId::new(ai), TaskId::new(ti)));
+            }
+        }
+        Ok(AppSet {
+            apps,
+            hyperperiod,
+            flat,
+            offsets,
+        })
+    }
+
+    /// Number of applications.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Total number of tasks across all applications.
+    pub fn num_tasks(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// Returns an application by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn app(&self, id: AppId) -> &TaskGraph {
+        &self.apps[id.index()]
+    }
+
+    /// Iterates over `(AppId, &TaskGraph)`.
+    pub fn apps(&self) -> impl Iterator<Item = (AppId, &TaskGraph)> {
+        self.apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AppId::new(i), a))
+    }
+
+    /// All application ids.
+    pub fn app_ids(&self) -> impl Iterator<Item = AppId> {
+        (0..self.apps.len()).map(AppId::new)
+    }
+
+    /// The least common multiple of all application periods.
+    pub fn hyperperiod(&self) -> Time {
+        self.hyperperiod
+    }
+
+    /// Flat enumeration of every task in the system, grouped by application.
+    pub fn task_refs(&self) -> &[TaskRef] {
+        &self.flat
+    }
+
+    /// The dense flat index of a task reference (inverse of
+    /// [`AppSet::task_refs`] indexing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of range for this set.
+    pub fn flat_index(&self, r: TaskRef) -> usize {
+        let base = self.offsets[r.app.index()];
+        let idx = base + r.task.index();
+        debug_assert_eq!(self.flat[idx], r);
+        idx
+    }
+
+    /// Looks up the task data behind a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of range.
+    pub fn task(&self, r: TaskRef) -> &crate::Task {
+        self.apps[r.app.index()].task(r.task)
+    }
+
+    /// Applications that carry a reliability constraint (never droppable).
+    pub fn nondroppable_apps(&self) -> impl Iterator<Item = AppId> + '_ {
+        self.apps()
+            .filter(|(_, a)| !a.criticality().is_droppable())
+            .map(|(id, _)| id)
+    }
+
+    /// Applications the scheduler is allowed to drop.
+    pub fn droppable_apps(&self) -> impl Iterator<Item = AppId> + '_ {
+        self.apps()
+            .filter(|(_, a)| a.criticality().is_droppable())
+            .map(|(id, _)| id)
+    }
+
+    /// Total service value of the given set of alive applications: the sum of
+    /// `sv_t` over droppable apps not in `dropped`, per §2.1. Non-droppable
+    /// apps contribute no finite service (they can never be dropped).
+    pub fn service_after_dropping(&self, dropped: &[AppId]) -> f64 {
+        self.droppable_apps()
+            .filter(|id| !dropped.contains(id))
+            .map(|id| match self.app(id).criticality() {
+                Criticality::Droppable { service } => service,
+                Criticality::NonDroppable { .. } => unreachable!(),
+            })
+            .sum()
+    }
+
+    /// The maximum achievable service (nothing dropped).
+    pub fn total_service(&self) -> f64 {
+        self.service_after_dropping(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecBounds, Task};
+
+    fn app(name: &str, period: u64, crit: Criticality, tasks: usize) -> TaskGraph {
+        let mut b = TaskGraph::builder(name, Time::from_ticks(period)).criticality(crit);
+        for i in 0..tasks {
+            b = b.task(
+                Task::new(format!("{name}{i}"))
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(2))),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn sample() -> AppSet {
+        AppSet::new(vec![
+            app(
+                "hi",
+                20,
+                Criticality::NonDroppable {
+                    max_failure_rate: 1e-4,
+                },
+                2,
+            ),
+            app("lo1", 30, Criticality::Droppable { service: 2.0 }, 3),
+            app("lo2", 60, Criticality::Droppable { service: 5.0 }, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        assert_eq!(AppSet::new(vec![]).unwrap_err(), ModelError::EmptyAppSet);
+    }
+
+    #[test]
+    fn hyperperiod_is_lcm() {
+        assert_eq!(sample().hyperperiod(), Time::from_ticks(60));
+    }
+
+    #[test]
+    fn flat_enumeration_and_inverse() {
+        let set = sample();
+        assert_eq!(set.num_tasks(), 6);
+        for (i, &r) in set.task_refs().iter().enumerate() {
+            assert_eq!(set.flat_index(r), i);
+        }
+        assert_eq!(
+            set.task_refs()[2],
+            TaskRef::new(AppId::new(1), TaskId::new(0))
+        );
+    }
+
+    #[test]
+    fn droppable_partition() {
+        let set = sample();
+        assert_eq!(set.nondroppable_apps().collect::<Vec<_>>(), vec![AppId::new(0)]);
+        assert_eq!(
+            set.droppable_apps().collect::<Vec<_>>(),
+            vec![AppId::new(1), AppId::new(2)]
+        );
+    }
+
+    #[test]
+    fn service_accounting() {
+        let set = sample();
+        assert_eq!(set.total_service(), 7.0);
+        assert_eq!(set.service_after_dropping(&[AppId::new(1)]), 5.0);
+        assert_eq!(
+            set.service_after_dropping(&[AppId::new(1), AppId::new(2)]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn deadline_beyond_period_rejected() {
+        let g = TaskGraph::builder("g", Time::from_ticks(10))
+            .deadline(Time::from_ticks(15))
+            .task(Task::new("t").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(1))))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            AppSet::new(vec![g]),
+            Err(ModelError::DeadlineExceedsPeriod { .. })
+        ));
+    }
+
+    #[test]
+    fn task_lookup_through_ref() {
+        let set = sample();
+        let r = TaskRef::new(AppId::new(1), TaskId::new(2));
+        assert_eq!(set.task(r).name, "lo12");
+    }
+}

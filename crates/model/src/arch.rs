@@ -1,0 +1,440 @@
+//! The MPSoC platform model: heterogeneous processors connected by a
+//! communication fabric.
+//!
+//! Following §2.1 of the paper, an architecture `A := (P, nw)` consists of a
+//! set of (possibly heterogeneous) processors and an on-chip communication
+//! fabric `nw` (shared bus, crossbar, or NoC) characterized at system level
+//! only by its bandwidth: faults on links are assumed to be handled by
+//! low-level error-resilient techniques and are transparent here.
+
+use crate::{ModelError, ProcId, Time};
+
+/// A processor *kind* (ISA/micro-architecture class).
+///
+/// Tasks carry one execution-time profile per kind; two processors of the
+/// same kind execute a task with identical timing. Kinds are dense indices so
+/// profiles can be stored in small vectors.
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::ProcKind;
+/// let risc = ProcKind::new(0);
+/// let dsp = ProcKind::new(1);
+/// assert_ne!(risc, dsp);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcKind(u16);
+
+impl ProcKind {
+    /// Creates a processor kind from a dense index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        ProcKind(index)
+    }
+
+    /// Returns the dense index of this kind.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for ProcKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "kind{}", self.0)
+    }
+}
+
+/// A single processing element.
+///
+/// Mirrors the paper's per-processor characterization: type, leakage
+/// (static) power `stat_p`, dynamic power `dyn_p`, and a constant transient
+/// fault rate `λ_p` per time unit.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Processor {
+    /// Human-readable name, e.g. `"arm0"`.
+    pub name: String,
+    /// The processor kind selecting task execution profiles.
+    pub kind: ProcKind,
+    /// Leakage power drawn whenever the processor is allocated (mW).
+    pub stat_power: f64,
+    /// Dynamic power drawn per unit utilization (mW at 100 % load).
+    pub dyn_power: f64,
+    /// Transient fault rate `λ_p`: expected faults per time tick.
+    pub fault_rate: f64,
+}
+
+impl Processor {
+    /// Creates a processor with the given characteristics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::{ProcKind, Processor};
+    /// let p = Processor::new("arm0", ProcKind::new(0), 10.0, 50.0, 1e-6);
+    /// assert_eq!(p.name, "arm0");
+    /// ```
+    pub fn new(
+        name: impl Into<String>,
+        kind: ProcKind,
+        stat_power: f64,
+        dyn_power: f64,
+        fault_rate: f64,
+    ) -> Self {
+        Processor {
+            name: name.into(),
+            kind,
+            stat_power,
+            dyn_power,
+            fault_rate,
+        }
+    }
+
+    /// Probability that a single execution of length `duration` on this
+    /// processor is hit by at least one transient fault.
+    ///
+    /// Uses the standard Poisson-arrival model `1 − exp(−λ · t)` (cf. \[11\],
+    /// \[12\] in the paper).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::{ProcKind, Processor, Time};
+    /// let p = Processor::new("p", ProcKind::new(0), 1.0, 1.0, 0.0);
+    /// assert_eq!(p.fault_probability(Time::from_ticks(1000)), 0.0);
+    /// ```
+    pub fn fault_probability(&self, duration: Time) -> f64 {
+        1.0 - (-self.fault_rate * duration.as_f64()).exp()
+    }
+}
+
+/// The on-chip communication fabric.
+///
+/// The paper abstracts the interconnect to a maximum bandwidth `bw_nw`; we
+/// additionally allow a constant per-message base latency so NoC-like hop
+/// costs can be approximated.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Fabric {
+    /// Bytes transferred per time tick.
+    pub bandwidth: u64,
+    /// Fixed latency added to every inter-processor message.
+    pub base_latency: Time,
+}
+
+impl Fabric {
+    /// Creates a fabric with the given bandwidth (bytes/tick) and zero base
+    /// latency.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::{Fabric, Time};
+    /// let f = Fabric::new(8);
+    /// assert_eq!(f.transfer_time(64), Time::from_ticks(8));
+    /// ```
+    pub fn new(bandwidth: u64) -> Self {
+        Fabric {
+            bandwidth,
+            base_latency: Time::ZERO,
+        }
+    }
+
+    /// Sets the per-message base latency.
+    pub fn with_base_latency(mut self, latency: Time) -> Self {
+        self.base_latency = latency;
+        self
+    }
+
+    /// Worst-case time to transfer `bytes` across the fabric: base latency
+    /// plus `⌈bytes / bandwidth⌉` ticks. Zero-byte messages still pay the
+    /// base latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero; [`Architecture::validate`] rejects
+    /// such fabrics before any analysis runs.
+    pub fn transfer_time(&self, bytes: u64) -> Time {
+        assert!(self.bandwidth > 0, "fabric bandwidth must be positive");
+        self.base_latency + Time::from_ticks(bytes.div_ceil(self.bandwidth))
+    }
+}
+
+impl Default for Fabric {
+    /// An effectively-infinite fabric: 1 GiB/tick, zero latency. Useful in
+    /// tests that want to ignore communication.
+    fn default() -> Self {
+        Fabric::new(1 << 30)
+    }
+}
+
+/// A complete MPSoC platform: processors plus fabric.
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::{Architecture, Fabric, ProcKind, Processor};
+///
+/// # fn main() -> Result<(), mcmap_model::ModelError> {
+/// let arch = Architecture::builder()
+///     .processor(Processor::new("arm0", ProcKind::new(0), 10.0, 40.0, 1e-7))
+///     .processor(Processor::new("dsp0", ProcKind::new(1), 6.0, 25.0, 5e-7))
+///     .fabric(Fabric::new(16))
+///     .build()?;
+/// assert_eq!(arch.num_processors(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Architecture {
+    processors: Vec<Processor>,
+    fabric: Fabric,
+}
+
+impl Architecture {
+    /// Starts building an architecture.
+    pub fn builder() -> ArchitectureBuilder {
+        ArchitectureBuilder::new()
+    }
+
+    /// Returns the number of processors in the platform.
+    pub fn num_processors(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// Returns the processor with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn processor(&self, id: ProcId) -> &Processor {
+        &self.processors[id.index()]
+    }
+
+    /// Iterates over `(ProcId, &Processor)` pairs.
+    pub fn processors(&self) -> impl Iterator<Item = (ProcId, &Processor)> {
+        self.processors
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProcId::new(i), p))
+    }
+
+    /// All processor ids in the platform.
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.processors.len()).map(ProcId::new)
+    }
+
+    /// Returns the communication fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Number of distinct processor kinds referenced by the platform.
+    pub fn num_kinds(&self) -> usize {
+        self.processors
+            .iter()
+            .map(|p| p.kind.index())
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Checks platform-level invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the platform has no processors, the fabric
+    /// bandwidth is zero, or any processor has a non-finite/negative fault
+    /// rate or power figure.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.processors.is_empty() {
+            return Err(ModelError::EmptyArchitecture);
+        }
+        if self.fabric.bandwidth == 0 {
+            return Err(ModelError::ZeroBandwidth);
+        }
+        for (id, p) in self.processors() {
+            if !p.fault_rate.is_finite() || p.fault_rate < 0.0 {
+                return Err(ModelError::InvalidFaultRate {
+                    proc: id,
+                    rate: p.fault_rate,
+                });
+            }
+            if !p.stat_power.is_finite()
+                || p.stat_power < 0.0
+                || !p.dyn_power.is_finite()
+                || p.dyn_power < 0.0
+            {
+                return Err(ModelError::InvalidPower { proc: id });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Architecture`].
+#[derive(Debug, Default)]
+pub struct ArchitectureBuilder {
+    processors: Vec<Processor>,
+    fabric: Fabric,
+}
+
+impl ArchitectureBuilder {
+    /// Creates an empty builder with the default (effectively infinite)
+    /// fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a processor; ids are assigned in insertion order.
+    pub fn processor(mut self, p: Processor) -> Self {
+        self.processors.push(p);
+        self
+    }
+
+    /// Adds `count` identical processors, numbering their names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::{Architecture, ProcKind, Processor};
+    /// # fn main() -> Result<(), mcmap_model::ModelError> {
+    /// let arch = Architecture::builder()
+    ///     .homogeneous(4, Processor::new("arm", ProcKind::new(0), 8.0, 30.0, 1e-7))
+    ///     .build()?;
+    /// assert_eq!(arch.num_processors(), 4);
+    /// assert_eq!(arch.processor(mcmap_model::ProcId::new(3)).name, "arm3");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn homogeneous(mut self, count: usize, template: Processor) -> Self {
+        for i in 0..count {
+            let mut p = template.clone();
+            p.name = format!("{}{}", template.name, i);
+            self.processors.push(p);
+        }
+        self
+    }
+
+    /// Sets the communication fabric.
+    pub fn fabric(mut self, fabric: Fabric) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Finalizes and validates the architecture.
+    ///
+    /// # Errors
+    ///
+    /// See [`Architecture::validate`].
+    pub fn build(self) -> Result<Architecture, ModelError> {
+        let arch = Architecture {
+            processors: self.processors,
+            fabric: self.fabric,
+        };
+        arch.validate()?;
+        Ok(arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc(kind: u16, rate: f64) -> Processor {
+        Processor::new("p", ProcKind::new(kind), 5.0, 20.0, rate)
+    }
+
+    #[test]
+    fn builder_assigns_ids_in_order() {
+        let arch = Architecture::builder()
+            .processor(proc(0, 0.0))
+            .processor(proc(1, 0.0))
+            .build()
+            .unwrap();
+        assert_eq!(arch.processor(ProcId::new(0)).kind, ProcKind::new(0));
+        assert_eq!(arch.processor(ProcId::new(1)).kind, ProcKind::new(1));
+        let ids: Vec<_> = arch.proc_ids().collect();
+        assert_eq!(ids, vec![ProcId::new(0), ProcId::new(1)]);
+    }
+
+    #[test]
+    fn empty_architecture_is_rejected() {
+        assert_eq!(
+            Architecture::builder().build().unwrap_err(),
+            ModelError::EmptyArchitecture
+        );
+    }
+
+    #[test]
+    fn zero_bandwidth_is_rejected() {
+        let err = Architecture::builder()
+            .processor(proc(0, 0.0))
+            .fabric(Fabric::new(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::ZeroBandwidth);
+    }
+
+    #[test]
+    fn negative_fault_rate_is_rejected() {
+        let err = Architecture::builder()
+            .processor(proc(0, -1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidFaultRate { .. }));
+    }
+
+    #[test]
+    fn nan_power_is_rejected() {
+        let mut p = proc(0, 0.0);
+        p.dyn_power = f64::NAN;
+        let err = Architecture::builder().processor(p).build().unwrap_err();
+        assert!(matches!(err, ModelError::InvalidPower { .. }));
+    }
+
+    #[test]
+    fn homogeneous_numbers_names() {
+        let arch = Architecture::builder()
+            .homogeneous(3, proc(0, 0.0))
+            .build()
+            .unwrap();
+        let names: Vec<_> = arch.processors().map(|(_, p)| p.name.clone()).collect();
+        assert_eq!(names, vec!["p0", "p1", "p2"]);
+    }
+
+    #[test]
+    fn num_kinds_counts_max_kind_index() {
+        let arch = Architecture::builder()
+            .processor(proc(0, 0.0))
+            .processor(proc(2, 0.0))
+            .build()
+            .unwrap();
+        assert_eq!(arch.num_kinds(), 3);
+    }
+
+    #[test]
+    fn transfer_time_includes_base_latency_and_rounds_up() {
+        let f = Fabric::new(10).with_base_latency(Time::from_ticks(3));
+        assert_eq!(f.transfer_time(0), Time::from_ticks(3));
+        assert_eq!(f.transfer_time(1), Time::from_ticks(4));
+        assert_eq!(f.transfer_time(25), Time::from_ticks(6));
+    }
+
+    #[test]
+    fn fault_probability_grows_with_duration() {
+        let p = proc(0, 1e-3);
+        let short = p.fault_probability(Time::from_ticks(10));
+        let long = p.fault_probability(Time::from_ticks(1000));
+        assert!(short > 0.0 && short < long && long < 1.0);
+    }
+
+    #[test]
+    fn fault_probability_zero_rate_is_zero() {
+        let p = proc(0, 0.0);
+        assert_eq!(p.fault_probability(Time::from_ticks(1_000_000)), 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Data-dependency channels between tasks.
+
+use crate::TaskId;
+
+/// A directed data dependency `e := (src_e, dst_e)` inside a task graph.
+///
+/// Each invocation of the producing task transfers `bytes` bytes to the
+/// consuming task; if the two tasks are mapped to different processors the
+/// transfer occupies the communication fabric for
+/// [`Fabric::transfer_time`](crate::Fabric::transfer_time) ticks.
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::{Channel, TaskId};
+/// let c = Channel::new(TaskId::new(0), TaskId::new(1), 128);
+/// assert_eq!(c.bytes, 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Channel {
+    /// Producing task.
+    pub src: TaskId,
+    /// Consuming task.
+    pub dst: TaskId,
+    /// Message size per invocation, in bytes (the paper's `s_e`).
+    pub bytes: u64,
+}
+
+impl Channel {
+    /// Creates a channel.
+    #[inline]
+    pub const fn new(src: TaskId, dst: TaskId, bytes: u64) -> Self {
+        Channel { src, dst, bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_stores_endpoints() {
+        let c = Channel::new(TaskId::new(2), TaskId::new(5), 16);
+        assert_eq!(c.src, TaskId::new(2));
+        assert_eq!(c.dst, TaskId::new(5));
+        assert_eq!(c.bytes, 16);
+    }
+
+    #[test]
+    fn channels_compare_structurally() {
+        assert_eq!(
+            Channel::new(TaskId::new(0), TaskId::new(1), 8),
+            Channel::new(TaskId::new(0), TaskId::new(1), 8)
+        );
+        assert_ne!(
+            Channel::new(TaskId::new(0), TaskId::new(1), 8),
+            Channel::new(TaskId::new(0), TaskId::new(1), 9)
+        );
+    }
+}

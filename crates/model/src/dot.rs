@@ -1,0 +1,127 @@
+//! GraphViz DOT export of application models, for documentation and
+//! debugging.
+
+use crate::{AppSet, Criticality, TaskGraph};
+use core::fmt::Write;
+
+/// Renders one task graph as a GraphViz digraph.
+///
+/// Nodes carry the task name and WCET range; edges carry the message size.
+/// Droppable graphs are drawn dashed.
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::{to_dot, ExecBounds, Task, TaskGraph, Time};
+/// # fn main() -> Result<(), mcmap_model::ModelError> {
+/// let g = TaskGraph::builder("app", Time::from_ticks(100))
+///     .task(Task::new("a").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(5))))
+///     .task(Task::new("b").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(7))))
+///     .channel(0, 1, 32)
+///     .build()?;
+/// let dot = to_dot(&g);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("\"a\" -> \"b\""));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    let style = match graph.criticality() {
+        Criticality::NonDroppable { .. } => "solid",
+        Criticality::Droppable { .. } => "dashed",
+    };
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(
+        out,
+        "  label=\"{} (period {}, deadline {})\";",
+        graph.name(),
+        graph.period(),
+        graph.deadline()
+    );
+    let _ = writeln!(out, "  node [shape=box, style={style}];");
+    for (_, t) in graph.tasks() {
+        let wcet = t.max_wcet();
+        let _ = writeln!(out, "  \"{}\" [label=\"{}\\nwcet {}\"];", t.name, t.name, wcet);
+    }
+    for (_, c) in graph.channels() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}B\"];",
+            graph.task(c.src).name,
+            graph.task(c.dst).name,
+            c.bytes
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a whole application set as one digraph with a cluster per
+/// application.
+pub fn appset_to_dot(apps: &AppSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph system {{");
+    let _ = writeln!(out, "  compound=true;");
+    for (id, app) in apps.apps() {
+        let style = if app.criticality().is_droppable() {
+            "dashed"
+        } else {
+            "solid"
+        };
+        let _ = writeln!(out, "  subgraph \"cluster_{id}\" {{");
+        let _ = writeln!(out, "    label=\"{} ({})\";", app.name(), app.period());
+        let _ = writeln!(out, "    style={style};");
+        for (tid, t) in app.tasks() {
+            let _ = writeln!(out, "    \"{id}_{tid}\" [label=\"{}\"];", t.name);
+        }
+        for (_, c) in app.channels() {
+            let _ = writeln!(out, "    \"{id}_{}\" -> \"{id}_{}\";", c.src, c.dst);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecBounds, Task, Time};
+
+    fn sample() -> TaskGraph {
+        TaskGraph::builder("g", Time::from_ticks(50))
+            .criticality(Criticality::Droppable { service: 1.0 })
+            .task(Task::new("x").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(3))))
+            .task(Task::new("y").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(4))))
+            .channel(0, 1, 16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn graph_dot_contains_nodes_edges_and_style() {
+        let dot = to_dot(&sample());
+        assert!(dot.contains("digraph \"g\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("\"x\" -> \"y\" [label=\"16B\"]"));
+        assert!(dot.contains("wcet 4t"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn appset_dot_clusters_every_application() {
+        let apps = AppSet::new(vec![sample(), sample()]).unwrap();
+        let dot = appset_to_dot(&apps);
+        assert!(dot.contains("subgraph \"cluster_a0\""));
+        assert!(dot.contains("subgraph \"cluster_a1\""));
+        assert_eq!(dot.matches("->").count(), 2);
+    }
+
+    #[test]
+    fn balanced_braces() {
+        for dot in [to_dot(&sample()), appset_to_dot(&AppSet::new(vec![sample()]).unwrap())] {
+            assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Error types for model construction and validation.
+
+use crate::{AppId, ChannelId, ProcId, TaskId};
+use core::fmt;
+
+/// Error produced while building or validating a model.
+///
+/// Every constructor in this crate that can reject its input returns
+/// `Result<_, ModelError>`; the variants identify the offending entity so the
+/// caller can report precise diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A task graph contains a cycle involving the given task.
+    CyclicGraph {
+        /// The application that failed acyclicity validation.
+        app: AppId,
+        /// A task that lies on the detected cycle.
+        task: TaskId,
+    },
+    /// A channel endpoint references a task index that does not exist.
+    DanglingChannel {
+        /// The offending channel.
+        channel: ChannelId,
+        /// The out-of-range task index used by the channel.
+        task: TaskId,
+    },
+    /// A channel connects a task to itself.
+    SelfLoop {
+        /// The offending channel.
+        channel: ChannelId,
+    },
+    /// A task has an empty execution-time table (cannot run anywhere).
+    UnrunnableTask {
+        /// The task with no execution profile.
+        task: TaskId,
+    },
+    /// A task's best-case execution time exceeds its worst case.
+    InvertedExecutionBounds {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A task graph's period is zero.
+    ZeroPeriod,
+    /// A task graph's deadline is zero.
+    ZeroDeadline,
+    /// The reliability bound of a non-droppable application is outside (0, 1].
+    InvalidFailureRate {
+        /// The rejected failure-rate bound.
+        rate: f64,
+    },
+    /// The service value of a droppable application is not finite and positive.
+    InvalidService {
+        /// The rejected service value.
+        service: f64,
+    },
+    /// An architecture has no processors.
+    EmptyArchitecture,
+    /// The communication fabric bandwidth is zero.
+    ZeroBandwidth,
+    /// A processor fault rate is negative or not finite.
+    InvalidFaultRate {
+        /// The processor with the rejected fault rate.
+        proc: ProcId,
+        /// The rejected rate.
+        rate: f64,
+    },
+    /// A power figure is negative or not finite.
+    InvalidPower {
+        /// The processor with the rejected power figure.
+        proc: ProcId,
+    },
+    /// An application set is empty.
+    EmptyAppSet,
+    /// A deadline exceeds the period, which the analyses in this library do
+    /// not support (constrained-deadline model).
+    DeadlineExceedsPeriod {
+        /// The offending application.
+        app: AppId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::CyclicGraph { app, task } => {
+                write!(f, "task graph {app} contains a cycle through {task}")
+            }
+            ModelError::DanglingChannel { channel, task } => {
+                write!(f, "channel {channel} references nonexistent task {task}")
+            }
+            ModelError::SelfLoop { channel } => {
+                write!(f, "channel {channel} connects a task to itself")
+            }
+            ModelError::UnrunnableTask { task } => {
+                write!(f, "task {task} has no execution profile for any processor kind")
+            }
+            ModelError::InvertedExecutionBounds { task } => {
+                write!(f, "task {task} has bcet greater than wcet")
+            }
+            ModelError::ZeroPeriod => write!(f, "task graph period must be positive"),
+            ModelError::ZeroDeadline => write!(f, "task graph deadline must be positive"),
+            ModelError::InvalidFailureRate { rate } => {
+                write!(f, "failure-rate bound {rate} is outside (0, 1]")
+            }
+            ModelError::InvalidService { service } => {
+                write!(f, "service value {service} is not finite and positive")
+            }
+            ModelError::EmptyArchitecture => write!(f, "architecture has no processors"),
+            ModelError::ZeroBandwidth => write!(f, "fabric bandwidth must be positive"),
+            ModelError::InvalidFaultRate { proc, rate } => {
+                write!(f, "processor {proc} has invalid fault rate {rate}")
+            }
+            ModelError::InvalidPower { proc } => {
+                write!(f, "processor {proc} has a negative or non-finite power figure")
+            }
+            ModelError::EmptyAppSet => write!(f, "application set is empty"),
+            ModelError::DeadlineExceedsPeriod { app } => {
+                write!(f, "application {app} has a deadline greater than its period")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::CyclicGraph {
+            app: AppId::new(0),
+            task: TaskId::new(3),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("a0"));
+        assert!(msg.contains("v3"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(ModelError::ZeroPeriod);
+    }
+
+    #[test]
+    fn variants_compare_by_value() {
+        assert_eq!(
+            ModelError::SelfLoop {
+                channel: ChannelId::new(1)
+            },
+            ModelError::SelfLoop {
+                channel: ChannelId::new(1)
+            }
+        );
+        assert_ne!(
+            ModelError::ZeroPeriod,
+            ModelError::ZeroDeadline
+        );
+    }
+}

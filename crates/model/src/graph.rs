@@ -1,0 +1,546 @@
+//! Task graphs (applications) with criticality annotations.
+//!
+//! An application is a directed acyclic task graph `t := (V_t, E_t, pr_t,
+//! f_t, sv_t)` (§2.1): tasks, channels, an invocation period, and either a
+//! reliability constraint `f_t` (non-droppable) or a service value `sv_t`
+//! (droppable). One instance of the graph is released every `pr_t` ticks.
+
+use crate::{Channel, ChannelId, ModelError, Task, TaskId, Time};
+
+/// The criticality annotation of an application.
+///
+/// The paper encodes this as `f_t ∈ (0, 1]` for non-droppable applications
+/// and `f_t = −1, sv_t` for droppable ones; we use an enum instead of the
+/// sentinel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Criticality {
+    /// The application must stay schedulable even under faults and its
+    /// probability of unsafe execution per released instance must stay below
+    /// `max_failure_rate` (the paper's `f_t`, failures per unit time
+    /// normalized to the period). Its service value is conceptually `∞`.
+    NonDroppable {
+        /// Maximum allowed failures per released instance, in `(0, 1]`.
+        max_failure_rate: f64,
+    },
+    /// The scheduler may drop the application in the critical system state;
+    /// dropping it costs `service` quality-of-service units (the paper's
+    /// `sv_t`).
+    Droppable {
+        /// Relative importance of the service provided by this application.
+        service: f64,
+    },
+}
+
+impl Criticality {
+    /// Returns `true` for droppable applications.
+    #[inline]
+    pub fn is_droppable(&self) -> bool {
+        matches!(self, Criticality::Droppable { .. })
+    }
+
+    /// The service value: `sv_t` for droppable applications, `+∞` for
+    /// non-droppable ones (they can never be traded away).
+    pub fn service(&self) -> f64 {
+        match self {
+            Criticality::NonDroppable { .. } => f64::INFINITY,
+            Criticality::Droppable { service } => *service,
+        }
+    }
+
+    /// The reliability bound `f_t` if the application is non-droppable.
+    pub fn max_failure_rate(&self) -> Option<f64> {
+        match self {
+            Criticality::NonDroppable { max_failure_rate } => Some(*max_failure_rate),
+            Criticality::Droppable { .. } => None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        match *self {
+            Criticality::NonDroppable { max_failure_rate } => {
+                if !(max_failure_rate > 0.0 && max_failure_rate <= 1.0) {
+                    return Err(ModelError::InvalidFailureRate {
+                        rate: max_failure_rate,
+                    });
+                }
+            }
+            Criticality::Droppable { service } => {
+                if !(service.is_finite() && service > 0.0) {
+                    return Err(ModelError::InvalidService { service });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A periodic application described as a directed acyclic task graph.
+///
+/// Construct with [`TaskGraph::builder`]; the builder validates acyclicity,
+/// channel endpoints, execution profiles, and the criticality annotation.
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::{Criticality, ExecBounds, ProcKind, Task, TaskGraph, Time};
+///
+/// # fn main() -> Result<(), mcmap_model::ModelError> {
+/// let app = TaskGraph::builder("ctrl", Time::from_ticks(100))
+///     .criticality(Criticality::NonDroppable { max_failure_rate: 1e-5 })
+///     .task(Task::new("sense").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(5))))
+///     .task(Task::new("act").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(7))))
+///     .channel(0, 1, 64)
+///     .build()?;
+/// assert_eq!(app.num_tasks(), 2);
+/// assert!(!app.criticality().is_droppable());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TaskGraph {
+    name: String,
+    period: Time,
+    deadline: Time,
+    criticality: Criticality,
+    tasks: Vec<Task>,
+    channels: Vec<Channel>,
+    /// Predecessor channel indices per task (derived, kept in sync).
+    preds: Vec<Vec<ChannelId>>,
+    /// Successor channel indices per task (derived, kept in sync).
+    succs: Vec<Vec<ChannelId>>,
+    /// A topological order of task ids (derived).
+    topo: Vec<TaskId>,
+}
+
+impl TaskGraph {
+    /// Starts building a task graph with the given name and period.
+    ///
+    /// The deadline defaults to the period (constrained-deadline model).
+    pub fn builder(name: impl Into<String>, period: Time) -> TaskGraphBuilder {
+        TaskGraphBuilder {
+            name: name.into(),
+            period,
+            deadline: None,
+            criticality: Criticality::Droppable { service: 1.0 },
+            tasks: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// The application's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The invocation period `pr_t`.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The relative end-to-end deadline (≤ period).
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// The criticality annotation.
+    pub fn criticality(&self) -> Criticality {
+        self.criticality
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Returns a task by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Iterates over `(TaskId, &Task)`.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId::new(i), t))
+    }
+
+    /// All task ids.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len()).map(TaskId::new)
+    }
+
+    /// Returns a channel by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Iterates over `(ChannelId, &Channel)`.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId::new(i), c))
+    }
+
+    /// Channels entering `task` (data the task consumes).
+    pub fn in_channels(&self, task: TaskId) -> &[ChannelId] {
+        &self.preds[task.index()]
+    }
+
+    /// Channels leaving `task` (data the task produces).
+    pub fn out_channels(&self, task: TaskId) -> &[ChannelId] {
+        &self.succs[task.index()]
+    }
+
+    /// Direct predecessor tasks of `task`.
+    pub fn predecessors(&self, task: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.preds[task.index()]
+            .iter()
+            .map(|&c| self.channels[c.index()].src)
+    }
+
+    /// Direct successor tasks of `task`.
+    pub fn successors(&self, task: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.succs[task.index()]
+            .iter()
+            .map(|&c| self.channels[c.index()].dst)
+    }
+
+    /// Tasks with no incoming channels.
+    pub fn sources(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.task_ids().filter(|&t| self.preds[t.index()].is_empty())
+    }
+
+    /// Tasks with no outgoing channels.
+    pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.task_ids().filter(|&t| self.succs[t.index()].is_empty())
+    }
+
+    /// A topological order of the tasks (computed once at build time).
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+}
+
+/// Builder for [`TaskGraph`].
+#[derive(Debug)]
+pub struct TaskGraphBuilder {
+    name: String,
+    period: Time,
+    deadline: Option<Time>,
+    criticality: Criticality,
+    tasks: Vec<Task>,
+    channels: Vec<Channel>,
+}
+
+impl TaskGraphBuilder {
+    /// Sets the criticality annotation (defaults to `Droppable { service: 1.0 }`).
+    pub fn criticality(mut self, c: Criticality) -> Self {
+        self.criticality = c;
+        self
+    }
+
+    /// Sets an explicit relative deadline (defaults to the period).
+    pub fn deadline(mut self, d: Time) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Adds a task; ids are assigned in insertion order. Returns the builder
+    /// for chaining.
+    pub fn task(mut self, t: Task) -> Self {
+        self.tasks.push(t);
+        self
+    }
+
+    /// Adds a task and reports its id through `out`.
+    pub fn task_with_id(mut self, t: Task, out: &mut TaskId) -> Self {
+        *out = TaskId::new(self.tasks.len());
+        self.tasks.push(t);
+        self
+    }
+
+    /// Adds a channel from task index `src` to task index `dst` carrying
+    /// `bytes` bytes per invocation.
+    pub fn channel(mut self, src: usize, dst: usize, bytes: u64) -> Self {
+        self.channels
+            .push(Channel::new(TaskId::new(src), TaskId::new(dst), bytes));
+        self
+    }
+
+    /// Finalizes, validating all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the period or deadline is zero, the deadline
+    /// exceeds the period, the criticality annotation is malformed, a channel
+    /// endpoint is dangling or a self-loop, a task cannot run anywhere, a
+    /// task has inverted execution bounds, or the graph is cyclic.
+    pub fn build(self) -> Result<TaskGraph, ModelError> {
+        if self.period.is_zero() {
+            return Err(ModelError::ZeroPeriod);
+        }
+        let deadline = self.deadline.unwrap_or(self.period);
+        if deadline.is_zero() {
+            return Err(ModelError::ZeroDeadline);
+        }
+        self.criticality.validate()?;
+
+        let n = self.tasks.len();
+        for (i, t) in self.tasks.iter().enumerate() {
+            t.validate(TaskId::new(i))?;
+        }
+        let mut preds: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+        for (i, c) in self.channels.iter().enumerate() {
+            let cid = ChannelId::new(i);
+            for end in [c.src, c.dst] {
+                if end.index() >= n {
+                    return Err(ModelError::DanglingChannel {
+                        channel: cid,
+                        task: end,
+                    });
+                }
+            }
+            if c.src == c.dst {
+                return Err(ModelError::SelfLoop { channel: cid });
+            }
+            succs[c.src.index()].push(cid);
+            preds[c.dst.index()].push(cid);
+        }
+
+        let topo = topological_sort(n, &self.channels).map_err(|task| ModelError::CyclicGraph {
+            app: crate::AppId::new(0), // patched by AppSet validation with the real id
+            task,
+        })?;
+
+        Ok(TaskGraph {
+            name: self.name,
+            period: self.period,
+            deadline,
+            criticality: self.criticality,
+            tasks: self.tasks,
+            channels: self.channels,
+            preds,
+            succs,
+            topo,
+        })
+    }
+}
+
+/// Kahn's algorithm; on a cycle returns some task on it as the error value.
+fn topological_sort(n: usize, channels: &[Channel]) -> Result<Vec<TaskId>, TaskId> {
+    let mut indeg = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in channels {
+        indeg[c.dst.index()] += 1;
+        adj[c.src.index()].push(c.dst.index());
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop() {
+        order.push(TaskId::new(u));
+        for &v in &adj[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let on_cycle = (0..n).find(|&i| indeg[i] > 0).unwrap_or(0);
+        Err(TaskId::new(on_cycle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecBounds, Task};
+
+    fn simple_task(name: &str, wcet: u64) -> Task {
+        Task::new(name).with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(wcet)))
+    }
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut b = TaskGraph::builder("chain", Time::from_ticks(100));
+        for i in 0..n {
+            b = b.task(simple_task(&format!("t{i}"), 5));
+        }
+        for i in 1..n {
+            b = b.channel(i - 1, i, 8);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_structure() {
+        let g = chain(3);
+        assert_eq!(g.num_tasks(), 3);
+        assert_eq!(g.num_channels(), 2);
+        assert_eq!(g.deadline(), g.period());
+        let sources: Vec<_> = g.sources().collect();
+        let sinks: Vec<_> = g.sinks().collect();
+        assert_eq!(sources, vec![TaskId::new(0)]);
+        assert_eq!(sinks, vec![TaskId::new(2)]);
+    }
+
+    #[test]
+    fn predecessors_and_successors() {
+        let g = chain(3);
+        let mid = TaskId::new(1);
+        assert_eq!(g.predecessors(mid).collect::<Vec<_>>(), vec![TaskId::new(0)]);
+        assert_eq!(g.successors(mid).collect::<Vec<_>>(), vec![TaskId::new(2)]);
+        assert_eq!(g.in_channels(mid).len(), 1);
+        assert_eq!(g.out_channels(mid).len(), 1);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = chain(5);
+        let topo = g.topological_order();
+        assert_eq!(topo.len(), 5);
+        let pos: Vec<usize> = (0..5)
+            .map(|i| topo.iter().position(|t| t.index() == i).unwrap())
+            .collect();
+        for i in 1..5 {
+            assert!(pos[i - 1] < pos[i], "edge {} -> {} violated", i - 1, i);
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let err = TaskGraph::builder("cyc", Time::from_ticks(10))
+            .task(simple_task("a", 1))
+            .task(simple_task("b", 1))
+            .channel(0, 1, 1)
+            .channel(1, 0, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::CyclicGraph { .. }));
+    }
+
+    #[test]
+    fn dangling_channel_is_rejected() {
+        let err = TaskGraph::builder("g", Time::from_ticks(10))
+            .task(simple_task("a", 1))
+            .channel(0, 5, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DanglingChannel { .. }));
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let err = TaskGraph::builder("g", Time::from_ticks(10))
+            .task(simple_task("a", 1))
+            .channel(0, 0, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn zero_period_is_rejected() {
+        let err = TaskGraph::builder("g", Time::ZERO)
+            .task(simple_task("a", 1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::ZeroPeriod);
+    }
+
+    #[test]
+    fn invalid_failure_rate_is_rejected() {
+        for rate in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = TaskGraph::builder("g", Time::from_ticks(10))
+                .criticality(Criticality::NonDroppable {
+                    max_failure_rate: rate,
+                })
+                .task(simple_task("a", 1))
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ModelError::InvalidFailureRate { .. }));
+        }
+    }
+
+    #[test]
+    fn invalid_service_is_rejected() {
+        let err = TaskGraph::builder("g", Time::from_ticks(10))
+            .criticality(Criticality::Droppable { service: -1.0 })
+            .task(simple_task("a", 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidService { .. }));
+    }
+
+    #[test]
+    fn criticality_helpers() {
+        let hi = Criticality::NonDroppable {
+            max_failure_rate: 1e-6,
+        };
+        let lo = Criticality::Droppable { service: 3.0 };
+        assert!(!hi.is_droppable());
+        assert!(lo.is_droppable());
+        assert_eq!(hi.service(), f64::INFINITY);
+        assert_eq!(lo.service(), 3.0);
+        assert_eq!(hi.max_failure_rate(), Some(1e-6));
+        assert_eq!(lo.max_failure_rate(), None);
+    }
+
+    #[test]
+    fn explicit_deadline_is_kept() {
+        let g = TaskGraph::builder("g", Time::from_ticks(100))
+            .deadline(Time::from_ticks(80))
+            .task(simple_task("a", 1))
+            .build()
+            .unwrap();
+        assert_eq!(g.deadline(), Time::from_ticks(80));
+    }
+
+    #[test]
+    fn diamond_graph_sources_and_sinks() {
+        let g = TaskGraph::builder("diamond", Time::from_ticks(50))
+            .task(simple_task("a", 1))
+            .task(simple_task("b", 1))
+            .task(simple_task("c", 1))
+            .task(simple_task("d", 1))
+            .channel(0, 1, 4)
+            .channel(0, 2, 4)
+            .channel(1, 3, 4)
+            .channel(2, 3, 4)
+            .build()
+            .unwrap();
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.sinks().count(), 1);
+        assert_eq!(g.predecessors(TaskId::new(3)).count(), 2);
+    }
+
+    #[test]
+    fn task_with_id_reports_index() {
+        let mut id = TaskId::default();
+        let _ = TaskGraph::builder("g", Time::from_ticks(10))
+            .task(simple_task("a", 1))
+            .task_with_id(simple_task("b", 1), &mut id)
+            .build()
+            .unwrap();
+        assert_eq!(id, TaskId::new(1));
+    }
+}

@@ -1,0 +1,186 @@
+//! Typed identifiers for processors, applications, tasks, and channels.
+//!
+//! All identifiers are dense indices into the owning collection
+//! ([`Architecture`](crate::Architecture) for processors, an
+//! [`AppSet`](crate::AppSet) for applications, a
+//! [`TaskGraph`](crate::TaskGraph) for tasks and channels). Newtypes keep the
+//! index spaces apart at compile time — a [`TaskId`] can never be used where a
+//! [`ProcId`] is expected.
+
+use core::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from a dense index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the dense index of this identifier.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a processor within an [`Architecture`](crate::Architecture).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::ProcId;
+    /// let p = ProcId::new(2);
+    /// assert_eq!(p.index(), 2);
+    /// assert_eq!(p.to_string(), "p2");
+    /// ```
+    ProcId,
+    "p"
+);
+
+define_id!(
+    /// Index of an application (task graph) within an
+    /// [`AppSet`](crate::AppSet).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::AppId;
+    /// assert_eq!(AppId::new(0).to_string(), "a0");
+    /// ```
+    AppId,
+    "a"
+);
+
+define_id!(
+    /// Index of a task within a [`TaskGraph`](crate::TaskGraph).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::TaskId;
+    /// assert_eq!(TaskId::new(3).to_string(), "v3");
+    /// ```
+    TaskId,
+    "v"
+);
+
+define_id!(
+    /// Index of a channel within a [`TaskGraph`](crate::TaskGraph).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::ChannelId;
+    /// assert_eq!(ChannelId::new(1).to_string(), "e1");
+    /// ```
+    ChannelId,
+    "e"
+);
+
+/// A globally unique reference to a task: the owning application plus the
+/// task's index within that application's graph.
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::{AppId, TaskId, TaskRef};
+/// let r = TaskRef::new(AppId::new(1), TaskId::new(4));
+/// assert_eq!(r.to_string(), "a1/v4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TaskRef {
+    /// The owning application.
+    pub app: AppId,
+    /// The task within the application's graph.
+    pub task: TaskId,
+}
+
+impl TaskRef {
+    /// Creates a task reference.
+    #[inline]
+    pub const fn new(app: AppId, task: TaskId) -> Self {
+        TaskRef { app, task }
+    }
+}
+
+impl fmt::Display for TaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.app, self.task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        let p: ProcId = 7usize.into();
+        assert_eq!(usize::from(p), 7);
+        let t: TaskId = 0usize.into();
+        assert_eq!(t.index(), 0);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ProcId::new(0) < ProcId::new(1));
+        assert!(TaskId::new(5) > TaskId::new(2));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<TaskId> = (0..4).map(TaskId::new).collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn display_uses_domain_prefixes() {
+        assert_eq!(ProcId::new(0).to_string(), "p0");
+        assert_eq!(AppId::new(1).to_string(), "a1");
+        assert_eq!(TaskId::new(2).to_string(), "v2");
+        assert_eq!(ChannelId::new(3).to_string(), "e3");
+    }
+
+    #[test]
+    fn task_ref_orders_by_app_then_task() {
+        let a = TaskRef::new(AppId::new(0), TaskId::new(9));
+        let b = TaskRef::new(AppId::new(1), TaskId::new(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn default_ids_are_index_zero() {
+        assert_eq!(ProcId::default(), ProcId::new(0));
+        assert_eq!(TaskId::default(), TaskId::new(0));
+    }
+}

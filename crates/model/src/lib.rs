@@ -1,0 +1,81 @@
+//! # mcmap-model
+//!
+//! Platform and application models for fault-tolerant mixed-criticality
+//! MPSoC mapping, following the system model of *Kang et al., "Static Mapping
+//! of Mixed-Critical Applications for Fault-Tolerant MPSoCs", DAC 2014*
+//! (§2.1):
+//!
+//! * an [`Architecture`] `A := (P, nw)` of heterogeneous [`Processor`]s
+//!   (type, leakage power, dynamic power, transient fault rate `λ_p`)
+//!   connected by a bandwidth-limited [`Fabric`];
+//! * an [`AppSet`] `T` of periodic [`TaskGraph`]s, each either
+//!   *non-droppable* (with a reliability constraint `f_t`) or *droppable*
+//!   (with a service value `sv_t`) — see [`Criticality`];
+//! * [`Task`]s carrying best/worst-case execution times per processor kind,
+//!   voting overhead `ve_v`, and detection overhead `dt_v`; [`Channel`]s
+//!   carrying `s_e` bytes per invocation.
+//!
+//! All durations use the integer [`Time`] type, keeping analyses exact and
+//! reproducible.
+//!
+//! # Examples
+//!
+//! Building a two-application system on a two-processor platform:
+//!
+//! ```
+//! use mcmap_model::{
+//!     AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcKind, Processor, Task,
+//!     TaskGraph, Time,
+//! };
+//!
+//! # fn main() -> Result<(), mcmap_model::ModelError> {
+//! let arch = Architecture::builder()
+//!     .processor(Processor::new("arm0", ProcKind::new(0), 10.0, 45.0, 1e-7))
+//!     .processor(Processor::new("arm1", ProcKind::new(0), 10.0, 45.0, 1e-7))
+//!     .fabric(Fabric::new(32))
+//!     .build()?;
+//!
+//! let control = TaskGraph::builder("control", Time::from_ticks(1_000))
+//!     .criticality(Criticality::NonDroppable { max_failure_rate: 1e-5 })
+//!     .task(Task::new("sense").with_uniform_exec(1, ExecBounds::new(
+//!         Time::from_ticks(40), Time::from_ticks(90))))
+//!     .task(Task::new("act").with_uniform_exec(1, ExecBounds::new(
+//!         Time::from_ticks(60), Time::from_ticks(120))))
+//!     .channel(0, 1, 64)
+//!     .build()?;
+//!
+//! let video = TaskGraph::builder("video", Time::from_ticks(2_000))
+//!     .criticality(Criticality::Droppable { service: 3.0 })
+//!     .task(Task::new("decode").with_uniform_exec(1, ExecBounds::new(
+//!         Time::from_ticks(300), Time::from_ticks(700))))
+//!     .build()?;
+//!
+//! let apps = AppSet::new(vec![control, video])?;
+//! assert_eq!(apps.hyperperiod(), Time::from_ticks(2_000));
+//! assert_eq!(arch.num_processors(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod appset;
+mod arch;
+mod channel;
+mod dot;
+mod error;
+mod graph;
+mod ids;
+mod task;
+mod time;
+
+pub use appset::AppSet;
+pub use dot::{appset_to_dot, to_dot};
+pub use arch::{Architecture, ArchitectureBuilder, Fabric, ProcKind, Processor};
+pub use channel::Channel;
+pub use error::ModelError;
+pub use graph::{Criticality, TaskGraph, TaskGraphBuilder};
+pub use ids::{AppId, ChannelId, ProcId, TaskId, TaskRef};
+pub use task::{ExecBounds, Task};
+pub use time::{lcm_time, Time};

@@ -1,0 +1,253 @@
+//! Tasks and their per-processor-kind execution profiles.
+//!
+//! Per §2.1 of the paper each task `v` carries `(bcet_v, wcet_v, ve_v, dt_v)`:
+//! best/worst-case execution time, voting overhead (paid by the voter when the
+//! task is replicated), and detection overhead (fault detection plus
+//! context save/restore and roll-back for re-execution). On a heterogeneous
+//! platform the execution bounds depend on the processor kind, so a task
+//! stores one [`ExecBounds`] per [`ProcKind`] it can run on.
+
+use crate::{ModelError, ProcKind, TaskId, Time};
+
+/// Best- and worst-case execution time of one task on one processor kind.
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::{ExecBounds, Time};
+/// let b = ExecBounds::new(Time::from_ticks(10), Time::from_ticks(25));
+/// assert_eq!(b.bcet, Time::from_ticks(10));
+/// assert_eq!(b.wcet, Time::from_ticks(25));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExecBounds {
+    /// Best-case execution time.
+    pub bcet: Time,
+    /// Worst-case execution time.
+    pub wcet: Time,
+}
+
+impl ExecBounds {
+    /// Creates execution bounds.
+    #[inline]
+    pub const fn new(bcet: Time, wcet: Time) -> Self {
+        ExecBounds { bcet, wcet }
+    }
+
+    /// Bounds where best and worst case coincide.
+    #[inline]
+    pub const fn exact(t: Time) -> Self {
+        ExecBounds { bcet: t, wcet: t }
+    }
+
+    /// The `[0, 0]` bounds used for tasks that do not execute at all
+    /// (dropped tasks and idle passive replicas in Algorithm 1).
+    pub const ZERO: ExecBounds = ExecBounds {
+        bcet: Time::ZERO,
+        wcet: Time::ZERO,
+    };
+
+    /// Returns `true` if `bcet ≤ wcet`.
+    #[inline]
+    pub fn is_wellformed(&self) -> bool {
+        self.bcet <= self.wcet
+    }
+}
+
+/// A task of a task graph.
+///
+/// Tasks are created via [`Task::new`] and configured with builder-style
+/// `with_*` methods, then added to a
+/// [`TaskGraphBuilder`](crate::TaskGraphBuilder).
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::{ExecBounds, ProcKind, Task, Time};
+///
+/// let t = Task::new("fft")
+///     .with_exec(ProcKind::new(0), ExecBounds::new(Time::from_ticks(8), Time::from_ticks(20)))
+///     .with_exec(ProcKind::new(1), ExecBounds::new(Time::from_ticks(4), Time::from_ticks(12)))
+///     .with_detect_overhead(Time::from_ticks(2));
+/// assert!(t.runs_on(ProcKind::new(1)));
+/// assert!(!t.runs_on(ProcKind::new(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Task {
+    /// Human-readable name.
+    pub name: String,
+    /// Execution bounds per processor kind; `None` where the task cannot run.
+    exec: Vec<Option<ExecBounds>>,
+    /// Voting overhead `ve_v` incurred by this task's voter when replicated.
+    pub voting_overhead: Time,
+    /// Detection overhead `dt_v`: fault detection, context store/restore,
+    /// and roll-back, paid per (re-)execution when the task is hardened by
+    /// re-execution.
+    pub detect_overhead: Time,
+}
+
+impl Task {
+    /// Creates a task with no execution profiles and zero overheads.
+    pub fn new(name: impl Into<String>) -> Self {
+        Task {
+            name: name.into(),
+            exec: Vec::new(),
+            voting_overhead: Time::ZERO,
+            detect_overhead: Time::ZERO,
+        }
+    }
+
+    /// Adds (or replaces) the execution bounds on one processor kind.
+    pub fn with_exec(mut self, kind: ProcKind, bounds: ExecBounds) -> Self {
+        if self.exec.len() <= kind.index() {
+            self.exec.resize(kind.index() + 1, None);
+        }
+        self.exec[kind.index()] = Some(bounds);
+        self
+    }
+
+    /// Convenience: identical bounds on every kind `0..num_kinds`.
+    pub fn with_uniform_exec(mut self, num_kinds: usize, bounds: ExecBounds) -> Self {
+        self.exec = vec![Some(bounds); num_kinds];
+        self
+    }
+
+    /// Sets the voting overhead `ve_v`.
+    pub fn with_voting_overhead(mut self, ve: Time) -> Self {
+        self.voting_overhead = ve;
+        self
+    }
+
+    /// Sets the detection overhead `dt_v`.
+    pub fn with_detect_overhead(mut self, dt: Time) -> Self {
+        self.detect_overhead = dt;
+        self
+    }
+
+    /// Returns the execution bounds on `kind`, or `None` if the task cannot
+    /// run on that kind.
+    pub fn exec_on(&self, kind: ProcKind) -> Option<ExecBounds> {
+        self.exec.get(kind.index()).copied().flatten()
+    }
+
+    /// Returns `true` if the task has an execution profile for `kind`.
+    pub fn runs_on(&self, kind: ProcKind) -> bool {
+        self.exec_on(kind).is_some()
+    }
+
+    /// Iterates over the kinds this task can execute on.
+    pub fn supported_kinds(&self) -> impl Iterator<Item = ProcKind> + '_ {
+        self.exec
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_some())
+            .map(|(i, _)| ProcKind::new(i as u16))
+    }
+
+    /// The largest WCET over all supported kinds; useful for pessimistic
+    /// utilization estimates before a mapping is fixed.
+    pub fn max_wcet(&self) -> Time {
+        self.exec
+            .iter()
+            .flatten()
+            .map(|b| b.wcet)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Validates the task: it must run somewhere, and every profile must have
+    /// `bcet ≤ wcet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnrunnableTask`] or
+    /// [`ModelError::InvertedExecutionBounds`] tagged with `id`.
+    pub fn validate(&self, id: TaskId) -> Result<(), ModelError> {
+        if !self.exec.iter().any(Option::is_some) {
+            return Err(ModelError::UnrunnableTask { task: id });
+        }
+        for bounds in self.exec.iter().flatten() {
+            if !bounds.is_wellformed() {
+                return Err(ModelError::InvertedExecutionBounds { task: id });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds(b: u64, w: u64) -> ExecBounds {
+        ExecBounds::new(Time::from_ticks(b), Time::from_ticks(w))
+    }
+
+    #[test]
+    fn exec_bounds_constructors() {
+        assert_eq!(ExecBounds::exact(Time::from_ticks(5)), bounds(5, 5));
+        assert_eq!(ExecBounds::ZERO, bounds(0, 0));
+        assert!(bounds(1, 2).is_wellformed());
+        assert!(!bounds(2, 1).is_wellformed());
+    }
+
+    #[test]
+    fn with_exec_grows_table_sparsely() {
+        let t = Task::new("t").with_exec(ProcKind::new(3), bounds(1, 2));
+        assert!(t.runs_on(ProcKind::new(3)));
+        assert!(!t.runs_on(ProcKind::new(0)));
+        assert!(!t.runs_on(ProcKind::new(7)));
+        assert_eq!(t.exec_on(ProcKind::new(3)), Some(bounds(1, 2)));
+    }
+
+    #[test]
+    fn uniform_exec_covers_all_kinds() {
+        let t = Task::new("t").with_uniform_exec(3, bounds(2, 4));
+        let kinds: Vec<_> = t.supported_kinds().collect();
+        assert_eq!(kinds.len(), 3);
+        assert!(kinds.iter().all(|&k| t.exec_on(k) == Some(bounds(2, 4))));
+    }
+
+    #[test]
+    fn max_wcet_over_kinds() {
+        let t = Task::new("t")
+            .with_exec(ProcKind::new(0), bounds(1, 9))
+            .with_exec(ProcKind::new(1), bounds(1, 15));
+        assert_eq!(t.max_wcet(), Time::from_ticks(15));
+        assert_eq!(Task::new("empty").max_wcet(), Time::ZERO);
+    }
+
+    #[test]
+    fn validate_rejects_unrunnable() {
+        let err = Task::new("t").validate(TaskId::new(4)).unwrap_err();
+        assert_eq!(err, ModelError::UnrunnableTask { task: TaskId::new(4) });
+    }
+
+    #[test]
+    fn validate_rejects_inverted_bounds() {
+        let t = Task::new("t").with_exec(ProcKind::new(0), bounds(5, 2));
+        assert!(matches!(
+            t.validate(TaskId::new(0)),
+            Err(ModelError::InvertedExecutionBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn overhead_setters() {
+        let t = Task::new("t")
+            .with_voting_overhead(Time::from_ticks(3))
+            .with_detect_overhead(Time::from_ticks(7));
+        assert_eq!(t.voting_overhead, Time::from_ticks(3));
+        assert_eq!(t.detect_overhead, Time::from_ticks(7));
+    }
+
+    #[test]
+    fn later_with_exec_replaces_profile() {
+        let t = Task::new("t")
+            .with_exec(ProcKind::new(0), bounds(1, 2))
+            .with_exec(ProcKind::new(0), bounds(3, 4));
+        assert_eq!(t.exec_on(ProcKind::new(0)), Some(bounds(3, 4)));
+    }
+}

@@ -1,0 +1,362 @@
+//! Discrete time values used throughout the library.
+//!
+//! All scheduling, analysis, and simulation code operates on an abstract
+//! integer time base (think of one tick as a microsecond). Integer time keeps
+//! fixed-point response-time iterations exact and makes analysis results
+//! reproducible across platforms, which floating-point time would not.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A point in time or a duration, measured in abstract integer ticks.
+///
+/// `Time` is a thin wrapper around `u64` that prevents accidental mixing of
+/// time quantities with other integers (task counts, byte sizes, ...).
+/// Arithmetic is checked in debug builds and saturating semantics are
+/// available explicitly via [`Time::saturating_sub`].
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::Time;
+///
+/// let wcet = Time::from_ticks(150);
+/// let overhead = Time::from_ticks(10);
+/// assert_eq!((wcet + overhead).ticks(), 160);
+/// assert_eq!(wcet * 3, Time::from_ticks(450));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero duration / time origin.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time, used as "unbounded"/"unschedulable".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time value from raw ticks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::Time;
+    /// assert_eq!(Time::from_ticks(42).ticks(), 42);
+    /// ```
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this value is the zero time.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtraction clamped at zero instead of panicking on underflow.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::Time;
+    /// assert_eq!(Time::from_ticks(3).saturating_sub(Time::from_ticks(5)), Time::ZERO);
+    /// ```
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Addition clamped at [`Time::MAX`] instead of panicking on overflow.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplication clamped at [`Time::MAX`].
+    #[inline]
+    pub const fn saturating_mul(self, factor: u64) -> Time {
+        Time(self.0.saturating_mul(factor))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Ceiling division: the number of whole periods of length `divisor`
+    /// needed to cover `self`.
+    ///
+    /// This is the `⌈t / T⌉` that appears in every response-time equation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcmap_model::Time;
+    /// assert_eq!(Time::from_ticks(10).div_ceil(Time::from_ticks(4)), 3);
+    /// assert_eq!(Time::from_ticks(8).div_ceil(Time::from_ticks(4)), 2);
+    /// assert_eq!(Time::ZERO.div_ceil(Time::from_ticks(4)), 0);
+    /// ```
+    #[inline]
+    pub fn div_ceil(self, divisor: Time) -> u64 {
+        assert!(divisor.0 != 0, "division of Time by zero");
+        self.0.div_ceil(divisor.0)
+    }
+
+    /// Converts to a floating-point tick count (for objective computations).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Time::MAX {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}t", self.0)
+        }
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Self {
+        Time(ticks)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Rem<Time> for Time {
+    type Output = Time;
+    #[inline]
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+/// Least common multiple of two time values, saturating at [`Time::MAX`].
+///
+/// Used to compute the hyperperiod of an application set.
+///
+/// # Examples
+///
+/// ```
+/// use mcmap_model::{lcm_time, Time};
+/// assert_eq!(lcm_time(Time::from_ticks(4), Time::from_ticks(6)), Time::from_ticks(12));
+/// ```
+pub fn lcm_time(a: Time, b: Time) -> Time {
+    if a.is_zero() || b.is_zero() {
+        return Time::ZERO;
+    }
+    let g = gcd(a.0, b.0);
+    Time((a.0 / g).saturating_mul(b.0))
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        let t = Time::from_ticks(123);
+        assert_eq!(t.ticks(), 123);
+        assert_eq!(u64::from(t), 123);
+        assert_eq!(Time::from(123u64), t);
+    }
+
+    #[test]
+    fn zero_and_max_constants() {
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::MAX.is_zero());
+        assert!(Time::ZERO < Time::MAX);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Time::from_ticks(10);
+        let b = Time::from_ticks(4);
+        assert_eq!(a + b, Time::from_ticks(14));
+        assert_eq!(a - b, Time::from_ticks(6));
+        assert_eq!(a * 3, Time::from_ticks(30));
+        assert_eq!(a / 2, Time::from_ticks(5));
+        assert_eq!(a % b, Time::from_ticks(2));
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut t = Time::from_ticks(5);
+        t += Time::from_ticks(3);
+        assert_eq!(t, Time::from_ticks(8));
+        t -= Time::from_ticks(8);
+        assert_eq!(t, Time::ZERO);
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        assert_eq!(
+            Time::from_ticks(1).saturating_sub(Time::from_ticks(2)),
+            Time::ZERO
+        );
+        assert_eq!(Time::MAX.saturating_add(Time::from_ticks(1)), Time::MAX);
+        assert_eq!(Time::MAX.saturating_mul(2), Time::MAX);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Time::MAX.checked_add(Time::from_ticks(1)), None);
+        assert_eq!(
+            Time::from_ticks(1).checked_add(Time::from_ticks(2)),
+            Some(Time::from_ticks(3))
+        );
+    }
+
+    #[test]
+    fn div_ceil_matches_manual() {
+        assert_eq!(Time::from_ticks(0).div_ceil(Time::from_ticks(7)), 0);
+        assert_eq!(Time::from_ticks(1).div_ceil(Time::from_ticks(7)), 1);
+        assert_eq!(Time::from_ticks(7).div_ceil(Time::from_ticks(7)), 1);
+        assert_eq!(Time::from_ticks(8).div_ceil(Time::from_ticks(7)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "division of Time by zero")]
+    fn div_ceil_by_zero_panics() {
+        let _ = Time::from_ticks(1).div_ceil(Time::ZERO);
+    }
+
+    #[test]
+    fn min_max_behave() {
+        let a = Time::from_ticks(3);
+        let b = Time::from_ticks(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(b), b);
+    }
+
+    #[test]
+    fn lcm_of_periods() {
+        assert_eq!(
+            lcm_time(Time::from_ticks(10), Time::from_ticks(15)),
+            Time::from_ticks(30)
+        );
+        assert_eq!(
+            lcm_time(Time::from_ticks(7), Time::from_ticks(7)),
+            Time::from_ticks(7)
+        );
+        assert_eq!(lcm_time(Time::ZERO, Time::from_ticks(5)), Time::ZERO);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = [1u64, 2, 3].iter().map(|&t| Time::from_ticks(t)).sum();
+        assert_eq!(total, Time::from_ticks(6));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time::from_ticks(5).to_string(), "5t");
+        assert_eq!(Time::MAX.to_string(), "∞");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the model crate.
+
+use mcmap_model::{
+    lcm_time, AppSet, Criticality, ExecBounds, Task, TaskGraph, TaskId, Time,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lcm_is_commutative_and_divisible(a in 1u64..10_000, b in 1u64..10_000) {
+        let ab = lcm_time(Time::from_ticks(a), Time::from_ticks(b));
+        let ba = lcm_time(Time::from_ticks(b), Time::from_ticks(a));
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.ticks() % a, 0);
+        prop_assert_eq!(ab.ticks() % b, 0);
+        prop_assert!(ab.ticks() <= a * b);
+    }
+
+    #[test]
+    fn time_div_ceil_bounds(t in 0u64..1_000_000, d in 1u64..10_000) {
+        let k = Time::from_ticks(t).div_ceil(Time::from_ticks(d));
+        prop_assert!(k * d >= t);
+        prop_assert!(k.saturating_sub(1) * d < t || t == 0);
+    }
+
+    #[test]
+    fn saturating_ops_never_panic(a in any::<u64>(), b in any::<u64>()) {
+        let x = Time::from_ticks(a);
+        let y = Time::from_ticks(b);
+        let _ = x.saturating_add(y);
+        let _ = x.saturating_sub(y);
+        let _ = x.saturating_mul(b);
+        prop_assert!(x.saturating_sub(y) <= x);
+        prop_assert!(x.saturating_add(y) >= x);
+    }
+}
+
+/// Strategy: a random layered DAG description (tasks per layer, edges).
+fn layered_dag() -> impl Strategy<Value = (Vec<usize>, u64)> {
+    (
+        prop::collection::vec(1usize..4, 1..5),
+        1_000u64..100_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn layered_graphs_always_build_and_topo_sort((layers, period) in layered_dag()) {
+        let total: usize = layers.iter().sum();
+        let mut b = TaskGraph::builder("g", Time::from_ticks(period));
+        for i in 0..total {
+            b = b.task(
+                Task::new(format!("t{i}"))
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(1 + i as u64))),
+            );
+        }
+        // Chain layer l to layer l+1, first member to each.
+        let mut offset = 0usize;
+        let mut prev_first = None::<usize>;
+        for width in &layers {
+            if let Some(p) = prev_first {
+                for i in 0..*width {
+                    b = b.channel(p, offset + i, 8);
+                }
+            }
+            prev_first = Some(offset);
+            offset += width;
+        }
+        let g = b.build().expect("layered graphs are acyclic");
+        prop_assert_eq!(g.num_tasks(), total);
+        // Topological order respects all edges.
+        let topo = g.topological_order();
+        let pos = |t: TaskId| topo.iter().position(|&x| x == t).unwrap();
+        for (_, c) in g.channels() {
+            prop_assert!(pos(c.src) < pos(c.dst));
+        }
+        // Sources + successors cover every task exactly once in a BFS.
+        let mut seen = vec![false; total];
+        let mut stack: Vec<TaskId> = g.sources().collect();
+        while let Some(t) = stack.pop() {
+            if std::mem::replace(&mut seen[t.index()], true) {
+                continue;
+            }
+            stack.extend(g.successors(t));
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn appset_hyperperiod_divides_by_all_periods(
+        periods in prop::collection::vec(1u64..5_000, 1..6)
+    ) {
+        let graphs: Vec<TaskGraph> = periods
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                TaskGraph::builder(format!("a{i}"), Time::from_ticks(p))
+                    .criticality(Criticality::Droppable { service: 1.0 })
+                    .task(Task::new("t").with_uniform_exec(
+                        1,
+                        ExecBounds::exact(Time::from_ticks(1)),
+                    ))
+                    .build()
+                    .expect("valid")
+            })
+            .collect();
+        let set = AppSet::new(graphs).expect("nonempty");
+        for &p in &periods {
+            prop_assert_eq!(set.hyperperiod().ticks() % p, 0);
+        }
+        prop_assert_eq!(set.num_tasks(), periods.len());
+        // Flat index is the inverse of task_refs enumeration.
+        for (i, &r) in set.task_refs().iter().enumerate() {
+            prop_assert_eq!(set.flat_index(r), i);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Round-trip (de)serialization of the model types behind the `serde`
+//! feature — downstream users persist systems as JSON.
+
+use mcmap_model::{
+    AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcKind, Processor, Task, TaskGraph,
+    Time,
+};
+
+fn sample_arch() -> Architecture {
+    Architecture::builder()
+        .processor(Processor::new("big", ProcKind::new(0), 18.0, 140.0, 5e-8))
+        .processor(Processor::new("little", ProcKind::new(1), 6.0, 55.0, 8e-8))
+        .fabric(Fabric::new(64).with_base_latency(Time::from_ticks(1)))
+        .build()
+        .unwrap()
+}
+
+fn sample_apps() -> AppSet {
+    let hi = TaskGraph::builder("hi", Time::from_ticks(1_000))
+        .deadline(Time::from_ticks(800))
+        .criticality(Criticality::NonDroppable {
+            max_failure_rate: 1e-5,
+        })
+        .task(
+            Task::new("a")
+                .with_exec(
+                    ProcKind::new(0),
+                    ExecBounds::new(Time::from_ticks(10), Time::from_ticks(20)),
+                )
+                .with_exec(
+                    ProcKind::new(1),
+                    ExecBounds::new(Time::from_ticks(18), Time::from_ticks(36)),
+                )
+                .with_detect_overhead(Time::from_ticks(2))
+                .with_voting_overhead(Time::from_ticks(1)),
+        )
+        .task(Task::new("b").with_uniform_exec(2, ExecBounds::exact(Time::from_ticks(5))))
+        .channel(0, 1, 32)
+        .build()
+        .unwrap();
+    let lo = TaskGraph::builder("lo", Time::from_ticks(2_000))
+        .criticality(Criticality::Droppable { service: 2.5 })
+        .task(Task::new("c").with_uniform_exec(2, ExecBounds::exact(Time::from_ticks(9))))
+        .build()
+        .unwrap();
+    AppSet::new(vec![hi, lo]).unwrap()
+}
+
+#[test]
+fn architecture_round_trips_through_json() {
+    let arch = sample_arch();
+    let json = serde_json::to_string(&arch).unwrap();
+    let back: Architecture = serde_json::from_str(&json).unwrap();
+    assert_eq!(arch, back);
+    assert_eq!(back.fabric().transfer_time(64), Time::from_ticks(2));
+}
+
+#[test]
+fn appset_round_trips_through_json() {
+    let apps = sample_apps();
+    let json = serde_json::to_string_pretty(&apps).unwrap();
+    let back: AppSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(apps, back);
+    assert_eq!(back.hyperperiod(), Time::from_ticks(2_000));
+    assert_eq!(back.total_service(), 2.5);
+    // Structure (channels, profiles, overheads) survives.
+    let hi = back.app(mcmap_model::AppId::new(0));
+    assert_eq!(hi.num_channels(), 1);
+    assert_eq!(
+        hi.task(mcmap_model::TaskId::new(0))
+            .exec_on(ProcKind::new(1))
+            .unwrap()
+            .wcet,
+        Time::from_ticks(36)
+    );
+}
+
+#[test]
+fn json_is_human_readable() {
+    let json = serde_json::to_string_pretty(&sample_apps()).unwrap();
+    assert!(json.contains("\"period\""));
+    assert!(json.contains("\"NonDroppable\""));
+    assert!(json.contains("\"service\""));
+}

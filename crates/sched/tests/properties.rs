@@ -1,0 +1,164 @@
+//! Property-based tests for the holistic scheduling backend.
+
+use mcmap_hardening::{harden, HardenedSystem, HardeningPlan};
+use mcmap_model::{
+    AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcId, ProcKind, Processor, Task,
+    TaskGraph, Time,
+};
+use mcmap_sched::{
+    nominal_bounds, uniform_policies, HolisticAnalysis, Mapping, SchedBackend, SchedPolicy,
+};
+use proptest::prelude::*;
+
+/// A random multi-app system description: per app a (period, chain of
+/// (bcet_frac, wcet)) plus a placement choice per task.
+#[derive(Debug, Clone)]
+struct SystemDesc {
+    apps: Vec<(u64, Vec<(u64, u64)>)>,
+    placements: Vec<usize>,
+    preemptive: bool,
+}
+
+fn system_strategy() -> impl Strategy<Value = SystemDesc> {
+    let app = (
+        prop::sample::select(vec![1_000u64, 2_000, 4_000]),
+        prop::collection::vec((1u64..100, 1u64..100), 1..4),
+    );
+    (
+        prop::collection::vec(app, 1..4),
+        prop::collection::vec(0usize..3, 12),
+        any::<bool>(),
+    )
+        .prop_map(|(apps, placements, preemptive)| SystemDesc {
+            apps,
+            placements,
+            preemptive,
+        })
+}
+
+fn build(desc: &SystemDesc) -> (Architecture, HardenedSystem, Mapping, Vec<SchedPolicy>) {
+    let arch = Architecture::builder()
+        .homogeneous(3, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-7))
+        .fabric(Fabric::new(16))
+        .build()
+        .expect("valid");
+    let graphs: Vec<TaskGraph> = desc
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, (period, tasks))| {
+            let mut b = TaskGraph::builder(format!("a{i}"), Time::from_ticks(*period))
+                .criticality(Criticality::Droppable { service: 1.0 });
+            for (j, (b_raw, w_extra)) in tasks.iter().enumerate() {
+                let wcet = b_raw + w_extra;
+                b = b.task(Task::new(format!("t{i}_{j}")).with_uniform_exec(
+                    1,
+                    ExecBounds::new(Time::from_ticks(*b_raw), Time::from_ticks(wcet)),
+                ));
+            }
+            for j in 1..tasks.len() {
+                b = b.channel(j - 1, j, 8);
+            }
+            b.build().expect("chains are valid")
+        })
+        .collect();
+    let apps = AppSet::new(graphs).expect("nonempty");
+    let hsys = harden(&apps, &HardeningPlan::unhardened(&apps), &arch).expect("valid");
+    let placement: Vec<ProcId> = (0..hsys.num_tasks())
+        .map(|i| ProcId::new(desc.placements[i % desc.placements.len()]))
+        .collect();
+    let mapping = Mapping::new(&hsys, &arch, placement).expect("kind 0 everywhere");
+    let policy = if desc.preemptive {
+        SchedPolicy::FixedPriorityPreemptive
+    } else {
+        SchedPolicy::FixedPriorityNonPreemptive
+    };
+    (arch, hsys, mapping, uniform_policies(3, policy))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn windows_are_internally_consistent(desc in system_strategy()) {
+        let (arch, hsys, mapping, policies) = build(&desc);
+        let analysis = HolisticAnalysis::new(&hsys, &arch, &mapping, policies);
+        let bounds = nominal_bounds(&hsys, &arch, &mapping);
+        let w = analysis.analyze(&bounds);
+        for id in hsys.task_ids() {
+            let (min_start, max_finish) = w.window(id);
+            if w.converged {
+                // A task cannot finish before it starts plus its bcet.
+                prop_assert!(
+                    max_finish >= min_start + bounds[id.index()].bcet,
+                    "task {id}: window [{min_start}, {max_finish}]"
+                );
+            }
+            // Precedence: a consumer never starts before any producer's
+            // best-case finish.
+            for pred in hsys.predecessors(id) {
+                prop_assert!(
+                    w.min_start[id.index()]
+                        >= w.min_start[pred.index()] + bounds[pred.index()].bcet
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn widening_bounds_is_monotone(desc in system_strategy(), victim in 0usize..12) {
+        let (arch, hsys, mapping, policies) = build(&desc);
+        let analysis = HolisticAnalysis::new(&hsys, &arch, &mapping, policies);
+        let base = nominal_bounds(&hsys, &arch, &mapping);
+        let w1 = analysis.analyze(&base);
+        let mut wider = base.clone();
+        let v = victim % hsys.num_tasks();
+        wider[v] = ExecBounds::new(Time::ZERO, wider[v].wcet * 2);
+        let w2 = analysis.analyze(&wider);
+        if w1.converged && w2.converged {
+            for i in 0..hsys.num_tasks() {
+                prop_assert!(w2.max_finish[i] >= w1.max_finish[i]);
+                prop_assert!(w2.min_start[i] <= w1.min_start[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn zeroed_tasks_vanish_from_the_schedule(desc in system_strategy(), victim in 0usize..12) {
+        let (arch, hsys, mapping, policies) = build(&desc);
+        let analysis = HolisticAnalysis::new(&hsys, &arch, &mapping, policies);
+        let mut bounds = nominal_bounds(&hsys, &arch, &mapping);
+        let v = victim % hsys.num_tasks();
+        bounds[v] = ExecBounds::ZERO;
+        let w = analysis.analyze(&bounds);
+        // A zero-bound task completes exactly at its release.
+        prop_assert_eq!(
+            w.max_finish[v],
+            {
+                let release = hsys
+                    .in_channels(mcmap_hardening::HTaskId::new(v))
+                    .map(|c| {
+                        let delay = if mapping.proc_of(c.src) == mapping.proc_of(c.dst) {
+                            Time::ZERO
+                        } else {
+                            arch.fabric().transfer_time(c.bytes)
+                        };
+                        w.max_finish[c.src.index()].saturating_add(delay)
+                    })
+                    .max()
+                    .unwrap_or(Time::ZERO);
+                release
+            }
+        );
+    }
+
+    #[test]
+    fn analysis_is_deterministic(desc in system_strategy()) {
+        let (arch, hsys, mapping, policies) = build(&desc);
+        let analysis = HolisticAnalysis::new(&hsys, &arch, &mapping, policies);
+        let bounds = nominal_bounds(&hsys, &arch, &mapping);
+        let a = analysis.analyze(&bounds);
+        let b = analysis.analyze(&bounds);
+        prop_assert_eq!(a, b);
+    }
+}

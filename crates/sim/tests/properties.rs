@@ -1,0 +1,179 @@
+//! Property-based tests for the discrete-event simulator.
+
+use mcmap_hardening::{harden, HardenedSystem, HardeningPlan, TaskHardening};
+use mcmap_model::{
+    AppId, AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcId, ProcKind, Processor,
+    Task, TaskGraph, Time,
+};
+use mcmap_sched::{
+    nominal_bounds, uniform_policies, HolisticAnalysis, Mapping, SchedBackend, SchedPolicy,
+};
+use mcmap_sim::{ExecModel, NoFaults, RandomFaults, SimConfig, Simulator};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Desc {
+    apps: Vec<(u64, Vec<u64>, bool)>, // period, task wcets, droppable
+    placements: Vec<usize>,
+    reexec: Vec<u8>,
+    seed: u64,
+}
+
+fn desc_strategy() -> impl Strategy<Value = Desc> {
+    let app = (
+        prop::sample::select(vec![1_000u64, 2_000, 4_000]),
+        prop::collection::vec(5u64..120, 1..4),
+        any::<bool>(),
+    );
+    (
+        prop::collection::vec(app, 1..4),
+        prop::collection::vec(0usize..2, 12),
+        prop::collection::vec(0u8..3, 12),
+        any::<u64>(),
+    )
+        .prop_map(|(apps, placements, reexec, seed)| Desc {
+            apps,
+            placements,
+            reexec,
+            seed,
+        })
+}
+
+fn build(d: &Desc) -> (Architecture, HardenedSystem, Mapping, Vec<SchedPolicy>) {
+    let arch = Architecture::builder()
+        .homogeneous(2, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-6))
+        .fabric(Fabric::new(16))
+        .build()
+        .expect("valid");
+    let graphs: Vec<TaskGraph> = d
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, (period, wcets, droppable))| {
+            let crit = if *droppable {
+                Criticality::Droppable { service: 1.0 }
+            } else {
+                Criticality::NonDroppable {
+                    max_failure_rate: 0.99,
+                }
+            };
+            let mut b =
+                TaskGraph::builder(format!("a{i}"), Time::from_ticks(*period)).criticality(crit);
+            for (j, w) in wcets.iter().enumerate() {
+                b = b.task(
+                    Task::new(format!("t{i}_{j}"))
+                        .with_uniform_exec(
+                            1,
+                            ExecBounds::new(Time::from_ticks(w / 2), Time::from_ticks(*w)),
+                        )
+                        .with_detect_overhead(Time::from_ticks(2)),
+                );
+            }
+            for j in 1..wcets.len() {
+                b = b.channel(j - 1, j, 8);
+            }
+            b.build().expect("chains are valid")
+        })
+        .collect();
+    let apps = AppSet::new(graphs).expect("nonempty");
+    let mut plan = HardeningPlan::unhardened(&apps);
+    for flat in 0..apps.num_tasks() {
+        let k = d.reexec[flat % d.reexec.len()];
+        if k > 0 {
+            plan.set_by_flat_index(flat, TaskHardening::reexecution(k));
+        }
+    }
+    let hsys = harden(&apps, &plan, &arch).expect("valid");
+    let placement: Vec<ProcId> = (0..hsys.num_tasks())
+        .map(|i| ProcId::new(d.placements[i % d.placements.len()]))
+        .collect();
+    let mapping = Mapping::new(&hsys, &arch, placement).expect("kind 0 everywhere");
+    let policies = uniform_policies(2, SchedPolicy::FixedPriorityPreemptive);
+    (arch, hsys, mapping, policies)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn simulation_is_deterministic(d in desc_strategy()) {
+        let (arch, hsys, mapping, policies) = build(&d);
+        let sim = Simulator::new(&hsys, &arch, &mapping, policies);
+        let cfg = SimConfig::worst_case(
+            hsys.apps().iter().filter(|a| a.criticality.is_droppable()).map(|a| a.app).collect(),
+        );
+        let run = |seed: u64| {
+            let mut f = RandomFaults::new(&hsys, &arch, &mapping, seed).with_boost(1e5);
+            sim.run(&cfg, &mut f)
+        };
+        prop_assert_eq!(run(d.seed), run(d.seed));
+    }
+
+    #[test]
+    fn fault_free_run_is_bounded_by_the_analysis(d in desc_strategy()) {
+        let (arch, hsys, mapping, policies) = build(&d);
+        let analysis = HolisticAnalysis::new(&hsys, &arch, &mapping, policies.clone());
+        let w = analysis.analyze(&nominal_bounds(&hsys, &arch, &mapping));
+        prop_assume!(w.all_deadlines_met(&hsys));
+
+        let sim = Simulator::new(&hsys, &arch, &mapping, policies);
+        let r = sim.run(&SimConfig::default(), &mut NoFaults);
+        for happ in hsys.apps() {
+            prop_assert!(
+                r.app_wcrt[happ.app.index()] <= w.app_wcrt(&hsys, happ.app),
+                "app {}: simulated {} > analyzed {}",
+                happ.name,
+                r.app_wcrt[happ.app.index()],
+                w.app_wcrt(&hsys, happ.app)
+            );
+        }
+        // Fault-free runs never enter the critical state or drop anything.
+        prop_assert_eq!(r.critical_entries, 0);
+        prop_assert_eq!(r.dropped_instances.iter().sum::<u64>(), 0);
+        prop_assert_eq!(r.unsafe_instances.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn best_case_model_is_never_slower(d in desc_strategy()) {
+        let (arch, hsys, mapping, policies) = build(&d);
+        let sim = Simulator::new(&hsys, &arch, &mapping, policies);
+        let worst = sim.run(&SimConfig::default(), &mut NoFaults);
+        let best = sim.run(
+            &SimConfig {
+                exec_model: ExecModel::BestCase,
+                ..SimConfig::default()
+            },
+            &mut NoFaults,
+        );
+        for i in 0..worst.app_wcrt.len() {
+            prop_assert!(best.app_wcrt[i] <= worst.app_wcrt[i]);
+        }
+    }
+
+    #[test]
+    fn dropping_never_delays_nondroppable_apps(d in desc_strategy(), seed in any::<u64>()) {
+        let (arch, hsys, mapping, policies) = build(&d);
+        let sim = Simulator::new(&hsys, &arch, &mapping, policies);
+        let droppable: Vec<AppId> = hsys
+            .apps()
+            .iter()
+            .filter(|a| a.criticality.is_droppable())
+            .map(|a| a.app)
+            .collect();
+        prop_assume!(!droppable.is_empty());
+
+        let mut f1 = RandomFaults::new(&hsys, &arch, &mapping, seed).with_boost(1e4);
+        let keep = sim.run(&SimConfig::worst_case(vec![]), &mut f1);
+        let mut f2 = RandomFaults::new(&hsys, &arch, &mapping, seed).with_boost(1e4);
+        let drop = sim.run(&SimConfig::worst_case(droppable), &mut f2);
+        for happ in hsys.apps() {
+            if !happ.criticality.is_droppable() {
+                prop_assert!(
+                    drop.app_wcrt[happ.app.index()] <= keep.app_wcrt[happ.app.index()],
+                    "dropping must not delay critical app {}",
+                    happ.name
+                );
+            }
+        }
+    }
+}

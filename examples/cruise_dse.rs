@@ -1,0 +1,69 @@
+//! Full design-space exploration of the Cruise benchmark: optimize
+//! processor allocation, hardening, binding, and the dropped set for
+//! expected power and retained service simultaneously, then print the
+//! Pareto front.
+//!
+//! Run with: `cargo run --release --example cruise_dse`
+//! (environment: `MCMAP_POP`, `MCMAP_GENS`, `MCMAP_SEED`)
+
+use mcmap::benchmarks::cruise;
+use mcmap::core::{explore, DseConfig, ObjectiveMode};
+use mcmap::ga::GaConfig;
+
+fn env(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let b = cruise();
+    let cfg = DseConfig {
+        ga: GaConfig {
+            population: env("MCMAP_POP", 40),
+            generations: env("MCMAP_GENS", 40),
+            seed: env("MCMAP_SEED", 8) as u64,
+            ..GaConfig::default()
+        },
+        objectives: ObjectiveMode::PowerService,
+        allow_dropping: true,
+        audit: true,
+        policies: Some(b.policies.clone()),
+        repair_iters: 60,
+        ..DseConfig::default()
+    };
+    println!(
+        "exploring {}: {} tasks on {} processors…",
+        b.name,
+        b.apps.num_tasks(),
+        b.arch.num_processors()
+    );
+    let outcome = explore(&b.apps, &b.arch, cfg);
+
+    println!(
+        "\n{} evaluations, {} feasible; rescue ratio {:.1}%, re-execution share {:.1}%\n",
+        outcome.audit.evaluated,
+        outcome.audit.feasible,
+        outcome.audit.rescue_ratio() * 100.0,
+        outcome.audit.reexecution_share() * 100.0
+    );
+
+    println!("{:>12} {:>9}  dropped in critical mode", "power [mW]", "service");
+    let mut rows: Vec<_> = outcome.reports.iter().filter(|r| r.feasible).collect();
+    rows.sort_by(|a, b| a.power.partial_cmp(&b.power).expect("finite power"));
+    rows.dedup_by(|a, b| (a.power - b.power).abs() < 1e-9 && a.service == b.service);
+    for r in rows {
+        let names: Vec<&str> = r.dropped.iter().map(|&a| b.apps.app(a).name()).collect();
+        println!(
+            "{:>12.2} {:>9.1}  {}",
+            r.power,
+            r.service,
+            if names.is_empty() {
+                "(none)".to_string()
+            } else {
+                names.join(", ")
+            }
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Explain a finished design: run a short DSE on Cruise, take the best
+//! feasible design, and interrogate it — per-application slack, the fault
+//! that binds each WCRT, and what-if perturbations of the hardening and
+//! the dropped set.
+//!
+//! Run with: `cargo run --release --example sensitivity`
+
+use mcmap::benchmarks::cruise;
+use mcmap::core::{DseConfig, MappingProblem, ObjectiveMode, Sensitivity};
+use mcmap::ga::{optimize, GaConfig};
+
+fn main() {
+    let b = cruise();
+    let cfg = DseConfig {
+        ga: GaConfig {
+            population: 30,
+            generations: 25,
+            seed: 8,
+            ..GaConfig::default()
+        },
+        objectives: ObjectiveMode::Power,
+        policies: Some(b.policies.clone()),
+        repair_iters: 60,
+        ..DseConfig::default()
+    };
+    let ga_cfg = cfg.ga.clone();
+    let problem = MappingProblem::new(&b.apps, &b.arch, cfg);
+    let result = optimize(&problem, &ga_cfg);
+
+    // Pick the cheapest feasible front member.
+    let best = result
+        .front
+        .iter()
+        .filter(|i| i.eval.feasible)
+        .min_by(|a, b| {
+            a.eval.objectives[0]
+                .partial_cmp(&b.eval.objectives[0])
+                .expect("finite power")
+        })
+        .expect("the Cruise DSE finds feasible designs");
+    println!(
+        "best design: {:.2} mW expected power\n",
+        best.eval.objectives[0]
+    );
+
+    let (plan, dropped, bindings) = problem.decode_repaired(&best.genotype);
+    println!(
+        "dropped in critical mode: {:?}",
+        dropped
+            .iter()
+            .map(|&a| b.apps.app(a).name())
+            .collect::<Vec<_>>()
+    );
+    println!("hardening mix: {}\n", plan.technique_histogram());
+
+    let study = Sensitivity::new(&b.apps, &b.arch, &b.policies, plan, bindings, dropped.clone());
+
+    println!("per-application slack:");
+    for s in study.slack().expect("the best design instantiates") {
+        let trigger = s
+            .binding_trigger
+            .map(|t| format!("fault scenario of flat task {t}"))
+            .unwrap_or_else(|| "the fault-free hyperperiod".to_string());
+        println!(
+            "  {:14} wcrt {:>6} / deadline {:>6} (slack {:>6}) — bound by {}",
+            b.apps.app(s.app).name(),
+            s.wcrt,
+            s.deadline,
+            s.slack,
+            trigger
+        );
+    }
+
+    println!("\nhardening what-ifs (re-execution degree ±1):");
+    for (flat, k) in study.reexecution_sites().into_iter().take(4) {
+        if let Some(w) = study.what_if_reexec(flat, k + 1) {
+            println!(
+                "  task {:2}: k {} -> {}: worst alive WCRT {} -> {} (schedulable: {})",
+                flat, w.reexec.0, w.reexec.1, w.worst_wcrt.0, w.worst_wcrt.1, w.schedulable_after
+            );
+        }
+        if k > 0 {
+            if let Some(w) = study.what_if_reexec(flat, k - 1) {
+                println!(
+                    "  task {:2}: k {} -> {}: worst alive WCRT {} -> {} (reliable: {})",
+                    flat, w.reexec.0, w.reexec.1, w.worst_wcrt.0, w.worst_wcrt.1, w.reliable_after
+                );
+            }
+        }
+    }
+
+    println!("\ndrop-set what-ifs (keep one dropped application):");
+    for &app in &dropped {
+        if let Some((before, after, schedulable)) = study.what_if_keep(app) {
+            println!(
+                "  keep {:14}: worst alive WCRT {} -> {} (still schedulable: {})",
+                b.apps.app(app).name(),
+                before,
+                after,
+                schedulable
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # mcmap
+//!
+//! A Rust reproduction of *Kang, Yang, Kim, Bacivarov, Ha, Thiele — "Static
+//! Mapping of Mixed-Critical Applications for Fault-Tolerant MPSoCs", DAC
+//! 2014*: worst-case response-time analysis and design-space exploration
+//! for MPSoCs that combine fault-tolerance hardening (re-execution, active
+//! and passive replication) with mixed-criticality task dropping.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — platform and application models;
+//! * [`hardening`] — hardening transforms and reliability analysis;
+//! * [`sched`] — the holistic best/worst-case scheduling backend;
+//! * [`sim`] — a discrete-event simulator with fault injection;
+//! * [`ga`] — the multi-objective evolutionary framework (SPEA-II/NSGA-II);
+//! * [`core`] — Algorithm 1 (the mixed-criticality WCRT analysis) and the
+//!   mapping DSE;
+//! * [`benchmarks`] — the Cruise, DT-med/large, and synthetic benchmarks.
+//!
+//! # Examples
+//!
+//! Analyzing the Cruise benchmark under a hardening plan (see
+//! `examples/quickstart.rs` for a complete walkthrough):
+//!
+//! ```
+//! use mcmap::benchmarks::cruise;
+//!
+//! let b = cruise();
+//! assert_eq!(b.apps.num_apps(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mcmap_benchmarks as benchmarks;
+pub use mcmap_core as core;
+pub use mcmap_ga as ga;
+pub use mcmap_hardening as hardening;
+pub use mcmap_model as model;
+pub use mcmap_sched as sched;
+pub use mcmap_sim as sim;
