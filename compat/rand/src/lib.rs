@@ -1,0 +1,288 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the *API subset* it actually uses: [`RngCore`], [`SeedableRng`], the
+//! [`Rng`] extension trait with `gen_range`/`gen_bool`, [`rngs::StdRng`]
+//! (xoshiro256++ seeded via splitmix64), and [`seq::SliceRandom::choose`].
+//! Determinism is the contract: identical seeds produce identical streams
+//! across runs and platforms. Statistical quality matches what the
+//! workspace needs (design-space exploration and tests), not cryptography.
+
+/// A source of random `u32`/`u64` words. Object-safe so generic code can
+/// take `&mut dyn RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64`, expanding it into the
+    /// full internal state.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits of one output word.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that support uniform sampling between two bounds. The blanket
+/// [`SampleRange`] impls below are generic over this trait — a single impl
+/// per range shape, exactly like the real crate, so type inference can
+/// unify the range's element type with the expression context (e.g.
+/// `u64 * rng.gen_range(40..=90)`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high)`, or `[low, high]` when `inclusive`.
+    /// Panics on empty ranges.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $t,
+                high: $t,
+                inclusive: bool,
+            ) -> $t {
+                if inclusive {
+                    assert!(low <= high, "cannot sample empty range");
+                } else {
+                    assert!(low < high, "cannot sample empty range");
+                }
+                let span = (high as i128 - low as i128) as u128 + u128::from(inclusive);
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: f64,
+        high: f64,
+        inclusive: bool,
+    ) -> f64 {
+        if inclusive {
+            assert!(low <= high, "cannot sample empty range");
+        } else {
+            assert!(low < high, "cannot sample empty range");
+        }
+        low + unit_f64(rng) * (high - low)
+    }
+}
+
+/// A range that supports uniform single-value sampling.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range. Panics on empty ranges.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ state seeded by
+    /// splitmix64. Small, fast, and fully deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+    }
+}
+
+/// Random slice operations.
+pub mod seq {
+    use super::RngCore;
+
+    /// Random selection over slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() as usize) % self.len();
+                Some(&self[i])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1u8..=3);
+            assert!((1..=3).contains(&w));
+            let f = rng.gen_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let i = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        use super::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            let &v = items.choose(&mut rng).unwrap();
+            seen[v - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn dyn_rng_core_is_usable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dynr: &mut dyn RngCore = &mut rng;
+        let _ = dynr.next_u32();
+        let mut buf = [0u8; 13];
+        dynr.fill_bytes(&mut buf);
+    }
+}

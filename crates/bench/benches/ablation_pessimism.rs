@@ -40,10 +40,7 @@ fn bench_pessimism(c: &mut Criterion) {
         ("none", vec![]),
         ("nav", vec![AppId::new(2)]),
         ("nav+info", vec![AppId::new(2), AppId::new(3)]),
-        (
-            "all",
-            vec![AppId::new(2), AppId::new(3), AppId::new(4)],
-        ),
+        ("all", vec![AppId::new(2), AppId::new(3), AppId::new(4)]),
     ];
 
     let mut group = c.benchmark_group("ablation_pessimism");

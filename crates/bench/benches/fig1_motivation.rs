@@ -4,7 +4,7 @@
 //! protocol in a single tight loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mcmap_hardening::{harden, HardeningPlan, HTaskId, TaskHardening};
+use mcmap_hardening::{harden, HTaskId, HardeningPlan, TaskHardening};
 use mcmap_model::{
     AppId, AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcId, ProcKind, Processor,
     Task, TaskGraph, Time,
@@ -24,7 +24,9 @@ fn bench_fig1(c: &mut Criterion) {
         .expect("static example");
     let high = TaskGraph::builder("high", Time::from_ticks(200))
         .deadline(Time::from_ticks(160))
-        .criticality(Criticality::NonDroppable { max_failure_rate: 0.5 })
+        .criticality(Criticality::NonDroppable {
+            max_failure_rate: 0.5,
+        })
         .task(t("A", 30))
         .task(t("B", 10).with_voting_overhead(Time::from_ticks(2)))
         .task(t("E", 40))
@@ -44,7 +46,10 @@ fn bench_fig1(c: &mut Criterion) {
     let apps = AppSet::new(vec![high, low]).expect("static example");
     let mut plan = HardeningPlan::unhardened(&apps);
     plan.set_by_flat_index(0, TaskHardening::reexecution(1));
-    plan.set_by_flat_index(1, TaskHardening::active(vec![ProcId::new(0)], ProcId::new(1)));
+    plan.set_by_flat_index(
+        1,
+        TaskHardening::active(vec![ProcId::new(0)], ProcId::new(1)),
+    );
     let hsys = harden(&apps, &plan, &arch).expect("static example");
     let placement = vec![
         ProcId::new(0),

@@ -20,8 +20,7 @@ fn bench_sim(c: &mut Criterion) {
         let mut seed = 0u64;
         bench.iter(|| {
             seed += 1;
-            let mut faults =
-                RandomFaults::new(&d.hsys, &b.arch, &d.mapping, seed).with_boost(1e5);
+            let mut faults = RandomFaults::new(&d.hsys, &b.arch, &d.mapping, seed).with_boost(1e5);
             sim.run(&SimConfig::worst_case(d.dropped.clone()), &mut faults)
         })
     });

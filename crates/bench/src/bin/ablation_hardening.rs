@@ -10,9 +10,7 @@
 
 use mcmap_benchmarks::cruise;
 use mcmap_core::{analyze, expected_power};
-use mcmap_hardening::{
-    harden, HardenedSystem, HardeningPlan, Reliability, TaskHardening,
-};
+use mcmap_hardening::{harden, HardenedSystem, HardeningPlan, Reliability, TaskHardening};
 use mcmap_model::{AppId, ProcId};
 use mcmap_sched::Mapping;
 
@@ -56,8 +54,14 @@ fn main() {
     // Replicas of critical app i live on the *other* big core and a little
     // core; voters on the app's own core.
     let variants: Vec<(&str, HardeningPlan)> = vec![
-        ("re-execution k=1", plan_with(&b, |_| TaskHardening::reexecution(1))),
-        ("re-execution k=2", plan_with(&b, |_| TaskHardening::reexecution(2))),
+        (
+            "re-execution k=1",
+            plan_with(&b, |_| TaskHardening::reexecution(1)),
+        ),
+        (
+            "re-execution k=2",
+            plan_with(&b, |_| TaskHardening::reexecution(2)),
+        ),
         (
             "active triplication",
             plan_with(&b, |flat| {
@@ -104,8 +108,6 @@ fn main() {
             mc.schedulable(&hsys, &dropped),
         );
     }
-    println!(
-        "\nRe-execution is the cheapest technique in power; replication buys back the"
-    );
+    println!("\nRe-execution is the cheapest technique in power; replication buys back the");
     println!("critical-state WCRT inflation at the cost of permanently duplicated work.");
 }

@@ -11,7 +11,7 @@
 //! Task B is actively replicated (as in the figure); per the paper's
 //! footnote, detection and voting overheads are kept minimal.
 
-use mcmap_hardening::{harden, HardeningPlan, HTaskId, TaskHardening};
+use mcmap_hardening::{harden, HTaskId, HardeningPlan, TaskHardening};
 use mcmap_model::{
     AppId, AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcId, ProcKind, Processor,
     Task, TaskGraph, Time,
@@ -107,10 +107,7 @@ fn main() {
         );
         println!(
             "{:42} low1 completed: {}, low2 completed: {}, dropped: {}",
-            "",
-            r.completed_instances[1],
-            r.completed_instances[2],
-            r.dropped_instances[2]
+            "", r.completed_instances[1], r.completed_instances[2], r.dropped_instances[2]
         );
     };
 

@@ -39,11 +39,7 @@ fn main() {
         .iter()
         .filter(|r| r.feasible)
         .map(|r| {
-            let names: Vec<&str> = r
-                .dropped
-                .iter()
-                .map(|&a| b.apps.app(a).name())
-                .collect();
+            let names: Vec<&str> = r.dropped.iter().map(|&a| b.apps.app(a).name()).collect();
             let label = if names.is_empty() {
                 "{} (nothing dropped)".to_string()
             } else {
@@ -55,9 +51,7 @@ fn main() {
     points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite power"));
     points.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
 
-    println!(
-        "Fig. 5: power-service Pareto front of DT-med (budget {pop}x{gens}, seed {seed})\n"
-    );
+    println!("Fig. 5: power-service Pareto front of DT-med (budget {pop}x{gens}, seed {seed})\n");
     println!("{:>12} {:>10}  dropped set T_d", "power [mW]", "service");
     println!("{}", "-".repeat(58));
     for (power, service, label) in &points {

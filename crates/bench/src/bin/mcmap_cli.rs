@@ -8,13 +8,20 @@
 //! mcmap_cli gantt    <benchmark> [seed]      # ASCII schedule of one hyperperiod
 //! mcmap_cli dot      <benchmark>             # GraphViz of the application set
 //! mcmap_cli dse      <benchmark> [pop gens]  # power/service exploration
+//! mcmap_cli lint     <benchmark> [--json] [--inject cycle|relbound|inverted]
 //! ```
 //!
 //! Benchmarks: `cruise`, `dt-med`, `dt-large`, `synth1`, `synth2`.
+//!
+//! `lint` runs the `mcmap-lint` static analyzer over the benchmark's model
+//! and prints the structured `MC0xxx` diagnostics (text or JSON); the
+//! `--inject` flag plants a known defect first, which demonstrates the codes
+//! and doubles as an end-to-end check of the DSE pre-flight (the same codes
+//! that make `lint` exit non-zero also make `dse` refuse the input).
 
 use mcmap_bench::{sample_designs, SampleDesign};
 use mcmap_benchmarks::Benchmark;
-use mcmap_core::{analyze, explore, DseConfig, ObjectiveMode};
+use mcmap_core::{analyze, explore_checked, DseConfig, ObjectiveMode};
 use mcmap_ga::GaConfig;
 use mcmap_model::Time;
 use mcmap_sim::{monte_carlo, MonteCarloConfig, NoFaults, SimConfig, Simulator, Trace};
@@ -33,8 +40,9 @@ fn benchmark(name: &str) -> Option<Benchmark> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mcmap_cli <list|analyze|simulate|gantt|dot|dse> [benchmark] [args…]\n\
-         benchmarks: cruise, dt-med, dt-large, synth1, synth2"
+        "usage: mcmap_cli <list|analyze|simulate|gantt|dot|dse|lint> [benchmark] [args…]\n\
+         benchmarks: cruise, dt-med, dt-large, synth1, synth2\n\
+         lint flags: --json, --inject <cycle|relbound|inverted>"
     );
     ExitCode::FAILURE
 }
@@ -153,8 +161,34 @@ fn cmd_gantt(b: &Benchmark, seed: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_lint(b: &Benchmark, flags: &[String]) -> ExitCode {
+    let json = flags.iter().any(|f| f == "--json");
+    let apps = match flags
+        .iter()
+        .position(|f| f == "--inject")
+        .map(|i| flags.get(i + 1).map(String::as_str))
+    {
+        None => b.apps.clone(),
+        Some(Some("cycle")) => mcmap_lint::inject::with_cycle(&b.apps),
+        Some(Some("relbound")) => mcmap_lint::inject::with_unsatisfiable_reliability(&b.apps),
+        Some(Some("inverted")) => mcmap_lint::inject::with_inverted_bounds(&b.apps),
+        Some(_) => return usage(),
+    };
+    let report = mcmap_lint::Linter::new(&apps, &b.arch).lint();
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_dse(b: &Benchmark, pop: usize, gens: usize) -> ExitCode {
-    let outcome = explore(
+    let outcome = explore_checked(
         &b.apps,
         &b.arch,
         DseConfig {
@@ -170,6 +204,14 @@ fn cmd_dse(b: &Benchmark, pop: usize, gens: usize) -> ExitCode {
             ..DseConfig::default()
         },
     );
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(report) => {
+            eprintln!("dse: input rejected by lint pre-flight:");
+            eprint!("{}", report.render_text());
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "{} evaluations, {} feasible\n",
         outcome.audit.evaluated, outcome.audit.feasible
@@ -180,7 +222,12 @@ fn cmd_dse(b: &Benchmark, pop: usize, gens: usize) -> ExitCode {
     rows.dedup_by(|a, b| (a.power - b.power).abs() < 1e-9 && a.service == b.service);
     for r in rows {
         let names: Vec<&str> = r.dropped.iter().map(|&a| b.apps.app(a).name()).collect();
-        println!("{:>12.2} {:>9.1}  {{{}}}", r.power, r.service, names.join(", "));
+        println!(
+            "{:>12.2} {:>9.1}  {{{}}}",
+            r.power,
+            r.service,
+            names.join(", ")
+        );
     }
     ExitCode::SUCCESS
 }
@@ -208,6 +255,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "dse" => cmd_dse(&b, num(2, 40), num(3, 40)),
+        "lint" => cmd_lint(&b, &args[2..]),
         _ => usage(),
     }
 }

@@ -78,8 +78,6 @@ fn main() {
             with.audit.reexecution_share() * 100.0,
         );
     }
-    println!(
-        "\nrescue% = explored candidates infeasible without dropping but feasible with their"
-    );
+    println!("\nrescue% = explored candidates infeasible without dropping but feasible with their");
     println!("decoded dropped set; reexec% = share of re-execution among applied hardenings.");
 }

@@ -125,7 +125,9 @@ fn main() {
         for &app in &crit {
             rows[0].1.push(fmt_time(adhoc[app.index()]));
             rows[1].1.push(fmt_time(wcsim.app_wcrt[app.index()]));
-            rows[2].1.push(fmt_time(mc.app_wcrt(&d.hsys, app, &d.dropped)));
+            rows[2]
+                .1
+                .push(fmt_time(mc.app_wcrt(&d.hsys, app, &d.dropped)));
             rows[3].1.push(fmt_time(naive.app_wcrt(&d.hsys, app)));
         }
 

@@ -5,7 +5,10 @@ use mcmap_model::{Architecture, Fabric, ProcKind, Processor, Time};
 /// A small platform: two identical RISC cores on a shared bus.
 pub fn arch_small() -> Architecture {
     Architecture::builder()
-        .homogeneous(2, Processor::new("risc", ProcKind::new(0), 12.0, 95.0, 4e-8))
+        .homogeneous(
+            2,
+            Processor::new("risc", ProcKind::new(0), 12.0, 95.0, 4e-8),
+        )
         .fabric(Fabric::new(64).with_base_latency(Time::from_ticks(1)))
         .build()
         .expect("static platform is valid")

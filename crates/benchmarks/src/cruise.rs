@@ -94,10 +94,7 @@ pub fn cruise() -> Benchmark {
     ])
     .expect("static benchmark is valid");
     let arch = arch_medium();
-    let policies = uniform_policies(
-        arch.num_processors(),
-        SchedPolicy::FixedPriorityPreemptive,
-    );
+    let policies = uniform_policies(arch.num_processors(), SchedPolicy::FixedPriorityPreemptive);
     Benchmark {
         name: "Cruise".to_string(),
         apps,

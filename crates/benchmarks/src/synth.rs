@@ -111,9 +111,7 @@ pub fn synth(cfg: &SynthConfig, seed: u64) -> Benchmark {
         let mut layers: Vec<Vec<usize>> = Vec::new();
         let mut placed = 0usize;
         while placed < n {
-            let width = rng
-                .gen_range(1..=cfg.max_layer_width)
-                .min(n - placed);
+            let width = rng.gen_range(1..=cfg.max_layer_width).min(n - placed);
             layers.push((placed..placed + width).collect());
             placed += width;
         }
@@ -146,10 +144,7 @@ pub fn synth(cfg: &SynthConfig, seed: u64) -> Benchmark {
     } else {
         arch_medium()
     };
-    let policies = uniform_policies(
-        arch.num_processors(),
-        SchedPolicy::FixedPriorityPreemptive,
-    );
+    let policies = uniform_policies(arch.num_processors(), SchedPolicy::FixedPriorityPreemptive);
     Benchmark {
         name: format!("Synth(seed={seed})"),
         apps,

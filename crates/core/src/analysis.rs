@@ -186,8 +186,7 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
                     bounds[w.index()] = ExecBounds::ZERO;
                 } else {
                     // Transition: either executed or dropped.
-                    bounds[w.index()] =
-                        ExecBounds::new(Time::ZERO, nominal[w.index()].wcet);
+                    bounds[w.index()] = ExecBounds::new(Time::ZERO, nominal[w.index()].wcet);
                 }
             } else {
                 // Critical, non-droppable: may re-execute (Eq. 1); passive
@@ -197,8 +196,7 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
                 } else {
                     nominal[w.index()].bcet
                 };
-                bounds[w.index()] =
-                    ExecBounds::new(bcet, critical_wcet(hsys, arch, mapping, w));
+                bounds[w.index()] = ExecBounds::new(bcet, critical_wcet(hsys, arch, mapping, w));
             }
         }
 
@@ -495,7 +493,12 @@ mod tests {
         let mapping = Mapping::new(
             &hsys,
             &arch,
-            vec![ProcId::new(0), ProcId::new(1), ProcId::new(0), ProcId::new(1)],
+            vec![
+                ProcId::new(0),
+                ProcId::new(1),
+                ProcId::new(0),
+                ProcId::new(1),
+            ],
         )
         .unwrap()
         .with_priorities(vec![0, 3, 1, 2]);
@@ -514,8 +517,7 @@ mod tests {
         let mc = analyze(&hsys, &arch, &mapping, &policies, &dropped);
         let sim = Simulator::new(&hsys, &arch, &mapping, policies.clone());
         for seed in 0..40 {
-            let mut faults =
-                RandomFaults::new(&hsys, &arch, &mapping, seed).with_boost(1e5);
+            let mut faults = RandomFaults::new(&hsys, &arch, &mapping, seed).with_boost(1e5);
             let r = sim.run(&SimConfig::worst_case(dropped.clone()), &mut faults);
             // Non-dropped app: simulated response within the analysis bound.
             assert!(

@@ -469,7 +469,46 @@ impl DseOutcome {
 }
 
 /// Runs the full design-space exploration for one benchmark system.
+///
+/// # Panics
+///
+/// Panics when the input system fails the `mcmap-lint` pre-flight with
+/// error-level diagnostics (the message cites the `MC0xxx` codes). Use
+/// [`explore_checked`] to handle lint failures gracefully.
 pub fn explore(apps: &AppSet, arch: &Architecture, cfg: DseConfig) -> DseOutcome {
+    match explore_checked(apps, arch, cfg) {
+        Ok(outcome) => outcome,
+        Err(report) => panic!(
+            "explore: input system rejected by lint pre-flight ({}); run \
+             `mcmap_cli lint` for details",
+            report.error_codes().join(", ")
+        ),
+    }
+}
+
+/// Runs [`explore`] after a mandatory `mcmap-lint` pre-flight.
+///
+/// The linter walks the application set and architecture (with the
+/// exploration's hardening limits) before any GA work starts; if it reports
+/// error-level diagnostics the exploration is refused and the full
+/// [`mcmap_lint::LintReport`] is returned so callers can surface the same
+/// `MC0xxx` codes the CLI prints. Warnings and hints do not block.
+///
+/// # Errors
+///
+/// Returns the lint report when it contains at least one error-level
+/// diagnostic.
+pub fn explore_checked(
+    apps: &AppSet,
+    arch: &Architecture,
+    cfg: DseConfig,
+) -> Result<DseOutcome, Box<mcmap_lint::LintReport>> {
+    let report = mcmap_lint::Linter::new(apps, arch)
+        .with_limits(cfg.max_reexec, cfg.max_replicas)
+        .lint();
+    if report.has_errors() {
+        return Err(Box::new(report));
+    }
     let ga_cfg = cfg.ga.clone();
     let problem = MappingProblem::new(apps, arch, cfg);
     let result = optimize(&problem, &ga_cfg);
@@ -478,19 +517,17 @@ pub fn explore(apps: &AppSet, arch: &Architecture, cfg: DseConfig) -> DseOutcome
         .iter()
         .map(|ind| problem.report(&ind.genotype))
         .collect();
-    DseOutcome {
+    Ok(DseOutcome {
         audit: problem.audit(),
         reports,
         result,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcmap_model::{
-        Criticality, ExecBounds, ProcKind, Processor, Task, TaskGraph,
-    };
+    use mcmap_model::{Criticality, ExecBounds, ProcKind, Processor, Task, TaskGraph};
 
     fn small_system() -> (AppSet, Architecture) {
         let arch = Architecture::builder()
@@ -503,13 +540,19 @@ mod tests {
             })
             .task(
                 Task::new("h0")
-                    .with_uniform_exec(1, ExecBounds::new(Time::from_ticks(40), Time::from_ticks(80)))
+                    .with_uniform_exec(
+                        1,
+                        ExecBounds::new(Time::from_ticks(40), Time::from_ticks(80)),
+                    )
                     .with_detect_overhead(Time::from_ticks(4))
                     .with_voting_overhead(Time::from_ticks(4)),
             )
             .task(
                 Task::new("h1")
-                    .with_uniform_exec(1, ExecBounds::new(Time::from_ticks(40), Time::from_ticks(80)))
+                    .with_uniform_exec(
+                        1,
+                        ExecBounds::new(Time::from_ticks(40), Time::from_ticks(80)),
+                    )
                     .with_detect_overhead(Time::from_ticks(4))
                     .with_voting_overhead(Time::from_ticks(4)),
             )
@@ -518,10 +561,10 @@ mod tests {
             .unwrap();
         let lo = TaskGraph::builder("lo", Time::from_ticks(1_000))
             .criticality(Criticality::Droppable { service: 2.0 })
-            .task(
-                Task::new("l0")
-                    .with_uniform_exec(1, ExecBounds::new(Time::from_ticks(50), Time::from_ticks(100))),
-            )
+            .task(Task::new("l0").with_uniform_exec(
+                1,
+                ExecBounds::new(Time::from_ticks(50), Time::from_ticks(100)),
+            ))
             .build()
             .unwrap();
         (AppSet::new(vec![hi, lo]).unwrap(), arch)
@@ -614,6 +657,44 @@ mod tests {
         for r in &outcome.reports {
             assert!((r.service + r.lost_service - apps.total_service()).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn preflight_accepts_clean_systems() {
+        let (apps, arch) = small_system();
+        let outcome = explore_checked(&apps, &arch, tiny_cfg());
+        assert!(outcome.is_ok(), "the small system lints clean");
+    }
+
+    #[test]
+    fn preflight_rejects_defective_systems_with_codes() {
+        let (apps, arch) = small_system();
+        for (broken, code) in [
+            (mcmap_lint::inject::with_cycle(&apps), "MC0001"),
+            (
+                mcmap_lint::inject::with_unsatisfiable_reliability(&apps),
+                "MC0101",
+            ),
+            (mcmap_lint::inject::with_inverted_bounds(&apps), "MC0005"),
+        ] {
+            let Err(err) = explore_checked(&broken, &arch, tiny_cfg()) else {
+                panic!("the {code} defect must be refused before the GA starts");
+            };
+            assert!(err.has_errors());
+            assert!(
+                err.error_codes().contains(&code),
+                "the refusal cites {code}: {:?}",
+                err.error_codes()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MC0001")]
+    fn explore_panics_citing_the_code() {
+        let (apps, arch) = small_system();
+        let broken = mcmap_lint::inject::with_cycle(&apps);
+        let _ = explore(&broken, &arch, tiny_cfg());
     }
 
     #[test]

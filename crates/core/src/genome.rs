@@ -104,6 +104,44 @@ pub struct Genome {
     pub genes: Vec<TaskGene>,
 }
 
+impl Genome {
+    /// Converts the chromosome into the crate-neutral view consumed by the
+    /// `mcmap-lint` genome-shape pass (`mcmap-lint` sits below this crate in
+    /// the dependency graph, so it cannot name [`Genome`] directly).
+    pub fn lint_view(&self) -> mcmap_lint::GenomeView {
+        mcmap_lint::GenomeView {
+            alloc: self.alloc.clone(),
+            keep: self.keep.clone(),
+            genes: self
+                .genes
+                .iter()
+                .map(|g| mcmap_lint::GeneView {
+                    binding: g.binding,
+                    hardening: match &g.hardening {
+                        GeneHardening::None => mcmap_lint::HardeningView::None,
+                        GeneHardening::Reexec(k) => mcmap_lint::HardeningView::Reexec(*k),
+                        GeneHardening::Active { replicas, voter } => {
+                            mcmap_lint::HardeningView::Active {
+                                replicas: replicas.clone(),
+                                voter: *voter,
+                            }
+                        }
+                        GeneHardening::Passive {
+                            actives,
+                            standbys,
+                            voter,
+                        } => mcmap_lint::HardeningView::Passive {
+                            actives: actives.clone(),
+                            standbys: standbys.clone(),
+                            voter: *voter,
+                        },
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The sampling space of chromosomes for one (application set, architecture)
 /// pair, plus the genetic operators over it.
 #[derive(Debug, Clone)]
@@ -218,7 +256,9 @@ impl GenomeSpace {
     /// Samples a uniform random chromosome (at least one allocated
     /// processor is guaranteed).
     pub fn random(&self, rng: &mut dyn RngCore) -> Genome {
-        let mut alloc: Vec<bool> = (0..self.num_procs).map(|_| rng.next_u32() % 2 == 1).collect();
+        let mut alloc: Vec<bool> = (0..self.num_procs)
+            .map(|_| rng.next_u32() % 2 == 1)
+            .collect();
         if !alloc.iter().any(|&b| b) {
             let i = (rng.next_u32() as usize) % self.num_procs;
             alloc[i] = true;
@@ -292,13 +332,25 @@ impl GenomeSpace {
             .alloc
             .iter()
             .zip(&b.alloc)
-            .map(|(&x, &y)| if rng.next_u32().is_multiple_of(2) { x } else { y })
+            .map(|(&x, &y)| {
+                if rng.next_u32().is_multiple_of(2) {
+                    x
+                } else {
+                    y
+                }
+            })
             .collect();
         let keep = a
             .keep
             .iter()
             .zip(&b.keep)
-            .map(|(&x, &y)| if rng.next_u32().is_multiple_of(2) { x } else { y })
+            .map(|(&x, &y)| {
+                if rng.next_u32().is_multiple_of(2) {
+                    x
+                } else {
+                    y
+                }
+            })
             .collect();
         let genes = a
             .genes
@@ -353,11 +405,7 @@ impl GenomeSpace {
             .map(|(&a, _)| a)
             .collect();
         let bindings: Vec<ProcId> = g.genes.iter().map(|gene| gene.binding).collect();
-        (
-            HardeningPlan::from_entries(plan_entries),
-            dropped,
-            bindings,
-        )
+        (HardeningPlan::from_entries(plan_entries), dropped, bindings)
     }
 }
 
@@ -470,10 +518,7 @@ mod tests {
         let h = g.to_task_hardening();
         assert!(h.replication.is_replicated());
         assert_eq!(h.replication.active_copies(), 2);
-        assert_eq!(
-            g.referenced_procs(),
-            vec![ProcId::new(1), ProcId::new(0)]
-        );
+        assert_eq!(g.referenced_procs(), vec![ProcId::new(1), ProcId::new(0)]);
         assert!(GeneHardening::None.referenced_procs().is_empty());
         assert!(GeneHardening::Reexec(1).referenced_procs().is_empty());
         let p = GeneHardening::Passive {
@@ -497,7 +542,9 @@ mod tests {
                 match &gene.hardening {
                     GeneHardening::Reexec(k) => assert!(*k == 1),
                     GeneHardening::Active { replicas, .. } => assert_eq!(replicas.len(), 1),
-                    GeneHardening::Passive { actives, standbys, .. } => {
+                    GeneHardening::Passive {
+                        actives, standbys, ..
+                    } => {
                         assert_eq!(actives.len(), 1);
                         assert_eq!(standbys.len(), 1);
                     }

@@ -69,13 +69,14 @@ mod repair;
 mod sensitivity;
 
 pub use analysis::{
-    adhoc_analysis, analyze, analyze_naive, naive_analysis, normal_state_bounds,
-    proposed_analysis, McAnalysis,
+    adhoc_analysis, analyze, analyze_naive, naive_analysis, normal_state_bounds, proposed_analysis,
+    McAnalysis,
 };
 pub use dse::{
-    explore, AuditSnapshot, DesignReport, DseConfig, DseOutcome, MappingProblem, ObjectiveMode,
+    explore, explore_checked, AuditSnapshot, DesignReport, DseConfig, DseOutcome, MappingProblem,
+    ObjectiveMode,
 };
 pub use genome::{GeneHardening, Genome, GenomeSpace, TaskGene};
 pub use objective::{expected_power, lost_service, service_after_dropping};
-pub use repair::{repair_reliability, repair_structure};
+pub use repair::{repair_reliability, repair_structure, repair_structure_logged};
 pub use sensitivity::{uniform_reexec_plan, AppSlack, Sensitivity, WhatIf};

@@ -56,9 +56,7 @@ pub fn expected_power(
                     .expect("replica origins are tracked");
                 rel.activation_probability(flat, mapping.placement()) * wcet
             }
-            Role::Primary | Role::ActiveReplica(_) => {
-                rel.expected_executions(id, proc) * wcet
-            }
+            Role::Primary | Role::ActiveReplica(_) => rel.expected_executions(id, proc) * wcet,
         };
         // In the critical mode the dropped applications release nothing.
         let mode_weight = if dropped.contains(&t.app) {
@@ -160,11 +158,7 @@ mod tests {
             let mut plan = HardeningPlan::unhardened(&apps);
             plan.set_by_flat_index(
                 0,
-                TaskHardening::passive(
-                    vec![ProcId::new(1)],
-                    vec![ProcId::new(2)],
-                    ProcId::new(3),
-                ),
+                TaskHardening::passive(vec![ProcId::new(1)], vec![ProcId::new(2)], ProcId::new(3)),
             );
             plan
         };
@@ -260,9 +254,6 @@ mod tests {
         assert_eq!(service_after_dropping(&apps, &[]), 8.0);
         assert_eq!(lost_service(&apps, &[]), 0.0);
         assert_eq!(lost_service(&apps, &[AppId::new(1)]), 3.0);
-        assert_eq!(
-            lost_service(&apps, &[AppId::new(1), AppId::new(2)]),
-            8.0
-        );
+        assert_eq!(lost_service(&apps, &[AppId::new(1), AppId::new(2)]), 8.0);
     }
 }

@@ -22,9 +22,27 @@ use rand::RngCore;
 /// allocated processor, and that every binding, replica, and voter sits on
 /// an allocated, kind-compatible processor (allocating one if necessary).
 pub fn repair_structure(g: &mut Genome, space: &GenomeSpace, rng: &mut dyn RngCore) {
+    let _ = repair_structure_logged(g, space, rng);
+}
+
+/// [`repair_structure`] that also reports *what* it fixed, as the sorted,
+/// deduplicated `mcmap-lint` diagnostic codes of the violations it repaired:
+/// `MC0111` (no allocated processor), `MC0110` (invalid binding or replica
+/// placement), and `MC0106` (voter on an unallocated processor). An empty
+/// vector means the chromosome was already structurally sound.
+pub fn repair_structure_logged(
+    g: &mut Genome,
+    space: &GenomeSpace,
+    rng: &mut dyn RngCore,
+) -> Vec<&'static str> {
+    let mut fixed_alloc = false;
+    let mut fixed_binding = false;
+    let mut fixed_voter = false;
+
     if !g.alloc.iter().any(|&b| b) {
         let i = (rng.next_u32() as usize) % g.alloc.len();
         g.alloc[i] = true;
+        fixed_alloc = true;
     }
 
     for flat in 0..g.genes.len() {
@@ -32,20 +50,26 @@ pub fn repair_structure(g: &mut Genome, space: &GenomeSpace, rng: &mut dyn RngCo
         let binding = g.genes[flat].binding;
         if !is_valid(space, g, flat, binding) {
             g.genes[flat].binding = pick_valid(space, g, flat, rng);
+            fixed_binding = true;
         }
         // Replicas and voter.
         let hardening = g.genes[flat].hardening.clone();
         g.genes[flat].hardening = match hardening {
             GeneHardening::None => GeneHardening::None,
             GeneHardening::Reexec(k) => GeneHardening::Reexec(k),
-            GeneHardening::Active { mut replicas, mut voter } => {
+            GeneHardening::Active {
+                mut replicas,
+                mut voter,
+            } => {
                 for r in &mut replicas {
                     if !is_valid(space, g, flat, *r) {
                         *r = pick_valid(space, g, flat, rng);
+                        fixed_binding = true;
                     }
                 }
                 if !g.alloc[voter.index()] {
                     voter = pick_allocated(g, rng);
+                    fixed_voter = true;
                 }
                 GeneHardening::Active { replicas, voter }
             }
@@ -57,10 +81,12 @@ pub fn repair_structure(g: &mut Genome, space: &GenomeSpace, rng: &mut dyn RngCo
                 for r in actives.iter_mut().chain(standbys.iter_mut()) {
                     if !is_valid(space, g, flat, *r) {
                         *r = pick_valid(space, g, flat, rng);
+                        fixed_binding = true;
                     }
                 }
                 if !g.alloc[voter.index()] {
                     voter = pick_allocated(g, rng);
+                    fixed_voter = true;
                 }
                 GeneHardening::Passive {
                     actives,
@@ -70,6 +96,18 @@ pub fn repair_structure(g: &mut Genome, space: &GenomeSpace, rng: &mut dyn RngCo
             }
         };
     }
+
+    let mut codes = Vec::new();
+    if fixed_voter {
+        codes.push("MC0106");
+    }
+    if fixed_binding {
+        codes.push("MC0110");
+    }
+    if fixed_alloc {
+        codes.push("MC0111");
+    }
+    codes
 }
 
 fn is_valid(space: &GenomeSpace, g: &Genome, flat: usize, p: ProcId) -> bool {
@@ -104,7 +142,9 @@ fn pick_allocated(g: &Genome, rng: &mut dyn RngCore) -> ProcId {
         .filter(|(_, &b)| b)
         .map(|(i, _)| ProcId::new(i))
         .collect();
-    *allocated.choose(rng).expect("repair guarantees an allocation")
+    *allocated
+        .choose(rng)
+        .expect("repair guarantees an allocation")
 }
 
 /// Escalates the hardening of one task: no hardening → re-execution,
@@ -202,7 +242,11 @@ pub fn repair_reliability(
             .copied()
             .filter(|&f| g.genes[f].hardening == GeneHardening::None)
             .collect();
-        let pool = if unhardened.is_empty() { &flats } else { &unhardened };
+        let pool = if unhardened.is_empty() {
+            &flats
+        } else {
+            &unhardened
+        };
         let flat = pool[(rng.next_u32() as usize) % pool.len()];
         strengthen(space, g, flat, rng);
     }
@@ -212,9 +256,7 @@ pub fn repair_reliability(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcmap_model::{
-        Criticality, ExecBounds, ProcKind, Processor, Task, TaskGraph, Time,
-    };
+    use mcmap_model::{Criticality, ExecBounds, ProcKind, Processor, Task, TaskGraph, Time};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -284,6 +326,47 @@ mod tests {
     }
 
     #[test]
+    fn logged_repair_cites_the_diagnostic_codes() {
+        let (_, _, space) = fixture(0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut g = space.random(&mut rng);
+        g.alloc = vec![true, false, false, false];
+        g.genes[0].binding = ProcId::new(2);
+        g.genes[0].hardening = GeneHardening::Active {
+            replicas: vec![ProcId::new(1)],
+            voter: ProcId::new(3),
+        };
+        let codes = repair_structure_logged(&mut g, &space, &mut rng);
+        assert_eq!(codes, vec!["MC0106", "MC0110"]);
+        // A second pass finds nothing left to fix.
+        let codes = repair_structure_logged(&mut g, &space, &mut rng);
+        assert!(codes.is_empty());
+        // An empty allocation is cited as MC0111.
+        g.alloc = vec![false; 4];
+        let codes = repair_structure_logged(&mut g, &space, &mut rng);
+        assert!(codes.contains(&"MC0111"), "{codes:?}");
+    }
+
+    #[test]
+    fn repaired_genomes_lint_clean() {
+        let (apps, arch, space) = fixture(0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut g = space.random(&mut rng);
+        g.alloc = vec![false; 4];
+        g.genes[0].binding = ProcId::new(3);
+        let view = g.lint_view();
+        let linter = mcmap_lint::Linter::new(&apps, &arch);
+        assert!(linter.lint_genome(&view).has_errors());
+        repair_structure(&mut g, &space, &mut rng);
+        let report = linter.lint_genome(&g.lint_view());
+        assert!(
+            !report.has_errors(),
+            "post-repair genome must lint clean: {}",
+            report.render_text()
+        );
+    }
+
+    #[test]
     fn reliability_repair_strengthens_until_satisfied() {
         // λ·wcet ≈ 1e-3 per run, bound 1e-8: needs escalation.
         let (apps, arch, space) = fixture(1e-5, 1e-8);
@@ -304,7 +387,9 @@ mod tests {
         g.genes[0].hardening = GeneHardening::None;
         repair_structure(&mut g, &space, &mut rng);
         let before = g.clone();
-        assert!(repair_reliability(&mut g, &space, &apps, &arch, &mut rng, 10));
+        assert!(repair_reliability(
+            &mut g, &space, &apps, &arch, &mut rng, 10
+        ));
         assert_eq!(g, before);
     }
 
@@ -332,10 +417,7 @@ mod tests {
         strengthen(&space, &mut g, 0, &mut rng);
         assert_eq!(g.genes[0].hardening, GeneHardening::Reexec(2));
         strengthen(&space, &mut g, 0, &mut rng);
-        assert!(matches!(
-            g.genes[0].hardening,
-            GeneHardening::Active { .. }
-        ));
+        assert!(matches!(g.genes[0].hardening, GeneHardening::Active { .. }));
         strengthen(&space, &mut g, 0, &mut rng);
         if let GeneHardening::Active { replicas, .. } = &g.genes[0].hardening {
             assert_eq!(replicas.len(), 3);

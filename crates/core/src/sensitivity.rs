@@ -177,12 +177,7 @@ impl<'a> Sensitivity<'a> {
         let (hsys, mapping, mc) = self.run(&self.plan)?;
         let before = self.worst_alive_wcrt(&hsys, &mc);
 
-        let kept: Vec<AppId> = self
-            .dropped
-            .iter()
-            .copied()
-            .filter(|&a| a != app)
-            .collect();
+        let kept: Vec<AppId> = self.dropped.iter().copied().filter(|&a| a != app).collect();
         let mc2 = analyze(&hsys, self.arch, &mapping, self.policies, &kept);
         let after = self
             .apps

@@ -2,9 +2,7 @@
 //! plumbing — including the headline safety claim: Algorithm 1 upper-bounds
 //! simulated response times on randomized systems and failure profiles.
 
-use mcmap_core::{
-    analyze, analyze_naive, repair_reliability, repair_structure, GenomeSpace,
-};
+use mcmap_core::{analyze, analyze_naive, repair_reliability, repair_structure, GenomeSpace};
 use mcmap_hardening::{harden, HardenedSystem, HardeningPlan, TaskHardening};
 use mcmap_model::{
     AppId, AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcId, ProcKind, Processor,

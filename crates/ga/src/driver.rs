@@ -197,9 +197,7 @@ fn tournament<G>(archive: &[Individual<G>], rng: &mut StdRng) -> usize {
 }
 
 fn stats<G>(generation: usize, archive: &[Individual<G>]) -> GenerationStats {
-    let dims = archive
-        .first()
-        .map_or(0, |i| i.eval.objectives.len());
+    let dims = archive.first().map_or(0, |i| i.eval.objectives.len());
     let mut best = vec![f64::INFINITY; dims];
     let mut feasible = 0usize;
     for ind in archive {
@@ -364,13 +362,7 @@ mod tests {
             ..Default::default()
         };
         let serial = optimize(&Tradeoff, &base);
-        let parallel = optimize(
-            &Tradeoff,
-            &GaConfig {
-                threads: 4,
-                ..base
-            },
-        );
+        let parallel = optimize(&Tradeoff, &GaConfig { threads: 4, ..base });
         let xs: Vec<u8> = serial.archive.iter().map(|i| i.genotype).collect();
         let xp: Vec<u8> = parallel.archive.iter().map(|i| i.genotype).collect();
         assert_eq!(xs, xp);

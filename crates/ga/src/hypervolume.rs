@@ -57,7 +57,11 @@ pub fn hypervolume_2d<G>(front: &[Individual<G>], reference: [f64; 2]) -> f64 {
 /// extents, each divided by the reference extent. 0 for fronts with fewer
 /// than two feasible points.
 pub fn front_extent<G>(front: &[Individual<G>]) -> f64 {
-    let pts: Vec<&Evaluation> = front.iter().filter(|i| i.eval.feasible).map(|i| &i.eval).collect();
+    let pts: Vec<&Evaluation> = front
+        .iter()
+        .filter(|i| i.eval.feasible)
+        .map(|i| &i.eval)
+        .collect();
     if pts.len() < 2 {
         return 0.0;
     }

@@ -33,5 +33,7 @@ mod spea2;
 pub use driver::{optimize, GaConfig, GaResult, GenerationStats, Selector};
 pub use hypervolume::{front_extent, hypervolume_2d};
 pub use nsga2::{crowding_distance, non_dominated_sort, nsga2_selection};
-pub use problem::{constrained_dominates, dominates, pareto_front, Evaluation, Individual, Problem};
+pub use problem::{
+    constrained_dominates, dominates, pareto_front, Evaluation, Individual, Problem,
+};
 pub use spea2::{environmental_selection, spea2_fitness, Spea2Fitness};

@@ -70,10 +70,7 @@ pub fn crowding_distance(evals: &[Evaluation], front: &[usize]) -> Vec<f64> {
 
 /// NSGA-II environmental selection: rank by fronts, break the last partial
 /// front by crowding distance.
-pub fn nsga2_selection<G: Clone>(
-    pool: &[Individual<G>],
-    capacity: usize,
-) -> Vec<Individual<G>> {
+pub fn nsga2_selection<G: Clone>(pool: &[Individual<G>], capacity: usize) -> Vec<Individual<G>> {
     let evals: Vec<Evaluation> = pool.iter().map(|i| i.eval.clone()).collect();
     let fronts = non_dominated_sort(&evals);
     let mut selected: Vec<usize> = Vec::with_capacity(capacity);
@@ -88,7 +85,9 @@ pub fn nsga2_selection<G: Clone>(
             let dist = crowding_distance(&evals, &front);
             let mut order: Vec<usize> = (0..front.len()).collect();
             order.sort_by(|&a, &b| {
-                dist[b].partial_cmp(&dist[a]).expect("crowding is comparable")
+                dist[b]
+                    .partial_cmp(&dist[a])
+                    .expect("crowding is comparable")
             });
             selected.extend(order.into_iter().take(need).map(|k| front[k]));
             break;
@@ -134,11 +133,7 @@ mod tests {
 
     #[test]
     fn crowding_rewards_boundary_points() {
-        let evals = vec![
-            ev(vec![0.0, 4.0]),
-            ev(vec![2.0, 2.0]),
-            ev(vec![4.0, 0.0]),
-        ];
+        let evals = vec![ev(vec![0.0, 4.0]), ev(vec![2.0, 2.0]), ev(vec![4.0, 0.0])];
         let front = vec![0, 1, 2];
         let d = crowding_distance(&evals, &front);
         assert!(d[0].is_infinite());
@@ -164,12 +159,7 @@ mod tests {
     fn partial_front_broken_by_crowding() {
         // One front of 5; capacity 3 keeps extremes plus one middle point.
         let pool: Vec<Individual<usize>> = (0..5)
-            .map(|i| {
-                Individual::new(
-                    i,
-                    ev(vec![i as f64, 4.0 - i as f64]),
-                )
-            })
+            .map(|i| Individual::new(i, ev(vec![i as f64, 4.0 - i as f64])))
             .collect();
         let sel = nsga2_selection(&pool, 3);
         let ids: Vec<usize> = sel.iter().map(|i| i.genotype).collect();

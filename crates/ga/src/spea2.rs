@@ -159,7 +159,10 @@ pub fn environmental_selection<G: Clone>(
             .partial_cmp(&fit.fitness[b])
             .expect("fitness is finite")
     });
-    nondominated.extend(rest.into_iter().take(capacity - nondominated.len().min(capacity)));
+    nondominated.extend(
+        rest.into_iter()
+            .take(capacity - nondominated.len().min(capacity)),
+    );
     nondominated.truncate(capacity);
     nondominated.iter().map(|&i| pool[i].clone()).collect()
 }
@@ -219,16 +222,16 @@ mod tests {
 
     #[test]
     fn selection_fills_with_best_dominated() {
-        let pool = vec![ind(vec![1.0, 1.0]), ind(vec![2.0, 2.0]), ind(vec![9.0, 9.0])];
+        let pool = vec![
+            ind(vec![1.0, 1.0]),
+            ind(vec![2.0, 2.0]),
+            ind(vec![9.0, 9.0]),
+        ];
         let sel = environmental_selection(&pool, 2);
         assert_eq!(sel.len(), 2);
         // (1,1) non-dominated, (2,2) is the better dominated filler.
-        assert!(sel
-            .iter()
-            .any(|i| i.eval.objectives == vec![1.0, 1.0]));
-        assert!(sel
-            .iter()
-            .any(|i| i.eval.objectives == vec![2.0, 2.0]));
+        assert!(sel.iter().any(|i| i.eval.objectives == vec![1.0, 1.0]));
+        assert!(sel.iter().any(|i| i.eval.objectives == vec![2.0, 2.0]));
     }
 
     #[test]

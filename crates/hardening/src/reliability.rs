@@ -88,10 +88,7 @@ impl<'a> Reliability<'a> {
     /// faulty value. Returns 0 for tasks without standbys.
     pub fn activation_probability(&self, flat: usize, placement: &[ProcId]) -> f64 {
         let copies = self.hsys.copies_of(flat);
-        if !copies
-            .iter()
-            .any(|&c| self.hsys.task(c).role.is_passive())
-        {
+        if !copies.iter().any(|&c| self.hsys.task(c).role.is_passive()) {
             return 0.0;
         }
         let p_all_ok: f64 = copies
@@ -373,7 +370,10 @@ mod tests {
         // Without retries the expectation is exactly one execution.
         let bare = harden(&apps, &HardeningPlan::unhardened(&apps), &arch).unwrap();
         let rel = Reliability::new(&bare, &arch);
-        assert_eq!(rel.expected_executions(HTaskId::new(0), ProcId::new(0)), 1.0);
+        assert_eq!(
+            rel.expected_executions(HTaskId::new(0), ProcId::new(0)),
+            1.0
+        );
     }
 
     #[test]

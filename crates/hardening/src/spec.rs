@@ -344,7 +344,10 @@ mod tests {
         let apps = two_task_set();
         let mut plan = HardeningPlan::unhardened(&apps);
         plan.set_by_flat_index(0, TaskHardening::reexecution(1));
-        plan.set_by_flat_index(1, TaskHardening::active(vec![ProcId::new(1)], ProcId::new(0)));
+        plan.set_by_flat_index(
+            1,
+            TaskHardening::active(vec![ProcId::new(1)], ProcId::new(0)),
+        );
         let h = plan.technique_histogram();
         assert_eq!(h.reexecution, 1);
         assert_eq!(h.active, 1);

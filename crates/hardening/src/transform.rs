@@ -15,9 +15,7 @@
 
 use crate::{HApp, HChannel, HTask, HTaskId, HardeningPlan, Replication, Role};
 use core::fmt;
-use mcmap_model::{
-    AppSet, Architecture, ExecBounds, ProcId, Task, TaskRef, Time,
-};
+use mcmap_model::{AppSet, Architecture, ExecBounds, ProcId, Task, TaskRef, Time};
 
 /// Error produced while applying a hardening plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,10 +62,16 @@ impl fmt::Display for HardenError {
                 write!(f, "plan has {plan} entries but the set has {tasks} tasks")
             }
             HardenError::UnknownProcessor { task, proc } => {
-                write!(f, "replica/voter of {task} placed on unknown processor {proc}")
+                write!(
+                    f,
+                    "replica/voter of {task} placed on unknown processor {proc}"
+                )
             }
             HardenError::ReplicaKindMismatch { task, proc } => {
-                write!(f, "task {task} cannot execute on the kind of processor {proc}")
+                write!(
+                    f,
+                    "task {task} cannot execute on the kind of processor {proc}"
+                )
             }
             HardenError::TooFewReplicas { task } => {
                 write!(f, "active replication of {task} needs at least one replica")
@@ -342,8 +346,7 @@ pub fn harden(
             }
             if let Some(vp) = voter_proc {
                 let ve = orig.voting_overhead;
-                let voter_exec =
-                    vec![Some(ExecBounds::exact(ve)); arch.num_kinds().max(1)];
+                let voter_exec = vec![Some(ExecBounds::exact(ve)); arch.num_kinds().max(1)];
                 let id = push_task(
                     &mut tasks,
                     HTask {
@@ -449,15 +452,14 @@ fn nominal_exec_table(orig: &Task, k: u8) -> Vec<Option<ExecBounds>> {
     } else {
         Time::ZERO
     };
-    orig.supported_kinds()
-        .fold(Vec::new(), |mut table, kind| {
-            if table.len() <= kind.index() {
-                table.resize(kind.index() + 1, None);
-            }
-            let b = orig.exec_on(kind).expect("kind is supported");
-            table[kind.index()] = Some(ExecBounds::new(b.bcet + dt, b.wcet + dt));
-            table
-        })
+    orig.supported_kinds().fold(Vec::new(), |mut table, kind| {
+        if table.len() <= kind.index() {
+            table.resize(kind.index() + 1, None);
+        }
+        let b = orig.exec_on(kind).expect("kind is supported");
+        table[kind.index()] = Some(ExecBounds::new(b.bcet + dt, b.wcet + dt));
+        table
+    })
 }
 
 fn validate_entry(
@@ -548,13 +550,19 @@ mod tests {
         let g = TaskGraph::builder("pc", Time::from_ticks(100))
             .task(
                 Task::new("v0")
-                    .with_uniform_exec(1, ExecBounds::new(Time::from_ticks(4), Time::from_ticks(10)))
+                    .with_uniform_exec(
+                        1,
+                        ExecBounds::new(Time::from_ticks(4), Time::from_ticks(10)),
+                    )
                     .with_voting_overhead(Time::from_ticks(2))
                     .with_detect_overhead(Time::from_ticks(1)),
             )
             .task(
                 Task::new("v1")
-                    .with_uniform_exec(1, ExecBounds::new(Time::from_ticks(6), Time::from_ticks(12)))
+                    .with_uniform_exec(
+                        1,
+                        ExecBounds::new(Time::from_ticks(6), Time::from_ticks(12)),
+                    )
                     .with_detect_overhead(Time::from_ticks(1)),
             )
             .channel(0, 1, 32)
@@ -591,7 +599,10 @@ mod tests {
             .unwrap();
         let b = h.task(v1).nominal_bounds(ProcKind::new(0)).unwrap();
         // bcet+dt = 7, wcet+dt = 13.
-        assert_eq!(b, ExecBounds::new(Time::from_ticks(7), Time::from_ticks(13)));
+        assert_eq!(
+            b,
+            ExecBounds::new(Time::from_ticks(7), Time::from_ticks(13))
+        );
         // Eq. (1): (12+1)*(1+1) = 26.
         assert_eq!(
             h.task(v1).critical_wcet(ProcKind::new(0)),
@@ -627,8 +638,15 @@ mod tests {
         let v1 = h.tasks().find(|(_, t)| t.name == "v1").unwrap().0;
         assert_eq!(h.predecessors(v1).collect::<Vec<_>>(), vec![voter]);
         // Replicas have fixed placements, the primary does not.
-        let roles: Vec<_> = h.copies_of(0).iter().map(|&c| h.task(c).fixed_proc).collect();
-        assert_eq!(roles, vec![None, Some(ProcId::new(1)), Some(ProcId::new(2))]);
+        let roles: Vec<_> = h
+            .copies_of(0)
+            .iter()
+            .map(|&c| h.task(c).fixed_proc)
+            .collect();
+        assert_eq!(
+            roles,
+            vec![None, Some(ProcId::new(1)), Some(ProcId::new(2))]
+        );
     }
 
     #[test]
@@ -750,7 +768,10 @@ mod tests {
         ));
 
         let mut plan = HardeningPlan::unhardened(&apps);
-        plan.set_by_flat_index(0, TaskHardening::passive(vec![ProcId::new(1)], vec![], ProcId::new(0)));
+        plan.set_by_flat_index(
+            0,
+            TaskHardening::passive(vec![ProcId::new(1)], vec![], ProcId::new(0)),
+        );
         assert!(matches!(
             harden(&apps, &plan, &arch(2)),
             Err(HardenError::MalformedPassive { .. })

@@ -19,10 +19,11 @@ fn arch(n: usize, rate: f64) -> Architecture {
 
 /// A random chain application set with `n` tasks.
 fn chain_apps(n: usize, wcets: &[u64]) -> AppSet {
-    let mut b = TaskGraph::builder("g", Time::from_ticks(1_000_000))
-        .criticality(Criticality::NonDroppable {
+    let mut b = TaskGraph::builder("g", Time::from_ticks(1_000_000)).criticality(
+        Criticality::NonDroppable {
             max_failure_rate: 0.9,
-        });
+        },
+    );
     for (i, &w) in wcets.iter().take(n).enumerate() {
         b = b.task(
             Task::new(format!("t{i}"))

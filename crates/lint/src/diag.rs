@@ -1,0 +1,523 @@
+//! Diagnostic primitives: severity levels, entity references, diagnostics,
+//! and the [`LintReport`] container with text and JSON renderers.
+
+use core::fmt;
+use mcmap_model::{AppId, ChannelId, ProcId, TaskId};
+
+/// How serious a diagnostic is.
+///
+/// `Error` means the input violates an invariant the analyses rely on (or a
+/// constraint that is provably unsatisfiable); exploration refuses such
+/// inputs. `Warning` flags likely mistakes that do not block analysis.
+/// `Hint` points out harmless oddities and optimization opportunities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Invariant violation or provably unsatisfiable constraint.
+    Error,
+    /// Likely mistake; analysis still possible.
+    Warning,
+    /// Harmless oddity or optimization opportunity.
+    Hint,
+}
+
+impl Severity {
+    /// Lowercase name, as used in the text and JSON renderings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Hint => "hint",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The model entity a diagnostic points at. All fields are optional; a
+/// system-wide diagnostic (e.g. an empty application set) carries none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EntityRef {
+    /// Offending application, if any.
+    pub app: Option<AppId>,
+    /// Offending task (within `app`), if any.
+    pub task: Option<TaskId>,
+    /// Offending channel (within `app`), if any.
+    pub channel: Option<ChannelId>,
+    /// Offending processor, if any.
+    pub proc: Option<ProcId>,
+}
+
+impl EntityRef {
+    /// A reference naming nothing (system-wide diagnostics).
+    pub fn none() -> Self {
+        EntityRef::default()
+    }
+
+    /// References an application.
+    pub fn app(app: AppId) -> Self {
+        EntityRef {
+            app: Some(app),
+            ..EntityRef::default()
+        }
+    }
+
+    /// References a task within an application.
+    pub fn task(app: AppId, task: TaskId) -> Self {
+        EntityRef {
+            app: Some(app),
+            task: Some(task),
+            ..EntityRef::default()
+        }
+    }
+
+    /// References a channel within an application.
+    pub fn channel(app: AppId, channel: ChannelId) -> Self {
+        EntityRef {
+            app: Some(app),
+            channel: Some(channel),
+            ..EntityRef::default()
+        }
+    }
+
+    /// References a processor.
+    pub fn proc(proc: ProcId) -> Self {
+        EntityRef {
+            proc: Some(proc),
+            ..EntityRef::default()
+        }
+    }
+
+    /// Adds a processor to an existing reference (builder style).
+    pub fn with_proc(mut self, proc: ProcId) -> Self {
+        self.proc = Some(proc);
+        self
+    }
+
+    /// Returns `true` if the reference names no entity at all.
+    pub fn is_empty(&self) -> bool {
+        self.app.is_none() && self.task.is_none() && self.channel.is_none() && self.proc.is_none()
+    }
+}
+
+impl fmt::Display for EntityRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(a) = self.app {
+            parts.push(a.to_string());
+        }
+        if let Some(t) = self.task {
+            parts.push(t.to_string());
+        }
+        if let Some(c) = self.channel {
+            parts.push(c.to_string());
+        }
+        if let Some(p) = self.proc {
+            parts.push(p.to_string());
+        }
+        if parts.is_empty() {
+            f.write_str("system")
+        } else {
+            f.write_str(&parts.join("/"))
+        }
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable `MC0xxx` code. Codes below `MC0100` mirror
+    /// [`mcmap_model::ModelError::code`]; codes `MC0101` and up are
+    /// lint-only findings no model constructor rejects.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Name of the pass that produced the finding.
+    pub pass: &'static str,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// The entity the finding points at.
+    pub entity: EntityRef,
+    /// Optional actionable fix suggestion.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic.
+    pub fn error(
+        code: &'static str,
+        pass: &'static str,
+        entity: EntityRef,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            pass,
+            message: message.into(),
+            entity,
+            suggestion: None,
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    pub fn warning(
+        code: &'static str,
+        pass: &'static str,
+        entity: EntityRef,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, pass, entity, message)
+        }
+    }
+
+    /// Creates a hint-severity diagnostic.
+    pub fn hint(
+        code: &'static str,
+        pass: &'static str,
+        entity: EntityRef,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Hint,
+            ..Diagnostic::error(code, pass, entity, message)
+        }
+    }
+
+    /// Attaches a fix suggestion (builder style).
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// Converts a [`mcmap_model::ModelError`] into the equivalent diagnostic,
+    /// preserving the shared `MC00xx` code. `app` supplies the application
+    /// context for variants that do not carry one themselves.
+    pub fn from_model_error(e: &mcmap_model::ModelError, app: Option<AppId>) -> Self {
+        use mcmap_model::ModelError as E;
+        let entity = match e {
+            E::CyclicGraph { app, task } => EntityRef::task(*app, *task),
+            E::DanglingChannel { channel, .. } | E::SelfLoop { channel } => EntityRef {
+                app,
+                channel: Some(*channel),
+                ..EntityRef::default()
+            },
+            E::UnrunnableTask { task } | E::InvertedExecutionBounds { task } => EntityRef {
+                app,
+                task: Some(*task),
+                ..EntityRef::default()
+            },
+            E::InvalidFaultRate { proc, .. } | E::InvalidPower { proc } => EntityRef::proc(*proc),
+            E::DeadlineExceedsPeriod { app } => EntityRef::app(*app),
+            E::ZeroPeriod
+            | E::ZeroDeadline
+            | E::InvalidFailureRate { .. }
+            | E::InvalidService { .. } => EntityRef {
+                app,
+                ..EntityRef::default()
+            },
+            E::EmptyArchitecture | E::ZeroBandwidth | E::EmptyAppSet => EntityRef::none(),
+        };
+        Diagnostic::error(e.code(), "model", entity, e.to_string())
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] ({}) {}: {}",
+            self.severity, self.code, self.pass, self.entity, self.message
+        )
+    }
+}
+
+/// The ordered collection of diagnostics produced by one lint run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    diags: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        LintReport::default()
+    }
+
+    /// Appends one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Appends every diagnostic of another report.
+    pub fn extend(&mut self, other: LintReport) {
+        self.diags.extend(other.diags);
+    }
+
+    /// All diagnostics, in report order (errors first after finalization).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Iterates over the diagnostics.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Returns `true` if nothing was reported.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Returns `true` if any diagnostic is error-severity.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Number of diagnostics at the given severity.
+    pub fn count(&self, s: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Deduplicated codes of all error-severity diagnostics, sorted.
+    pub fn error_codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self
+            .diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.code)
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    /// Deduplicated codes of all diagnostics, sorted.
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self.diags.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    /// Returns `true` if some diagnostic carries the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Stable-sorts the report: errors first, then warnings, then hints;
+    /// ties broken by code. Called by the linter before returning.
+    pub fn finalize(&mut self) {
+        self.diags
+            .sort_by(|a, b| a.severity.cmp(&b.severity).then_with(|| a.code.cmp(b.code)));
+    }
+
+    /// Renders the report as human-readable text, one line per diagnostic
+    /// plus an optional `help:` line and a trailing summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.to_string());
+            out.push('\n');
+            if let Some(s) = &d.suggestion {
+                out.push_str("  = help: ");
+                out.push_str(s);
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} hint(s)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Hint)
+        ));
+        out
+    }
+
+    /// Renders the report as a JSON object with a `diagnostics` array and
+    /// per-severity totals. Hand-rolled (the build environment vendors no
+    /// serialization crates); the output is stable and machine-parseable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"code\":\"");
+            out.push_str(d.code);
+            out.push_str("\",\"severity\":\"");
+            out.push_str(d.severity.as_str());
+            out.push_str("\",\"pass\":\"");
+            out.push_str(d.pass);
+            out.push_str("\",\"message\":");
+            push_json_string(&mut out, &d.message);
+            out.push_str(",\"app\":");
+            push_opt_index(&mut out, d.entity.app.map(|x| x.index()));
+            out.push_str(",\"task\":");
+            push_opt_index(&mut out, d.entity.task.map(|x| x.index()));
+            out.push_str(",\"channel\":");
+            push_opt_index(&mut out, d.entity.channel.map(|x| x.index()));
+            out.push_str(",\"proc\":");
+            push_opt_index(&mut out, d.entity.proc.map(|x| x.index()));
+            out.push_str(",\"suggestion\":");
+            match &d.suggestion {
+                Some(s) => push_json_string(&mut out, s),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{},\"hints\":{}}}",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Hint)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+fn push_opt_index(out: &mut String, v: Option<usize>) {
+    match v {
+        Some(i) => out.push_str(&i.to_string()),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        let mut r = LintReport::new();
+        r.push(Diagnostic::hint(
+            "MC0104",
+            "platform-fit",
+            EntityRef::proc(ProcId::new(2)),
+            "no task can run on this processor",
+        ));
+        r.push(
+            Diagnostic::error(
+                "MC0001",
+                "graph-structure",
+                EntityRef::task(AppId::new(0), TaskId::new(3)),
+                "task graph contains a cycle",
+            )
+            .with_suggestion("remove a back edge"),
+        );
+        r.push(Diagnostic::warning(
+            "MC0105",
+            "exec-bounds",
+            EntityRef::task(AppId::new(1), TaskId::new(0)),
+            "wcet is zero",
+        ));
+        r.finalize();
+        r
+    }
+
+    #[test]
+    fn finalize_orders_errors_first() {
+        let r = sample();
+        let sevs: Vec<Severity> = r.iter().map(|d| d.severity).collect();
+        assert_eq!(
+            sevs,
+            vec![Severity::Error, Severity::Warning, Severity::Hint]
+        );
+    }
+
+    #[test]
+    fn counting_and_codes() {
+        let r = sample();
+        assert_eq!(r.len(), 3);
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.error_codes(), vec!["MC0001"]);
+        assert_eq!(r.codes(), vec!["MC0001", "MC0104", "MC0105"]);
+        assert!(r.has_code("MC0104"));
+        assert!(!r.has_code("MC0002"));
+    }
+
+    #[test]
+    fn text_rendering_contains_all_parts() {
+        let text = sample().render_text();
+        assert!(text.contains("error[MC0001] (graph-structure) a0/v3:"));
+        assert!(text.contains("= help: remove a back edge"));
+        assert!(text.contains("1 error(s), 1 warning(s), 1 hint(s)"));
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"diagnostics\":["));
+        assert!(json.ends_with("\"errors\":1,\"warnings\":1,\"hints\":1}"));
+        assert!(json.contains("\"code\":\"MC0001\""));
+        assert!(json.contains("\"app\":0,\"task\":3,\"channel\":null,\"proc\":null"));
+        assert!(json.contains("\"suggestion\":\"remove a back edge\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn entity_display_forms() {
+        assert_eq!(EntityRef::none().to_string(), "system");
+        assert_eq!(
+            EntityRef::task(AppId::new(1), TaskId::new(2)).to_string(),
+            "a1/v2"
+        );
+        assert_eq!(
+            EntityRef::app(AppId::new(0))
+                .with_proc(ProcId::new(3))
+                .to_string(),
+            "a0/p3"
+        );
+    }
+
+    #[test]
+    fn model_error_conversion_keeps_code() {
+        let e = mcmap_model::ModelError::ZeroPeriod;
+        let d = Diagnostic::from_model_error(&e, Some(AppId::new(2)));
+        assert_eq!(d.code, "MC0006");
+        assert_eq!(d.code, e.code());
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.entity.app, Some(AppId::new(2)));
+    }
+}

@@ -1,0 +1,134 @@
+//! Crate-neutral view of a GA chromosome.
+//!
+//! `mcmap-lint` sits below `mcmap-core` in the dependency graph, so it cannot
+//! name the core crate's `Genome` type directly. Instead the genome-shape
+//! pass consumes this plain-data mirror; `mcmap-core` converts its genomes
+//! into a [`GenomeView`] before linting.
+
+use mcmap_model::ProcId;
+
+/// Mirror of the core crate's per-task hardening gene.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum HardeningView {
+    /// No hardening.
+    #[default]
+    None,
+    /// Re-execution with up to `k` retries.
+    Reexec(u8),
+    /// Active replication: extra copies plus a voter placement.
+    Active {
+        /// Processors hosting the additional always-on copies.
+        replicas: Vec<ProcId>,
+        /// Processor hosting the voter.
+        voter: ProcId,
+    },
+    /// Passive replication: always-on copies, standbys, and a voter.
+    Passive {
+        /// Processors hosting the additional always-on copies.
+        actives: Vec<ProcId>,
+        /// Processors hosting the on-demand standby copies.
+        standbys: Vec<ProcId>,
+        /// Processor hosting the voter.
+        voter: ProcId,
+    },
+}
+
+impl HardeningView {
+    /// Every processor this gene references besides the primary binding:
+    /// replicas, standbys, and the voter.
+    pub fn referenced_procs(&self) -> Vec<ProcId> {
+        match self {
+            HardeningView::None | HardeningView::Reexec(_) => Vec::new(),
+            HardeningView::Active { replicas, voter } => {
+                let mut v = replicas.clone();
+                v.push(*voter);
+                v
+            }
+            HardeningView::Passive {
+                actives,
+                standbys,
+                voter,
+            } => {
+                let mut v = actives.clone();
+                v.extend_from_slice(standbys);
+                v.push(*voter);
+                v
+            }
+        }
+    }
+
+    /// The voter placement, if replicated.
+    pub fn voter(&self) -> Option<ProcId> {
+        match self {
+            HardeningView::Active { voter, .. } | HardeningView::Passive { voter, .. } => {
+                Some(*voter)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of extra replica slots (actives plus standbys, primary
+    /// excluded).
+    pub fn extra_copies(&self) -> usize {
+        match self {
+            HardeningView::None | HardeningView::Reexec(_) => 0,
+            HardeningView::Active { replicas, .. } => replicas.len(),
+            HardeningView::Passive {
+                actives, standbys, ..
+            } => actives.len() + standbys.len(),
+        }
+    }
+
+    /// The re-execution budget carried by this gene.
+    pub fn reexecutions(&self) -> u8 {
+        match self {
+            HardeningView::Reexec(k) => *k,
+            _ => 0,
+        }
+    }
+}
+
+/// Mirror of the core crate's per-task gene: primary binding plus hardening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneView {
+    /// Processor hosting the primary copy.
+    pub binding: ProcId,
+    /// Hardening decision.
+    pub hardening: HardeningView,
+}
+
+/// Mirror of the core crate's chromosome (Fig. 4 of the paper): PE
+/// allocation bits, keep bits for droppable applications, and one gene per
+/// task in flat-index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenomeView {
+    /// One allocation bit per processor.
+    pub alloc: Vec<bool>,
+    /// One keep bit per droppable application.
+    pub keep: Vec<bool>,
+    /// One gene per task, in the owning `AppSet`'s flat order.
+    pub genes: Vec<GeneView>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_procs_cover_replicas_and_voter() {
+        let h = HardeningView::Passive {
+            actives: vec![ProcId::new(1)],
+            standbys: vec![ProcId::new(2)],
+            voter: ProcId::new(3),
+        };
+        assert_eq!(
+            h.referenced_procs(),
+            vec![ProcId::new(1), ProcId::new(2), ProcId::new(3)]
+        );
+        assert_eq!(h.voter(), Some(ProcId::new(3)));
+        assert_eq!(h.extra_copies(), 2);
+        assert_eq!(HardeningView::Reexec(2).reexecutions(), 2);
+        assert_eq!(HardeningView::None.referenced_procs(), Vec::new());
+        assert_eq!(HardeningView::None.voter(), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! Defect injection: derives deliberately broken variants of a valid system.
+//!
+//! Used by the CLI's `lint --inject …` flag and by the test-suite to verify
+//! that every diagnostic actually fires. Each helper clones an application
+//! set, plants exactly one class of defect, and rebuilds it through the
+//! unvalidated constructors so the malformed system can exist in memory.
+
+use mcmap_model::{AppSet, Criticality, ExecBounds, TaskGraph, TaskGraphBuilder, Time};
+
+/// Rebuilds one task graph into a fresh builder (tasks and channels copied).
+fn rebuild(app: &TaskGraph) -> TaskGraphBuilder {
+    let mut b = TaskGraph::builder(app.name(), app.period())
+        .criticality(app.criticality())
+        .deadline(app.deadline());
+    for (_, t) in app.tasks() {
+        b = b.task(t.clone());
+    }
+    for (_, c) in app.channels() {
+        b = b.channel(c.src.index(), c.dst.index(), c.bytes);
+    }
+    b
+}
+
+/// Rebuilds the whole set, applying `f` to the application at `target`.
+fn map_app(
+    apps: &AppSet,
+    target: usize,
+    f: impl Fn(TaskGraphBuilder) -> TaskGraphBuilder,
+) -> AppSet {
+    let rebuilt = apps
+        .apps()
+        .map(|(a, app)| {
+            let b = rebuild(app);
+            let b = if a.index() == target { f(b) } else { b };
+            b.build_unvalidated()
+        })
+        .collect();
+    AppSet::new_unvalidated(rebuilt)
+}
+
+/// Injects a dependency cycle (diagnostic `MC0001`) by adding a back edge
+/// from the last task to the first in the first application with at least
+/// two tasks. Returns the set unchanged if no application qualifies.
+pub fn with_cycle(apps: &AppSet) -> AppSet {
+    let Some(target) = apps
+        .apps()
+        .find(|(_, app)| app.num_tasks() >= 2)
+        .map(|(a, _)| a.index())
+    else {
+        return apps.clone();
+    };
+    let last = apps.app(mcmap_model::AppId::new(target)).num_tasks() - 1;
+    map_app(apps, target, |b| b.channel(last, 0, 1))
+}
+
+/// Injects an unsatisfiable reliability bound (diagnostic `MC0101`) by
+/// tightening the first non-droppable application's bound to `1e-300` — a
+/// value the model accepts (it lies in `(0, 1]`) but that no hardening can
+/// reach on faulty hardware. Falls back to the first application if none is
+/// non-droppable.
+pub fn with_unsatisfiable_reliability(apps: &AppSet) -> AppSet {
+    let target = apps
+        .nondroppable_apps()
+        .next()
+        .map(|a| a.index())
+        .unwrap_or(0);
+    if apps.num_apps() == 0 {
+        return apps.clone();
+    }
+    map_app(apps, target, |b| {
+        b.criticality(Criticality::NonDroppable {
+            max_failure_rate: 1e-300,
+        })
+    })
+}
+
+/// Injects inverted execution bounds (diagnostic `MC0005`) into the first
+/// task of the first application: on its first supported kind, `bcet` is
+/// set strictly above `wcet`.
+pub fn with_inverted_bounds(apps: &AppSet) -> AppSet {
+    if apps.num_apps() == 0 {
+        return apps.clone();
+    }
+    let app0 = apps.app(mcmap_model::AppId::new(0));
+    if app0.num_tasks() == 0 {
+        return apps.clone();
+    }
+    let task0 = app0.task(mcmap_model::TaskId::new(0));
+    let Some(kind) = task0.supported_kinds().next() else {
+        return apps.clone();
+    };
+    let old = task0.exec_on(kind).expect("supported kind has bounds");
+    let inverted = ExecBounds::new(
+        Time::from_ticks(old.wcet.ticks().saturating_add(10)),
+        old.wcet,
+    );
+    let rebuilt = apps
+        .apps()
+        .map(|(a, app)| {
+            let mut b = TaskGraph::builder(app.name(), app.period())
+                .criticality(app.criticality())
+                .deadline(app.deadline());
+            for (t, task) in app.tasks() {
+                let task = if a.index() == 0 && t.index() == 0 {
+                    task.clone().with_exec(kind, inverted)
+                } else {
+                    task.clone()
+                };
+                b = b.task(task);
+            }
+            for (_, c) in app.channels() {
+                b = b.channel(c.src.index(), c.dst.index(), c.bytes);
+            }
+            b.build_unvalidated()
+        })
+        .collect();
+    AppSet::new_unvalidated(rebuilt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Linter;
+    use mcmap_model::{Architecture, ProcKind, Processor, Task};
+
+    fn arch() -> Architecture {
+        Architecture::builder()
+            .homogeneous(2, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-6))
+            .build()
+            .unwrap()
+    }
+
+    fn apps() -> AppSet {
+        let g = TaskGraph::builder("a", Time::from_ticks(1_000))
+            .criticality(Criticality::NonDroppable {
+                max_failure_rate: 1e-3,
+            })
+            .task(Task::new("x").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(10))))
+            .task(Task::new("y").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(10))))
+            .channel(0, 1, 4)
+            .build()
+            .unwrap();
+        AppSet::new(vec![g]).unwrap()
+    }
+
+    #[test]
+    fn baseline_is_clean() {
+        let (apps, arch) = (apps(), arch());
+        assert!(!Linter::new(&apps, &arch).lint().has_errors());
+    }
+
+    #[test]
+    fn injected_cycle_fires_mc0001() {
+        let (apps, arch) = (with_cycle(&apps()), arch());
+        let report = Linter::new(&apps, &arch).lint();
+        assert!(report.has_code("MC0001"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn injected_relbound_fires_mc0101() {
+        let (apps, arch) = (with_unsatisfiable_reliability(&apps()), arch());
+        let report = Linter::new(&apps, &arch).lint();
+        assert!(report.has_code("MC0101"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn injected_inversion_fires_mc0005() {
+        let (apps, arch) = (with_inverted_bounds(&apps()), arch());
+        let report = Linter::new(&apps, &arch).lint();
+        assert!(report.has_code("MC0005"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn injections_preserve_shape() {
+        let base = apps();
+        for mutant in [
+            with_cycle(&base),
+            with_unsatisfiable_reliability(&base),
+            with_inverted_bounds(&base),
+        ] {
+            assert_eq!(mutant.num_apps(), base.num_apps());
+            assert_eq!(mutant.num_tasks(), base.num_tasks());
+        }
+    }
+}

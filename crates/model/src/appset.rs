@@ -30,7 +30,6 @@ use crate::{lcm_time, AppId, Criticality, ModelError, TaskGraph, TaskId, TaskRef
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AppSet {
     apps: Vec<TaskGraph>,
     hyperperiod: Time,
@@ -54,9 +53,7 @@ impl AppSet {
         }
         for (i, app) in apps.iter().enumerate() {
             if app.deadline() > app.period() {
-                return Err(ModelError::DeadlineExceedsPeriod {
-                    app: AppId::new(i),
-                });
+                return Err(ModelError::DeadlineExceedsPeriod { app: AppId::new(i) });
             }
         }
         let hyperperiod = apps
@@ -77,6 +74,37 @@ impl AppSet {
             flat,
             offsets,
         })
+    }
+
+    /// Creates an application set **without** validating any invariant.
+    /// Intended for diagnostic tooling (`mcmap-lint`) that must inspect
+    /// malformed systems; analyses still require [`AppSet::new`]. Zero
+    /// periods are treated as one tick for the hyperperiod computation only.
+    pub fn new_unvalidated(apps: Vec<TaskGraph>) -> Self {
+        let hyperperiod = apps
+            .iter()
+            .map(|a| {
+                if a.period().is_zero() {
+                    Time::from_ticks(1)
+                } else {
+                    a.period()
+                }
+            })
+            .fold(Time::from_ticks(1), lcm_time);
+        let mut flat = Vec::new();
+        let mut offsets = Vec::with_capacity(apps.len());
+        for (ai, app) in apps.iter().enumerate() {
+            offsets.push(flat.len());
+            for ti in 0..app.num_tasks() {
+                flat.push(TaskRef::new(AppId::new(ai), TaskId::new(ti)));
+            }
+        }
+        AppSet {
+            apps,
+            hyperperiod,
+            flat,
+            offsets,
+        }
     }
 
     /// Number of applications.
@@ -234,7 +262,10 @@ mod tests {
     #[test]
     fn droppable_partition() {
         let set = sample();
-        assert_eq!(set.nondroppable_apps().collect::<Vec<_>>(), vec![AppId::new(0)]);
+        assert_eq!(
+            set.nondroppable_apps().collect::<Vec<_>>(),
+            vec![AppId::new(0)]
+        );
         assert_eq!(
             set.droppable_apps().collect::<Vec<_>>(),
             vec![AppId::new(1), AppId::new(2)]

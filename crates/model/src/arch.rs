@@ -24,7 +24,6 @@ use crate::{ModelError, ProcId, Time};
 /// assert_ne!(risc, dsp);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcKind(u16);
 
 impl ProcKind {
@@ -53,7 +52,6 @@ impl core::fmt::Display for ProcKind {
 /// (static) power `stat_p`, dynamic power `dyn_p`, and a constant transient
 /// fault rate `λ_p` per time unit.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Processor {
     /// Human-readable name, e.g. `"arm0"`.
     pub name: String,
@@ -117,7 +115,6 @@ impl Processor {
 /// additionally allow a constant per-message base latency so NoC-like hop
 /// costs can be approximated.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fabric {
     /// Bytes transferred per time tick.
     pub bandwidth: u64,
@@ -189,7 +186,6 @@ impl Default for Fabric {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Architecture {
     processors: Vec<Processor>,
     fabric: Fabric,
@@ -337,6 +333,16 @@ impl ArchitectureBuilder {
         };
         arch.validate()?;
         Ok(arch)
+    }
+
+    /// Finalizes **without** validating. Intended for diagnostic tooling
+    /// (`mcmap-lint`) that must inspect malformed platforms; analyses still
+    /// require [`ArchitectureBuilder::build`].
+    pub fn build_unvalidated(self) -> Architecture {
+        Architecture {
+            processors: self.processors,
+            fabric: self.fabric,
+        }
     }
 }
 

@@ -17,7 +17,6 @@ use crate::TaskId;
 /// assert_eq!(c.bytes, 128);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Channel {
     /// Producing task.
     pub src: TaskId,

@@ -42,7 +42,11 @@ pub fn to_dot(graph: &TaskGraph) -> String {
     let _ = writeln!(out, "  node [shape=box, style={style}];");
     for (_, t) in graph.tasks() {
         let wcet = t.max_wcet();
-        let _ = writeln!(out, "  \"{}\" [label=\"{}\\nwcet {}\"];", t.name, t.name, wcet);
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\\nwcet {}\"];",
+            t.name, t.name, wcet
+        );
     }
     for (_, c) in graph.channels() {
         let _ = writeln!(
@@ -120,7 +124,10 @@ mod tests {
 
     #[test]
     fn balanced_braces() {
-        for dot in [to_dot(&sample()), appset_to_dot(&AppSet::new(vec![sample()]).unwrap())] {
+        for dot in [
+            to_dot(&sample()),
+            appset_to_dot(&AppSet::new(vec![sample()]).unwrap()),
+        ] {
             assert_eq!(dot.matches('{').count(), dot.matches('}').count());
         }
     }

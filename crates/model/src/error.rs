@@ -92,7 +92,10 @@ impl fmt::Display for ModelError {
                 write!(f, "channel {channel} connects a task to itself")
             }
             ModelError::UnrunnableTask { task } => {
-                write!(f, "task {task} has no execution profile for any processor kind")
+                write!(
+                    f,
+                    "task {task} has no execution profile for any processor kind"
+                )
             }
             ModelError::InvertedExecutionBounds { task } => {
                 write!(f, "task {task} has bcet greater than wcet")
@@ -111,17 +114,49 @@ impl fmt::Display for ModelError {
                 write!(f, "processor {proc} has invalid fault rate {rate}")
             }
             ModelError::InvalidPower { proc } => {
-                write!(f, "processor {proc} has a negative or non-finite power figure")
+                write!(
+                    f,
+                    "processor {proc} has a negative or non-finite power figure"
+                )
             }
             ModelError::EmptyAppSet => write!(f, "application set is empty"),
             ModelError::DeadlineExceedsPeriod { app } => {
-                write!(f, "application {app} has a deadline greater than its period")
+                write!(
+                    f,
+                    "application {app} has a deadline greater than its period"
+                )
             }
         }
     }
 }
 
 impl std::error::Error for ModelError {}
+
+impl ModelError {
+    /// The stable diagnostic code of this error, shared with `mcmap-lint`
+    /// so model validation and the static analyzer report violations in one
+    /// `MC00xx` namespace. Codes are assigned in variant declaration order
+    /// and never reused.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ModelError::CyclicGraph { .. } => "MC0001",
+            ModelError::DanglingChannel { .. } => "MC0002",
+            ModelError::SelfLoop { .. } => "MC0003",
+            ModelError::UnrunnableTask { .. } => "MC0004",
+            ModelError::InvertedExecutionBounds { .. } => "MC0005",
+            ModelError::ZeroPeriod => "MC0006",
+            ModelError::ZeroDeadline => "MC0007",
+            ModelError::InvalidFailureRate { .. } => "MC0008",
+            ModelError::InvalidService { .. } => "MC0009",
+            ModelError::EmptyArchitecture => "MC0010",
+            ModelError::ZeroBandwidth => "MC0011",
+            ModelError::InvalidFaultRate { .. } => "MC0012",
+            ModelError::InvalidPower { .. } => "MC0013",
+            ModelError::EmptyAppSet => "MC0014",
+            ModelError::DeadlineExceedsPeriod { .. } => "MC0015",
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -147,6 +182,52 @@ mod tests {
     }
 
     #[test]
+    fn codes_are_stable_and_unique() {
+        let samples = [
+            ModelError::CyclicGraph {
+                app: AppId::new(0),
+                task: TaskId::new(0),
+            },
+            ModelError::DanglingChannel {
+                channel: ChannelId::new(0),
+                task: TaskId::new(0),
+            },
+            ModelError::SelfLoop {
+                channel: ChannelId::new(0),
+            },
+            ModelError::UnrunnableTask {
+                task: TaskId::new(0),
+            },
+            ModelError::InvertedExecutionBounds {
+                task: TaskId::new(0),
+            },
+            ModelError::ZeroPeriod,
+            ModelError::ZeroDeadline,
+            ModelError::InvalidFailureRate { rate: 2.0 },
+            ModelError::InvalidService { service: -1.0 },
+            ModelError::EmptyArchitecture,
+            ModelError::ZeroBandwidth,
+            ModelError::InvalidFaultRate {
+                proc: ProcId::new(0),
+                rate: -1.0,
+            },
+            ModelError::InvalidPower {
+                proc: ProcId::new(0),
+            },
+            ModelError::EmptyAppSet,
+            ModelError::DeadlineExceedsPeriod { app: AppId::new(0) },
+        ];
+        let codes: Vec<&str> = samples.iter().map(ModelError::code).collect();
+        assert_eq!(codes[0], "MC0001");
+        assert_eq!(codes[14], "MC0015");
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "codes must be unique");
+        assert!(codes.iter().all(|c| c.len() == 6 && c.starts_with("MC")));
+    }
+
+    #[test]
     fn variants_compare_by_value() {
         assert_eq!(
             ModelError::SelfLoop {
@@ -156,9 +237,6 @@ mod tests {
                 channel: ChannelId::new(1)
             }
         );
-        assert_ne!(
-            ModelError::ZeroPeriod,
-            ModelError::ZeroDeadline
-        );
+        assert_ne!(ModelError::ZeroPeriod, ModelError::ZeroDeadline);
     }
 }

@@ -13,7 +13,6 @@ use crate::{Channel, ChannelId, ModelError, Task, TaskId, Time};
 /// and `f_t = −1, sv_t` for droppable ones; we use an enum instead of the
 /// sentinel.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Criticality {
     /// The application must stay schedulable even under faults and its
     /// probability of unsafe execution per released instance must stay below
@@ -98,7 +97,6 @@ impl Criticality {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskGraph {
     name: String,
     period: Time,
@@ -224,12 +222,14 @@ impl TaskGraph {
 
     /// Tasks with no incoming channels.
     pub fn sources(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.task_ids().filter(|&t| self.preds[t.index()].is_empty())
+        self.task_ids()
+            .filter(|&t| self.preds[t.index()].is_empty())
     }
 
     /// Tasks with no outgoing channels.
     pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.task_ids().filter(|&t| self.succs[t.index()].is_empty())
+        self.task_ids()
+            .filter(|&t| self.succs[t.index()].is_empty())
     }
 
     /// A topological order of the tasks (computed once at build time).
@@ -344,6 +344,77 @@ impl TaskGraphBuilder {
     }
 }
 
+impl TaskGraphBuilder {
+    /// Finalizes **without** validating any invariant. Intended for
+    /// diagnostic tooling (`mcmap-lint`) that must be able to hold and
+    /// inspect malformed graphs; every analysis entry point still expects
+    /// validated input. Derived adjacency skips channels with out-of-range
+    /// endpoints (the channels themselves are kept and reported by lint),
+    /// and the topological order is best-effort: tasks caught in cycles are
+    /// appended in index order.
+    pub fn build_unvalidated(self) -> TaskGraph {
+        let n = self.tasks.len();
+        let deadline = self.deadline.unwrap_or(self.period);
+        let mut preds: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+        let mut sortable = Vec::new();
+        for (i, c) in self.channels.iter().enumerate() {
+            if c.src.index() >= n || c.dst.index() >= n {
+                continue;
+            }
+            let cid = ChannelId::new(i);
+            succs[c.src.index()].push(cid);
+            preds[c.dst.index()].push(cid);
+            if c.src != c.dst {
+                sortable.push(*c);
+            }
+        }
+        let topo = match topological_sort(n, &sortable) {
+            Ok(order) => order,
+            Err(_) => {
+                // Partial order: rerun Kahn manually, then append the
+                // tasks stuck on cycles so every id appears exactly once.
+                let mut indeg = vec![0usize; n];
+                for c in &sortable {
+                    indeg[c.dst.index()] += 1;
+                }
+                let mut order: Vec<TaskId> = Vec::with_capacity(n);
+                let mut emitted = vec![false; n];
+                let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+                while let Some(u) = queue.pop() {
+                    emitted[u] = true;
+                    order.push(TaskId::new(u));
+                    for &cid in &succs[u] {
+                        let c = &self.channels[cid.index()];
+                        if c.src == c.dst {
+                            continue;
+                        }
+                        let v = c.dst.index();
+                        indeg[v] -= 1;
+                        if indeg[v] == 0 {
+                            queue.push(v);
+                        }
+                    }
+                }
+                order.extend((0..n).filter(|&i| !emitted[i]).map(TaskId::new));
+                order
+            }
+        };
+
+        TaskGraph {
+            name: self.name,
+            period: self.period,
+            deadline,
+            criticality: self.criticality,
+            tasks: self.tasks,
+            channels: self.channels,
+            preds,
+            succs,
+            topo,
+        }
+    }
+}
+
 /// Kahn's algorithm; on a cycle returns some task on it as the error value.
 fn topological_sort(n: usize, channels: &[Channel]) -> Result<Vec<TaskId>, TaskId> {
     let mut indeg = vec![0usize; n];
@@ -407,7 +478,10 @@ mod tests {
     fn predecessors_and_successors() {
         let g = chain(3);
         let mid = TaskId::new(1);
-        assert_eq!(g.predecessors(mid).collect::<Vec<_>>(), vec![TaskId::new(0)]);
+        assert_eq!(
+            g.predecessors(mid).collect::<Vec<_>>(),
+            vec![TaskId::new(0)]
+        );
         assert_eq!(g.successors(mid).collect::<Vec<_>>(), vec![TaskId::new(2)]);
         assert_eq!(g.in_channels(mid).len(), 1);
         assert_eq!(g.out_channels(mid).len(), 1);

@@ -71,9 +71,9 @@ mod task;
 mod time;
 
 pub use appset::AppSet;
-pub use dot::{appset_to_dot, to_dot};
 pub use arch::{Architecture, ArchitectureBuilder, Fabric, ProcKind, Processor};
 pub use channel::Channel;
+pub use dot::{appset_to_dot, to_dot};
 pub use error::ModelError;
 pub use graph::{Criticality, TaskGraph, TaskGraphBuilder};
 pub use ids::{AppId, ChannelId, ProcId, TaskId, TaskRef};

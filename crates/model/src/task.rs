@@ -20,7 +20,6 @@ use crate::{ModelError, ProcKind, TaskId, Time};
 /// assert_eq!(b.wcet, Time::from_ticks(25));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExecBounds {
     /// Best-case execution time.
     pub bcet: Time,
@@ -74,7 +73,6 @@ impl ExecBounds {
 /// assert!(!t.runs_on(ProcKind::new(2)));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Task {
     /// Human-readable name.
     pub name: String,
@@ -222,7 +220,12 @@ mod tests {
     #[test]
     fn validate_rejects_unrunnable() {
         let err = Task::new("t").validate(TaskId::new(4)).unwrap_err();
-        assert_eq!(err, ModelError::UnrunnableTask { task: TaskId::new(4) });
+        assert_eq!(
+            err,
+            ModelError::UnrunnableTask {
+                task: TaskId::new(4)
+            }
+        );
     }
 
     #[test]

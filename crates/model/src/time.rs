@@ -27,7 +27,6 @@ use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 /// assert_eq!(wcet * 3, Time::from_ticks(450));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Time(u64);
 
 impl Time {

@@ -1,8 +1,6 @@
 //! Property-based tests for the model crate.
 
-use mcmap_model::{
-    lcm_time, AppSet, Criticality, ExecBounds, Task, TaskGraph, TaskId, Time,
-};
+use mcmap_model::{lcm_time, AppSet, Criticality, ExecBounds, Task, TaskGraph, TaskId, Time};
 use proptest::prelude::*;
 
 proptest! {
@@ -37,10 +35,7 @@ proptest! {
 
 /// Strategy: a random layered DAG description (tasks per layer, edges).
 fn layered_dag() -> impl Strategy<Value = (Vec<usize>, u64)> {
-    (
-        prop::collection::vec(1usize..4, 1..5),
-        1_000u64..100_000,
-    )
+    (prop::collection::vec(1usize..4, 1..5), 1_000u64..100_000)
 }
 
 proptest! {

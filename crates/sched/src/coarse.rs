@@ -76,8 +76,7 @@ impl<'a> CoarseAnalysis<'a> {
         let mut hp_budget: Vec<Vec<(HTaskId, u64)>> = vec![Vec::new(); n];
         for v in hsys.task_ids() {
             let pv = mapping.proc_of(v);
-            let non_preemptive =
-                policies[pv.index()] == SchedPolicy::FixedPriorityNonPreemptive;
+            let non_preemptive = policies[pv.index()] == SchedPolicy::FixedPriorityNonPreemptive;
             for w in hsys.task_ids() {
                 if w == v || mapping.proc_of(w) != pv {
                     continue;

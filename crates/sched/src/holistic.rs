@@ -151,10 +151,7 @@ impl<'a> HolisticAnalysis<'a> {
             }
         }
 
-        let period = hsys
-            .tasks()
-            .map(|(id, _)| hsys.app_of(id).period)
-            .collect();
+        let period = hsys.tasks().map(|(id, _)| hsys.app_of(id).period).collect();
 
         let limit = hyperperiod(hsys).saturating_mul(DIVERGENCE_HYPERPERIODS);
 
@@ -194,13 +191,7 @@ impl<'a> HolisticAnalysis<'a> {
 
     /// Busy-period response time of `v` (from its latest release), given the
     /// current latest-release estimates of the interferers.
-    fn local_response(
-        &self,
-        v: HTaskId,
-        bounds: &[ExecBounds],
-        er: &[Time],
-        lr: &[Time],
-    ) -> Time {
+    fn local_response(&self, v: HTaskId, bounds: &[ExecBounds], er: &[Time], lr: &[Time]) -> Time {
         let c = bounds[v.index()].wcet;
         if c.is_zero() {
             return Time::ZERO;
@@ -687,6 +678,11 @@ mod tests {
         let arch = arch(2);
         let hsys = harden(&apps, &HardeningPlan::unhardened(&apps), &arch).unwrap();
         let mapping = Mapping::new(&hsys, &arch, vec![ProcId::new(0)]).unwrap();
-        let _ = HolisticAnalysis::new(&hsys, &arch, &mapping, uniform_policies(1, SchedPolicy::default()));
+        let _ = HolisticAnalysis::new(
+            &hsys,
+            &arch,
+            &mapping,
+            uniform_policies(1, SchedPolicy::default()),
+        );
     }
 }

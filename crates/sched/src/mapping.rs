@@ -81,7 +81,11 @@ impl fmt::Display for MapError {
             MapError::KindMismatch { task, proc } => {
                 write!(f, "task {task} cannot execute on processor {proc}")
             }
-            MapError::FixedPlacementViolated { task, required, got } => {
+            MapError::FixedPlacementViolated {
+                task,
+                required,
+                got,
+            } => {
                 write!(
                     f,
                     "task {task} must stay on {required} (hardening plan) but was mapped to {got}"
@@ -244,13 +248,7 @@ pub fn rate_monotonic_priorities(hsys: &HardenedSystem) -> Vec<u32> {
         }
     }
     let mut order: Vec<HTaskId> = hsys.task_ids().collect();
-    order.sort_by_key(|&id| {
-        (
-            hsys.app_of(id).period,
-            depth[id.index()],
-            id.index(),
-        )
-    });
+    order.sort_by_key(|&id| (hsys.app_of(id).period, depth[id.index()], id.index()));
     let mut prio = vec![0u32; n];
     for (rank, id) in order.into_iter().enumerate() {
         prio[id.index()] = rank as u32;
@@ -293,10 +291,7 @@ pub fn nominal_utilization(
     for (id, t) in hsys.tasks() {
         let proc = mapping.proc_of(id);
         let kind = arch.processor(proc).kind;
-        let wcet = t
-            .nominal_bounds(kind)
-            .map(|b| b.wcet)
-            .unwrap_or(Time::ZERO);
+        let wcet = t.nominal_bounds(kind).map(|b| b.wcet).unwrap_or(Time::ZERO);
         let period = hsys.app_of(id).period;
         u[proc.index()] += wcet.as_f64() / period.as_f64();
     }
@@ -377,7 +372,9 @@ mod tests {
             .build()
             .unwrap();
         let g = TaskGraph::builder("g", Time::from_ticks(10))
-            .task(Task::new("t").with_exec(ProcKind::new(0), ExecBounds::exact(Time::from_ticks(1))))
+            .task(
+                Task::new("t").with_exec(ProcKind::new(0), ExecBounds::exact(Time::from_ticks(1))),
+            )
             .build()
             .unwrap();
         let apps = AppSet::new(vec![g]).unwrap();

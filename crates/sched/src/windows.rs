@@ -112,29 +112,29 @@ pub fn hyperperiod(hsys: &HardenedSystem) -> Time {
 mod tests {
     use super::*;
     use mcmap_hardening::{harden, HardeningPlan};
-    use mcmap_model::{
-        AppSet, ExecBounds, ProcId, ProcKind, Processor, Task, TaskGraph,
-    };
+    use mcmap_model::{AppSet, ExecBounds, ProcId, ProcKind, Processor, Task, TaskGraph};
 
     fn fixture() -> (Architecture, HardenedSystem, Mapping) {
         let arch = Architecture::builder()
             .homogeneous(2, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-7))
             .build()
             .unwrap();
-        let a = TaskGraph::builder("a", Time::from_ticks(40))
-            .task(Task::new("a0").with_uniform_exec(
-                1,
-                ExecBounds::new(Time::from_ticks(2), Time::from_ticks(4)),
-            ))
-            .build()
-            .unwrap();
-        let b = TaskGraph::builder("b", Time::from_ticks(60))
-            .task(Task::new("b0").with_uniform_exec(
-                1,
-                ExecBounds::new(Time::from_ticks(3), Time::from_ticks(6)),
-            ))
-            .build()
-            .unwrap();
+        let a =
+            TaskGraph::builder("a", Time::from_ticks(40))
+                .task(Task::new("a0").with_uniform_exec(
+                    1,
+                    ExecBounds::new(Time::from_ticks(2), Time::from_ticks(4)),
+                ))
+                .build()
+                .unwrap();
+        let b =
+            TaskGraph::builder("b", Time::from_ticks(60))
+                .task(Task::new("b0").with_uniform_exec(
+                    1,
+                    ExecBounds::new(Time::from_ticks(3), Time::from_ticks(6)),
+                ))
+                .build()
+                .unwrap();
         let apps = AppSet::new(vec![a, b]).unwrap();
         let hsys = harden(&apps, &HardeningPlan::unhardened(&apps), &arch).unwrap();
         let mapping = Mapping::new(&hsys, &arch, vec![ProcId::new(0), ProcId::new(1)]).unwrap();

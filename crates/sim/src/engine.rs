@@ -194,12 +194,7 @@ impl<'a> Simulator<'a> {
 
     /// Final post-re-execution value status of one copy in one instance:
     /// faulty only if every attempt in the budget is faulty.
-    fn copy_final_faulty(
-        &self,
-        faults: &mut dyn FaultModel,
-        task: HTaskId,
-        inst: u64,
-    ) -> bool {
+    fn copy_final_faulty(&self, faults: &mut dyn FaultModel, task: HTaskId, inst: u64) -> bool {
         let k = self.hsys.task(task).reexec;
         (0..=k).all(|attempt| faults.faulty(task, inst, attempt))
     }
@@ -330,12 +325,16 @@ impl<'s, 'a> Run<'s, 'a> {
             let period = sim.hsys.app_of(id).period;
             for inst in 0..run.insts[id.index()] {
                 let t = period * inst;
-                run.push(t, 2, Event::Release {
-                    key: JobKey {
-                        task: id.index(),
-                        inst,
+                run.push(
+                    t,
+                    2,
+                    Event::Release {
+                        key: JobKey {
+                            task: id.index(),
+                            inst,
+                        },
                     },
-                });
+                );
             }
         }
         for m in 1..=horizons {
@@ -346,7 +345,8 @@ impl<'s, 'a> Run<'s, 'a> {
 
     fn push(&mut self, t: Time, class: u8, ev: Event) {
         self.seq += 1;
-        self.events.push(Reverse((t, class, self.seq, EventBox(ev))));
+        self.events
+            .push(Reverse((t, class, self.seq, EventBox(ev))));
     }
 
     fn job(&self, key: JobKey) -> &Job {
@@ -733,11 +733,7 @@ impl<'s, 'a> Run<'s, 'a> {
 
         for app in hsys.apps() {
             let ai = app.app.index();
-            let n_inst = app
-                .members
-                .first()
-                .map(|&m| insts[m.index()])
-                .unwrap_or(0);
+            let n_inst = app.members.first().map(|&m| insts[m.index()]).unwrap_or(0);
             for inst in 0..n_inst {
                 let mut complete = true;
                 let mut latest = Time::ZERO;
@@ -852,8 +848,13 @@ mod tests {
             .unwrap();
         let apps = AppSet::new(vec![g]).unwrap();
         let plan = HardeningPlan::unhardened(&apps);
-        let (hsys, mapping, policies) =
-            build(apps, &arch, plan, vec![ProcId::new(0); 2], SchedPolicy::FixedPriorityPreemptive);
+        let (hsys, mapping, policies) = build(
+            apps,
+            &arch,
+            plan,
+            vec![ProcId::new(0); 2],
+            SchedPolicy::FixedPriorityPreemptive,
+        );
         let sim = Simulator::new(&hsys, &arch, &mapping, policies);
         let r = sim.run(&SimConfig::default(), &mut NoFaults);
         assert_eq!(r.app_wcrt[0], Time::from_ticks(30));
@@ -1178,13 +1179,14 @@ mod tests {
     #[test]
     fn best_case_exec_model_uses_bcet() {
         let arch = arch(1);
-        let g = TaskGraph::builder("g", Time::from_ticks(100))
-            .task(Task::new("a").with_uniform_exec(
-                1,
-                ExecBounds::new(Time::from_ticks(3), Time::from_ticks(9)),
-            ))
-            .build()
-            .unwrap();
+        let g =
+            TaskGraph::builder("g", Time::from_ticks(100))
+                .task(Task::new("a").with_uniform_exec(
+                    1,
+                    ExecBounds::new(Time::from_ticks(3), Time::from_ticks(9)),
+                ))
+                .build()
+                .unwrap();
         let apps = AppSet::new(vec![g]).unwrap();
         let plan = HardeningPlan::unhardened(&apps);
         let (hsys, mapping, policies) = build(
@@ -1209,7 +1211,9 @@ mod trace_tests {
     use super::*;
     use crate::{JobOutcome, NoFaults, ScriptedFaults};
     use mcmap_hardening::{harden, HardeningPlan, TaskHardening};
-    use mcmap_model::{AppSet, Criticality, ExecBounds, ProcId, ProcKind, Processor, Task, TaskGraph};
+    use mcmap_model::{
+        AppSet, Criticality, ExecBounds, ProcId, ProcKind, Processor, Task, TaskGraph,
+    };
     use mcmap_sched::uniform_policies;
 
     fn fixture() -> (Architecture, HardenedSystem, Mapping) {
@@ -1218,7 +1222,9 @@ mod trace_tests {
             .build()
             .unwrap();
         let hi = TaskGraph::builder("hi", Time::from_ticks(100))
-            .criticality(Criticality::NonDroppable { max_failure_rate: 1.0 })
+            .criticality(Criticality::NonDroppable {
+                max_failure_rate: 1.0,
+            })
             .task(
                 Task::new("fast")
                     .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(10)))
@@ -1242,13 +1248,21 @@ mod trace_tests {
     #[test]
     fn traced_run_matches_untraced_result() {
         let (arch, hsys, mapping) = fixture();
-        let sim = Simulator::new(&hsys, &arch, &mapping, uniform_policies(1, SchedPolicy::FixedPriorityPreemptive));
+        let sim = Simulator::new(
+            &hsys,
+            &arch,
+            &mapping,
+            uniform_policies(1, SchedPolicy::FixedPriorityPreemptive),
+        );
         let plain = sim.run(&SimConfig::default(), &mut NoFaults);
         let (traced, trace) = sim.run_traced(&SimConfig::default(), &mut NoFaults);
         assert_eq!(plain, traced);
         // Two jobs, two completion records, no drops, no critical entries.
         assert_eq!(trace.jobs.len(), 2);
-        assert!(trace.jobs.iter().all(|j| j.outcome == JobOutcome::Completed));
+        assert!(trace
+            .jobs
+            .iter()
+            .all(|j| j.outcome == JobOutcome::Completed));
         assert!(trace.critical_entries.is_empty());
         // Segments: fast 0-12, slow 12-52 (priorities: hi first).
         assert_eq!(trace.segments.len(), 2);
@@ -1261,7 +1275,12 @@ mod trace_tests {
     #[test]
     fn trace_captures_reexecution_and_drop() {
         let (arch, hsys, mapping) = fixture();
-        let sim = Simulator::new(&hsys, &arch, &mapping, uniform_policies(1, SchedPolicy::FixedPriorityPreemptive));
+        let sim = Simulator::new(
+            &hsys,
+            &arch,
+            &mapping,
+            uniform_policies(1, SchedPolicy::FixedPriorityPreemptive),
+        );
         let mut faults = ScriptedFaults::new().with_fault(HTaskId::new(0), 0, 0);
         let cfg = SimConfig {
             dropped: vec![AppId::new(1)],

@@ -97,12 +97,7 @@ impl RandomFaults {
     /// Creates the model from the mapped system; per-task probabilities are
     /// derived from the mapped processor's fault rate and the task's
     /// worst-case execution time.
-    pub fn new(
-        hsys: &HardenedSystem,
-        arch: &Architecture,
-        mapping: &Mapping,
-        seed: u64,
-    ) -> Self {
+    pub fn new(hsys: &HardenedSystem, arch: &Architecture, mapping: &Mapping, seed: u64) -> Self {
         let probs = hsys
             .tasks()
             .map(|(id, t)| {
@@ -217,7 +212,10 @@ mod tests {
         let low = count(1.0);
         let high = count(2000.0);
         assert!(high > low);
-        assert!(high > 100, "boosted rate should fire frequently, got {high}");
+        assert!(
+            high > 100,
+            "boosted rate should fire frequently, got {high}"
+        );
     }
 
     #[test]

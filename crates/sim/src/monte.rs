@@ -142,9 +142,8 @@ pub fn monte_carlo(
         samples: vec![Vec::with_capacity(cfg.runs); hsys.apps().len()],
     };
     for i in 0..cfg.runs {
-        let mut faults =
-            RandomFaults::new(hsys, arch, mapping, cfg.seed.wrapping_add(i as u64))
-                .with_boost(cfg.boost);
+        let mut faults = RandomFaults::new(hsys, arch, mapping, cfg.seed.wrapping_add(i as u64))
+            .with_boost(cfg.boost);
         let r = sim.run(&cfg.sim, &mut faults);
         result.merge(&r);
     }

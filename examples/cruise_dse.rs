@@ -49,7 +49,10 @@ fn main() {
         outcome.audit.reexecution_share() * 100.0
     );
 
-    println!("{:>12} {:>9}  dropped in critical mode", "power [mW]", "service");
+    println!(
+        "{:>12} {:>9}  dropped in critical mode",
+        "power [mW]", "service"
+    );
     let mut rows: Vec<_> = outcome.reports.iter().filter(|r| r.feasible).collect();
     rows.sort_by(|a, b| a.power.partial_cmp(&b.power).expect("finite power"));
     rows.dedup_by(|a, b| (a.power - b.power).abs() < 1e-9 && a.service == b.service);

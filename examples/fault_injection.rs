@@ -41,7 +41,11 @@ fn main() {
     let mapping = Mapping::new(&hsys, &b.arch, placement).expect("repaired plans map");
 
     let mc = analyze(&hsys, &b.arch, &mapping, &b.policies, &dropped);
-    println!("design: {} hardened tasks, dropped set T_d = {:?}\n", hsys.num_tasks(), dropped);
+    println!(
+        "design: {} hardened tasks, dropped set T_d = {:?}\n",
+        hsys.num_tasks(),
+        dropped
+    );
 
     println!(
         "{:>10} {:>8} | per-app max simulated response vs. static bound",
@@ -71,12 +75,7 @@ fn main() {
                 sim_wcrt,
                 bound
             );
-            print!(
-                " | {} {}/{}",
-                b.apps.app(id).name(),
-                sim_wcrt,
-                bound
-            );
+            print!(" | {} {}/{}", b.apps.app(id).name(), sim_wcrt, bound);
         }
         println!(
             "  (critical entries: {}, unsafe: {})",

@@ -7,7 +7,7 @@
 //! `crates/bench/src/bin/fig1_motivation.rs`.)
 
 use mcmap::core::analyze;
-use mcmap::hardening::{harden, HardeningPlan, HTaskId, TaskHardening};
+use mcmap::hardening::{harden, HTaskId, HardeningPlan, TaskHardening};
 use mcmap::model::{
     AppId, AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcId, ProcKind, Processor,
     Task, TaskGraph, Time,
@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("deadline of the critical chain: {deadline}");
-    println!("fault-free:          E finishes at {}", fault_free.app_wcrt[0]);
+    println!(
+        "fault-free:          E finishes at {}",
+        fault_free.app_wcrt[0]
+    );
     println!("fault, no dropping:  E finishes at {}", faulted.app_wcrt[0]);
     println!("fault, dropping low: E finishes at {}", rescued.app_wcrt[0]);
     assert!(fault_free.app_wcrt[0] <= deadline);

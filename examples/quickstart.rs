@@ -14,7 +14,10 @@ use mcmap::sched::{uniform_policies, Mapping, SchedPolicy};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Platform: two cores on a shared bus.
     let arch = Architecture::builder()
-        .homogeneous(2, Processor::new("core", ProcKind::new(0), 10.0, 60.0, 1e-6))
+        .homogeneous(
+            2,
+            Processor::new("core", ProcKind::new(0), 10.0, 60.0, 1e-6),
+        )
         .fabric(Fabric::new(32))
         .build()?;
 
@@ -27,12 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .task(
             Task::new("sense")
-                .with_uniform_exec(1, ExecBounds::new(Time::from_ticks(40), Time::from_ticks(90)))
+                .with_uniform_exec(
+                    1,
+                    ExecBounds::new(Time::from_ticks(40), Time::from_ticks(90)),
+                )
                 .with_detect_overhead(Time::from_ticks(5)),
         )
         .task(
             Task::new("act")
-                .with_uniform_exec(1, ExecBounds::new(Time::from_ticks(60), Time::from_ticks(120)))
+                .with_uniform_exec(
+                    1,
+                    ExecBounds::new(Time::from_ticks(60), Time::from_ticks(120)),
+                )
                 .with_detect_overhead(Time::from_ticks(5)),
         )
         .channel(0, 1, 64)

@@ -53,7 +53,14 @@ fn main() {
     );
     println!("hardening mix: {}\n", plan.technique_histogram());
 
-    let study = Sensitivity::new(&b.apps, &b.arch, &b.policies, plan, bindings, dropped.clone());
+    let study = Sensitivity::new(
+        &b.apps,
+        &b.arch,
+        &b.policies,
+        plan,
+        bindings,
+        dropped.clone(),
+    );
 
     println!("per-application slack:");
     for s in study.slack().expect("the best design instantiates") {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, and the whole test suite.
+# Usage: scripts/check.sh [--fix]
+#   --fix   apply rustfmt and clippy suggestions instead of just checking
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+    cargo fmt
+    cargo clippy --workspace --all-targets --fix --allow-dirty --allow-staged -- -D warnings
+else
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+cargo test --workspace -q
+
+echo "check.sh: all gates passed"

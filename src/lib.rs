@@ -15,6 +15,8 @@
 //! * [`ga`] — the multi-objective evolutionary framework (SPEA-II/NSGA-II);
 //! * [`core`] — Algorithm 1 (the mixed-criticality WCRT analysis) and the
 //!   mapping DSE;
+//! * [`lint`] — the static analyzer over models, hardening specs, and
+//!   genomes (structured `MC0xxx` diagnostics);
 //! * [`benchmarks`] — the Cruise, DT-med/large, and synthetic benchmarks.
 //!
 //! # Examples
@@ -35,6 +37,7 @@ pub use mcmap_benchmarks as benchmarks;
 pub use mcmap_core as core;
 pub use mcmap_ga as ga;
 pub use mcmap_hardening as hardening;
+pub use mcmap_lint as lint;
 pub use mcmap_model as model;
 pub use mcmap_sched as sched;
 pub use mcmap_sim as sim;

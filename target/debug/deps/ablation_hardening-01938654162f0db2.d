@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hardening-01938654162f0db2.d: crates/bench/src/bin/ablation_hardening.rs
+
+/root/repo/target/debug/deps/ablation_hardening-01938654162f0db2: crates/bench/src/bin/ablation_hardening.rs
+
+crates/bench/src/bin/ablation_hardening.rs:

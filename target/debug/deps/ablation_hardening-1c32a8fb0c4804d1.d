@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hardening-1c32a8fb0c4804d1.d: crates/bench/src/bin/ablation_hardening.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hardening-1c32a8fb0c4804d1.rmeta: crates/bench/src/bin/ablation_hardening.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hardening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hardening-79dd1604181a7f27.d: crates/bench/src/bin/ablation_hardening.rs
+
+/root/repo/target/debug/deps/ablation_hardening-79dd1604181a7f27: crates/bench/src/bin/ablation_hardening.rs
+
+crates/bench/src/bin/ablation_hardening.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hardening-83ecdb09370eaf43.d: crates/bench/src/bin/ablation_hardening.rs
+
+/root/repo/target/debug/deps/ablation_hardening-83ecdb09370eaf43: crates/bench/src/bin/ablation_hardening.rs
+
+crates/bench/src/bin/ablation_hardening.rs:

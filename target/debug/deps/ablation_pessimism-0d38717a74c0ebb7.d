@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pessimism-0d38717a74c0ebb7.d: crates/bench/benches/ablation_pessimism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pessimism-0d38717a74c0ebb7.rmeta: crates/bench/benches/ablation_pessimism.rs Cargo.toml
+
+crates/bench/benches/ablation_pessimism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

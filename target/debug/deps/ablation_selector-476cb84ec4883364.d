@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_selector-476cb84ec4883364.d: crates/bench/benches/ablation_selector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_selector-476cb84ec4883364.rmeta: crates/bench/benches/ablation_selector.rs Cargo.toml
+
+crates/bench/benches/ablation_selector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

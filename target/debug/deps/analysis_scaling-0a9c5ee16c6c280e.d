@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_scaling-0a9c5ee16c6c280e.d: crates/bench/benches/analysis_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_scaling-0a9c5ee16c6c280e.rmeta: crates/bench/benches/analysis_scaling.rs Cargo.toml
+
+crates/bench/benches/analysis_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/counterexamples-52e715a6f6143007.d: crates/lint/tests/counterexamples.rs
+
+/root/repo/target/debug/deps/counterexamples-52e715a6f6143007: crates/lint/tests/counterexamples.rs
+
+crates/lint/tests/counterexamples.rs:

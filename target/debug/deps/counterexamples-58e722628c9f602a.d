@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/counterexamples-58e722628c9f602a.d: crates/lint/tests/counterexamples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcounterexamples-58e722628c9f602a.rmeta: crates/lint/tests/counterexamples.rs Cargo.toml
+
+crates/lint/tests/counterexamples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

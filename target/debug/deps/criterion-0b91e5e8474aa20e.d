@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-0b91e5e8474aa20e.d: compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-0b91e5e8474aa20e.rmeta: compat/criterion/src/lib.rs Cargo.toml
+
+compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

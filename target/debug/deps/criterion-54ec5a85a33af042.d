@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-54ec5a85a33af042.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-54ec5a85a33af042: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

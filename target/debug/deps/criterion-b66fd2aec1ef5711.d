@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-b66fd2aec1ef5711.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b66fd2aec1ef5711.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b66fd2aec1ef5711.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dse_power-9f27097ba8398b71.d: crates/bench/benches/dse_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdse_power-9f27097ba8398b71.rmeta: crates/bench/benches/dse_power.rs Cargo.toml
+
+crates/bench/benches/dse_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-b9f218aa41ae7c8a.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-b9f218aa41ae7c8a: tests/experiments.rs
+
+tests/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-c1f02112d1ac8f09.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-c1f02112d1ac8f09: tests/experiments.rs
+
+tests/experiments.rs:

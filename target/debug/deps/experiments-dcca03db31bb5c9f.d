@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-dcca03db31bb5c9f.d: tests/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-dcca03db31bb5c9f.rmeta: tests/experiments.rs Cargo.toml
+
+tests/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

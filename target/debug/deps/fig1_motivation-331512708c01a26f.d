@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_motivation-331512708c01a26f.d: crates/bench/src/bin/fig1_motivation.rs
+
+/root/repo/target/debug/deps/fig1_motivation-331512708c01a26f: crates/bench/src/bin/fig1_motivation.rs
+
+crates/bench/src/bin/fig1_motivation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_motivation-6b0861c643b2c992.d: crates/bench/benches/fig1_motivation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_motivation-6b0861c643b2c992.rmeta: crates/bench/benches/fig1_motivation.rs Cargo.toml
+
+crates/bench/benches/fig1_motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

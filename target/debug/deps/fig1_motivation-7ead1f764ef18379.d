@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_motivation-7ead1f764ef18379.d: crates/bench/src/bin/fig1_motivation.rs
+
+/root/repo/target/debug/deps/fig1_motivation-7ead1f764ef18379: crates/bench/src/bin/fig1_motivation.rs
+
+crates/bench/src/bin/fig1_motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_motivation-7f6d8fcad3e5fb50.d: crates/bench/src/bin/fig1_motivation.rs
+
+/root/repo/target/debug/deps/fig1_motivation-7f6d8fcad3e5fb50: crates/bench/src/bin/fig1_motivation.rs
+
+crates/bench/src/bin/fig1_motivation.rs:

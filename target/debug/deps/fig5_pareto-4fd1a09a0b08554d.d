@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pareto-4fd1a09a0b08554d.d: crates/bench/src/bin/fig5_pareto.rs
+
+/root/repo/target/debug/deps/fig5_pareto-4fd1a09a0b08554d: crates/bench/src/bin/fig5_pareto.rs
+
+crates/bench/src/bin/fig5_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pareto-6793ad5c9823f124.d: crates/bench/src/bin/fig5_pareto.rs
+
+/root/repo/target/debug/deps/fig5_pareto-6793ad5c9823f124: crates/bench/src/bin/fig5_pareto.rs
+
+crates/bench/src/bin/fig5_pareto.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_pareto-ec690ef2f588a36c.d: crates/bench/src/bin/fig5_pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_pareto-ec690ef2f588a36c.rmeta: crates/bench/src/bin/fig5_pareto.rs Cargo.toml
+
+crates/bench/src/bin/fig5_pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

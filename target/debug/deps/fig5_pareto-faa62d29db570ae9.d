@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pareto-faa62d29db570ae9.d: crates/bench/src/bin/fig5_pareto.rs
+
+/root/repo/target/debug/deps/fig5_pareto-faa62d29db570ae9: crates/bench/src/bin/fig5_pareto.rs
+
+crates/bench/src/bin/fig5_pareto.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcmap-429bfe65a68e9547.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmcmap-429bfe65a68e9547.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmcmap-429bfe65a68e9547.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcmap-6a7e72bf874ee0c2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmcmap-6a7e72bf874ee0c2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmcmap-6a7e72bf874ee0c2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcmap-79d5f51c0ddbde8a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap-79d5f51c0ddbde8a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

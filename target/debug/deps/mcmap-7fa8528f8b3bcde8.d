@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcmap-7fa8528f8b3bcde8.d: src/lib.rs
+
+/root/repo/target/debug/deps/mcmap-7fa8528f8b3bcde8: src/lib.rs
+
+src/lib.rs:

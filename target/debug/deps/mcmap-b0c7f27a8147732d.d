@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcmap-b0c7f27a8147732d.d: src/lib.rs
+
+/root/repo/target/debug/deps/mcmap-b0c7f27a8147732d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcmap_bench-589b0e0fdd2efe3b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mcmap_bench-589b0e0fdd2efe3b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcmap_bench-8556eb98faad57a4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mcmap_bench-8556eb98faad57a4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

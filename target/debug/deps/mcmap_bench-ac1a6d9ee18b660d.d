@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcmap_bench-ac1a6d9ee18b660d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcmap_bench-ac1a6d9ee18b660d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcmap_bench-ac1a6d9ee18b660d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

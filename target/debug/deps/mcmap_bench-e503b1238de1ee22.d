@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcmap_bench-e503b1238de1ee22.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcmap_bench-e503b1238de1ee22.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcmap_bench-e503b1238de1ee22.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcmap_bench-e8ca52addb73da04.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_bench-e8ca52addb73da04.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

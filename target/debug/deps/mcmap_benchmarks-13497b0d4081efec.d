@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mcmap_benchmarks-13497b0d4081efec.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/arch.rs crates/benchmarks/src/cruise.rs crates/benchmarks/src/dt.rs crates/benchmarks/src/synth.rs crates/benchmarks/src/util.rs
+
+/root/repo/target/debug/deps/libmcmap_benchmarks-13497b0d4081efec.rlib: crates/benchmarks/src/lib.rs crates/benchmarks/src/arch.rs crates/benchmarks/src/cruise.rs crates/benchmarks/src/dt.rs crates/benchmarks/src/synth.rs crates/benchmarks/src/util.rs
+
+/root/repo/target/debug/deps/libmcmap_benchmarks-13497b0d4081efec.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/arch.rs crates/benchmarks/src/cruise.rs crates/benchmarks/src/dt.rs crates/benchmarks/src/synth.rs crates/benchmarks/src/util.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/arch.rs:
+crates/benchmarks/src/cruise.rs:
+crates/benchmarks/src/dt.rs:
+crates/benchmarks/src/synth.rs:
+crates/benchmarks/src/util.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mcmap_benchmarks-6431f9ca611771c7.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/arch.rs crates/benchmarks/src/cruise.rs crates/benchmarks/src/dt.rs crates/benchmarks/src/synth.rs crates/benchmarks/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_benchmarks-6431f9ca611771c7.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/arch.rs crates/benchmarks/src/cruise.rs crates/benchmarks/src/dt.rs crates/benchmarks/src/synth.rs crates/benchmarks/src/util.rs Cargo.toml
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/arch.rs:
+crates/benchmarks/src/cruise.rs:
+crates/benchmarks/src/dt.rs:
+crates/benchmarks/src/synth.rs:
+crates/benchmarks/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

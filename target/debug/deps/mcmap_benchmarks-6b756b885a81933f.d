@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mcmap_benchmarks-6b756b885a81933f.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/arch.rs crates/benchmarks/src/cruise.rs crates/benchmarks/src/dt.rs crates/benchmarks/src/synth.rs crates/benchmarks/src/util.rs
+
+/root/repo/target/debug/deps/mcmap_benchmarks-6b756b885a81933f: crates/benchmarks/src/lib.rs crates/benchmarks/src/arch.rs crates/benchmarks/src/cruise.rs crates/benchmarks/src/dt.rs crates/benchmarks/src/synth.rs crates/benchmarks/src/util.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/arch.rs:
+crates/benchmarks/src/cruise.rs:
+crates/benchmarks/src/dt.rs:
+crates/benchmarks/src/synth.rs:
+crates/benchmarks/src/util.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcmap_cli-4c4a1f2763779777.d: crates/bench/src/bin/mcmap_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_cli-4c4a1f2763779777.rmeta: crates/bench/src/bin/mcmap_cli.rs Cargo.toml
+
+crates/bench/src/bin/mcmap_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

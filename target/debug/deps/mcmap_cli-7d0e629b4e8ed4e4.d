@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcmap_cli-7d0e629b4e8ed4e4.d: crates/bench/src/bin/mcmap_cli.rs
+
+/root/repo/target/debug/deps/mcmap_cli-7d0e629b4e8ed4e4: crates/bench/src/bin/mcmap_cli.rs
+
+crates/bench/src/bin/mcmap_cli.rs:

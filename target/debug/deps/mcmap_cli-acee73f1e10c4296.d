@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcmap_cli-acee73f1e10c4296.d: crates/bench/src/bin/mcmap_cli.rs
+
+/root/repo/target/debug/deps/mcmap_cli-acee73f1e10c4296: crates/bench/src/bin/mcmap_cli.rs
+
+crates/bench/src/bin/mcmap_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcmap_cli-fe30cece00ea5109.d: crates/bench/src/bin/mcmap_cli.rs
+
+/root/repo/target/debug/deps/mcmap_cli-fe30cece00ea5109: crates/bench/src/bin/mcmap_cli.rs
+
+crates/bench/src/bin/mcmap_cli.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcmap_core-578026804085f502.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/debug/deps/mcmap_core-578026804085f502: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/dse.rs:
+crates/core/src/genome.rs:
+crates/core/src/objective.rs:
+crates/core/src/repair.rs:
+crates/core/src/sensitivity.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcmap_core-94b3b3a1c27b5049.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/debug/deps/mcmap_core-94b3b3a1c27b5049: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/dse.rs:
+crates/core/src/genome.rs:
+crates/core/src/objective.rs:
+crates/core/src/repair.rs:
+crates/core/src/sensitivity.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mcmap_core-b1004026b87c1463.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_core-b1004026b87c1463.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/dse.rs:
+crates/core/src/genome.rs:
+crates/core/src/objective.rs:
+crates/core/src/repair.rs:
+crates/core/src/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

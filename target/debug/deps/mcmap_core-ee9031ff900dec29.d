@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcmap_core-ee9031ff900dec29.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libmcmap_core-ee9031ff900dec29.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libmcmap_core-ee9031ff900dec29.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/dse.rs:
+crates/core/src/genome.rs:
+crates/core/src/objective.rs:
+crates/core/src/repair.rs:
+crates/core/src/sensitivity.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mcmap_ga-56529ce9a1f5c9f1.d: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_ga-56529ce9a1f5c9f1.rmeta: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs Cargo.toml
+
+crates/ga/src/lib.rs:
+crates/ga/src/driver.rs:
+crates/ga/src/hypervolume.rs:
+crates/ga/src/nsga2.rs:
+crates/ga/src/problem.rs:
+crates/ga/src/spea2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mcmap_ga-6e3ded6c6e45825c.d: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_ga-6e3ded6c6e45825c.rmeta: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs Cargo.toml
+
+crates/ga/src/lib.rs:
+crates/ga/src/driver.rs:
+crates/ga/src/hypervolume.rs:
+crates/ga/src/nsga2.rs:
+crates/ga/src/problem.rs:
+crates/ga/src/spea2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

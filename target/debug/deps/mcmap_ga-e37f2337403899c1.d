@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mcmap_ga-e37f2337403899c1.d: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs
+
+/root/repo/target/debug/deps/mcmap_ga-e37f2337403899c1: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/driver.rs:
+crates/ga/src/hypervolume.rs:
+crates/ga/src/nsga2.rs:
+crates/ga/src/problem.rs:
+crates/ga/src/spea2.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mcmap_ga-f001e19026597565.d: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs
+
+/root/repo/target/debug/deps/libmcmap_ga-f001e19026597565.rlib: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs
+
+/root/repo/target/debug/deps/libmcmap_ga-f001e19026597565.rmeta: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/driver.rs:
+crates/ga/src/hypervolume.rs:
+crates/ga/src/nsga2.rs:
+crates/ga/src/problem.rs:
+crates/ga/src/spea2.rs:

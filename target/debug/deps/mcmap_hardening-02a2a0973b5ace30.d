@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mcmap_hardening-02a2a0973b5ace30.d: crates/hardening/src/lib.rs crates/hardening/src/dot.rs crates/hardening/src/htask.rs crates/hardening/src/reliability.rs crates/hardening/src/spec.rs crates/hardening/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_hardening-02a2a0973b5ace30.rmeta: crates/hardening/src/lib.rs crates/hardening/src/dot.rs crates/hardening/src/htask.rs crates/hardening/src/reliability.rs crates/hardening/src/spec.rs crates/hardening/src/transform.rs Cargo.toml
+
+crates/hardening/src/lib.rs:
+crates/hardening/src/dot.rs:
+crates/hardening/src/htask.rs:
+crates/hardening/src/reliability.rs:
+crates/hardening/src/spec.rs:
+crates/hardening/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mcmap_hardening-03f3ef666f8823d5.d: crates/hardening/src/lib.rs crates/hardening/src/dot.rs crates/hardening/src/htask.rs crates/hardening/src/reliability.rs crates/hardening/src/spec.rs crates/hardening/src/transform.rs
+
+/root/repo/target/debug/deps/mcmap_hardening-03f3ef666f8823d5: crates/hardening/src/lib.rs crates/hardening/src/dot.rs crates/hardening/src/htask.rs crates/hardening/src/reliability.rs crates/hardening/src/spec.rs crates/hardening/src/transform.rs
+
+crates/hardening/src/lib.rs:
+crates/hardening/src/dot.rs:
+crates/hardening/src/htask.rs:
+crates/hardening/src/reliability.rs:
+crates/hardening/src/spec.rs:
+crates/hardening/src/transform.rs:

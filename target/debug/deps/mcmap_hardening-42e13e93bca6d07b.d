@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mcmap_hardening-42e13e93bca6d07b.d: crates/hardening/src/lib.rs crates/hardening/src/dot.rs crates/hardening/src/htask.rs crates/hardening/src/reliability.rs crates/hardening/src/spec.rs crates/hardening/src/transform.rs
+
+/root/repo/target/debug/deps/libmcmap_hardening-42e13e93bca6d07b.rlib: crates/hardening/src/lib.rs crates/hardening/src/dot.rs crates/hardening/src/htask.rs crates/hardening/src/reliability.rs crates/hardening/src/spec.rs crates/hardening/src/transform.rs
+
+/root/repo/target/debug/deps/libmcmap_hardening-42e13e93bca6d07b.rmeta: crates/hardening/src/lib.rs crates/hardening/src/dot.rs crates/hardening/src/htask.rs crates/hardening/src/reliability.rs crates/hardening/src/spec.rs crates/hardening/src/transform.rs
+
+crates/hardening/src/lib.rs:
+crates/hardening/src/dot.rs:
+crates/hardening/src/htask.rs:
+crates/hardening/src/reliability.rs:
+crates/hardening/src/spec.rs:
+crates/hardening/src/transform.rs:

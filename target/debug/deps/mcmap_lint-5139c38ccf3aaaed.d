@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcmap_lint-5139c38ccf3aaaed.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_lint-5139c38ccf3aaaed.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/genome.rs:
+crates/lint/src/inject.rs:
+crates/lint/src/passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

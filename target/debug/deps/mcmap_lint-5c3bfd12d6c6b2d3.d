@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcmap_lint-5c3bfd12d6c6b2d3.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs
+
+/root/repo/target/debug/deps/mcmap_lint-5c3bfd12d6c6b2d3: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/genome.rs:
+crates/lint/src/inject.rs:
+crates/lint/src/passes.rs:

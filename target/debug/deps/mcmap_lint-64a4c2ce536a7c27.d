@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcmap_lint-64a4c2ce536a7c27.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs
+
+/root/repo/target/debug/deps/mcmap_lint-64a4c2ce536a7c27: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/genome.rs:
+crates/lint/src/inject.rs:
+crates/lint/src/passes.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcmap_lint-cff7896affc2ad6e.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs
+
+/root/repo/target/debug/deps/libmcmap_lint-cff7896affc2ad6e.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs
+
+/root/repo/target/debug/deps/libmcmap_lint-cff7896affc2ad6e.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/genome.rs:
+crates/lint/src/inject.rs:
+crates/lint/src/passes.rs:

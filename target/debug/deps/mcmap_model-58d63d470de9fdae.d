@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mcmap_model-58d63d470de9fdae.d: crates/model/src/lib.rs crates/model/src/appset.rs crates/model/src/arch.rs crates/model/src/channel.rs crates/model/src/dot.rs crates/model/src/error.rs crates/model/src/graph.rs crates/model/src/ids.rs crates/model/src/task.rs crates/model/src/time.rs
+
+/root/repo/target/debug/deps/libmcmap_model-58d63d470de9fdae.rlib: crates/model/src/lib.rs crates/model/src/appset.rs crates/model/src/arch.rs crates/model/src/channel.rs crates/model/src/dot.rs crates/model/src/error.rs crates/model/src/graph.rs crates/model/src/ids.rs crates/model/src/task.rs crates/model/src/time.rs
+
+/root/repo/target/debug/deps/libmcmap_model-58d63d470de9fdae.rmeta: crates/model/src/lib.rs crates/model/src/appset.rs crates/model/src/arch.rs crates/model/src/channel.rs crates/model/src/dot.rs crates/model/src/error.rs crates/model/src/graph.rs crates/model/src/ids.rs crates/model/src/task.rs crates/model/src/time.rs
+
+crates/model/src/lib.rs:
+crates/model/src/appset.rs:
+crates/model/src/arch.rs:
+crates/model/src/channel.rs:
+crates/model/src/dot.rs:
+crates/model/src/error.rs:
+crates/model/src/graph.rs:
+crates/model/src/ids.rs:
+crates/model/src/task.rs:
+crates/model/src/time.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mcmap_model-9bc15f4a394b008a.d: crates/model/src/lib.rs crates/model/src/appset.rs crates/model/src/arch.rs crates/model/src/channel.rs crates/model/src/dot.rs crates/model/src/error.rs crates/model/src/graph.rs crates/model/src/ids.rs crates/model/src/task.rs crates/model/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_model-9bc15f4a394b008a.rmeta: crates/model/src/lib.rs crates/model/src/appset.rs crates/model/src/arch.rs crates/model/src/channel.rs crates/model/src/dot.rs crates/model/src/error.rs crates/model/src/graph.rs crates/model/src/ids.rs crates/model/src/task.rs crates/model/src/time.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/appset.rs:
+crates/model/src/arch.rs:
+crates/model/src/channel.rs:
+crates/model/src/dot.rs:
+crates/model/src/error.rs:
+crates/model/src/graph.rs:
+crates/model/src/ids.rs:
+crates/model/src/task.rs:
+crates/model/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

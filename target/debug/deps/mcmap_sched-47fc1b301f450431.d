@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcmap_sched-47fc1b301f450431.d: crates/sched/src/lib.rs crates/sched/src/coarse.rs crates/sched/src/holistic.rs crates/sched/src/mapping.rs crates/sched/src/windows.rs
+
+/root/repo/target/debug/deps/libmcmap_sched-47fc1b301f450431.rlib: crates/sched/src/lib.rs crates/sched/src/coarse.rs crates/sched/src/holistic.rs crates/sched/src/mapping.rs crates/sched/src/windows.rs
+
+/root/repo/target/debug/deps/libmcmap_sched-47fc1b301f450431.rmeta: crates/sched/src/lib.rs crates/sched/src/coarse.rs crates/sched/src/holistic.rs crates/sched/src/mapping.rs crates/sched/src/windows.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/coarse.rs:
+crates/sched/src/holistic.rs:
+crates/sched/src/mapping.rs:
+crates/sched/src/windows.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcmap_sched-50e0bb8bfeccb72f.d: crates/sched/src/lib.rs crates/sched/src/coarse.rs crates/sched/src/holistic.rs crates/sched/src/mapping.rs crates/sched/src/windows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_sched-50e0bb8bfeccb72f.rmeta: crates/sched/src/lib.rs crates/sched/src/coarse.rs crates/sched/src/holistic.rs crates/sched/src/mapping.rs crates/sched/src/windows.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/coarse.rs:
+crates/sched/src/holistic.rs:
+crates/sched/src/mapping.rs:
+crates/sched/src/windows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcmap_sched-5f530581c9d80f77.d: crates/sched/src/lib.rs crates/sched/src/coarse.rs crates/sched/src/holistic.rs crates/sched/src/mapping.rs crates/sched/src/windows.rs
+
+/root/repo/target/debug/deps/mcmap_sched-5f530581c9d80f77: crates/sched/src/lib.rs crates/sched/src/coarse.rs crates/sched/src/holistic.rs crates/sched/src/mapping.rs crates/sched/src/windows.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/coarse.rs:
+crates/sched/src/holistic.rs:
+crates/sched/src/mapping.rs:
+crates/sched/src/windows.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcmap_sim-2642953d7d177a5c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_sim-2642953d7d177a5c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/monte.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

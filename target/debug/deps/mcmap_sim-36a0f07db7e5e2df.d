@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcmap_sim-36a0f07db7e5e2df.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcmap_sim-36a0f07db7e5e2df.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/monte.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcmap_sim-4f40de4a94422d6d.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/mcmap_sim-4f40de4a94422d6d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/monte.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcmap_sim-fc899393d6da9d94.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libmcmap_sim-fc899393d6da9d94.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libmcmap_sim-fc899393d6da9d94.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/monte.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pareto_front-0d734c7ebd139643.d: crates/bench/benches/pareto_front.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpareto_front-0d734c7ebd139643.rmeta: crates/bench/benches/pareto_front.rs Cargo.toml
+
+crates/bench/benches/pareto_front.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-0341246ffc1286db.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-0341246ffc1286db.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

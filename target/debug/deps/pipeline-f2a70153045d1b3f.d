@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-f2a70153045d1b3f.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-f2a70153045d1b3f: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-ffb44f61c66ee810.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-ffb44f61c66ee810: tests/pipeline.rs
+
+tests/pipeline.rs:

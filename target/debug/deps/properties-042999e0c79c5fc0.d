@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-042999e0c79c5fc0.d: crates/ga/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-042999e0c79c5fc0.rmeta: crates/ga/tests/properties.rs Cargo.toml
+
+crates/ga/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1f06b940836c16b2.d: crates/hardening/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1f06b940836c16b2.rmeta: crates/hardening/tests/properties.rs Cargo.toml
+
+crates/hardening/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2f44d8299888b02b.d: crates/model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2f44d8299888b02b: crates/model/tests/properties.rs
+
+crates/model/tests/properties.rs:

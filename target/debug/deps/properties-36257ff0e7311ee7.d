@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-36257ff0e7311ee7.d: crates/ga/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-36257ff0e7311ee7: crates/ga/tests/properties.rs
+
+crates/ga/tests/properties.rs:

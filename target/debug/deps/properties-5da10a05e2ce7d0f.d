@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5da10a05e2ce7d0f.d: crates/sched/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5da10a05e2ce7d0f: crates/sched/tests/properties.rs
+
+crates/sched/tests/properties.rs:

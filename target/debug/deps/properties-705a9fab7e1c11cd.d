@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-705a9fab7e1c11cd.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-705a9fab7e1c11cd: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8f8a50342183e9ea.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8f8a50342183e9ea: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

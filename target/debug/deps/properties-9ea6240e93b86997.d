@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-9ea6240e93b86997.d: crates/sched/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-9ea6240e93b86997.rmeta: crates/sched/tests/properties.rs Cargo.toml
+
+crates/sched/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

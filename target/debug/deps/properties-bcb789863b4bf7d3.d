@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bcb789863b4bf7d3.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bcb789863b4bf7d3: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

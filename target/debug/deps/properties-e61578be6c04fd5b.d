@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e61578be6c04fd5b.d: crates/hardening/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e61578be6c04fd5b: crates/hardening/tests/properties.rs
+
+crates/hardening/tests/properties.rs:

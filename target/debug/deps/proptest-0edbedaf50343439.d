@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-0edbedaf50343439.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0edbedaf50343439.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0edbedaf50343439.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

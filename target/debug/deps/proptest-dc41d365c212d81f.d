@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-dc41d365c212d81f.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-dc41d365c212d81f: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

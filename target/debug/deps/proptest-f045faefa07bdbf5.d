@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-f045faefa07bdbf5.d: compat/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-f045faefa07bdbf5.rmeta: compat/proptest/src/lib.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-8d83c7870216523f.d: compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-8d83c7870216523f.rmeta: compat/rand/src/lib.rs Cargo.toml
+
+compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b6005b1784738382.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-b6005b1784738382: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e142f7087c6d6c60.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e142f7087c6d6c60.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e142f7087c6d6c60.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

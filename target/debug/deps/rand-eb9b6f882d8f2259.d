@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-eb9b6f882d8f2259.d: compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-eb9b6f882d8f2259.rmeta: compat/rand/src/lib.rs Cargo.toml
+
+compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

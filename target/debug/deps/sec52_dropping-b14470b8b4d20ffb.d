@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec52_dropping-b14470b8b4d20ffb.d: crates/bench/src/bin/sec52_dropping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec52_dropping-b14470b8b4d20ffb.rmeta: crates/bench/src/bin/sec52_dropping.rs Cargo.toml
+
+crates/bench/src/bin/sec52_dropping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec52_dropping-b414e8d3768c962d.d: crates/bench/src/bin/sec52_dropping.rs
+
+/root/repo/target/debug/deps/sec52_dropping-b414e8d3768c962d: crates/bench/src/bin/sec52_dropping.rs
+
+crates/bench/src/bin/sec52_dropping.rs:

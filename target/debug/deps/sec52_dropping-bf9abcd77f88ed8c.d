@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec52_dropping-bf9abcd77f88ed8c.d: crates/bench/src/bin/sec52_dropping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec52_dropping-bf9abcd77f88ed8c.rmeta: crates/bench/src/bin/sec52_dropping.rs Cargo.toml
+
+crates/bench/src/bin/sec52_dropping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec52_dropping-d4597522e530680b.d: crates/bench/src/bin/sec52_dropping.rs
+
+/root/repo/target/debug/deps/sec52_dropping-d4597522e530680b: crates/bench/src/bin/sec52_dropping.rs
+
+crates/bench/src/bin/sec52_dropping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec52_dropping-f253d59e49459f48.d: crates/bench/src/bin/sec52_dropping.rs
+
+/root/repo/target/debug/deps/sec52_dropping-f253d59e49459f48: crates/bench/src/bin/sec52_dropping.rs
+
+crates/bench/src/bin/sec52_dropping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_wcrt-6931c77538befc4c.d: crates/bench/src/bin/table2_wcrt.rs
+
+/root/repo/target/debug/deps/table2_wcrt-6931c77538befc4c: crates/bench/src/bin/table2_wcrt.rs
+
+crates/bench/src/bin/table2_wcrt.rs:

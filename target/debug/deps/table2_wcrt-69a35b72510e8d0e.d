@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_wcrt-69a35b72510e8d0e.d: crates/bench/src/bin/table2_wcrt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_wcrt-69a35b72510e8d0e.rmeta: crates/bench/src/bin/table2_wcrt.rs Cargo.toml
+
+crates/bench/src/bin/table2_wcrt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

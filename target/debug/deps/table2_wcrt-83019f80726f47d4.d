@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_wcrt-83019f80726f47d4.d: crates/bench/src/bin/table2_wcrt.rs
+
+/root/repo/target/debug/deps/table2_wcrt-83019f80726f47d4: crates/bench/src/bin/table2_wcrt.rs
+
+crates/bench/src/bin/table2_wcrt.rs:

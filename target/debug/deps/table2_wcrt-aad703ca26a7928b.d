@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_wcrt-aad703ca26a7928b.d: crates/bench/src/bin/table2_wcrt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_wcrt-aad703ca26a7928b.rmeta: crates/bench/src/bin/table2_wcrt.rs Cargo.toml
+
+crates/bench/src/bin/table2_wcrt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

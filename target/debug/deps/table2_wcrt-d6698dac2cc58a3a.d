@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_wcrt-d6698dac2cc58a3a.d: crates/bench/src/bin/table2_wcrt.rs
+
+/root/repo/target/debug/deps/table2_wcrt-d6698dac2cc58a3a: crates/bench/src/bin/table2_wcrt.rs
+
+crates/bench/src/bin/table2_wcrt.rs:

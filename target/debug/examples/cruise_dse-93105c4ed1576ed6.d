@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cruise_dse-93105c4ed1576ed6.d: examples/cruise_dse.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcruise_dse-93105c4ed1576ed6.rmeta: examples/cruise_dse.rs Cargo.toml
+
+examples/cruise_dse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cruise_dse-cbc5488c511c1f78.d: examples/cruise_dse.rs
+
+/root/repo/target/debug/examples/cruise_dse-cbc5488c511c1f78: examples/cruise_dse.rs
+
+examples/cruise_dse.rs:

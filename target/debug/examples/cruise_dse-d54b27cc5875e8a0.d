@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cruise_dse-d54b27cc5875e8a0.d: examples/cruise_dse.rs
+
+/root/repo/target/debug/examples/cruise_dse-d54b27cc5875e8a0: examples/cruise_dse.rs
+
+examples/cruise_dse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_injection-18679b4de137cfef.d: examples/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_injection-18679b4de137cfef.rmeta: examples/fault_injection.rs Cargo.toml
+
+examples/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

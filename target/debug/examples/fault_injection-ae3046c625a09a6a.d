@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-ae3046c625a09a6a.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-ae3046c625a09a6a: examples/fault_injection.rs
+
+examples/fault_injection.rs:

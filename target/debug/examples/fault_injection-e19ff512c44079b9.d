@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-e19ff512c44079b9.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-e19ff512c44079b9: examples/fault_injection.rs
+
+examples/fault_injection.rs:

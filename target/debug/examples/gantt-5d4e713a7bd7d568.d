@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gantt-5d4e713a7bd7d568.d: examples/gantt.rs
+
+/root/repo/target/debug/examples/gantt-5d4e713a7bd7d568: examples/gantt.rs
+
+examples/gantt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gantt-7cba1598c3eaeea8.d: examples/gantt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgantt-7cba1598c3eaeea8.rmeta: examples/gantt.rs Cargo.toml
+
+examples/gantt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

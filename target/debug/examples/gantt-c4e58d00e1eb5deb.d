@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gantt-c4e58d00e1eb5deb.d: examples/gantt.rs
+
+/root/repo/target/debug/examples/gantt-c4e58d00e1eb5deb: examples/gantt.rs
+
+examples/gantt.rs:

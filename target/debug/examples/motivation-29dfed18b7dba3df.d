@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motivation-29dfed18b7dba3df.d: examples/motivation.rs
+
+/root/repo/target/debug/examples/motivation-29dfed18b7dba3df: examples/motivation.rs
+
+examples/motivation.rs:

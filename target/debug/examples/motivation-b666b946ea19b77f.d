@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/motivation-b666b946ea19b77f.d: examples/motivation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmotivation-b666b946ea19b77f.rmeta: examples/motivation.rs Cargo.toml
+
+examples/motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motivation-fe15ebdde7f59c20.d: examples/motivation.rs
+
+/root/repo/target/debug/examples/motivation-fe15ebdde7f59c20: examples/motivation.rs
+
+examples/motivation.rs:

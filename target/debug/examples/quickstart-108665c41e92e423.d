@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-108665c41e92e423.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-108665c41e92e423: examples/quickstart.rs
+
+examples/quickstart.rs:

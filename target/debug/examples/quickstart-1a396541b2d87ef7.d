@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1a396541b2d87ef7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1a396541b2d87ef7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensitivity-1fab5ee7266dbad9.d: examples/sensitivity.rs
+
+/root/repo/target/debug/examples/sensitivity-1fab5ee7266dbad9: examples/sensitivity.rs
+
+examples/sensitivity.rs:

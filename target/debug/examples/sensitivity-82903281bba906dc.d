@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensitivity-82903281bba906dc.d: examples/sensitivity.rs
+
+/root/repo/target/debug/examples/sensitivity-82903281bba906dc: examples/sensitivity.rs
+
+examples/sensitivity.rs:

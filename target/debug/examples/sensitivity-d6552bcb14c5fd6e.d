@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensitivity-d6552bcb14c5fd6e.d: examples/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensitivity-d6552bcb14c5fd6e.rmeta: examples/sensitivity.rs Cargo.toml
+
+examples/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

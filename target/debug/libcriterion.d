@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcriterion.rlib: /root/repo/compat/criterion/src/lib.rs

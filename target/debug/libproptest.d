@@ -1,0 +1,1 @@
+/root/repo/target/debug/libproptest.rlib: /root/repo/compat/proptest/src/lib.rs

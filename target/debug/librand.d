@@ -1,0 +1,1 @@
+/root/repo/target/debug/librand.rlib: /root/repo/compat/rand/src/lib.rs

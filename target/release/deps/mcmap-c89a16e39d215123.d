@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcmap-c89a16e39d215123.d: src/lib.rs
+
+/root/repo/target/release/deps/libmcmap-c89a16e39d215123.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmcmap-c89a16e39d215123.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcmap_bench-680a8bc756b07533.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmcmap_bench-680a8bc756b07533.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmcmap_bench-680a8bc756b07533.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

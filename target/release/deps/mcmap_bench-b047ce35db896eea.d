@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcmap_bench-b047ce35db896eea.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmcmap_bench-b047ce35db896eea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmcmap_bench-b047ce35db896eea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

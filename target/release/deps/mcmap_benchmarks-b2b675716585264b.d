@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mcmap_benchmarks-b2b675716585264b.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/arch.rs crates/benchmarks/src/cruise.rs crates/benchmarks/src/dt.rs crates/benchmarks/src/synth.rs crates/benchmarks/src/util.rs
+
+/root/repo/target/release/deps/libmcmap_benchmarks-b2b675716585264b.rlib: crates/benchmarks/src/lib.rs crates/benchmarks/src/arch.rs crates/benchmarks/src/cruise.rs crates/benchmarks/src/dt.rs crates/benchmarks/src/synth.rs crates/benchmarks/src/util.rs
+
+/root/repo/target/release/deps/libmcmap_benchmarks-b2b675716585264b.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/arch.rs crates/benchmarks/src/cruise.rs crates/benchmarks/src/dt.rs crates/benchmarks/src/synth.rs crates/benchmarks/src/util.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/arch.rs:
+crates/benchmarks/src/cruise.rs:
+crates/benchmarks/src/dt.rs:
+crates/benchmarks/src/synth.rs:
+crates/benchmarks/src/util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mcmap_cli-761d4409156bf497.d: crates/bench/src/bin/mcmap_cli.rs
+
+/root/repo/target/release/deps/mcmap_cli-761d4409156bf497: crates/bench/src/bin/mcmap_cli.rs
+
+crates/bench/src/bin/mcmap_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mcmap_cli-f9b04f9e0759fecc.d: crates/bench/src/bin/mcmap_cli.rs
+
+/root/repo/target/release/deps/mcmap_cli-f9b04f9e0759fecc: crates/bench/src/bin/mcmap_cli.rs
+
+crates/bench/src/bin/mcmap_cli.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mcmap_core-bc334722d34c9b2c.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/release/deps/libmcmap_core-bc334722d34c9b2c.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/release/deps/libmcmap_core-bc334722d34c9b2c.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/dse.rs crates/core/src/genome.rs crates/core/src/objective.rs crates/core/src/repair.rs crates/core/src/sensitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/dse.rs:
+crates/core/src/genome.rs:
+crates/core/src/objective.rs:
+crates/core/src/repair.rs:
+crates/core/src/sensitivity.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mcmap_ga-6d68d89de3c927e6.d: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs
+
+/root/repo/target/release/deps/libmcmap_ga-6d68d89de3c927e6.rlib: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs
+
+/root/repo/target/release/deps/libmcmap_ga-6d68d89de3c927e6.rmeta: crates/ga/src/lib.rs crates/ga/src/driver.rs crates/ga/src/hypervolume.rs crates/ga/src/nsga2.rs crates/ga/src/problem.rs crates/ga/src/spea2.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/driver.rs:
+crates/ga/src/hypervolume.rs:
+crates/ga/src/nsga2.rs:
+crates/ga/src/problem.rs:
+crates/ga/src/spea2.rs:

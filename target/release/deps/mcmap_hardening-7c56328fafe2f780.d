@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mcmap_hardening-7c56328fafe2f780.d: crates/hardening/src/lib.rs crates/hardening/src/dot.rs crates/hardening/src/htask.rs crates/hardening/src/reliability.rs crates/hardening/src/spec.rs crates/hardening/src/transform.rs
+
+/root/repo/target/release/deps/libmcmap_hardening-7c56328fafe2f780.rlib: crates/hardening/src/lib.rs crates/hardening/src/dot.rs crates/hardening/src/htask.rs crates/hardening/src/reliability.rs crates/hardening/src/spec.rs crates/hardening/src/transform.rs
+
+/root/repo/target/release/deps/libmcmap_hardening-7c56328fafe2f780.rmeta: crates/hardening/src/lib.rs crates/hardening/src/dot.rs crates/hardening/src/htask.rs crates/hardening/src/reliability.rs crates/hardening/src/spec.rs crates/hardening/src/transform.rs
+
+crates/hardening/src/lib.rs:
+crates/hardening/src/dot.rs:
+crates/hardening/src/htask.rs:
+crates/hardening/src/reliability.rs:
+crates/hardening/src/spec.rs:
+crates/hardening/src/transform.rs:

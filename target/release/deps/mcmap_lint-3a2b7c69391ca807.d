@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcmap_lint-3a2b7c69391ca807.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs
+
+/root/repo/target/release/deps/libmcmap_lint-3a2b7c69391ca807.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs
+
+/root/repo/target/release/deps/libmcmap_lint-3a2b7c69391ca807.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/genome.rs crates/lint/src/inject.rs crates/lint/src/passes.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/genome.rs:
+crates/lint/src/inject.rs:
+crates/lint/src/passes.rs:

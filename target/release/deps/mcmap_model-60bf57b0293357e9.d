@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mcmap_model-60bf57b0293357e9.d: crates/model/src/lib.rs crates/model/src/appset.rs crates/model/src/arch.rs crates/model/src/channel.rs crates/model/src/dot.rs crates/model/src/error.rs crates/model/src/graph.rs crates/model/src/ids.rs crates/model/src/task.rs crates/model/src/time.rs
+
+/root/repo/target/release/deps/libmcmap_model-60bf57b0293357e9.rlib: crates/model/src/lib.rs crates/model/src/appset.rs crates/model/src/arch.rs crates/model/src/channel.rs crates/model/src/dot.rs crates/model/src/error.rs crates/model/src/graph.rs crates/model/src/ids.rs crates/model/src/task.rs crates/model/src/time.rs
+
+/root/repo/target/release/deps/libmcmap_model-60bf57b0293357e9.rmeta: crates/model/src/lib.rs crates/model/src/appset.rs crates/model/src/arch.rs crates/model/src/channel.rs crates/model/src/dot.rs crates/model/src/error.rs crates/model/src/graph.rs crates/model/src/ids.rs crates/model/src/task.rs crates/model/src/time.rs
+
+crates/model/src/lib.rs:
+crates/model/src/appset.rs:
+crates/model/src/arch.rs:
+crates/model/src/channel.rs:
+crates/model/src/dot.rs:
+crates/model/src/error.rs:
+crates/model/src/graph.rs:
+crates/model/src/ids.rs:
+crates/model/src/task.rs:
+crates/model/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcmap_sched-bb1b4afe46468da5.d: crates/sched/src/lib.rs crates/sched/src/coarse.rs crates/sched/src/holistic.rs crates/sched/src/mapping.rs crates/sched/src/windows.rs
+
+/root/repo/target/release/deps/libmcmap_sched-bb1b4afe46468da5.rlib: crates/sched/src/lib.rs crates/sched/src/coarse.rs crates/sched/src/holistic.rs crates/sched/src/mapping.rs crates/sched/src/windows.rs
+
+/root/repo/target/release/deps/libmcmap_sched-bb1b4afe46468da5.rmeta: crates/sched/src/lib.rs crates/sched/src/coarse.rs crates/sched/src/holistic.rs crates/sched/src/mapping.rs crates/sched/src/windows.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/coarse.rs:
+crates/sched/src/holistic.rs:
+crates/sched/src/mapping.rs:
+crates/sched/src/windows.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcmap_sim-0c049aa56b9cf73c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libmcmap_sim-0c049aa56b9cf73c.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libmcmap_sim-0c049aa56b9cf73c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/monte.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/monte.rs:
+crates/sim/src/trace.rs:

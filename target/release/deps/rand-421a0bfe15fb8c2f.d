@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-421a0bfe15fb8c2f.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-421a0bfe15fb8c2f.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-421a0bfe15fb8c2f.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

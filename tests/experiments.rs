@@ -3,9 +3,7 @@
 //! reduced budgets, so `cargo test` alone validates the reproduction.
 
 use mcmap::benchmarks::{all_benchmarks, cruise, dt_med};
-use mcmap::core::{
-    adhoc_analysis, analyze, analyze_naive, explore, DseConfig, ObjectiveMode,
-};
+use mcmap::core::{adhoc_analysis, analyze, analyze_naive, explore, DseConfig, ObjectiveMode};
 use mcmap::ga::GaConfig;
 use mcmap::hardening::{harden, HardeningPlan, TaskHardening};
 use mcmap::model::{AppId, ProcId, Time};
@@ -110,8 +108,8 @@ fn sec52_dropping_saves_power_on_dt_med() {
     let b = dt_med();
     let base = DseConfig {
         ga: GaConfig {
-            population: 24,
-            generations: 20,
+            population: 32,
+            generations: 24,
             seed: 8,
             ..GaConfig::default()
         },
@@ -201,8 +199,8 @@ fn every_benchmark_is_explorable() {
             &b.arch,
             DseConfig {
                 ga: GaConfig {
-                    population: 20,
-                    generations: 12,
+                    population: 28,
+                    generations: 18,
                     seed: 9,
                     ..GaConfig::default()
                 },
