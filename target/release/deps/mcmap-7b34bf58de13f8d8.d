@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcmap-7b34bf58de13f8d8.d: src/lib.rs
+
+/root/repo/target/release/deps/libmcmap-7b34bf58de13f8d8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmcmap-7b34bf58de13f8d8.rmeta: src/lib.rs
+
+src/lib.rs:
