@@ -1,0 +1,122 @@
+//! Criterion-compat harness for the `mcmap-eval` candidate-evaluation
+//! engine, in two parts:
+//!
+//! 1. micro-benchmarks of the engine primitives (`parallel_map` scatter /
+//!    gather, memoization-cache hits);
+//! 2. a macro run of the fig5-style DT-med exploration at 1 worker vs. N
+//!    workers, asserting **bit-identical** Pareto fronts and recording the
+//!    measured speedup and cache hit rate.
+//!
+//! The macro part writes a machine-readable summary to
+//! `results/BENCH_eval.json` (override the directory with
+//! `MCMAP_BENCH_OUT`). The speedup is *reported, not asserted*: on a
+//! single-core host the parallel run cannot be faster, and the engine's
+//! determinism guarantee is exactly that thread count never changes
+//! results, only wall-clock.
+//!
+//! Budget knobs: `MCMAP_POP` (default 24), `MCMAP_GENS` (default 6),
+//! `MCMAP_THREADS` (default 4) for the parallel leg.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcmap_bench::env_usize;
+use mcmap_benchmarks::{dt_med, Benchmark};
+use mcmap_core::{explore, DseConfig, DseOutcome, ObjectiveMode};
+use mcmap_eval::{parallel_map, EvalCacheConfig, EvalEngine};
+use mcmap_ga::GaConfig;
+use std::time::Instant;
+
+fn dse_cfg(b: &Benchmark, threads: usize, pop: usize, gens: usize) -> DseConfig {
+    DseConfig {
+        ga: GaConfig {
+            population: pop,
+            generations: gens,
+            seed: 8,
+            threads,
+            ..GaConfig::default()
+        },
+        objectives: ObjectiveMode::PowerService,
+        allow_dropping: true,
+        policies: Some(b.policies.clone()),
+        repair_iters: 40,
+        ..DseConfig::default()
+    }
+}
+
+/// Runs one exploration and returns the outcome plus its wall time.
+fn timed_explore(b: &Benchmark, threads: usize, pop: usize, gens: usize) -> (DseOutcome, f64) {
+    let t0 = Instant::now();
+    let outcome = explore(&b.apps, &b.arch, dse_cfg(b, threads, pop, gens));
+    (outcome, t0.elapsed().as_secs_f64())
+}
+
+/// The comparable fingerprint of an exploration: the full report list
+/// (feasible flag, objectives, dropped sets) in front order.
+fn front_fingerprint(o: &DseOutcome) -> String {
+    format!("{:?}", o.reports)
+}
+
+fn bench_engine_micro(c: &mut Criterion) {
+    let items: Vec<u64> = (0..256).collect();
+    let mut group = c.benchmark_group("eval_engine");
+    group.bench_function("parallel_map/256x2t", |bench| {
+        bench.iter(|| parallel_map(&items, 2, |&g| black_box(g).wrapping_mul(0x9E37_79B9)))
+    });
+    let engine: EvalEngine<u64> = EvalEngine::new(EvalCacheConfig::default(), &"micro");
+    engine.evaluate_batch(&items, 1, |&g| g.wrapping_mul(3));
+    group.bench_function("cache_hit/256", |bench| {
+        bench.iter(|| engine.evaluate_batch(&items, 1, |&g| g.wrapping_mul(3)))
+    });
+    group.finish();
+}
+
+fn bench_explore_macro(c: &mut Criterion) {
+    let b = dt_med();
+    let pop = env_usize("MCMAP_POP", 24);
+    let gens = env_usize("MCMAP_GENS", 6);
+    let par = env_usize("MCMAP_THREADS", 4).max(2);
+
+    let (serial, wall_1) = timed_explore(&b, 1, pop, gens);
+    let (parallel, wall_n) = timed_explore(&b, par, pop, gens);
+
+    assert_eq!(
+        front_fingerprint(&serial),
+        front_fingerprint(&parallel),
+        "the Pareto front must be bit-identical for any thread count"
+    );
+    assert_eq!(serial.eval_stats.genomes, parallel.eval_stats.genomes);
+
+    let speedup = wall_1 / wall_n.max(1e-9);
+    let hit_rate = parallel.eval_stats.hit_rate();
+    println!(
+        "eval_engine/explore: {wall_1:.3} s at 1 thread, {wall_n:.3} s at {par} threads \
+         (speedup x{speedup:.2}, cache hit rate {:.1}%, fronts identical)",
+        hit_rate * 100.0
+    );
+
+    let out_dir = std::env::var("MCMAP_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    let json = format!(
+        "{{\"benchmark\":\"dt-med\",\"population\":{pop},\"generations\":{gens},\
+         \"threads\":{par},\"wall_secs_1\":{wall_1:.6},\"wall_secs_n\":{wall_n:.6},\
+         \"speedup\":{speedup:.3},\"fronts_identical\":true,\
+         \"serial\":{},\"parallel\":{}}}\n",
+        serial.eval_stats.to_json(),
+        parallel.eval_stats.to_json()
+    );
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let path = format!("{out_dir}/BENCH_eval.json");
+    std::fs::write(&path, json).expect("write BENCH_eval.json");
+    println!("eval_engine/explore: wrote {path}");
+
+    // One criterion-timed leg so the harness also reports a per-iteration
+    // figure (small budget: the explores above are the real measurement).
+    let mut group = c.benchmark_group("eval_engine");
+    group.sample_size(10);
+    group.bench_function("explore/dt_med_16x3", |bench| {
+        bench.iter(|| explore(&b.apps, &b.arch, dse_cfg(&b, par, 16, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_micro, bench_explore_macro);
+criterion_main!(benches);

@@ -8,8 +8,10 @@
 //! it is the cheapest in power, at the price of critical-state WCRT
 //! inflation — which task dropping then absorbs.
 
+use mcmap_bench::EvalKnobs;
 use mcmap_benchmarks::cruise;
 use mcmap_core::{analyze, expected_power};
+use mcmap_eval::parallel_map;
 use mcmap_hardening::{harden, HardenedSystem, HardeningPlan, Reliability, TaskHardening};
 use mcmap_model::{AppId, ProcId};
 use mcmap_sched::Mapping;
@@ -49,6 +51,7 @@ fn mapping_for(b: &mcmap_benchmarks::Benchmark, hsys: &HardenedSystem) -> Mappin
 
 fn main() {
     let b = cruise();
+    let knobs = EvalKnobs::parse();
     let dropped: Vec<AppId> = b.apps.droppable_apps().collect();
 
     // Replicas of critical app i live on the *other* big core and a little
@@ -87,8 +90,12 @@ fn main() {
     );
     println!("{}", "-".repeat(80));
 
-    for (name, plan) in variants {
-        let hsys = harden(&b.apps, &plan, &b.arch).expect("static plans are valid");
+    // The four variants are independent, so they run on the evaluation
+    // worker pool; gathering preserves variant order, so the table is
+    // identical for any `--threads`.
+    let t0 = std::time::Instant::now();
+    let rows = parallel_map(&variants, knobs.threads, |(name, plan)| {
+        let hsys = harden(&b.apps, plan, &b.arch).expect("static plans are valid");
         let mapping = mapping_for(&b, &hsys);
         let rel = Reliability::new(&hsys, &b.arch);
         let worst_fail = rel
@@ -98,7 +105,7 @@ fn main() {
             .fold(0.0f64, f64::max);
         let mc = analyze(&hsys, &b.arch, &mapping, &b.policies, &dropped);
         let power = expected_power(&hsys, &b.arch, &mapping, &[true; 4], &dropped, 0.3);
-        println!(
+        format!(
             "{:22} | {:>10.2} | {:>9} {:>9} | {:>9.2e} | {:>6}",
             name,
             power,
@@ -106,8 +113,13 @@ fn main() {
             mc.app_wcrt(&hsys, AppId::new(1), &dropped).to_string(),
             worst_fail,
             mc.schedulable(&hsys, &dropped),
-        );
+        )
+    });
+    let wall = t0.elapsed();
+    for row in &rows {
+        println!("{row}");
     }
     println!("\nRe-execution is the cheapest technique in power; replication buys back the");
     println!("critical-state WCRT inflation at the cost of permanently duplicated work.");
+    knobs.report_wall("ablation-hardening", rows.len(), wall);
 }

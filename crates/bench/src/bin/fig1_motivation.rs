@@ -11,6 +11,8 @@
 //! Task B is actively replicated (as in the figure); per the paper's
 //! footnote, detection and voting overheads are kept minimal.
 
+use mcmap_bench::EvalKnobs;
+use mcmap_eval::parallel_map;
 use mcmap_hardening::{harden, HTaskId, HardeningPlan, TaskHardening};
 use mcmap_model::{
     AppId, AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcId, ProcKind, Processor,
@@ -113,30 +115,47 @@ fn main() {
 
     println!("Fig. 1 motivational example (one hyperperiod, 2 PEs)\n");
 
-    // (b) No faults.
-    let nominal = sim.run(&SimConfig::default(), &mut NoFaults);
-    report("(b) no fault:", &nominal);
+    // The three scenarios (b)/(c)/(d) are independent simulations, so they
+    // run on the evaluation worker pool; each builds its own fault script,
+    // and the gather preserves scenario order.
+    let knobs = EvalKnobs::parse();
+    let scenarios: [usize; 3] = [0, 1, 2];
+    let t0 = std::time::Instant::now();
+    let runs = parallel_map(&scenarios, knobs.threads, |&s| match s {
+        // (b) No faults.
+        0 => sim.run(&SimConfig::default(), &mut NoFaults),
+        // (c) Fault at A, nothing droppable.
+        1 => {
+            let mut fault = ScriptedFaults::new().with_fault(HTaskId::new(0), 0, 0);
+            sim.run(&SimConfig::default(), &mut fault)
+        }
+        // (d) Fault at A, {G, H, I} dropped in critical mode.
+        _ => {
+            let mut fault = ScriptedFaults::new().with_fault(HTaskId::new(0), 0, 0);
+            sim.run(
+                &SimConfig {
+                    dropped: vec![AppId::new(2)],
+                    ..SimConfig::default()
+                },
+                &mut fault,
+            )
+        }
+    });
+    let wall = t0.elapsed();
+    let [nominal, strict, rescued] = &runs[..] else {
+        unreachable!("three scenarios in, three results out");
+    };
+
+    report("(b) no fault:", nominal);
     assert!(nominal.app_wcrt[0] <= deadline);
 
-    // (c) Fault at A, nothing droppable.
-    let mut fault = ScriptedFaults::new().with_fault(HTaskId::new(0), 0, 0);
-    let strict = sim.run(&SimConfig::default(), &mut fault);
-    report("\n(c) fault at A, no dropping:", &strict);
+    report("\n(c) fault at A, no dropping:", strict);
     assert!(
         strict.app_wcrt[0] > deadline,
         "the fault must push E past its deadline without dropping"
     );
 
-    // (d) Fault at A, {G, H, I} dropped in critical mode.
-    let mut fault = ScriptedFaults::new().with_fault(HTaskId::new(0), 0, 0);
-    let rescued = sim.run(
-        &SimConfig {
-            dropped: vec![AppId::new(2)],
-            ..SimConfig::default()
-        },
-        &mut fault,
-    );
-    report("\n(d) fault at A, dropping {G,H,I}:", &rescued);
+    report("\n(d) fault at A, dropping {G,H,I}:", rescued);
     assert!(rescued.app_wcrt[0] <= deadline);
     assert!(rescued.dropped_instances[2] > 0);
 
@@ -165,4 +184,5 @@ fn main() {
     assert!(!without.schedulable(&hsys, &[]));
     assert!(with.schedulable(&hsys, &[AppId::new(2)]));
     println!("\nThe configuration is rescued exactly as in Fig. 1(d).");
+    knobs.report_wall("fig1-motivation", scenarios.len(), wall);
 }

@@ -6,7 +6,7 @@
 //! droppable dropped — best power) to {t1, t2, t3} (nothing dropped —
 //! maximum service).
 
-use mcmap_bench::{env_u64, env_usize};
+use mcmap_bench::{env_u64, env_usize, EvalKnobs};
 use mcmap_benchmarks::dt_med;
 use mcmap_core::{explore, DseConfig, ObjectiveMode};
 use mcmap_ga::GaConfig;
@@ -15,9 +15,10 @@ fn main() {
     let pop = env_usize("MCMAP_POP", 60);
     let gens = env_usize("MCMAP_GENS", 200);
     let seed = env_u64("MCMAP_SEED", 8);
+    let knobs = EvalKnobs::parse();
 
     let b = dt_med();
-    let cfg = DseConfig {
+    let mut cfg = DseConfig {
         ga: GaConfig {
             population: pop,
             generations: gens,
@@ -31,6 +32,7 @@ fn main() {
         repair_iters: 80,
         ..DseConfig::default()
     };
+    knobs.apply(&mut cfg);
     let outcome = explore(&b.apps, &b.arch, cfg);
 
     // Collect feasible, distinct (power, service) points.
@@ -74,4 +76,5 @@ fn main() {
             lo.0, lo.1, hi.0, hi.1
         );
     }
+    knobs.report("fig5/dt-med", &outcome.eval_stats);
 }

@@ -7,11 +7,19 @@
 //! mcmap_cli simulate <benchmark> [runs]      # Monte-Carlo vs. the bound
 //! mcmap_cli gantt    <benchmark> [seed]      # ASCII schedule of one hyperperiod
 //! mcmap_cli dot      <benchmark>             # GraphViz of the application set
-//! mcmap_cli dse      <benchmark> [pop gens]  # power/service exploration
+//! mcmap_cli dse      <benchmark> [pop gens] [--threads N] [--cache-cap N]
+//!                                [--eval-stats [json]]    # power/service exploration
 //! mcmap_cli lint     <benchmark> [--json] [--inject cycle|relbound|inverted]
 //! ```
 //!
 //! Benchmarks: `cruise`, `dt-med`, `dt-large`, `synth1`, `synth2`.
+//!
+//! `dse` runs the candidate-evaluation engine (`mcmap-eval`) underneath:
+//! `--threads` spreads each generation across a worker pool (0 = one per
+//! core; results are bit-identical for any thread count), `--cache-cap`
+//! bounds the memoization cache (0 disables it), and `--eval-stats`
+//! prints the engine's instrumentation (cache hit rate, per-phase nanos,
+//! genomes/sec) as text or, with `--eval-stats json`, as JSON.
 //!
 //! `lint` runs the `mcmap-lint` static analyzer over the benchmark's model
 //! and prints the structured `MC0xxx` diagnostics (text or JSON); the
@@ -19,7 +27,7 @@
 //! and doubles as an end-to-end check of the DSE pre-flight (the same codes
 //! that make `lint` exit non-zero also make `dse` refuse the input).
 
-use mcmap_bench::{sample_designs, SampleDesign};
+use mcmap_bench::{sample_designs, EvalKnobs, SampleDesign};
 use mcmap_benchmarks::Benchmark;
 use mcmap_core::{analyze, explore_checked, DseConfig, ObjectiveMode};
 use mcmap_ga::GaConfig;
@@ -42,6 +50,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: mcmap_cli <list|analyze|simulate|gantt|dot|dse|lint> [benchmark] [args…]\n\
          benchmarks: cruise, dt-med, dt-large, synth1, synth2\n\
+         dse flags:  --threads <n>, --cache-cap <n>, --eval-stats [json]\n\
          lint flags: --json, --inject <cycle|relbound|inverted>"
     );
     ExitCode::FAILURE
@@ -187,28 +196,27 @@ fn cmd_lint(b: &Benchmark, flags: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_dse(b: &Benchmark, pop: usize, gens: usize) -> ExitCode {
-    let outcome = explore_checked(
-        &b.apps,
-        &b.arch,
-        DseConfig {
-            ga: GaConfig {
-                population: pop,
-                generations: gens,
-                seed: 8,
-                ..GaConfig::default()
-            },
-            objectives: ObjectiveMode::PowerService,
-            policies: Some(b.policies.clone()),
-            repair_iters: 80,
-            ..DseConfig::default()
+fn cmd_dse(b: &Benchmark, pop: usize, gens: usize, knobs: &EvalKnobs) -> ExitCode {
+    let mut cfg = DseConfig {
+        ga: GaConfig {
+            population: pop,
+            generations: gens,
+            seed: 8,
+            ..GaConfig::default()
         },
-    );
-    let outcome = match outcome {
+        objectives: ObjectiveMode::PowerService,
+        policies: Some(b.policies.clone()),
+        repair_iters: 80,
+        ..DseConfig::default()
+    };
+    knobs.apply(&mut cfg);
+    let outcome = match explore_checked(&b.apps, &b.arch, cfg) {
         Ok(o) => o,
-        Err(report) => {
-            eprintln!("dse: input rejected by lint pre-flight:");
-            eprint!("{}", report.render_text());
+        Err(err) => {
+            eprintln!("dse: {err}:");
+            if let Some(report) = err.lint_report() {
+                eprint!("{}", report.render_text());
+            }
             return ExitCode::FAILURE;
         }
     };
@@ -229,7 +237,35 @@ fn cmd_dse(b: &Benchmark, pop: usize, gens: usize) -> ExitCode {
             names.join(", ")
         );
     }
+    knobs.report("dse", &outcome.eval_stats);
     ExitCode::SUCCESS
+}
+
+/// Strips the eval-engine flags (and their values) out of a `dse` argument
+/// tail, leaving the positional `[pop gens]` budget.
+fn dse_positionals(tail: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tail.len() {
+        let a = tail[i].as_str();
+        if a == "--threads" || a == "--cache-cap" {
+            i += 2;
+        } else if a == "--eval-stats" {
+            i += 1;
+            if matches!(
+                tail.get(i).map(String::as_str),
+                Some("json") | Some("text") | Some("off") | Some("0")
+            ) {
+                i += 1;
+            }
+        } else if a.starts_with("--") {
+            i += 1;
+        } else {
+            out.push(tail[i].clone());
+            i += 1;
+        }
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -254,7 +290,15 @@ fn main() -> ExitCode {
             print!("{}", mcmap_model::appset_to_dot(&b.apps));
             ExitCode::SUCCESS
         }
-        "dse" => cmd_dse(&b, num(2, 40), num(3, 40)),
+        "dse" => {
+            let tail = &args[2..];
+            let knobs = EvalKnobs::from_args(tail);
+            let pos = dse_positionals(tail);
+            let budget = |i: usize, default: usize| -> usize {
+                pos.get(i).and_then(|v| v.parse().ok()).unwrap_or(default)
+            };
+            cmd_dse(&b, budget(0, 40), budget(1, 40), &knobs)
+        }
         "lint" => cmd_lint(&b, &args[2..]),
         _ => usage(),
     }

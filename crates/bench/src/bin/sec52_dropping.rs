@@ -12,7 +12,7 @@
 //! Budget: `MCMAP_POP` (default 60) × `MCMAP_GENS` (default 150)
 //! generations, seed `MCMAP_SEED` (default 8); the paper used 100 × 5000.
 
-use mcmap_bench::{env_u64, env_usize};
+use mcmap_bench::{env_u64, env_usize, EvalKnobs};
 use mcmap_benchmarks::all_benchmarks;
 use mcmap_core::{explore, DseConfig, ObjectiveMode};
 use mcmap_ga::GaConfig;
@@ -21,6 +21,7 @@ fn main() {
     let pop = env_usize("MCMAP_POP", 60);
     let gens = env_usize("MCMAP_GENS", 150);
     let seed = env_u64("MCMAP_SEED", 8);
+    let knobs = EvalKnobs::parse();
 
     println!("Section 5.2: effect of task dropping (budget {pop}x{gens}, seed {seed})\n");
     println!(
@@ -30,7 +31,7 @@ fn main() {
     println!("{}", "-".repeat(70));
 
     for b in all_benchmarks(42) {
-        let base = DseConfig {
+        let mut base = DseConfig {
             ga: GaConfig {
                 population: pop,
                 generations: gens,
@@ -42,6 +43,7 @@ fn main() {
             repair_iters: 80,
             ..DseConfig::default()
         };
+        knobs.apply(&mut base);
 
         let with = explore(
             &b.apps,
@@ -61,6 +63,8 @@ fn main() {
                 ..base
             },
         );
+        knobs.report(&format!("{}/with-dropping", b.name), &with.eval_stats);
+        knobs.report(&format!("{}/no-dropping", b.name), &without.eval_stats);
 
         let pw = with.best_power();
         let pwo = without.best_power();

@@ -19,11 +19,12 @@
 //! Claims verified: `Proposed ≥ WC-Sim`, `Proposed ≥ Adhoc` (safety), and
 //! `Naive ≥ Proposed` (pessimism), with strict gaps on contended mappings.
 
-use mcmap_bench::{env_u64, env_usize, fmt_time};
+use mcmap_bench::{env_u64, env_usize, fmt_time, EvalKnobs};
 use mcmap_benchmarks::{cruise, Benchmark};
 use mcmap_core::{adhoc_analysis, analyze, analyze_naive};
+use mcmap_eval::parallel_map;
 use mcmap_hardening::{harden, HardenedSystem, HardeningPlan, TaskHardening};
-use mcmap_model::{AppId, ProcId};
+use mcmap_model::{AppId, ProcId, Time};
 use mcmap_sched::Mapping;
 use mcmap_sim::{monte_carlo, MonteCarloConfig, SimConfig};
 
@@ -61,6 +62,7 @@ fn main() {
     let b = cruise();
     let seed = env_u64("MCMAP_SEED", 11);
     let sim_runs = env_usize("MCMAP_SIM_RUNS", 2_000);
+    let knobs = EvalKnobs::parse();
 
     // Flat indices: speed-control 0–4 (wheel, switch, est, law, throttle),
     // brake-monitor 5–7 (pedal, logic, act), nav 8–11 (gps, map, route,
@@ -106,7 +108,12 @@ fn main() {
         .map(|n| (n.to_string(), Vec::new()))
         .collect();
 
-    for (i, d) in designs.iter().enumerate() {
+    // The three mappings are independent, so the four estimators run for
+    // each of them on the shared evaluation worker pool; the results are
+    // gathered in design order, keeping the table deterministic.
+    let indexed: Vec<(usize, &Design)> = designs.iter().enumerate().collect();
+    let t0 = std::time::Instant::now();
+    let per_design: Vec<Vec<[Time; 4]>> = parallel_map(&indexed, knobs.threads, |&(i, d)| {
         let adhoc = adhoc_analysis(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped);
         let mc = analyze(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped);
         let naive = analyze_naive(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped);
@@ -122,28 +129,37 @@ fn main() {
                 sim: SimConfig::worst_case(d.dropped.clone()),
             },
         );
-        for &app in &crit {
-            rows[0].1.push(fmt_time(adhoc[app.index()]));
-            rows[1].1.push(fmt_time(wcsim.app_wcrt[app.index()]));
-            rows[2]
-                .1
-                .push(fmt_time(mc.app_wcrt(&d.hsys, app, &d.dropped)));
-            rows[3].1.push(fmt_time(naive.app_wcrt(&d.hsys, app)));
-        }
+        crit.iter()
+            .map(|&app| {
+                [
+                    adhoc[app.index()],
+                    wcsim.app_wcrt[app.index()],
+                    mc.app_wcrt(&d.hsys, app, &d.dropped),
+                    naive.app_wcrt(&d.hsys, app),
+                ]
+            })
+            .collect()
+    });
+    let wall = t0.elapsed();
 
-        // The paper's safety orderings.
-        for &app in &crit {
-            let proposed = mc.app_wcrt(&d.hsys, app, &d.dropped);
+    for (i, cells) in per_design.iter().enumerate() {
+        for [adhoc, wcsim, proposed, naive] in cells {
+            rows[0].1.push(fmt_time(*adhoc));
+            rows[1].1.push(fmt_time(*wcsim));
+            rows[2].1.push(fmt_time(*proposed));
+            rows[3].1.push(fmt_time(*naive));
+
+            // The paper's safety orderings.
             assert!(
-                wcsim.app_wcrt[app.index()] <= proposed,
+                wcsim <= proposed,
                 "mapping {i}: WC-Sim exceeded the proposed bound"
             );
             assert!(
-                adhoc[app.index()] <= proposed,
+                adhoc <= proposed,
                 "mapping {i}: the adhoc trace exceeded the proposed bound"
             );
             assert!(
-                naive.app_wcrt(&d.hsys, app) >= proposed,
+                naive >= proposed,
                 "mapping {i}: naive must be at least as pessimistic"
             );
         }
@@ -163,4 +179,5 @@ fn main() {
     println!(
         "\nVerified: Proposed ≥ WC-Sim ({sim_runs} profiles), Proposed ≥ Adhoc, Naive ≥ Proposed."
     );
+    knobs.report_wall("table2", designs.len(), wall);
 }

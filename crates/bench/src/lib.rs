@@ -109,6 +109,116 @@ pub fn fmt_time(t: mcmap_model::Time) -> String {
     }
 }
 
+/// Output format of an `--eval-stats` report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Human-readable multi-line text.
+    Text,
+    /// Single-object JSON (for `BENCH_*.json` tooling).
+    Json,
+}
+
+/// The shared evaluation-engine knobs of every experiment binary:
+/// `--threads N` / `MCMAP_THREADS`, `--cache-cap N` / `MCMAP_CACHE_CAP`,
+/// and `--eval-stats [text|json]` / `MCMAP_EVAL_STATS=text|json`.
+///
+/// CLI flags take precedence over environment variables. `threads == 0`
+/// (the default) means one worker per available core — results are
+/// bit-identical for any thread count, so this is purely a speed knob.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalKnobs {
+    /// Evaluation worker threads (0 = one per core).
+    pub threads: usize,
+    /// Memoization-cache entry bound (0 disables caching).
+    pub cache_cap: usize,
+    /// When set, print engine instrumentation after the run.
+    pub eval_stats: Option<StatsFormat>,
+}
+
+impl EvalKnobs {
+    /// Reads the knobs from the process arguments and environment.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_args(&args)
+    }
+
+    /// Reads the knobs from an explicit argument list (env as fallback).
+    pub fn from_args(args: &[String]) -> Self {
+        let value_of = |flag: &str| -> Option<String> {
+            args.iter().position(|a| a == flag).and_then(|i| {
+                args.get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .or(Some(String::new()))
+            })
+        };
+        let stats_env = std::env::var("MCMAP_EVAL_STATS").ok();
+        let stats_arg = value_of("--eval-stats");
+        let eval_stats = match (stats_arg, stats_env) {
+            (Some(v), _) | (None, Some(v)) => match v.as_str() {
+                "json" => Some(StatsFormat::Json),
+                "0" | "off" => None,
+                _ => Some(StatsFormat::Text),
+            },
+            (None, None) => None,
+        };
+        EvalKnobs {
+            threads: value_of("--threads")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| env_usize("MCMAP_THREADS", 0)),
+            cache_cap: value_of("--cache-cap")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| env_usize("MCMAP_CACHE_CAP", 65_536)),
+            eval_stats,
+        }
+    }
+
+    /// Applies the knobs to an exploration config.
+    pub fn apply(&self, cfg: &mut mcmap_core::DseConfig) {
+        cfg.ga.threads = self.threads;
+        cfg.cache_cap = self.cache_cap;
+    }
+
+    /// Prints one engine snapshot in the requested format (no-op when
+    /// `--eval-stats` was not requested).
+    pub fn report(&self, label: &str, stats: &mcmap_core::EvalStats) {
+        match self.eval_stats {
+            None => {}
+            Some(StatsFormat::Text) => {
+                println!("\n[{label}]");
+                print!("{}", stats.render_text());
+            }
+            Some(StatsFormat::Json) => {
+                println!("{{\"label\":\"{label}\",\"eval\":{}}}", stats.to_json());
+            }
+        }
+    }
+
+    /// Prints a plain wall-clock throughput line for binaries whose work is
+    /// a fixed item list rather than a GA population (no-op when
+    /// `--eval-stats` was not requested).
+    pub fn report_wall(&self, label: &str, items: usize, wall: std::time::Duration) {
+        let secs = wall.as_secs_f64();
+        let rate = if secs > 0.0 { items as f64 / secs } else { 0.0 };
+        match self.eval_stats {
+            None => {}
+            Some(StatsFormat::Text) => {
+                println!(
+                    "\n[{label}] {items} items in {secs:.3} s ({rate:.2} items/s, threads = {})",
+                    self.threads
+                );
+            }
+            Some(StatsFormat::Json) => {
+                println!(
+                    "{{\"label\":\"{label}\",\"items\":{items},\"wall_secs\":{secs:.6},\
+                     \"items_per_sec\":{rate:.3},\"threads\":{}}}",
+                    self.threads
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +234,38 @@ mod tests {
     fn fmt_time_renders_unbounded_as_dash() {
         assert_eq!(fmt_time(Time::from_ticks(42)), "42");
         assert_eq!(fmt_time(Time::MAX), "-");
+    }
+
+    #[test]
+    fn eval_knobs_parse_flags() {
+        let args: Vec<String> = [
+            "--threads",
+            "4",
+            "--cache-cap",
+            "128",
+            "--eval-stats",
+            "json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let k = EvalKnobs::from_args(&args);
+        assert_eq!(k.threads, 4);
+        assert_eq!(k.cache_cap, 128);
+        assert_eq!(k.eval_stats, Some(StatsFormat::Json));
+
+        // A bare `--eval-stats` (even as the last flag) means text.
+        let k = EvalKnobs::from_args(&["--eval-stats".to_string()]);
+        assert_eq!(k.eval_stats, Some(StatsFormat::Text));
+
+        // The flag value must not swallow a following flag.
+        let args: Vec<String> = ["--eval-stats", "--threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let k = EvalKnobs::from_args(&args);
+        assert_eq!(k.eval_stats, Some(StatsFormat::Text));
+        assert_eq!(k.threads, 2);
     }
 
     #[test]

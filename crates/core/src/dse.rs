@@ -5,6 +5,7 @@ use crate::{
     analyze, expected_power, lost_service, repair_reliability, repair_structure, Genome,
     GenomeSpace,
 };
+use mcmap_eval::{EvalCacheConfig, EvalEngine, EvalStats};
 use mcmap_ga::{optimize, Evaluation, GaConfig, GaResult, Problem};
 use mcmap_hardening::{harden, Reliability, TechniqueHistogram};
 use mcmap_model::{AppId, AppSet, Architecture, ProcId, Time};
@@ -12,6 +13,7 @@ use mcmap_sched::{uniform_policies, Mapping, SchedPolicy};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -53,6 +55,11 @@ pub struct DseConfig {
     /// consume nothing in the critical mode, so any weight > 0 makes
     /// dropping a power lever (Fig. 5).
     pub critical_weight: f64,
+    /// Entry bound of the candidate-evaluation memoization cache
+    /// (`mcmap-eval`); 0 disables caching. Purely a speed/memory knob —
+    /// evaluation is a pure function of the genome, so cached and fresh
+    /// results are identical.
+    pub cache_cap: usize,
 }
 
 impl Default for DseConfig {
@@ -67,6 +74,7 @@ impl Default for DseConfig {
             max_replicas: 2,
             repair_iters: 20,
             critical_weight: 0.3,
+            cache_cap: 65_536,
         }
     }
 }
@@ -158,6 +166,48 @@ pub struct MappingProblem<'a> {
     space: GenomeSpace,
     policies: Vec<SchedPolicy>,
     counters: Counters,
+    engine: EvalEngine<EvalRecord>,
+}
+
+/// Everything one evaluation produces: the GA-facing [`Evaluation`]
+/// (objective vector + WCRT/schedulability verdict) plus the audit deltas
+/// that must be replayed per candidate, cache hit or not, so the audit
+/// counters stay deterministic and consistent with the driver's
+/// evaluation count.
+#[derive(Debug, Clone)]
+struct EvalRecord {
+    eval: Evaluation,
+    rescued: Option<bool>,
+    reexec: usize,
+    active: usize,
+    passive: usize,
+}
+
+/// Content fingerprint of the non-genome evaluation inputs: the memo key
+/// of a candidate is (genome, appset, architecture, config), and this
+/// folds the fixed three into one 64-bit context so per-candidate hashing
+/// only touches the genome.
+fn context_fingerprint(
+    apps: &AppSet,
+    arch: &Architecture,
+    policies: &[SchedPolicy],
+    cfg: &DseConfig,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    // The model types expose no Hash; their Debug forms are complete,
+    // deterministic renderings of the content, computed once per engine.
+    format!("{apps:?}").hash(&mut h);
+    format!("{arch:?}").hash(&mut h);
+    format!("{policies:?}").hash(&mut h);
+    cfg.ga.seed.hash(&mut h);
+    format!("{:?}", cfg.objectives).hash(&mut h);
+    cfg.allow_dropping.hash(&mut h);
+    cfg.audit.hash(&mut h);
+    cfg.max_reexec.hash(&mut h);
+    cfg.max_replicas.hash(&mut h);
+    cfg.repair_iters.hash(&mut h);
+    cfg.critical_weight.to_bits().hash(&mut h);
+    h.finish()
 }
 
 struct Assessment {
@@ -181,6 +231,10 @@ impl<'a> MappingProblem<'a> {
             .policies
             .clone()
             .unwrap_or_else(|| uniform_policies(arch.num_processors(), SchedPolicy::default()));
+        let engine = EvalEngine::new(
+            EvalCacheConfig::with_capacity(cfg.cache_cap),
+            &context_fingerprint(apps, arch, &policies, &cfg),
+        );
         MappingProblem {
             apps,
             arch,
@@ -188,12 +242,19 @@ impl<'a> MappingProblem<'a> {
             space,
             policies,
             counters: Counters::default(),
+            engine,
         }
     }
 
     /// The chromosome space (useful for seeding or inspecting candidates).
     pub fn space(&self) -> &GenomeSpace {
         &self.space
+    }
+
+    /// A snapshot of the evaluation-engine instrumentation (cache hits /
+    /// misses / evictions, per-phase nanos, genomes/sec).
+    pub fn eval_stats(&self) -> EvalStats {
+        self.engine.stats()
     }
 
     /// A snapshot of the cumulative audit counters.
@@ -382,6 +443,46 @@ impl<'a> MappingProblem<'a> {
             ObjectiveMode::PowerService => vec![a.power, a.lost],
         }
     }
+
+    /// The full (cacheable) evaluation of one genome.
+    fn assess_record(&self, g: &Genome) -> EvalRecord {
+        let a = self.assess(g, self.cfg.audit);
+        let objectives = self.objectives(&a);
+        let eval = if a.feasible {
+            Evaluation::feasible(objectives)
+        } else {
+            Evaluation::infeasible(objectives, a.penalty.max(f64::MIN_POSITIVE))
+        };
+        EvalRecord {
+            eval,
+            rescued: a.rescued,
+            reexec: a.histogram.reexecution,
+            active: a.histogram.active,
+            passive: a.histogram.passive,
+        }
+    }
+
+    /// Applies one candidate's audit deltas. Called once per *submitted*
+    /// candidate — whether its record came from the cache or from a fresh
+    /// evaluation — so `AuditSnapshot::evaluated` keeps matching the
+    /// driver's evaluation count exactly.
+    fn record_audit(&self, r: &EvalRecord) {
+        self.counters.evaluated.fetch_add(1, Ordering::Relaxed);
+        if r.eval.feasible {
+            self.counters.feasible.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(rescued) = r.rescued {
+            self.counters.audited.fetch_add(1, Ordering::Relaxed);
+            if rescued {
+                self.counters.rescued.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.counters.reexec.fetch_add(r.reexec, Ordering::Relaxed);
+        self.counters.active.fetch_add(r.active, Ordering::Relaxed);
+        self.counters
+            .passive
+            .fetch_add(r.passive, Ordering::Relaxed);
+    }
 }
 
 impl Problem for MappingProblem<'_> {
@@ -408,33 +509,24 @@ impl Problem for MappingProblem<'_> {
     }
 
     fn evaluate(&self, g: &Genome) -> Evaluation {
-        let a = self.assess(g, self.cfg.audit);
-        self.counters.evaluated.fetch_add(1, Ordering::Relaxed);
-        if a.feasible {
-            self.counters.feasible.fetch_add(1, Ordering::Relaxed);
-        }
-        if let Some(rescued) = a.rescued {
-            self.counters.audited.fetch_add(1, Ordering::Relaxed);
-            if rescued {
-                self.counters.rescued.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        self.counters
-            .reexec
-            .fetch_add(a.histogram.reexecution, Ordering::Relaxed);
-        self.counters
-            .active
-            .fetch_add(a.histogram.active, Ordering::Relaxed);
-        self.counters
-            .passive
-            .fetch_add(a.histogram.passive, Ordering::Relaxed);
+        let record = self.engine.evaluate_one(g, |g| self.assess_record(g));
+        self.record_audit(&record);
+        record.eval
+    }
 
-        let objectives = self.objectives(&a);
-        if a.feasible {
-            Evaluation::feasible(objectives)
-        } else {
-            Evaluation::infeasible(objectives, a.penalty.max(f64::MIN_POSITIVE))
-        }
+    fn evaluate_batch(&self, genotypes: &[Genome], threads: usize) -> Vec<Evaluation> {
+        let records = self
+            .engine
+            .evaluate_batch(genotypes, threads, |g| self.assess_record(g));
+        // Audit deltas are replayed sequentially in submission order, so
+        // the snapshot is deterministic for any thread count.
+        records
+            .into_iter()
+            .map(|r| {
+                self.record_audit(&r);
+                r.eval
+            })
+            .collect()
     }
 
     fn num_objectives(&self) -> usize {
@@ -444,6 +536,42 @@ impl Problem for MappingProblem<'_> {
         }
     }
 }
+
+/// Typed error of the library-level exploration entry points.
+///
+/// Both [`explore_checked`] (which returns it) and [`explore`] (which
+/// panics with its rendering) go through the same pre-flight path, so the
+/// two can never drift in what they accept.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DseError {
+    /// The input system failed the mandatory `mcmap-lint` pre-flight with
+    /// error-level diagnostics.
+    Preflight(Box<mcmap_lint::LintReport>),
+}
+
+impl DseError {
+    /// The underlying lint report, when the pre-flight refused the input.
+    pub fn lint_report(&self) -> Option<&mcmap_lint::LintReport> {
+        match self {
+            DseError::Preflight(report) => Some(report),
+        }
+    }
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::Preflight(report) => write!(
+                f,
+                "input system rejected by lint pre-flight ({})",
+                report.error_codes().join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DseError {}
 
 /// Outcome of one exploration: the GA result, reports for the final Pareto
 /// front, and the audit counters.
@@ -455,6 +583,9 @@ pub struct DseOutcome {
     pub reports: Vec<DesignReport>,
     /// Cumulative audit statistics over the whole run.
     pub audit: AuditSnapshot,
+    /// Evaluation-engine instrumentation (cache traffic, per-phase nanos,
+    /// throughput) over the whole run.
+    pub eval_stats: EvalStats,
 }
 
 impl DseOutcome {
@@ -474,15 +605,11 @@ impl DseOutcome {
 ///
 /// Panics when the input system fails the `mcmap-lint` pre-flight with
 /// error-level diagnostics (the message cites the `MC0xxx` codes). Use
-/// [`explore_checked`] to handle lint failures gracefully.
+/// [`explore_checked`] to handle the typed [`DseError`] gracefully.
 pub fn explore(apps: &AppSet, arch: &Architecture, cfg: DseConfig) -> DseOutcome {
     match explore_checked(apps, arch, cfg) {
         Ok(outcome) => outcome,
-        Err(report) => panic!(
-            "explore: input system rejected by lint pre-flight ({}); run \
-             `mcmap_cli lint` for details",
-            report.error_codes().join(", ")
-        ),
+        Err(err) => panic!("explore: {err}; run `mcmap_cli lint` for details"),
     }
 }
 
@@ -496,18 +623,18 @@ pub fn explore(apps: &AppSet, arch: &Architecture, cfg: DseConfig) -> DseOutcome
 ///
 /// # Errors
 ///
-/// Returns the lint report when it contains at least one error-level
-/// diagnostic.
+/// Returns [`DseError::Preflight`] when the lint report contains at least
+/// one error-level diagnostic.
 pub fn explore_checked(
     apps: &AppSet,
     arch: &Architecture,
     cfg: DseConfig,
-) -> Result<DseOutcome, Box<mcmap_lint::LintReport>> {
+) -> Result<DseOutcome, DseError> {
     let report = mcmap_lint::Linter::new(apps, arch)
         .with_limits(cfg.max_reexec, cfg.max_replicas)
         .lint();
     if report.has_errors() {
-        return Err(Box::new(report));
+        return Err(DseError::Preflight(Box::new(report)));
     }
     let ga_cfg = cfg.ga.clone();
     let problem = MappingProblem::new(apps, arch, cfg);
@@ -519,6 +646,7 @@ pub fn explore_checked(
         .collect();
     Ok(DseOutcome {
         audit: problem.audit(),
+        eval_stats: problem.eval_stats(),
         reports,
         result,
     })
@@ -680,11 +808,18 @@ mod tests {
             let Err(err) = explore_checked(&broken, &arch, tiny_cfg()) else {
                 panic!("the {code} defect must be refused before the GA starts");
             };
-            assert!(err.has_errors());
+            let report = err
+                .lint_report()
+                .expect("pre-flight errors carry the report");
+            assert!(report.has_errors());
             assert!(
-                err.error_codes().contains(&code),
+                report.error_codes().contains(&code),
                 "the refusal cites {code}: {:?}",
-                err.error_codes()
+                report.error_codes()
+            );
+            assert!(
+                err.to_string().contains(code),
+                "the typed error renders the code: {err}"
             );
         }
     }
@@ -695,6 +830,58 @@ mod tests {
         let (apps, arch) = small_system();
         let broken = mcmap_lint::inject::with_cycle(&apps);
         let _ = explore(&broken, &arch, tiny_cfg());
+    }
+
+    #[test]
+    fn cached_reevaluation_replays_audit_counters() {
+        let (apps, arch) = small_system();
+        let problem = MappingProblem::new(&apps, &arch, tiny_cfg());
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = problem.space().random(&mut rng);
+        let a = problem.evaluate(&g);
+        let b = problem.evaluate(&g);
+        assert_eq!(a, b);
+        // The second call is a cache hit, yet both count as evaluations.
+        assert_eq!(problem.audit().evaluated, 2);
+        let stats = problem.eval_stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn batch_evaluation_matches_serial_for_any_thread_count() {
+        let (apps, arch) = small_system();
+        let problem = MappingProblem::new(&apps, &arch, tiny_cfg());
+        let mut rng = StdRng::seed_from_u64(5);
+        let genomes: Vec<Genome> = (0..10).map(|_| problem.space().random(&mut rng)).collect();
+        let uncached = MappingProblem::new(
+            &apps,
+            &arch,
+            DseConfig {
+                cache_cap: 0,
+                ..tiny_cfg()
+            },
+        );
+        let reference = uncached.evaluate_batch(&genomes, 1);
+        for threads in [1, 4] {
+            let p = MappingProblem::new(&apps, &arch, tiny_cfg());
+            assert_eq!(p.evaluate_batch(&genomes, threads), reference);
+            assert_eq!(p.audit().evaluated, genomes.len());
+        }
+    }
+
+    #[test]
+    fn outcome_exposes_eval_stats() {
+        let (apps, arch) = small_system();
+        let outcome = explore(&apps, &arch, tiny_cfg());
+        let s = &outcome.eval_stats;
+        assert_eq!(s.genomes as usize, outcome.result.evaluations);
+        // One batch per generation plus the initial population.
+        assert_eq!(s.batches as usize, tiny_cfg().ga.generations + 1);
+        assert!(
+            s.cache_hits > 0,
+            "a multi-generation run re-visits genomes: {s:?}"
+        );
+        assert!(s.to_json().contains("\"genomes\""));
     }
 
     #[test]

@@ -73,10 +73,11 @@ pub use analysis::{
     McAnalysis,
 };
 pub use dse::{
-    explore, explore_checked, AuditSnapshot, DesignReport, DseConfig, DseOutcome, MappingProblem,
-    ObjectiveMode,
+    explore, explore_checked, AuditSnapshot, DesignReport, DseConfig, DseError, DseOutcome,
+    MappingProblem, ObjectiveMode,
 };
 pub use genome::{GeneHardening, Genome, GenomeSpace, TaskGene};
+pub use mcmap_eval::{EvalCacheConfig, EvalStats};
 pub use objective::{expected_power, lost_service, service_after_dropping};
 pub use repair::{repair_reliability, repair_structure, repair_structure_logged};
 pub use sensitivity::{uniform_reexec_plan, AppSlack, Sensitivity, WhatIf};

@@ -1,0 +1,156 @@
+//! The sharded, capacity-bounded memoization cache.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// A concurrent map from 128-bit content keys to cached evaluations.
+///
+/// The key space is split across `shards` independently locked segments
+/// (selected by the key's high bits, which the [engine](crate::EvalEngine)
+/// derives from a different hash stream than the low bits), so parallel
+/// workers rarely contend on the same lock. Each shard holds at most
+/// `⌈capacity / shards⌉` entries and evicts in FIFO order — no recency
+/// bookkeeping on the read path, which keeps hits lock-short and cheap.
+///
+/// Correctness never depends on cache *contents*: evaluation is a pure
+/// function, so a hit returns exactly what re-evaluation would. Eviction
+/// and sharding therefore only shape the hit *rate*, never the results.
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    cap_per_shard: usize,
+}
+
+struct Shard<V> {
+    map: HashMap<u128, V>,
+    order: VecDeque<u128>,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// Builds a cache bounded to roughly `capacity` entries across `shards`
+    /// segments (both forced to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let cap_per_shard = capacity.max(1).div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            cap_per_shard,
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard<V>> {
+        &self.shards[((key >> 64) as usize) % self.shards.len()]
+    }
+
+    /// Returns a clone of the cached value, if present.
+    pub fn get(&self, key: u128) -> Option<V> {
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.map.get(&key).cloned()
+    }
+
+    /// Inserts (or refreshes) a value and returns how many entries were
+    /// evicted to respect the shard capacity.
+    pub fn insert(&self, key: u128, value: V) -> usize {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.map.insert(key, value).is_none() {
+            shard.order.push_back(key);
+        }
+        let mut evicted = 0;
+        while shard.map.len() > self.cap_per_shard {
+            let Some(victim) = shard.order.pop_front() else {
+                break;
+            };
+            if shard.map.remove(&victim).is_some() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Total number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The per-shard entry bound.
+    pub fn capacity_per_shard(&self) -> usize {
+        self.cap_per_shard
+    }
+}
+
+impl<V> std::fmt::Debug for ShardedCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("cap_per_shard", &self.cap_per_shard)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_what_insert_stored() {
+        let c: ShardedCache<String> = ShardedCache::new(64, 4);
+        assert_eq!(c.get(42), None);
+        assert_eq!(c.insert(42, "v".into()), 0);
+        assert_eq!(c.get(42), Some("v".into()));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_respected_per_shard() {
+        // One shard, capacity 4: inserting 10 keys keeps only the last 4.
+        let c: ShardedCache<u32> = ShardedCache::new(4, 1);
+        let mut evicted = 0;
+        for k in 0..10u128 {
+            evicted += c.insert(k, k as u32);
+        }
+        assert_eq!(evicted, 6);
+        assert_eq!(c.len(), 4);
+        for k in 0..6u128 {
+            assert_eq!(c.get(k), None, "oldest entries evicted first");
+        }
+        for k in 6..10u128 {
+            assert_eq!(c.get(k), Some(k as u32));
+        }
+    }
+
+    #[test]
+    fn refreshing_a_key_does_not_grow_the_cache() {
+        let c: ShardedCache<u8> = ShardedCache::new(8, 1);
+        for _ in 0..20 {
+            c.insert(1, 7);
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1), Some(7));
+    }
+
+    #[test]
+    fn keys_spread_over_shards_by_high_bits() {
+        let c: ShardedCache<u8> = ShardedCache::new(1024, 8);
+        for hi in 0..8u128 {
+            c.insert(hi << 64, 0);
+        }
+        // All eight land in distinct shards, so none evict each other even
+        // with a tiny total... and the total is visible.
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_empty());
+    }
+}

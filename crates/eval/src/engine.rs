@@ -1,0 +1,260 @@
+//! The evaluation engine: worker pool + memo cache + instrumentation.
+
+use crate::cache::ShardedCache;
+use crate::pool::parallel_map;
+use crate::stats::{EvalStats, StatCounters};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Sizing of the memoization cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalCacheConfig {
+    /// Total entry bound across all shards; `0` disables caching entirely
+    /// (every candidate re-evaluates — the ablation / baseline mode).
+    pub capacity: usize,
+    /// Number of independently locked segments.
+    pub shards: usize,
+}
+
+impl Default for EvalCacheConfig {
+    fn default() -> Self {
+        EvalCacheConfig {
+            capacity: 65_536,
+            shards: 16,
+        }
+    }
+}
+
+impl EvalCacheConfig {
+    /// A cache bounded to `capacity` entries (0 = disabled) with the
+    /// default shard count.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EvalCacheConfig {
+            capacity,
+            ..EvalCacheConfig::default()
+        }
+    }
+
+    /// The disabled-cache configuration.
+    pub fn disabled() -> Self {
+        EvalCacheConfig::with_capacity(0)
+    }
+}
+
+/// A parallel, memoizing evaluator of candidate solutions.
+///
+/// The engine is generic over the cached value `V` — typically an objective
+/// vector plus whatever per-candidate side data the caller must replay on
+/// cache hits (feasibility verdicts, audit deltas). Construction binds the
+/// engine to an evaluation *context* (anything [`Hash`]): candidate keys
+/// mix the context fingerprint with the candidate's own content hash, so an
+/// engine accidentally reused across two different problems cannot serve
+/// stale results.
+///
+/// Determinism: for a pure evaluation function, `evaluate_batch` returns a
+/// vector that is bit-identical for every thread count — workers race only
+/// over *which* of them computes a value, never over what the value is or
+/// where it lands.
+pub struct EvalEngine<V> {
+    cache: Option<ShardedCache<V>>,
+    context: u64,
+    counters: StatCounters,
+}
+
+impl<V: Clone + Send + Sync> EvalEngine<V> {
+    /// Builds an engine whose keys are scoped to `context`.
+    pub fn new(cfg: EvalCacheConfig, context: &impl Hash) -> Self {
+        let mut h = DefaultHasher::new();
+        context.hash(&mut h);
+        EvalEngine {
+            cache: (cfg.capacity > 0).then(|| ShardedCache::new(cfg.capacity, cfg.shards)),
+            context: h.finish(),
+            counters: StatCounters::default(),
+        }
+    }
+
+    /// The 128-bit memoization key of one candidate: two independent
+    /// SipHash streams (distinct domain-separation prefixes) over
+    /// (context, candidate). A 64-bit key would see birthday collisions
+    /// around a few billion distinct candidates; at 128 bits a collision —
+    /// the only event that could corrupt a result — is negligible.
+    pub fn key_of<G: Hash>(&self, genome: &G) -> u128 {
+        let mut hi = DefaultHasher::new();
+        0xE1u8.hash(&mut hi);
+        self.context.hash(&mut hi);
+        genome.hash(&mut hi);
+        let mut lo = DefaultHasher::new();
+        0x7Bu8.hash(&mut lo);
+        self.context.hash(&mut lo);
+        genome.hash(&mut lo);
+        ((hi.finish() as u128) << 64) | lo.finish() as u128
+    }
+
+    /// Evaluates one candidate through the cache.
+    pub fn evaluate_one<G, F>(&self, genome: &G, eval: F) -> V
+    where
+        G: Hash,
+        F: Fn(&G) -> V,
+    {
+        let t0 = Instant::now();
+        let key = self.key_of(genome);
+        let cached = self.cache.as_ref().and_then(|c| c.get(key));
+        self.counters
+            .add(&self.counters.lookup_nanos, t0.elapsed().as_nanos() as u64);
+        if let Some(v) = cached {
+            self.counters.add(&self.counters.hits, 1);
+            return v;
+        }
+
+        let t1 = Instant::now();
+        let v = eval(genome);
+        self.counters
+            .add(&self.counters.eval_nanos, t1.elapsed().as_nanos() as u64);
+        self.counters.add(&self.counters.misses, 1);
+
+        if let Some(cache) = &self.cache {
+            let t2 = Instant::now();
+            let evicted = cache.insert(key, v.clone());
+            self.counters
+                .add(&self.counters.insert_nanos, t2.elapsed().as_nanos() as u64);
+            self.counters.add(&self.counters.evictions, evicted as u64);
+        }
+        v
+    }
+
+    /// Evaluates a batch across `threads` workers (0 = one per core),
+    /// returning results in input order regardless of thread count.
+    pub fn evaluate_batch<G, F>(&self, genomes: &[G], threads: usize, eval: F) -> Vec<V>
+    where
+        G: Hash + Sync,
+        F: Fn(&G) -> V + Sync,
+    {
+        let t0 = Instant::now();
+        let results = parallel_map(genomes, threads, |g| self.evaluate_one(g, &eval));
+        self.counters.add(&self.counters.batches, 1);
+        self.counters
+            .add(&self.counters.genomes, genomes.len() as u64);
+        self.counters
+            .add(&self.counters.wall_nanos, t0.elapsed().as_nanos() as u64);
+        results
+    }
+
+    /// Snapshot of the instrumentation counters.
+    pub fn stats(&self) -> EvalStats {
+        let entries = self.cache.as_ref().map_or(0, ShardedCache::len) as u64;
+        self.counters.snapshot(entries)
+    }
+
+    /// Zeroes the instrumentation counters (the cache keeps its contents).
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+    }
+
+    /// Whether memoization is active.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+}
+
+impl<V> std::fmt::Debug for EvalEngine<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalEngine")
+            .field("context", &self.context)
+            .field("cache", &self.cache)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn engine(capacity: usize) -> EvalEngine<u64> {
+        EvalEngine::new(EvalCacheConfig::with_capacity(capacity), &"test-context")
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let genomes: Vec<u64> = (0..200).map(|i| i * 31 % 17).collect();
+        let reference = engine(256).evaluate_batch(&genomes, 1, |g| g.wrapping_mul(*g) + 1);
+        for threads in [2, 4, 8] {
+            let e = engine(256);
+            assert_eq!(
+                e.evaluate_batch(&genomes, threads, |g| g.wrapping_mul(*g) + 1),
+                reference
+            );
+            assert_eq!(e.stats().genomes, 200);
+            assert_eq!(e.stats().batches, 1);
+        }
+    }
+
+    #[test]
+    fn cache_avoids_recomputation() {
+        let calls = AtomicUsize::new(0);
+        let e = engine(1024);
+        let genomes = vec![1u64, 2, 3, 1, 2, 3, 1, 2, 3];
+        let out = e.evaluate_batch(&genomes, 1, |g| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            g + 100
+        });
+        assert_eq!(out, vec![101, 102, 103, 101, 102, 103, 101, 102, 103]);
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "3 distinct genomes");
+        let s = e.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (6, 3));
+        assert_eq!(s.cache_entries, 3);
+        assert!(s.hit_rate() > 0.66 && s.hit_rate() < 0.67);
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let calls = AtomicUsize::new(0);
+        let e = engine(0);
+        assert!(!e.cache_enabled());
+        let _ = e.evaluate_batch(&[5u64, 5, 5], 1, |g| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *g
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(e.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn distinct_contexts_produce_distinct_keys() {
+        let a: EvalEngine<u64> = EvalEngine::new(EvalCacheConfig::default(), &"ctx-a");
+        let b: EvalEngine<u64> = EvalEngine::new(EvalCacheConfig::default(), &"ctx-b");
+        assert_ne!(a.key_of(&42u64), b.key_of(&42u64));
+        assert_eq!(a.key_of(&42u64), a.key_of(&42u64));
+        assert_ne!(a.key_of(&42u64), a.key_of(&43u64));
+    }
+
+    #[test]
+    fn eviction_pressure_is_counted_and_bounded() {
+        let e = engine(8);
+        let genomes: Vec<u64> = (0..1000).collect();
+        let _ = e.evaluate_batch(&genomes, 1, |g| *g);
+        let s = e.stats();
+        assert_eq!(s.cache_misses, 1000);
+        assert!(s.evictions > 900, "tiny cache must churn: {s:?}");
+        assert!(s.cache_entries <= 16, "entries bounded near capacity");
+    }
+
+    #[test]
+    fn reset_stats_keeps_the_cache_warm() {
+        let calls = AtomicUsize::new(0);
+        let e = engine(64);
+        let _ = e.evaluate_batch(&[9u64], 1, |g| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *g
+        });
+        e.reset_stats();
+        let _ = e.evaluate_batch(&[9u64], 1, |g| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *g
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "second pass is a hit");
+        let s = e.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 0));
+    }
+}

@@ -1,0 +1,134 @@
+//! The deterministic `std::thread` worker pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on `threads` OS threads and returns the results in
+/// input order.
+///
+/// Work is claimed through a shared atomic cursor, one item at a time, so
+/// expensive items do not serialize behind a bad static partition. Each
+/// worker tags its results with the item index and the caller scatters them
+/// back, which makes the output **independent of scheduling**: for a pure
+/// `f`, any thread count produces the same vector.
+///
+/// `threads == 0` means "one per available core"; the effective count is
+/// also clamped to `items.len()`. With one effective thread the map runs
+/// inline, without spawning.
+///
+/// # Panics
+///
+/// A panic in `f` is resumed on the calling thread with its original
+/// payload.
+///
+/// # Examples
+///
+/// ```
+/// let doubled = mcmap_eval::parallel_map(&[1, 2, 3, 4], 8, |x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6, 8]);
+/// ```
+pub fn parallel_map<T, V, F>(items: &[T], threads: usize, f: F) -> Vec<V>
+where
+    T: Sync,
+    V: Send,
+    F: Fn(&T) -> V + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, V)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(bucket) => bucket,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<V>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for (i, v) in buckets.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Resolves the requested thread count: 0 = available parallelism, and
+/// never more threads than items.
+pub(crate) fn effective_threads(requested: usize, items: usize) -> usize {
+    let hw = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t = if requested == 0 { hw() } else { requested };
+    t.clamp(1, items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(parallel_map(&items, threads, |x| x * 3 + 1), expect);
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..50).collect();
+        let _ = parallel_map(&items, 4, |_| calls.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(parallel_map(&[] as &[u8], 4, |x| *x), Vec::<u8>::new());
+        assert_eq!(parallel_map(&[7u8], 4, |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(16, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert_eq!(effective_threads(1, 0), 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_payload() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&[1, 2, 3], 2, |x| {
+                assert!(*x != 2, "boom at {x}");
+                *x
+            })
+        });
+        let payload = result.expect_err("the panic must cross the pool");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("assert! payload is a String");
+        assert!(msg.contains("boom at 2"), "got: {msg}");
+    }
+}

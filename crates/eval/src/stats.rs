@@ -1,0 +1,196 @@
+//! Free-running instrumentation counters and their report formats.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters, bumped lock-free from worker threads.
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    pub batches: AtomicU64,
+    pub genomes: AtomicU64,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub lookup_nanos: AtomicU64,
+    pub eval_nanos: AtomicU64,
+    pub insert_nanos: AtomicU64,
+    pub wall_nanos: AtomicU64,
+}
+
+impl StatCounters {
+    pub fn add(&self, field: &AtomicU64, v: u64) {
+        field.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn reset(&self) {
+        for f in [
+            &self.batches,
+            &self.genomes,
+            &self.hits,
+            &self.misses,
+            &self.evictions,
+            &self.lookup_nanos,
+            &self.eval_nanos,
+            &self.insert_nanos,
+            &self.wall_nanos,
+        ] {
+            f.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub fn snapshot(&self, cache_entries: u64) -> EvalStats {
+        EvalStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            genomes: self.genomes.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            cache_entries,
+            lookup_nanos: self.lookup_nanos.load(Ordering::Relaxed),
+            eval_nanos: self.eval_nanos.load(Ordering::Relaxed),
+            insert_nanos: self.insert_nanos.load(Ordering::Relaxed),
+            wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of the engine's instrumentation.
+///
+/// `genomes` and `batches` are deterministic for a fixed exploration
+/// (results are gathered by index, and every submitted candidate counts
+/// exactly once, cache hit or not). Hit/miss totals can shift by a few
+/// units across thread counts — concurrent workers may race to first-fill
+/// the same key — so throughput tracking should compare `hit_rate()`
+/// trends, not exact counts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EvalStats {
+    /// Number of `evaluate_batch` calls.
+    pub batches: u64,
+    /// Total candidates submitted (hits + misses).
+    pub genomes: u64,
+    /// Candidates answered from the memoization cache.
+    pub cache_hits: u64,
+    /// Candidates that ran the full evaluation.
+    pub cache_misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries resident in the cache at snapshot time.
+    pub cache_entries: u64,
+    /// Nanoseconds spent hashing keys and probing the cache.
+    pub lookup_nanos: u64,
+    /// Nanoseconds spent inside the evaluation function (summed across
+    /// workers, so this can exceed wall time).
+    pub eval_nanos: u64,
+    /// Nanoseconds spent inserting results into the cache.
+    pub insert_nanos: u64,
+    /// Wall-clock nanoseconds across all batches (caller-side).
+    pub wall_nanos: u64,
+}
+
+impl EvalStats {
+    /// Share of candidates answered from the cache (0 when nothing ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.genomes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.genomes as f64
+        }
+    }
+
+    /// Evaluation throughput in candidates per wall-clock second.
+    pub fn genomes_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.genomes as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// Multi-line human-readable report.
+    pub fn render_text(&self) -> String {
+        format!(
+            "eval-stats: {} genomes in {} batches ({:.1} genomes/s)\n\
+             eval-stats: cache {} hits / {} misses ({:.2} % hit rate), \
+             {} evictions, {} resident\n\
+             eval-stats: phase nanos: lookup {}, evaluate {}, insert {}, wall {}\n",
+            self.genomes,
+            self.batches,
+            self.genomes_per_sec(),
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0,
+            self.evictions,
+            self.cache_entries,
+            self.lookup_nanos,
+            self.eval_nanos,
+            self.insert_nanos,
+            self.wall_nanos,
+        )
+    }
+
+    /// Single-object JSON report (stable keys, for `BENCH_*.json` tooling).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"batches\":{},\"genomes\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"hit_rate\":{:.6},\"evictions\":{},\"cache_entries\":{},\
+             \"lookup_nanos\":{},\"eval_nanos\":{},\"insert_nanos\":{},\
+             \"wall_nanos\":{},\"genomes_per_sec\":{:.3}}}",
+            self.batches,
+            self.genomes,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate(),
+            self.evictions,
+            self.cache_entries,
+            self.lookup_nanos,
+            self.eval_nanos,
+            self.insert_nanos,
+            self.wall_nanos,
+            self.genomes_per_sec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_handle_zero_denominators() {
+        let s = EvalStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.genomes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn reports_mention_the_load_bearing_numbers() {
+        let s = EvalStats {
+            batches: 2,
+            genomes: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            evictions: 1,
+            cache_entries: 5,
+            lookup_nanos: 100,
+            eval_nanos: 900,
+            insert_nanos: 50,
+            wall_nanos: 1_000_000_000,
+        };
+        let text = s.render_text();
+        assert!(text.contains("4 hits / 6 misses"));
+        assert!(text.contains("40.00 % hit rate"));
+        let json = s.to_json();
+        assert!(json.contains("\"cache_hits\":4"));
+        assert!(json.contains("\"hit_rate\":0.400000"));
+        assert!(json.contains("\"genomes_per_sec\":10.000"));
+    }
+
+    #[test]
+    fn counters_reset_to_zero() {
+        let c = StatCounters::default();
+        c.add(&c.genomes, 5);
+        c.add(&c.hits, 2);
+        assert_eq!(c.snapshot(0).genomes, 5);
+        c.reset();
+        assert_eq!(c.snapshot(0), EvalStats::default());
+    }
+}

@@ -125,7 +125,7 @@ pub fn optimize<P: Problem>(problem: &P, cfg: &GaConfig) -> GaResult<P::Genotype
     let genotypes: Vec<P::Genotype> = (0..cfg.population.max(2))
         .map(|_| problem.random(&mut rng))
         .collect();
-    let evals = evaluate_all(problem, &genotypes, cfg.threads);
+    let evals = problem.evaluate_batch(&genotypes, cfg.threads);
     evaluations += evals.len();
     let pop: Vec<Individual<P::Genotype>> = genotypes
         .into_iter()
@@ -153,7 +153,7 @@ pub fn optimize<P: Problem>(problem: &P, cfg: &GaConfig) -> GaResult<P::Genotype
                 child
             })
             .collect();
-        let evals = evaluate_all(problem, &offspring_genotypes, cfg.threads);
+        let evals = problem.evaluate_batch(&offspring_genotypes, cfg.threads);
         evaluations += evals.len();
 
         let mut pool = archive;
@@ -222,31 +222,6 @@ fn stats<G>(generation: usize, archive: &[Individual<G>]) -> GenerationStats {
         feasible,
         front_size,
     }
-}
-
-fn evaluate_all<P: Problem>(
-    problem: &P,
-    genotypes: &[P::Genotype],
-    threads: usize,
-) -> Vec<crate::Evaluation> {
-    if threads <= 1 || genotypes.len() < 2 {
-        return genotypes.iter().map(|g| problem.evaluate(g)).collect();
-    }
-    let chunk = genotypes.len().div_ceil(threads);
-    let mut results: Vec<Option<crate::Evaluation>> = vec![None; genotypes.len()];
-    std::thread::scope(|scope| {
-        for (slot_chunk, geno_chunk) in results.chunks_mut(chunk).zip(genotypes.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, g) in slot_chunk.iter_mut().zip(geno_chunk) {
-                    *slot = Some(problem.evaluate(g));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|e| e.expect("every slot evaluated"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -430,5 +405,47 @@ mod tests {
         );
         assert_eq!(p.0.load(Ordering::Relaxed), r.evaluations);
         assert_eq!(r.evaluations, 5 + 5 * 3);
+    }
+
+    #[test]
+    fn driver_routes_evaluation_through_the_batch_hook() {
+        /// Counts batch calls and serves evaluations itself, proving the
+        /// driver never falls back to per-genotype evaluation.
+        struct Batched(AtomicUsize);
+        impl Problem for Batched {
+            type Genotype = u8;
+            fn random(&self, rng: &mut dyn RngCore) -> u8 {
+                (rng.next_u32() % 11) as u8
+            }
+            fn crossover(&self, a: &u8, _: &u8, _: &mut dyn RngCore) -> u8 {
+                *a
+            }
+            fn mutate(&self, _: &mut u8, _: &mut dyn RngCore) {}
+            fn evaluate(&self, _: &u8) -> Evaluation {
+                panic!("the driver must call evaluate_batch, not evaluate");
+            }
+            fn evaluate_batch(&self, genotypes: &[u8], _threads: usize) -> Vec<Evaluation> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                genotypes
+                    .iter()
+                    .map(|g| Evaluation::feasible(vec![*g as f64]))
+                    .collect()
+            }
+            fn num_objectives(&self) -> usize {
+                1
+            }
+        }
+        let p = Batched(AtomicUsize::new(0));
+        let r = optimize(
+            &p,
+            &GaConfig {
+                population: 6,
+                generations: 4,
+                ..Default::default()
+            },
+        );
+        // One batch for the initial population + one per generation.
+        assert_eq!(p.0.load(Ordering::Relaxed), 5);
+        assert_eq!(r.evaluations, 6 + 6 * 4);
     }
 }

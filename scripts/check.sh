@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints, and the whole test suite.
+# Full local gate: formatting, lints, the whole test suite, the evaluation
+# engine's determinism suite, and the eval-engine bench (which writes the
+# machine-readable results/BENCH_eval.json).
 # Usage: scripts/check.sh [--fix]
 #   --fix   apply rustfmt and clippy suggestions instead of just checking
 set -euo pipefail
@@ -14,5 +16,11 @@ else
 fi
 
 cargo test --workspace -q
+
+# Thread-count / cache invariance of the DSE (bit-identical Pareto fronts).
+cargo test -q --test determinism
+
+# Engine micro/macro bench; emits results/BENCH_eval.json.
+cargo bench -p mcmap-bench --bench eval_engine
 
 echo "check.sh: all gates passed"

@@ -13,6 +13,7 @@
 //! * [`sched`] — the holistic best/worst-case scheduling backend;
 //! * [`sim`] — a discrete-event simulator with fault injection;
 //! * [`ga`] — the multi-objective evolutionary framework (SPEA-II/NSGA-II);
+//! * [`eval`] — the parallel, memoizing candidate-evaluation engine;
 //! * [`core`] — Algorithm 1 (the mixed-criticality WCRT analysis) and the
 //!   mapping DSE;
 //! * [`lint`] — the static analyzer over models, hardening specs, and
@@ -35,6 +36,7 @@
 
 pub use mcmap_benchmarks as benchmarks;
 pub use mcmap_core as core;
+pub use mcmap_eval as eval;
 pub use mcmap_ga as ga;
 pub use mcmap_hardening as hardening;
 pub use mcmap_lint as lint;

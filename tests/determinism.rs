@@ -1,0 +1,95 @@
+//! Determinism suite for the `mcmap-eval` candidate-evaluation engine: the
+//! `--threads` knob must be *purely* a speed knob. At a fixed seed, any
+//! thread count produces the same Pareto front, objective vectors, and
+//! per-genome accounting; the memoization cache is transparent — turning
+//! it off changes nothing but wall-clock.
+
+use mcmap::benchmarks::cruise;
+use mcmap::core::{explore, DseConfig, DseOutcome, ObjectiveMode};
+use mcmap::ga::GaConfig;
+use proptest::prelude::*;
+
+fn outcome_with(threads: usize, cache_cap: usize, seed: u64) -> DseOutcome {
+    let b = cruise();
+    explore(
+        &b.apps,
+        &b.arch,
+        DseConfig {
+            ga: GaConfig {
+                population: 12,
+                generations: 4,
+                seed,
+                threads,
+                ..GaConfig::default()
+            },
+            objectives: ObjectiveMode::PowerService,
+            allow_dropping: true,
+            policies: Some(b.policies.clone()),
+            repair_iters: 40,
+            cache_cap,
+            ..DseConfig::default()
+        },
+    )
+}
+
+/// The full comparable state of an exploration: every front report
+/// (feasibility, power, service, dropped set) in front order.
+fn fingerprint(o: &DseOutcome) -> String {
+    format!("{:?}", o.reports)
+}
+
+#[test]
+fn pareto_front_is_identical_for_1_2_and_8_threads() {
+    let serial = outcome_with(1, 65_536, 8);
+    let two = outcome_with(2, 65_536, 8);
+    let eight = outcome_with(8, 65_536, 8);
+
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&two),
+        "2 worker threads changed the Pareto front"
+    );
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&eight),
+        "8 worker threads changed the Pareto front"
+    );
+
+    // The engine accounts every submitted genome exactly once, so the
+    // evaluation counts agree too (cache hit/miss split may differ across
+    // thread counts — first-fill races are benign — but the genome and
+    // batch totals may not).
+    assert_eq!(serial.eval_stats.genomes, two.eval_stats.genomes);
+    assert_eq!(serial.eval_stats.genomes, eight.eval_stats.genomes);
+    assert_eq!(serial.eval_stats.batches, eight.eval_stats.batches);
+    assert_eq!(serial.audit.evaluated, eight.audit.evaluated);
+}
+
+#[test]
+fn multi_generation_run_hits_the_cache() {
+    let outcome = outcome_with(2, 65_536, 8);
+    assert!(
+        outcome.eval_stats.cache_hits > 0,
+        "elitist re-evaluation across generations must produce cache hits"
+    );
+    assert!(outcome.eval_stats.hit_rate() > 0.0);
+}
+
+proptest! {
+    // Each case is a full (small) exploration, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cache_on_and_cache_off_explorations_agree(
+        seed in 0u64..1_000,
+        threads in 1usize..5,
+    ) {
+        let cached = outcome_with(threads, 65_536, seed);
+        let bare = outcome_with(1, 0, seed);
+        prop_assert_eq!(fingerprint(&cached), fingerprint(&bare));
+        prop_assert_eq!(cached.eval_stats.genomes, bare.eval_stats.genomes);
+        // With the cache disabled every lookup is a miss.
+        prop_assert_eq!(bare.eval_stats.cache_hits, 0);
+        prop_assert_eq!(bare.eval_stats.cache_misses, bare.eval_stats.genomes);
+    }
+}
