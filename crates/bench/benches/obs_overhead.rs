@@ -1,0 +1,156 @@
+//! Overhead gate for the `mcmap-obs` tracing layer.
+//!
+//! Runs the same Cruise exploration twice per repetition — once with a
+//! disabled [`Recorder`] (the no-op fast path) and once with tracing on in
+//! the production `--trace` configuration (a JSONL file sink, which is the
+//! only sink a pure trace run pays for) — back-to-back so both legs of a
+//! pair see the same machine state, then takes the **median of the
+//! per-pair traced/untraced ratios**. The median is robust against a
+//! transient slow window on a shared host, which would poison a
+//! min-of-N-per-leg comparison: such a window inflates both legs of its
+//! pair equally and that pair's ratio stays honest. The bench asserts
+//! three things:
+//!
+//! 1. the Pareto fronts of the traced and untraced runs are bit-identical
+//!    (tracing is a read-only observer);
+//! 2. the traced run actually produced events (the measurement is not a
+//!    no-op against a no-op);
+//! 3. the relative overhead stays below the budget (default **5 %**,
+//!    override with `MCMAP_OBS_MAX_OVERHEAD_PCT`).
+//!
+//! A machine-readable summary goes to `results/BENCH_obs.json` (directory
+//! override: `MCMAP_BENCH_OUT`). Budget knobs: `MCMAP_POP` (default 48),
+//! `MCMAP_GENS` (default 16), `MCMAP_THREADS` (default 1 — serial timing
+//! is the least noisy), `MCMAP_OBS_REPEATS` (default 9).
+
+use mcmap_bench::{env_u64, env_usize};
+use mcmap_benchmarks::{cruise, Benchmark};
+use mcmap_core::{explore, DseConfig, DseOutcome, ObjectiveMode};
+use mcmap_ga::GaConfig;
+use mcmap_obs::{Recorder, RecorderBuilder};
+use std::time::Instant;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn dse_cfg(b: &Benchmark, threads: usize, pop: usize, gens: usize, obs: Recorder) -> DseConfig {
+    DseConfig {
+        ga: GaConfig {
+            population: pop,
+            generations: gens,
+            seed: env_u64("MCMAP_SEED", 8),
+            threads,
+            ..GaConfig::default()
+        },
+        objectives: ObjectiveMode::PowerService,
+        allow_dropping: true,
+        policies: Some(b.policies.clone()),
+        repair_iters: 40,
+        obs,
+        ..DseConfig::default()
+    }
+}
+
+fn timed_explore(b: &Benchmark, cfg: DseConfig) -> (DseOutcome, f64) {
+    let t0 = Instant::now();
+    let outcome = explore(&b.apps, &b.arch, cfg);
+    (outcome, t0.elapsed().as_secs_f64())
+}
+
+/// The comparable fingerprint of an exploration: the full report list in
+/// front order.
+fn fingerprint(o: &DseOutcome) -> String {
+    format!("{:?}", o.reports)
+}
+
+fn main() {
+    let b = cruise();
+    let pop = env_usize("MCMAP_POP", 48);
+    let gens = env_usize("MCMAP_GENS", 16);
+    let threads = env_usize("MCMAP_THREADS", 1);
+    let repeats = env_usize("MCMAP_OBS_REPEATS", 9).max(1);
+    let max_pct = env_f64("MCMAP_OBS_MAX_OVERHEAD_PCT", 5.0);
+
+    let trace_path =
+        std::env::temp_dir().join(format!("mcmap_obs_overhead_{}.jsonl", std::process::id()));
+
+    // Warm-up: populate allocator pools, page in the code, and grab the
+    // reference fingerprint both legs must reproduce.
+    let (reference, _) = timed_explore(&b, dse_cfg(&b, threads, pop, gens, Recorder::default()));
+    let want = fingerprint(&reference);
+
+    let mut wall_off = f64::INFINITY;
+    let mut wall_on = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(repeats);
+    let mut events = 0u64;
+    for rep in 0..repeats {
+        // Alternate which leg runs first: under cgroup CPU-quota
+        // throttling the *second* leg of a pair is systematically slower,
+        // which a fixed order would misread as tracing overhead.
+        let run_off = |wall_off: &mut f64| {
+            let (plain, t_off) =
+                timed_explore(&b, dse_cfg(&b, threads, pop, gens, Recorder::default()));
+            assert_eq!(fingerprint(&plain), want, "untraced run diverged");
+            *wall_off = wall_off.min(t_off);
+            t_off
+        };
+        let run_on = |wall_on: &mut f64, events: &mut u64| {
+            let obs = RecorderBuilder::new()
+                .jsonl(&trace_path)
+                .expect("open temp trace file")
+                .build();
+            let (traced, t_on) = timed_explore(&b, dse_cfg(&b, threads, pop, gens, obs));
+            assert_eq!(
+                fingerprint(&traced),
+                want,
+                "tracing changed the Pareto front"
+            );
+            *events = traced.telemetry.emitted();
+            assert!(*events > 0, "traced run produced no events");
+            *wall_on = wall_on.min(t_on);
+            t_on
+        };
+        let (t_off, t_on) = if rep % 2 == 0 {
+            let t_off = run_off(&mut wall_off);
+            let t_on = run_on(&mut wall_on, &mut events);
+            (t_off, t_on)
+        } else {
+            let t_on = run_on(&mut wall_on, &mut events);
+            let t_off = run_off(&mut wall_off);
+            (t_off, t_on)
+        };
+        ratios.push(t_on / t_off.max(1e-9));
+    }
+    let _ = std::fs::remove_file(&trace_path);
+
+    ratios.sort_by(f64::total_cmp);
+    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+    println!(
+        "obs_overhead/cruise: {wall_off:.4} s untraced, {wall_on:.4} s traced (best of \
+         {repeats}; {events} events; median overhead {overhead_pct:+.2}%, budget {max_pct:.1}%)"
+    );
+
+    let out_dir = std::env::var("MCMAP_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    let json = format!(
+        "{{\"benchmark\":\"cruise\",\"population\":{pop},\"generations\":{gens},\
+         \"threads\":{threads},\"repeats\":{repeats},\"events\":{events},\
+         \"wall_secs_untraced\":{wall_off:.6},\"wall_secs_traced\":{wall_on:.6},\
+         \"overhead_pct\":{overhead_pct:.3},\"max_overhead_pct\":{max_pct:.1},\
+         \"fronts_identical\":true}}\n"
+    );
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let path = format!("{out_dir}/BENCH_obs.json");
+    std::fs::write(&path, json).expect("write BENCH_obs.json");
+    println!("obs_overhead/cruise: wrote {path}");
+
+    assert!(
+        overhead_pct < max_pct,
+        "tracing overhead {overhead_pct:.2}% exceeds the {max_pct:.1}% budget \
+         (untraced {wall_off:.4} s, traced {wall_on:.4} s)"
+    );
+}

@@ -93,6 +93,11 @@ fn main() {
     // The four variants are independent, so they run on the evaluation
     // worker pool; gathering preserves variant order, so the table is
     // identical for any `--threads`.
+    let obs = knobs.recorder();
+    let span = obs.span(
+        "ablation.variants",
+        &[("variants", mcmap_obs::Value::from(variants.len()))],
+    );
     let t0 = std::time::Instant::now();
     let rows = parallel_map(&variants, knobs.threads, |(name, plan)| {
         let hsys = harden(&b.apps, plan, &b.arch).expect("static plans are valid");
@@ -105,7 +110,7 @@ fn main() {
             .fold(0.0f64, f64::max);
         let mc = analyze(&hsys, &b.arch, &mapping, &b.policies, &dropped);
         let power = expected_power(&hsys, &b.arch, &mapping, &[true; 4], &dropped, 0.3);
-        format!(
+        let row = format!(
             "{:22} | {:>10.2} | {:>9} {:>9} | {:>9.2e} | {:>6}",
             name,
             power,
@@ -113,13 +118,29 @@ fn main() {
             mc.app_wcrt(&hsys, AppId::new(1), &dropped).to_string(),
             worst_fail,
             mc.schedulable(&hsys, &dropped),
-        )
+        );
+        (row, mc.scenarios, mc.backend_calls, power)
     });
     let wall = t0.elapsed();
-    for row in &rows {
+    span.end();
+    // Per-variant effort and power, emitted in variant order on the driver
+    // thread: the canonical trace is identical for any --threads.
+    for ((name, _), (_, scenarios, backend_calls, power)) in variants.iter().zip(&rows) {
+        obs.counter(
+            "ablation.variant",
+            &[
+                ("name", mcmap_obs::Value::from(*name)),
+                ("scenarios", mcmap_obs::Value::from(*scenarios)),
+                ("backend_calls", mcmap_obs::Value::from(*backend_calls)),
+                ("power", mcmap_obs::Value::from(*power)),
+            ],
+        );
+    }
+    for (row, ..) in &rows {
         println!("{row}");
     }
     println!("\nRe-execution is the cheapest technique in power; replication buys back the");
     println!("critical-state WCRT inflation at the cost of permanently duplicated work.");
     knobs.report_wall("ablation-hardening", rows.len(), wall);
+    knobs.report_obs("ablation-hardening", &obs);
 }

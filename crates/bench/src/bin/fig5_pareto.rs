@@ -33,6 +33,7 @@ fn main() {
         ..DseConfig::default()
     };
     knobs.apply(&mut cfg);
+    cfg.obs = knobs.recorder();
     let outcome = explore(&b.apps, &b.arch, cfg);
 
     // Collect feasible, distinct (power, service) points.
@@ -77,4 +78,6 @@ fn main() {
         );
     }
     knobs.report("fig5/dt-med", &outcome.eval_stats);
+    knobs.report_audit("fig5/dt-med", &outcome.audit);
+    knobs.report_obs("fig5/dt-med", &outcome.telemetry);
 }

@@ -8,8 +8,11 @@
 //! mcmap_cli gantt    <benchmark> [seed]      # ASCII schedule of one hyperperiod
 //! mcmap_cli dot      <benchmark>             # GraphViz of the application set
 //! mcmap_cli dse      <benchmark> [pop gens] [--threads N] [--cache-cap N]
-//!                                [--eval-stats [json]]    # power/service exploration
+//!                                [--eval-stats [json]] [--trace <path.jsonl>]
+//!                                [--obs-summary [json]] [--gen-stats [json]]
+//!                                [--audit [json]]         # power/service exploration
 //! mcmap_cli lint     <benchmark> [--json] [--inject cycle|relbound|inverted]
+//! mcmap_cli obs      <trace.jsonl> [--json]  # profile a recorded trace
 //! ```
 //!
 //! Benchmarks: `cruise`, `dt-med`, `dt-large`, `synth1`, `synth2`.
@@ -20,6 +23,15 @@
 //! bounds the memoization cache (0 disables it), and `--eval-stats`
 //! prints the engine's instrumentation (cache hit rate, per-phase nanos,
 //! genomes/sec) as text or, with `--eval-stats json`, as JSON.
+//!
+//! `dse` can additionally trace itself through `mcmap-obs`: `--trace`
+//! streams every event (spans, counters, per-generation telemetry) to a
+//! JSONL file, `--obs-summary` prints the aggregated profile, `--gen-stats`
+//! prints the per-generation convergence table, and `--audit` prints the
+//! §5.2 solution-audit snapshot. `obs` renders a recorded JSONL trace into
+//! the same profile report offline. Tracing never changes results: the
+//! canonical event stream is deterministic for any `--threads` or
+//! `--cache-cap`.
 //!
 //! `lint` runs the `mcmap-lint` static analyzer over the benchmark's model
 //! and prints the structured `MC0xxx` diagnostics (text or JSON); the
@@ -48,10 +60,13 @@ fn benchmark(name: &str) -> Option<Benchmark> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mcmap_cli <list|analyze|simulate|gantt|dot|dse|lint> [benchmark] [args…]\n\
+        "usage: mcmap_cli <list|analyze|simulate|gantt|dot|dse|lint|obs> [benchmark] [args…]\n\
          benchmarks: cruise, dt-med, dt-large, synth1, synth2\n\
-         dse flags:  --threads <n>, --cache-cap <n>, --eval-stats [json]\n\
-         lint flags: --json, --inject <cycle|relbound|inverted>"
+         dse flags:  --threads <n>, --cache-cap <n>, --eval-stats [json],\n\
+         \u{20}           --trace <path.jsonl>, --obs-summary [json], --gen-stats [json],\n\
+         \u{20}           --audit [json]\n\
+         lint flags: --json, --inject <cycle|relbound|inverted>\n\
+         obs:        mcmap_cli obs <trace.jsonl> [--json]"
     );
     ExitCode::FAILURE
 }
@@ -210,6 +225,7 @@ fn cmd_dse(b: &Benchmark, pop: usize, gens: usize, knobs: &EvalKnobs) -> ExitCod
         ..DseConfig::default()
     };
     knobs.apply(&mut cfg);
+    cfg.obs = knobs.recorder();
     let outcome = match explore_checked(&b.apps, &b.arch, cfg) {
         Ok(o) => o,
         Err(err) => {
@@ -238,7 +254,33 @@ fn cmd_dse(b: &Benchmark, pop: usize, gens: usize, knobs: &EvalKnobs) -> ExitCod
         );
     }
     knobs.report("dse", &outcome.eval_stats);
+    knobs.report_audit("dse", &outcome.audit);
+    knobs.report_obs("dse", &outcome.telemetry);
     ExitCode::SUCCESS
+}
+
+fn cmd_obs(path: &str, json: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("obs: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mcmap_obs::TraceProfile::from_jsonl(&text) {
+        Ok(profile) => {
+            if json {
+                println!("{}", profile.to_json());
+            } else {
+                print!("{}", profile.render_text());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("obs: malformed trace {path}: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Strips the eval-engine flags (and their values) out of a `dse` argument
@@ -248,9 +290,13 @@ fn dse_positionals(tail: &[String]) -> Vec<String> {
     let mut i = 0;
     while i < tail.len() {
         let a = tail[i].as_str();
-        if a == "--threads" || a == "--cache-cap" {
+        if a == "--threads" || a == "--cache-cap" || a == "--trace" {
             i += 2;
-        } else if a == "--eval-stats" {
+        } else if a == "--eval-stats"
+            || a == "--obs-summary"
+            || a == "--gen-stats"
+            || a == "--audit"
+        {
             i += 1;
             if matches!(
                 tail.get(i).map(String::as_str),
@@ -275,6 +321,12 @@ fn main() -> ExitCode {
     };
     if cmd == "list" {
         return cmd_list();
+    }
+    if cmd == "obs" {
+        let Some(path) = args.get(1) else {
+            return usage();
+        };
+        return cmd_obs(path, args.iter().any(|a| a == "--json"));
     }
     let Some(b) = args.get(1).and_then(|n| benchmark(n)) else {
         return usage();

@@ -22,6 +22,7 @@ fn main() {
     let gens = env_usize("MCMAP_GENS", 150);
     let seed = env_u64("MCMAP_SEED", 8);
     let knobs = EvalKnobs::parse();
+    let obs = knobs.recorder();
 
     println!("Section 5.2: effect of task dropping (budget {pop}x{gens}, seed {seed})\n");
     println!(
@@ -44,6 +45,7 @@ fn main() {
             ..DseConfig::default()
         };
         knobs.apply(&mut base);
+        base.obs = obs.clone();
 
         let with = explore(
             &b.apps,
@@ -65,6 +67,7 @@ fn main() {
         );
         knobs.report(&format!("{}/with-dropping", b.name), &with.eval_stats);
         knobs.report(&format!("{}/no-dropping", b.name), &without.eval_stats);
+        knobs.report_audit(&format!("{}/with-dropping", b.name), &with.audit);
 
         let pw = with.best_power();
         let pwo = without.best_power();
@@ -84,4 +87,5 @@ fn main() {
     }
     println!("\nrescue% = explored candidates infeasible without dropping but feasible with their");
     println!("decoded dropped set; reexec% = share of re-execution among applied hardenings.");
+    knobs.report_obs("sec52", &obs);
 }

@@ -111,6 +111,15 @@ fn main() {
     // The three mappings are independent, so the four estimators run for
     // each of them on the shared evaluation worker pool; the results are
     // gathered in design order, keeping the table deterministic.
+    let obs = knobs.recorder();
+    let span = obs.span(
+        "table2.estimators",
+        &[
+            ("designs", mcmap_obs::Value::from(designs.len())),
+            ("sim_runs", mcmap_obs::Value::from(sim_runs)),
+            ("seed", mcmap_obs::Value::from(seed)),
+        ],
+    );
     let indexed: Vec<(usize, &Design)> = designs.iter().enumerate().collect();
     let t0 = std::time::Instant::now();
     let per_design: Vec<Vec<[Time; 4]>> = parallel_map(&indexed, knobs.threads, |&(i, d)| {
@@ -141,6 +150,24 @@ fn main() {
             .collect()
     });
     let wall = t0.elapsed();
+    span.end();
+    // Per-design bound counters, emitted in design order on the driver
+    // thread: the canonical trace is identical for any --threads.
+    for (i, cells) in per_design.iter().enumerate() {
+        for (c, [adhoc, wcsim, proposed, naive]) in cells.iter().enumerate() {
+            obs.counter(
+                "table2.design",
+                &[
+                    ("mapping", mcmap_obs::Value::from(i + 1)),
+                    ("app", mcmap_obs::Value::from(c)),
+                    ("adhoc", mcmap_obs::Value::from(adhoc.ticks())),
+                    ("wcsim", mcmap_obs::Value::from(wcsim.ticks())),
+                    ("proposed", mcmap_obs::Value::from(proposed.ticks())),
+                    ("naive", mcmap_obs::Value::from(naive.ticks())),
+                ],
+            );
+        }
+    }
 
     for (i, cells) in per_design.iter().enumerate() {
         for [adhoc, wcsim, proposed, naive] in cells {
@@ -180,4 +207,5 @@ fn main() {
         "\nVerified: Proposed ≥ WC-Sim ({sim_runs} profiles), Proposed ≥ Adhoc, Naive ≥ Proposed."
     );
     knobs.report_wall("table2", designs.len(), wall);
+    knobs.report_obs("table2", &obs);
 }

@@ -118,14 +118,19 @@ pub enum StatsFormat {
     Json,
 }
 
-/// The shared evaluation-engine knobs of every experiment binary:
-/// `--threads N` / `MCMAP_THREADS`, `--cache-cap N` / `MCMAP_CACHE_CAP`,
-/// and `--eval-stats [text|json]` / `MCMAP_EVAL_STATS=text|json`.
+/// The shared evaluation-engine and observability knobs of every experiment
+/// binary: `--threads N` / `MCMAP_THREADS`, `--cache-cap N` /
+/// `MCMAP_CACHE_CAP`, `--eval-stats [text|json]` /
+/// `MCMAP_EVAL_STATS=text|json`, `--trace <path.jsonl>` / `MCMAP_TRACE`,
+/// `--obs-summary [text|json]` / `MCMAP_OBS_SUMMARY`, `--gen-stats
+/// [text|json]` / `MCMAP_GEN_STATS`, and `--audit [text|json]` /
+/// `MCMAP_AUDIT`.
 ///
 /// CLI flags take precedence over environment variables. `threads == 0`
 /// (the default) means one worker per available core — results are
-/// bit-identical for any thread count, so this is purely a speed knob.
-#[derive(Debug, Clone, Copy)]
+/// bit-identical for any thread count, so this is purely a speed knob; so
+/// are all the observability flags (tracing never perturbs the search).
+#[derive(Debug, Clone)]
 pub struct EvalKnobs {
     /// Evaluation worker threads (0 = one per core).
     pub threads: usize,
@@ -133,6 +138,17 @@ pub struct EvalKnobs {
     pub cache_cap: usize,
     /// When set, print engine instrumentation after the run.
     pub eval_stats: Option<StatsFormat>,
+    /// When set, stream the full event trace to this JSONL file.
+    pub trace: Option<String>,
+    /// When set, print the trace profile (spans / counters / generations)
+    /// after the run.
+    pub obs_summary: Option<StatsFormat>,
+    /// When set, print the per-generation GA convergence table after the
+    /// run.
+    pub gen_stats: Option<StatsFormat>,
+    /// When set, enable the §5.2 solution audit and print its snapshot
+    /// after the run.
+    pub audit: Option<StatsFormat>,
 }
 
 impl EvalKnobs {
@@ -152,15 +168,16 @@ impl EvalKnobs {
                     .or(Some(String::new()))
             })
         };
-        let stats_env = std::env::var("MCMAP_EVAL_STATS").ok();
-        let stats_arg = value_of("--eval-stats");
-        let eval_stats = match (stats_arg, stats_env) {
-            (Some(v), _) | (None, Some(v)) => match v.as_str() {
-                "json" => Some(StatsFormat::Json),
-                "0" | "off" => None,
-                _ => Some(StatsFormat::Text),
-            },
-            (None, None) => None,
+        let format_knob = |flag: &str, env: &str| -> Option<StatsFormat> {
+            let arg = value_of(flag);
+            match (arg, std::env::var(env).ok()) {
+                (Some(v), _) | (None, Some(v)) => match v.as_str() {
+                    "json" => Some(StatsFormat::Json),
+                    "0" | "off" => None,
+                    _ => Some(StatsFormat::Text),
+                },
+                (None, None) => None,
+            }
         };
         EvalKnobs {
             threads: value_of("--threads")
@@ -169,14 +186,69 @@ impl EvalKnobs {
             cache_cap: value_of("--cache-cap")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| env_usize("MCMAP_CACHE_CAP", 65_536)),
-            eval_stats,
+            eval_stats: format_knob("--eval-stats", "MCMAP_EVAL_STATS"),
+            trace: value_of("--trace")
+                .filter(|v| !v.is_empty())
+                .or_else(|| std::env::var("MCMAP_TRACE").ok())
+                .filter(|v| !v.is_empty()),
+            obs_summary: format_knob("--obs-summary", "MCMAP_OBS_SUMMARY"),
+            gen_stats: format_knob("--gen-stats", "MCMAP_GEN_STATS"),
+            audit: format_knob("--audit", "MCMAP_AUDIT"),
         }
     }
 
-    /// Applies the knobs to an exploration config.
+    /// Whether any observability output (trace file, profile summary,
+    /// generation table) was requested.
+    pub fn wants_obs(&self) -> bool {
+        self.trace.is_some() || self.obs_summary.is_some() || self.gen_stats.is_some()
+    }
+
+    /// Builds the recorder the requested observability knobs imply: the
+    /// disabled no-op recorder when none was asked for, otherwise an
+    /// in-memory ring plus, with `--trace`, a JSONL file sink.
+    ///
+    /// Build it **once per process** and clone it into every
+    /// [`DseConfig`](mcmap_core::DseConfig) (clones share the same sinks
+    /// and sequence counter): rebuilding would truncate the trace file
+    /// between runs.
+    ///
+    /// Exits the process (code 2) when the trace file cannot be created —
+    /// silently dropping a requested trace would be worse.
+    pub fn recorder(&self) -> mcmap_obs::Recorder {
+        if !self.wants_obs() {
+            return mcmap_obs::Recorder::default();
+        }
+        // Attach only the sinks the requested outputs need: the in-memory
+        // ring exists for in-process readback (`--obs-summary` /
+        // `--gen-stats`), so a pure `--trace` run skips it and pays for
+        // exactly one sink on the emission hot path.
+        let mut builder = mcmap_obs::RecorderBuilder::new();
+        if self.obs_summary.is_some() || self.gen_stats.is_some() {
+            builder = builder.ring(1 << 20);
+        }
+        if let Some(path) = &self.trace {
+            builder = match builder.jsonl(std::path::Path::new(path)) {
+                Ok(b) => b,
+                Err(err) => {
+                    eprintln!("mcmap: cannot create trace file {path}: {err}");
+                    std::process::exit(2);
+                }
+            };
+        }
+        builder.build()
+    }
+
+    /// Applies the knobs to an exploration config (threads, cache bound,
+    /// audit mode). The observability recorder is installed separately —
+    /// build it once with [`Self::recorder`] and clone it into
+    /// `cfg.obs` — because rebuilding it per config would truncate the
+    /// trace file between runs.
     pub fn apply(&self, cfg: &mut mcmap_core::DseConfig) {
         cfg.ga.threads = self.threads;
         cfg.cache_cap = self.cache_cap;
+        if self.audit.is_some() {
+            cfg.audit = true;
+        }
     }
 
     /// Prints one engine snapshot in the requested format (no-op when
@@ -190,6 +262,60 @@ impl EvalKnobs {
             }
             Some(StatsFormat::Json) => {
                 println!("{{\"label\":\"{label}\",\"eval\":{}}}", stats.to_json());
+            }
+        }
+    }
+
+    /// Prints the requested observability reports for a finished run: the
+    /// trace-file confirmation, the `--obs-summary` profile, and the
+    /// `--gen-stats` convergence table (no-op when none was requested).
+    pub fn report_obs(&self, label: &str, telemetry: &mcmap_obs::Recorder) {
+        telemetry.flush();
+        if let Some(path) = &self.trace {
+            println!(
+                "[{label}] trace written to {path} ({} events)",
+                telemetry.emitted()
+            );
+        }
+        if self.obs_summary.is_none() && self.gen_stats.is_none() {
+            return;
+        }
+        let profile = mcmap_obs::TraceProfile::from_events(&telemetry.events());
+        match self.obs_summary {
+            None => {}
+            Some(StatsFormat::Text) => {
+                println!("\n[{label}] observability profile");
+                print!("{}", profile.render_text());
+            }
+            Some(StatsFormat::Json) => {
+                println!("{{\"label\":\"{label}\",\"obs\":{}}}", profile.to_json());
+            }
+        }
+        match self.gen_stats {
+            None => {}
+            Some(StatsFormat::Text) => {
+                println!("\n[{label}] generations");
+                print!("{}", profile.render_generations());
+            }
+            Some(StatsFormat::Json) => {
+                println!(
+                    "{{\"label\":\"{label}\",\"generations\":{}}}",
+                    profile.generations_json()
+                );
+            }
+        }
+    }
+
+    /// Prints the `--audit` snapshot report (no-op when not requested).
+    pub fn report_audit(&self, label: &str, audit: &mcmap_core::AuditSnapshot) {
+        match self.audit {
+            None => {}
+            Some(StatsFormat::Text) => {
+                println!("\n[{label}]");
+                print!("{}", audit.render_text());
+            }
+            Some(StatsFormat::Json) => {
+                println!("{{\"label\":\"{label}\",\"audit\":{}}}", audit.to_json());
             }
         }
     }
@@ -266,6 +392,46 @@ mod tests {
         let k = EvalKnobs::from_args(&args);
         assert_eq!(k.eval_stats, Some(StatsFormat::Text));
         assert_eq!(k.threads, 2);
+    }
+
+    #[test]
+    fn eval_knobs_parse_obs_flags() {
+        let args: Vec<String> = [
+            "--trace",
+            "/tmp/x.jsonl",
+            "--obs-summary",
+            "json",
+            "--gen-stats",
+            "--audit",
+            "json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let k = EvalKnobs::from_args(&args);
+        assert_eq!(k.trace.as_deref(), Some("/tmp/x.jsonl"));
+        assert_eq!(k.obs_summary, Some(StatsFormat::Json));
+        assert_eq!(k.gen_stats, Some(StatsFormat::Text));
+        assert_eq!(k.audit, Some(StatsFormat::Json));
+        assert!(k.wants_obs());
+
+        let k = EvalKnobs::from_args(&[]);
+        assert_eq!(k.trace, None);
+        assert!(!k.wants_obs());
+        assert!(!k.recorder().enabled(), "no knobs → disabled recorder");
+
+        // An enabled recorder without --trace is ring-only.
+        let k = EvalKnobs::from_args(&["--obs-summary".to_string()]);
+        assert!(k.recorder().enabled());
+
+        // `--audit` also flips the exploration into audit mode.
+        let mut cfg = mcmap_core::DseConfig::default();
+        assert!(!cfg.audit);
+        k.apply(&mut cfg);
+        assert!(!cfg.audit, "no --audit flag, mode untouched");
+        let k = EvalKnobs::from_args(&["--audit".to_string()]);
+        k.apply(&mut cfg);
+        assert!(cfg.audit);
     }
 
     #[test]

@@ -37,6 +37,18 @@ pub struct McAnalysis {
     /// Per analyzed scenario: the trigger task and the per-application
     /// worst-case response times of that scenario (diagnostic only).
     pub scenario_app_wcrt: Vec<(HTaskId, Vec<Time>)>,
+    /// Task classifications across all transition scenarios: completed
+    /// before the fault could occur (normal bounds kept).
+    pub class_normal: usize,
+    /// Classifications: certainly dropped (`[0, 0]`).
+    pub class_dropped: usize,
+    /// Classifications: in transition — maybe dropped (`[0, wcet]`).
+    pub class_transition: usize,
+    /// Classifications: critical (Eq. 1 bounds), including the triggers.
+    pub class_critical: usize,
+    /// Total fixed-point iterations across the normal-state run and every
+    /// *distinct* scenario the backend actually analyzed.
+    pub fixedpoint_iters: usize,
 }
 
 impl McAnalysis {
@@ -141,6 +153,11 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
     let mut scenarios = 0usize;
     let mut backend_calls = 1usize; // the normal-state run
     let mut scenario_app_wcrt = Vec::new();
+    let mut class_normal = 0usize;
+    let mut class_dropped = 0usize;
+    let mut class_transition = 0usize;
+    let mut class_critical = 0usize;
+    let mut fixedpoint_iters = normal.outer_iters;
     // Distinct bound-vectors → cached backend results. Two triggers with
     // identical windows produce identical scenarios; analyzing one suffices.
     let mut cache: HashMap<Vec<ExecBounds>, TaskWindows> = HashMap::new();
@@ -174,21 +191,26 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
                     },
                     wcet,
                 );
+                class_critical += 1;
                 continue;
             }
             let w_normal = normal_bounds[w.index()];
             if normal.max_finish[w.index()] < v_min_start {
                 // Completed before the fault: normal state.
                 bounds[w.index()] = w_normal;
+                class_normal += 1;
             } else if dropped.contains(&wt.app) {
                 if normal.min_start[w.index()] > v_max_finish {
                     // Starts after the transition completed: never released.
                     bounds[w.index()] = ExecBounds::ZERO;
+                    class_dropped += 1;
                 } else {
                     // Transition: either executed or dropped.
                     bounds[w.index()] = ExecBounds::new(Time::ZERO, nominal[w.index()].wcet);
+                    class_transition += 1;
                 }
             } else {
+                class_critical += 1;
                 // Critical, non-droppable: may re-execute (Eq. 1); passive
                 // replicas may or may not be invoked.
                 let bcet = if wt.is_passive() {
@@ -200,10 +222,14 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
             }
         }
 
+        let prior_calls = backend_calls;
         let scenario = cache.entry(bounds).or_insert_with_key(|b| {
             backend_calls += 1;
             backend.analyze(b)
         });
+        if backend_calls > prior_calls {
+            fixedpoint_iters += scenario.outer_iters;
+        }
         worst.converged &= scenario.converged;
         for i in 0..n {
             worst.max_finish[i] = worst.max_finish[i].max(scenario.max_finish[i]);
@@ -224,6 +250,11 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
         scenarios,
         backend_calls,
         scenario_app_wcrt,
+        class_normal,
+        class_dropped,
+        class_transition,
+        class_critical,
+        fixedpoint_iters,
     }
 }
 

@@ -2,13 +2,14 @@
 //! multi-objective GA problem, plus the end-to-end [`explore`] driver.
 
 use crate::{
-    analyze, expected_power, lost_service, repair_reliability, repair_structure, Genome,
-    GenomeSpace,
+    analyze, expected_power, lost_service, repair_reliability, repair_structure,
+    repair_structure_logged, Genome, GenomeSpace,
 };
 use mcmap_eval::{EvalCacheConfig, EvalEngine, EvalStats};
 use mcmap_ga::{optimize, Evaluation, GaConfig, GaResult, Problem};
 use mcmap_hardening::{harden, Reliability, TechniqueHistogram};
 use mcmap_model::{AppId, AppSet, Architecture, ProcId, Time};
+use mcmap_obs::{Recorder, Value};
 use mcmap_sched::{uniform_policies, Mapping, SchedPolicy};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -60,6 +61,12 @@ pub struct DseConfig {
     /// evaluation is a pure function of the genome, so cached and fresh
     /// results are identical.
     pub cache_cap: usize,
+    /// Observability recorder. The disabled default records nothing; an
+    /// enabled recorder traces the exploration (`dse.*` spans, `ga.*` /
+    /// `eval.*` / `sched.*` events) without changing any result — the
+    /// canonical event stream is itself deterministic for any thread
+    /// count or cache capacity.
+    pub obs: Recorder,
 }
 
 impl Default for DseConfig {
@@ -75,6 +82,7 @@ impl Default for DseConfig {
             repair_iters: 20,
             critical_weight: 0.3,
             cache_cap: 65_536,
+            obs: Recorder::default(),
         }
     }
 }
@@ -120,6 +128,50 @@ impl AuditSnapshot {
         } else {
             self.reexecutions as f64 / total as f64
         }
+    }
+
+    /// A multi-line human rendering (the CLI's `--audit` output).
+    pub fn render_text(&self) -> String {
+        format!(
+            "audit: {} evaluated, {} feasible ({:.2} %)\n\
+             audit: {} audited against no-dropping, {} rescued by dropping ({:.2} %)\n\
+             audit: hardening mix: {} re-executions, {} active, {} passive \
+             ({:.2} % re-execution)\n",
+            self.evaluated,
+            self.feasible,
+            if self.evaluated == 0 {
+                0.0
+            } else {
+                100.0 * self.feasible as f64 / self.evaluated as f64
+            },
+            self.audited,
+            self.rescued_by_dropping,
+            100.0 * self.rescue_ratio(),
+            self.reexecutions,
+            self.active_replications,
+            self.passive_replications,
+            100.0 * self.reexecution_share(),
+        )
+    }
+
+    /// A single-line JSON object (for `--audit json` and scripting), in the
+    /// same hand-rolled style as [`EvalStats::to_json`].
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"evaluated\":{},\"feasible\":{},\"audited\":{},\
+             \"rescued_by_dropping\":{},\"rescue_ratio\":{:.6},\
+             \"reexecutions\":{},\"active_replications\":{},\
+             \"passive_replications\":{},\"reexecution_share\":{:.6}}}",
+            self.evaluated,
+            self.feasible,
+            self.audited,
+            self.rescued_by_dropping,
+            self.rescue_ratio(),
+            self.reexecutions,
+            self.active_replications,
+            self.passive_replications,
+            self.reexecution_share(),
+        )
     }
 }
 
@@ -181,6 +233,33 @@ struct EvalRecord {
     reexec: usize,
     active: usize,
     passive: usize,
+    effort: AnalysisEffort,
+    repair_codes: Vec<&'static str>,
+}
+
+/// Deterministic effort counters of one candidate's Algorithm 1 analysis.
+///
+/// These are a pure function of the genome (and fixed config), so they ride
+/// inside the cached [`EvalRecord`] and replay identically on cache hits —
+/// the emitted `sched.analyze` telemetry is the same whether a record was
+/// computed fresh or served from the memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct AnalysisEffort {
+    /// Fault scenarios enumerated (Algorithm 1 outer loop).
+    scenarios: usize,
+    /// Schedulability-backend invocations (including memoized-analysis
+    /// cache misses only).
+    backend_calls: usize,
+    /// Fixed-point iterations summed over all backend runs.
+    fixedpoint_iters: usize,
+    /// Tasks classified as completing before the fault (normal mode).
+    class_normal: usize,
+    /// Tasks classified as certainly dropped.
+    class_dropped: usize,
+    /// Tasks classified as maybe-dropped (mode-transition window).
+    class_transition: usize,
+    /// Tasks classified through the critical-mode bounds (Eq. 1).
+    class_critical: usize,
 }
 
 /// Content fingerprint of the non-genome evaluation inputs: the memo key
@@ -219,6 +298,8 @@ struct Assessment {
     rescued: Option<bool>,
     histogram: TechniqueHistogram,
     app_wcrt: Vec<Time>,
+    effort: AnalysisEffort,
+    repair_codes: Vec<&'static str>,
 }
 
 impl<'a> MappingProblem<'a> {
@@ -234,7 +315,8 @@ impl<'a> MappingProblem<'a> {
         let engine = EvalEngine::new(
             EvalCacheConfig::with_capacity(cfg.cache_cap),
             &context_fingerprint(apps, arch, &policies, &cfg),
-        );
+        )
+        .with_recorder(cfg.obs.clone());
         MappingProblem {
             apps,
             arch,
@@ -329,7 +411,7 @@ impl<'a> MappingProblem<'a> {
         let mut rng = StdRng::seed_from_u64(hasher.finish());
 
         let mut g = genome.clone();
-        repair_structure(&mut g, &self.space, &mut rng);
+        let repair_codes = repair_structure_logged(&mut g, &self.space, &mut rng);
         let rel_repaired = repair_reliability(
             &mut g,
             &self.space,
@@ -354,6 +436,8 @@ impl<'a> MappingProblem<'a> {
             rescued: None,
             histogram,
             app_wcrt: vec![Time::MAX; self.apps.num_apps()],
+            effort: AnalysisEffort::default(),
+            repair_codes: repair_codes.clone(),
         };
 
         let hsys = match harden(self.apps, &plan, self.arch) {
@@ -388,6 +472,15 @@ impl<'a> MappingProblem<'a> {
         }
 
         let mc = analyze(&hsys, self.arch, &mapping, &self.policies, &dropped);
+        let mut effort = AnalysisEffort {
+            scenarios: mc.scenarios,
+            backend_calls: mc.backend_calls,
+            fixedpoint_iters: mc.fixedpoint_iters,
+            class_normal: mc.class_normal,
+            class_dropped: mc.class_dropped,
+            class_transition: mc.class_transition,
+            class_critical: mc.class_critical,
+        };
         let app_wcrt: Vec<Time> = self
             .apps
             .app_ids()
@@ -408,6 +501,12 @@ impl<'a> MappingProblem<'a> {
 
         let rescued = if audit && !dropped.is_empty() {
             let mc0 = analyze(&hsys, self.arch, &mapping, &self.policies, &[]);
+            // The no-dropping re-analysis is real backend effort; fold it
+            // into the enumeration counters (classification counts stay
+            // those of the protocol analysis).
+            effort.scenarios += mc0.scenarios;
+            effort.backend_calls += mc0.backend_calls;
+            effort.fixedpoint_iters += mc0.fixedpoint_iters;
             let feasible_without = mc0.schedulable(&hsys, &[]);
             Some(schedulable && penalty == 0.0 && !feasible_without)
         } else {
@@ -434,6 +533,8 @@ impl<'a> MappingProblem<'a> {
             rescued,
             histogram,
             app_wcrt,
+            effort,
+            repair_codes,
         }
     }
 
@@ -459,6 +560,8 @@ impl<'a> MappingProblem<'a> {
             reexec: a.histogram.reexecution,
             active: a.histogram.active,
             passive: a.histogram.passive,
+            effort: a.effort,
+            repair_codes: a.repair_codes,
         }
     }
 
@@ -482,6 +585,34 @@ impl<'a> MappingProblem<'a> {
         self.counters
             .passive
             .fetch_add(r.passive, Ordering::Relaxed);
+        if self.cfg.obs.enabled() {
+            // Emitted on the sequential replay path, from cached effort
+            // counters: the event stream is identical for hits and misses,
+            // hence for any thread count or cache capacity.
+            let e = &r.effort;
+            self.cfg.obs.counter(
+                "sched.analyze",
+                &[
+                    ("scenarios", Value::from(e.scenarios)),
+                    ("backend_calls", Value::from(e.backend_calls)),
+                    ("fixedpoint_iters", Value::from(e.fixedpoint_iters)),
+                    ("class_normal", Value::from(e.class_normal)),
+                    ("class_dropped", Value::from(e.class_dropped)),
+                    ("class_transition", Value::from(e.class_transition)),
+                    ("class_critical", Value::from(e.class_critical)),
+                    ("feasible", Value::from(r.eval.feasible)),
+                ],
+            );
+            if !r.repair_codes.is_empty() {
+                self.cfg.obs.counter(
+                    "repair.structure",
+                    &[
+                        ("fixes", Value::from(r.repair_codes.len())),
+                        ("codes", Value::from(r.repair_codes.join(","))),
+                    ],
+                );
+            }
+        }
     }
 }
 
@@ -586,6 +717,11 @@ pub struct DseOutcome {
     /// Evaluation-engine instrumentation (cache traffic, per-phase nanos,
     /// throughput) over the whole run.
     pub eval_stats: EvalStats,
+    /// The recorder the run traced into (a clone of `DseConfig::obs`,
+    /// already flushed). Query its in-memory ring with
+    /// [`Recorder::events`](mcmap_obs::Recorder::events) or render a
+    /// profile with [`mcmap_obs::TraceProfile`].
+    pub telemetry: Recorder,
 }
 
 impl DseOutcome {
@@ -630,25 +766,90 @@ pub fn explore_checked(
     arch: &Architecture,
     cfg: DseConfig,
 ) -> Result<DseOutcome, DseError> {
+    let obs = cfg.obs.clone();
     let report = mcmap_lint::Linter::new(apps, arch)
         .with_limits(cfg.max_reexec, cfg.max_replicas)
         .lint();
+    if obs.enabled() {
+        obs.mark(
+            "lint.preflight",
+            &[
+                ("passed", Value::from(!report.has_errors())),
+                (
+                    "errors",
+                    Value::from(report.count(mcmap_lint::Severity::Error)),
+                ),
+                (
+                    "warnings",
+                    Value::from(report.count(mcmap_lint::Severity::Warning)),
+                ),
+                ("codes", Value::from(report.codes().join(","))),
+            ],
+        );
+    }
     if report.has_errors() {
+        obs.flush();
         return Err(DseError::Preflight(Box::new(report)));
     }
-    let ga_cfg = cfg.ga.clone();
+    let mut ga_cfg = cfg.ga.clone();
+    ga_cfg.obs = obs.clone();
+    // Thread count and cache capacity are speed knobs that must not leak
+    // into the canonical trace, so the span's deterministic fields carry
+    // only the problem shape and search budget.
+    let mut span = obs.span(
+        "dse.explore",
+        &[
+            ("apps", Value::from(apps.num_apps())),
+            ("procs", Value::from(arch.num_processors())),
+            ("population", Value::from(ga_cfg.population)),
+            ("generations", Value::from(ga_cfg.generations)),
+            ("seed", Value::from(ga_cfg.seed)),
+            ("objectives", Value::from(format!("{:?}", cfg.objectives))),
+            ("allow_dropping", Value::from(cfg.allow_dropping)),
+            ("audit", Value::from(cfg.audit)),
+        ],
+    );
     let problem = MappingProblem::new(apps, arch, cfg);
     let result = optimize(&problem, &ga_cfg);
-    let reports = result
+    let reports: Vec<DesignReport> = result
         .front
         .iter()
         .map(|ind| problem.report(&ind.genotype))
         .collect();
+    let audit = problem.audit();
+    span.field("evaluations", result.evaluations);
+    span.field("front_size", result.front.len());
+    span.end();
+    if obs.enabled() {
+        obs.counter(
+            "dse.audit",
+            &[
+                ("evaluated", Value::from(audit.evaluated)),
+                ("feasible", Value::from(audit.feasible)),
+                ("audited", Value::from(audit.audited)),
+                (
+                    "rescued_by_dropping",
+                    Value::from(audit.rescued_by_dropping),
+                ),
+                ("reexecutions", Value::from(audit.reexecutions)),
+                (
+                    "active_replications",
+                    Value::from(audit.active_replications),
+                ),
+                (
+                    "passive_replications",
+                    Value::from(audit.passive_replications),
+                ),
+            ],
+        );
+    }
+    obs.flush();
     Ok(DseOutcome {
-        audit: problem.audit(),
+        audit,
         eval_stats: problem.eval_stats(),
         reports,
         result,
+        telemetry: obs,
     })
 }
 
@@ -882,6 +1083,85 @@ mod tests {
             "a multi-generation run re-visits genomes: {s:?}"
         );
         assert!(s.to_json().contains("\"genomes\""));
+    }
+
+    #[test]
+    fn tracing_emits_events_without_changing_results() {
+        let (apps, arch) = small_system();
+        let plain = explore(&apps, &arch, tiny_cfg());
+        let traced = explore(
+            &apps,
+            &arch,
+            DseConfig {
+                obs: Recorder::ring(1 << 16),
+                audit: true,
+                ..tiny_cfg()
+            },
+        );
+        let audited = explore(
+            &apps,
+            &arch,
+            DseConfig {
+                audit: true,
+                ..tiny_cfg()
+            },
+        );
+        // Tracing must not perturb the search.
+        assert_eq!(plain.result.front.len(), traced.result.front.len());
+        for (a, b) in plain.result.front.iter().zip(&traced.result.front) {
+            assert_eq!(a.eval, b.eval);
+        }
+        assert_eq!(traced.audit, audited.audit);
+
+        let events = traced.telemetry.events();
+        for name in [
+            "lint.preflight",
+            "dse.explore",
+            "ga.generation",
+            "eval.batch",
+            "sched.analyze",
+            "dse.audit",
+        ] {
+            assert!(
+                events.iter().any(|e| e.name == name),
+                "missing {name} in trace"
+            );
+        }
+        // One analyze event per submitted candidate, cache hit or miss.
+        assert_eq!(
+            events.iter().filter(|e| e.name == "sched.analyze").count(),
+            traced.result.evaluations
+        );
+        // Sequence numbers are gapless from 1.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64 + 1);
+        }
+        // The untraced run records nothing.
+        assert!(!plain.telemetry.enabled());
+        assert!(plain.telemetry.events().is_empty());
+    }
+
+    #[test]
+    fn audit_snapshot_renders_text_and_json() {
+        let (apps, arch) = small_system();
+        let outcome = explore(
+            &apps,
+            &arch,
+            DseConfig {
+                audit: true,
+                ..tiny_cfg()
+            },
+        );
+        let text = outcome.audit.render_text();
+        assert!(text.contains("evaluated"));
+        assert!(text.contains("rescued by dropping"));
+        let json = outcome.audit.to_json();
+        let parsed = mcmap_obs::parse_json(&json).expect("audit JSON parses");
+        assert_eq!(
+            parsed.get("evaluated").and_then(mcmap_obs::Json::as_u64),
+            Some(outcome.audit.evaluated as u64)
+        );
+        assert!(parsed.get("rescue_ratio").is_some());
     }
 
     #[test]

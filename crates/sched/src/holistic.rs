@@ -293,7 +293,9 @@ impl SchedBackend for HolisticAnalysis<'_> {
         let mut lr = er.clone();
         let mut max_finish: Vec<Time> = vec![Time::ZERO; n];
         let mut converged = false;
+        let mut outer_iters = 0usize;
         for _ in 0..MAX_OUTER_ITERS {
+            outer_iters += 1;
             let mut changed = false;
             for &v in self.hsys.topological_order() {
                 let release = self.in_edges[v.index()]
@@ -322,6 +324,7 @@ impl SchedBackend for HolisticAnalysis<'_> {
                     min_start: er,
                     max_finish,
                     converged,
+                    outer_iters,
                 };
             }
             if !changed {
@@ -334,6 +337,7 @@ impl SchedBackend for HolisticAnalysis<'_> {
             min_start: er,
             max_finish,
             converged,
+            outer_iters,
         }
     }
 

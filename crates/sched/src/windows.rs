@@ -21,6 +21,10 @@ pub struct TaskWindows {
     /// `max_finish` entries saturate at [`Time::MAX`] and the system must be
     /// treated as unschedulable.
     pub converged: bool,
+    /// Fixed-point iterations the backend performed to produce these
+    /// windows (1 for single-pass backends). Deterministic analysis-effort
+    /// metric surfaced through the observability layer.
+    pub outer_iters: usize,
 }
 
 impl TaskWindows {
@@ -165,6 +169,7 @@ mod tests {
             min_start: vec![Time::ZERO, Time::from_ticks(1)],
             max_finish: vec![Time::from_ticks(10), Time::from_ticks(30)],
             converged: true,
+            outer_iters: 1,
         };
         assert_eq!(
             w.window(HTaskId::new(1)),
@@ -183,6 +188,7 @@ mod tests {
             min_start: vec![Time::ZERO; 2],
             max_finish: vec![Time::from_ticks(50), Time::from_ticks(10)],
             converged: true,
+            outer_iters: 1,
         };
         // App 0 deadline is 40 < 50.
         assert!(!w.all_deadlines_met(&hsys));
@@ -195,6 +201,7 @@ mod tests {
             min_start: vec![Time::ZERO; 2],
             max_finish: vec![Time::from_ticks(1), Time::from_ticks(1)],
             converged: false,
+            outer_iters: 1,
         };
         assert!(!w.all_deadlines_met(&hsys));
     }

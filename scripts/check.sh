@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints, the whole test suite, the evaluation
-# engine's determinism suite, and the eval-engine bench (which writes the
-# machine-readable results/BENCH_eval.json).
+# engine's determinism suite, and the eval-engine + obs-overhead benches
+# (which write the machine-readable results/BENCH_eval.json and
+# results/BENCH_obs.json).
 # Usage: scripts/check.sh [--fix]
 #   --fix   apply rustfmt and clippy suggestions instead of just checking
 set -euo pipefail
@@ -22,5 +23,8 @@ cargo test -q --test determinism
 
 # Engine micro/macro bench; emits results/BENCH_eval.json.
 cargo bench -p mcmap-bench --bench eval_engine
+
+# Tracing overhead gate (budget 5 %); emits results/BENCH_obs.json.
+cargo bench -p mcmap-bench --bench obs_overhead
 
 echo "check.sh: all gates passed"

@@ -41,5 +41,6 @@ pub use mcmap_ga as ga;
 pub use mcmap_hardening as hardening;
 pub use mcmap_lint as lint;
 pub use mcmap_model as model;
+pub use mcmap_obs as obs;
 pub use mcmap_sched as sched;
 pub use mcmap_sim as sim;

@@ -1,15 +1,22 @@
-//! Determinism suite for the `mcmap-eval` candidate-evaluation engine: the
-//! `--threads` knob must be *purely* a speed knob. At a fixed seed, any
-//! thread count produces the same Pareto front, objective vectors, and
-//! per-genome accounting; the memoization cache is transparent — turning
-//! it off changes nothing but wall-clock.
+//! Determinism suite for the `mcmap-eval` candidate-evaluation engine and
+//! the `mcmap-obs` tracing layer: the `--threads` knob must be *purely* a
+//! speed knob. At a fixed seed, any thread count produces the same Pareto
+//! front, objective vectors, and per-genome accounting; the memoization
+//! cache is transparent — turning it off changes nothing but wall-clock —
+//! and tracing is a read-only observer whose *canonical* event stream is
+//! itself bit-identical for any thread count or cache capacity.
 
 use mcmap::benchmarks::cruise;
 use mcmap::core::{explore, DseConfig, DseOutcome, ObjectiveMode};
 use mcmap::ga::GaConfig;
+use mcmap::obs::{canonical_trace, Recorder};
 use proptest::prelude::*;
 
 fn outcome_with(threads: usize, cache_cap: usize, seed: u64) -> DseOutcome {
+    outcome_traced(threads, cache_cap, seed, false)
+}
+
+fn outcome_traced(threads: usize, cache_cap: usize, seed: u64, traced: bool) -> DseOutcome {
     let b = cruise();
     explore(
         &b.apps,
@@ -27,9 +34,20 @@ fn outcome_with(threads: usize, cache_cap: usize, seed: u64) -> DseOutcome {
             policies: Some(b.policies.clone()),
             repair_iters: 40,
             cache_cap,
+            obs: if traced {
+                Recorder::ring(1 << 18)
+            } else {
+                Recorder::default()
+            },
             ..DseConfig::default()
         },
     )
+}
+
+/// The canonicalized trace of an outcome (non-deterministic payload such as
+/// wall-clock and cache hit/miss splits stripped).
+fn trace_of(o: &DseOutcome) -> String {
+    canonical_trace(&o.telemetry.events())
 }
 
 /// The full comparable state of an exploration: every front report
@@ -63,6 +81,62 @@ fn pareto_front_is_identical_for_1_2_and_8_threads() {
     assert_eq!(serial.eval_stats.genomes, eight.eval_stats.genomes);
     assert_eq!(serial.eval_stats.batches, eight.eval_stats.batches);
     assert_eq!(serial.audit.evaluated, eight.audit.evaluated);
+}
+
+#[test]
+fn canonical_trace_is_identical_for_1_2_and_8_threads() {
+    let serial = outcome_traced(1, 65_536, 8, true);
+    let two = outcome_traced(2, 65_536, 8, true);
+    let eight = outcome_traced(8, 65_536, 8, true);
+
+    // Tracing must not perturb the search itself…
+    assert_eq!(fingerprint(&serial), fingerprint(&two));
+    assert_eq!(fingerprint(&serial), fingerprint(&eight));
+    let untraced = outcome_with(1, 65_536, 8);
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&untraced),
+        "tracing changed the Pareto front"
+    );
+
+    // …and the canonical event stream must itself be deterministic.
+    let reference = trace_of(&serial);
+    assert!(!reference.is_empty(), "traced run produced no events");
+    assert_eq!(
+        reference,
+        trace_of(&two),
+        "2 worker threads changed the canonical trace"
+    );
+    assert_eq!(
+        reference,
+        trace_of(&eight),
+        "8 worker threads changed the canonical trace"
+    );
+
+    // The canonical rendering must not leak non-deterministic payload.
+    assert!(!reference.contains("nondet"));
+    assert!(!reference.contains("wall_ns"));
+    assert!(!reference.contains("cache_hits"));
+}
+
+#[test]
+fn canonical_trace_is_identical_for_any_cache_capacity() {
+    let cached = outcome_traced(2, 65_536, 8, true);
+    let tiny = outcome_traced(2, 64, 8, true);
+    let bare = outcome_traced(1, 0, 8, true);
+
+    assert_eq!(fingerprint(&cached), fingerprint(&bare));
+    let reference = trace_of(&cached);
+    assert_eq!(
+        reference,
+        trace_of(&tiny),
+        "a 64-entry cache changed the canonical trace"
+    );
+    assert_eq!(
+        reference,
+        trace_of(&bare),
+        "disabling the cache changed the canonical trace"
+    );
 }
 
 #[test]
