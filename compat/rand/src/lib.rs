@@ -151,6 +151,20 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// Snapshots the raw xoshiro256++ state, e.g. for checkpointing a
+        /// long run. Feeding the words back through [`StdRng::from_state`]
+        /// resumes the exact output stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = *state;

@@ -105,7 +105,8 @@ fn bench_explore_macro(c: &mut Criterion) {
     );
     std::fs::create_dir_all(&out_dir).expect("create results dir");
     let path = format!("{out_dir}/BENCH_eval.json");
-    std::fs::write(&path, json).expect("write BENCH_eval.json");
+    mcmap_resilience::atomic_write(std::path::Path::new(&path), json.as_bytes())
+        .expect("write BENCH_eval.json");
     println!("eval_engine/explore: wrote {path}");
 
     // One criterion-timed leg so the harness also reports a per-iteration

@@ -3,13 +3,15 @@
 //! Runs the same Cruise exploration twice per repetition — once with a
 //! disabled [`Recorder`] (the no-op fast path) and once with tracing on in
 //! the production `--trace` configuration (a JSONL file sink, which is the
-//! only sink a pure trace run pays for) — back-to-back so both legs of a
-//! pair see the same machine state, then takes the **median of the
-//! per-pair traced/untraced ratios**. The median is robust against a
-//! transient slow window on a shared host, which would poison a
-//! min-of-N-per-leg comparison: such a window inflates both legs of its
-//! pair equally and that pair's ratio stays honest. The bench asserts
-//! three things:
+//! only sink a pure trace run pays for) — back-to-back and in alternating
+//! order, so neither leg systematically lands in the slower half of a
+//! throttling window. The gated metric is the **ratio of the best-of-N
+//! times** of the two legs: scheduler and hypervisor noise is strictly
+//! additive, so each leg's minimum converges on its true runtime, while
+//! per-pair ratios of ~40 ms runs are noise-dominated on a virtualized
+//! host (observed spread of several percent on identical code). The
+//! median of the per-pair ratios is still computed and reported as a
+//! cross-check. The bench asserts three things:
 //!
 //! 1. the Pareto fronts of the traced and untraced runs are bit-identical
 //!    (tracing is a read-only observer);
@@ -128,10 +130,12 @@ fn main() {
     let _ = std::fs::remove_file(&trace_path);
 
     ratios.sort_by(f64::total_cmp);
-    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+    let overhead_pct = (wall_on / wall_off.max(1e-9) - 1.0) * 100.0;
+    let median_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
     println!(
         "obs_overhead/cruise: {wall_off:.4} s untraced, {wall_on:.4} s traced (best of \
-         {repeats}; {events} events; median overhead {overhead_pct:+.2}%, budget {max_pct:.1}%)"
+         {repeats}; {events} events; overhead {overhead_pct:+.2}% best-of, \
+         {median_pct:+.2}% median, budget {max_pct:.1}%)"
     );
 
     let out_dir = std::env::var("MCMAP_BENCH_OUT")
@@ -140,12 +144,14 @@ fn main() {
         "{{\"benchmark\":\"cruise\",\"population\":{pop},\"generations\":{gens},\
          \"threads\":{threads},\"repeats\":{repeats},\"events\":{events},\
          \"wall_secs_untraced\":{wall_off:.6},\"wall_secs_traced\":{wall_on:.6},\
-         \"overhead_pct\":{overhead_pct:.3},\"max_overhead_pct\":{max_pct:.1},\
+         \"overhead_pct\":{overhead_pct:.3},\"median_overhead_pct\":{median_pct:.3},\
+         \"max_overhead_pct\":{max_pct:.1},\
          \"fronts_identical\":true}}\n"
     );
     std::fs::create_dir_all(&out_dir).expect("create results dir");
     let path = format!("{out_dir}/BENCH_obs.json");
-    std::fs::write(&path, json).expect("write BENCH_obs.json");
+    mcmap_resilience::atomic_write(std::path::Path::new(&path), json.as_bytes())
+        .expect("write BENCH_obs.json");
     println!("obs_overhead/cruise: wrote {path}");
 
     assert!(

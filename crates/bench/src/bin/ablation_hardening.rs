@@ -11,10 +11,11 @@
 use mcmap_bench::EvalKnobs;
 use mcmap_benchmarks::cruise;
 use mcmap_core::{analyze, expected_power};
-use mcmap_eval::parallel_map;
+use mcmap_eval::parallel_map_caught;
 use mcmap_hardening::{harden, HardenedSystem, HardeningPlan, Reliability, TaskHardening};
 use mcmap_model::{AppId, ProcId};
 use mcmap_sched::Mapping;
+use std::process::ExitCode;
 
 /// Builds a plan hardening every critical task with `make(flat)`.
 fn plan_with(
@@ -49,7 +50,7 @@ fn mapping_for(b: &mcmap_benchmarks::Benchmark, hsys: &HardenedSystem) -> Mappin
     Mapping::new(hsys, &b.arch, placement).expect("isolation mapping is valid")
 }
 
-fn main() {
+fn main() -> ExitCode {
     let b = cruise();
     let knobs = EvalKnobs::parse();
     let dropped: Vec<AppId> = b.apps.droppable_apps().collect();
@@ -99,7 +100,7 @@ fn main() {
         &[("variants", mcmap_obs::Value::from(variants.len()))],
     );
     let t0 = std::time::Instant::now();
-    let rows = parallel_map(&variants, knobs.threads, |(name, plan)| {
+    let rows = parallel_map_caught(&variants, knobs.threads, |(name, plan)| {
         let hsys = harden(&b.apps, plan, &b.arch).expect("static plans are valid");
         let mapping = mapping_for(&b, &hsys);
         let rel = Reliability::new(&hsys, &b.arch);
@@ -124,23 +125,58 @@ fn main() {
     let wall = t0.elapsed();
     span.end();
     // Per-variant effort and power, emitted in variant order on the driver
-    // thread: the canonical trace is identical for any --threads.
-    for ((name, _), (_, scenarios, backend_calls, power)) in variants.iter().zip(&rows) {
-        obs.counter(
-            "ablation.variant",
-            &[
-                ("name", mcmap_obs::Value::from(*name)),
-                ("scenarios", mcmap_obs::Value::from(*scenarios)),
-                ("backend_calls", mcmap_obs::Value::from(*backend_calls)),
-                ("power", mcmap_obs::Value::from(*power)),
-            ],
-        );
+    // thread: the canonical trace is identical for any --threads. A variant
+    // that panicked degrades to a labeled failure row instead of taking the
+    // other three down with it.
+    let mut panicked = 0usize;
+    for ((name, _), outcome) in variants.iter().zip(&rows) {
+        match outcome {
+            Ok((_, scenarios, backend_calls, power)) => obs.counter(
+                "ablation.variant",
+                &[
+                    ("name", mcmap_obs::Value::from(*name)),
+                    ("scenarios", mcmap_obs::Value::from(*scenarios)),
+                    ("backend_calls", mcmap_obs::Value::from(*backend_calls)),
+                    ("power", mcmap_obs::Value::from(*power)),
+                ],
+            ),
+            Err(payload) => {
+                panicked += 1;
+                obs.counter(
+                    "ablation.variant_failed",
+                    &[
+                        ("name", mcmap_obs::Value::from(*name)),
+                        (
+                            "message",
+                            mcmap_obs::Value::from(
+                                mcmap_resilience::panic_message(payload.as_ref()).as_str(),
+                            ),
+                        ),
+                    ],
+                );
+            }
+        }
     }
-    for (row, ..) in &rows {
-        println!("{row}");
+    for ((name, _), outcome) in variants.iter().zip(&rows) {
+        match outcome {
+            Ok((row, ..)) => println!("{row}"),
+            Err(payload) => println!(
+                "{:22} | analysis panicked: {}",
+                name,
+                mcmap_resilience::panic_message(payload.as_ref())
+            ),
+        }
     }
     println!("\nRe-execution is the cheapest technique in power; replication buys back the");
     println!("critical-state WCRT inflation at the cost of permanently duplicated work.");
     knobs.report_wall("ablation-hardening", rows.len(), wall);
     knobs.report_obs("ablation-hardening", &obs);
+    if panicked > 0 {
+        eprintln!(
+            "ablation-hardening: {panicked} of {} variants failed.",
+            rows.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -12,7 +12,7 @@
 //! footnote, detection and voting overheads are kept minimal.
 
 use mcmap_bench::EvalKnobs;
-use mcmap_eval::parallel_map;
+use mcmap_eval::parallel_map_caught;
 use mcmap_hardening::{harden, HTaskId, HardeningPlan, TaskHardening};
 use mcmap_model::{
     AppId, AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcId, ProcKind, Processor,
@@ -20,12 +20,13 @@ use mcmap_model::{
 };
 use mcmap_sched::{uniform_policies, Mapping, SchedPolicy};
 use mcmap_sim::{NoFaults, ScriptedFaults, SimConfig, Simulator};
+use std::process::ExitCode;
 
 fn t(name: &str, wcet: u64) -> Task {
     Task::new(name).with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(wcet)))
 }
 
-fn main() {
+fn main() -> ExitCode {
     let arch = Architecture::builder()
         .homogeneous(2, Processor::new("pe", ProcKind::new(0), 5.0, 20.0, 1e-6))
         .fabric(Fabric::new(1 << 20))
@@ -126,7 +127,7 @@ fn main() {
         &[("scenarios", mcmap_obs::Value::from(scenarios.len()))],
     );
     let t0 = std::time::Instant::now();
-    let runs = parallel_map(&scenarios, knobs.threads, |&s| match s {
+    let caught = parallel_map_caught(&scenarios, knobs.threads, |&s| match s {
         // (b) No faults.
         0 => sim.run(&SimConfig::default(), &mut NoFaults),
         // (c) Fault at A, nothing droppable.
@@ -148,6 +149,23 @@ fn main() {
     });
     let wall = t0.elapsed();
     span.end();
+    // The (b)/(c)/(d) comparison needs all three traces, so a panicking
+    // scenario ends the run — but with a labeled diagnostic and the
+    // telemetry flushed, not a torn worker pool.
+    let mut runs = Vec::with_capacity(caught.len());
+    for (label, outcome) in ["no-fault", "fault", "fault-drop"].iter().zip(caught) {
+        match outcome {
+            Ok(r) => runs.push(r),
+            Err(payload) => {
+                eprintln!(
+                    "fig1: scenario {label} panicked: {}",
+                    mcmap_resilience::panic_message(payload.as_ref())
+                );
+                knobs.report_obs("fig1-motivation", &obs);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let [nominal, strict, rescued] = &runs[..] else {
         unreachable!("three scenarios in, three results out");
     };
@@ -212,4 +230,5 @@ fn main() {
     println!("\nThe configuration is rescued exactly as in Fig. 1(d).");
     knobs.report_wall("fig1-motivation", scenarios.len(), wall);
     knobs.report_obs("fig1-motivation", &obs);
+    ExitCode::SUCCESS
 }

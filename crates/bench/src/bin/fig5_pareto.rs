@@ -6,12 +6,13 @@
 //! droppable dropped — best power) to {t1, t2, t3} (nothing dropped —
 //! maximum service).
 
-use mcmap_bench::{env_u64, env_usize, EvalKnobs};
+use mcmap_bench::{env_u64, env_usize, hook_interrupts, EvalKnobs, INTERRUPTED_EXIT};
 use mcmap_benchmarks::dt_med;
 use mcmap_core::{explore, DseConfig, ObjectiveMode};
 use mcmap_ga::GaConfig;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let pop = env_usize("MCMAP_POP", 60);
     let gens = env_usize("MCMAP_GENS", 200);
     let seed = env_u64("MCMAP_SEED", 8);
@@ -33,8 +34,12 @@ fn main() {
         ..DseConfig::default()
     };
     knobs.apply(&mut cfg);
+    hook_interrupts(&mut cfg);
     cfg.obs = knobs.recorder();
     let outcome = explore(&b.apps, &b.arch, cfg);
+    if outcome.interrupted {
+        println!("(interrupted — the front below reflects the last completed generation)\n");
+    }
 
     // Collect feasible, distinct (power, service) points.
     let mut points: Vec<(f64, f64, String)> = outcome
@@ -80,4 +85,8 @@ fn main() {
     knobs.report("fig5/dt-med", &outcome.eval_stats);
     knobs.report_audit("fig5/dt-med", &outcome.audit);
     knobs.report_obs("fig5/dt-med", &outcome.telemetry);
+    if outcome.interrupted {
+        return ExitCode::from(INTERRUPTED_EXIT);
+    }
+    ExitCode::SUCCESS
 }

@@ -10,7 +10,9 @@
 //! mcmap_cli dse      <benchmark> [pop gens] [--threads N] [--cache-cap N]
 //!                                [--eval-stats [json]] [--trace <path.jsonl>]
 //!                                [--obs-summary [json]] [--gen-stats [json]]
-//!                                [--audit [json]]         # power/service exploration
+//!                                [--audit [json]] [--checkpoint <path>]
+//!                                [--resume <path>] [--eval-retries N]
+//!                                                         # power/service exploration
 //! mcmap_cli lint     <benchmark> [--json] [--inject cycle|relbound|inverted]
 //! mcmap_cli obs      <trace.jsonl> [--json]  # profile a recorded trace
 //! ```
@@ -32,6 +34,16 @@
 //! the same profile report offline. Tracing never changes results: the
 //! canonical event stream is deterministic for any `--threads` or
 //! `--cache-cap`.
+//!
+//! `dse` is resilient (`mcmap-resilience`): `--checkpoint` writes the full
+//! driver state atomically after every generation, `--resume` restarts from
+//! such a checkpoint (falling back to its `.bak` when the primary is a torn
+//! write) and reproduces the uninterrupted run bit-identically — same Pareto
+//! front, same canonical trace. SIGINT/SIGTERM stop the run cleanly at the
+//! next generation boundary (checkpoint written, trace flushed, partial
+//! results printed, exit code 130). `--eval-retries` bounds how often a
+//! panicking candidate evaluation is retried before the candidate degrades
+//! to an infeasible placeholder instead of aborting the exploration.
 //!
 //! `lint` runs the `mcmap-lint` static analyzer over the benchmark's model
 //! and prints the structured `MC0xxx` diagnostics (text or JSON); the
@@ -64,7 +76,8 @@ fn usage() -> ExitCode {
          benchmarks: cruise, dt-med, dt-large, synth1, synth2\n\
          dse flags:  --threads <n>, --cache-cap <n>, --eval-stats [json],\n\
          \u{20}           --trace <path.jsonl>, --obs-summary [json], --gen-stats [json],\n\
-         \u{20}           --audit [json]\n\
+         \u{20}           --audit [json], --checkpoint <path>, --resume <path>,\n\
+         \u{20}           --eval-retries <n>\n\
          lint flags: --json, --inject <cycle|relbound|inverted>\n\
          obs:        mcmap_cli obs <trace.jsonl> [--json]"
     );
@@ -211,7 +224,7 @@ fn cmd_lint(b: &Benchmark, flags: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_dse(b: &Benchmark, pop: usize, gens: usize, knobs: &EvalKnobs) -> ExitCode {
+fn cmd_dse(b: &Benchmark, key: &str, pop: usize, gens: usize, knobs: &EvalKnobs) -> ExitCode {
     let mut cfg = DseConfig {
         ga: GaConfig {
             population: pop,
@@ -225,17 +238,21 @@ fn cmd_dse(b: &Benchmark, pop: usize, gens: usize, knobs: &EvalKnobs) -> ExitCod
         ..DseConfig::default()
     };
     knobs.apply(&mut cfg);
+    mcmap_bench::hook_interrupts(&mut cfg);
     cfg.obs = knobs.recorder();
     let outcome = match explore_checked(&b.apps, &b.arch, cfg) {
         Ok(o) => o,
         Err(err) => {
-            eprintln!("dse: {err}:");
+            eprintln!("dse: {err}");
             if let Some(report) = err.lint_report() {
                 eprint!("{}", report.render_text());
             }
             return ExitCode::FAILURE;
         }
     };
+    if let Some(generation) = outcome.resumed_from {
+        println!("resumed from checkpoint at generation {generation}");
+    }
     println!(
         "{} evaluations, {} feasible\n",
         outcome.audit.evaluated, outcome.audit.feasible
@@ -253,9 +270,32 @@ fn cmd_dse(b: &Benchmark, pop: usize, gens: usize, knobs: &EvalKnobs) -> ExitCod
             names.join(", ")
         );
     }
+    if !outcome.failures.is_empty() {
+        println!(
+            "\n{} candidate evaluation(s) degraded after repeated panics:",
+            outcome.failures.len()
+        );
+        for failure in outcome.failures.iter().take(5) {
+            println!("  {failure}");
+        }
+    }
     knobs.report("dse", &outcome.eval_stats);
     knobs.report_audit("dse", &outcome.audit);
     knobs.report_obs("dse", &outcome.telemetry);
+    if outcome.interrupted {
+        let done = outcome
+            .result
+            .history
+            .last()
+            .map_or(0, |row| row.generation);
+        println!("\ninterrupted after generation {done} of {gens}; the results above are partial.");
+        if let Some(path) = &knobs.checkpoint {
+            println!(
+                "resume with: mcmap_cli dse {key} {pop} {gens} --resume {path} --checkpoint {path}"
+            );
+        }
+        return ExitCode::from(mcmap_bench::INTERRUPTED_EXIT);
+    }
     ExitCode::SUCCESS
 }
 
@@ -267,20 +307,34 @@ fn cmd_obs(path: &str, json: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match mcmap_obs::TraceProfile::from_jsonl(&text) {
-        Ok(profile) => {
-            if json {
-                println!("{}", profile.to_json());
-            } else {
-                print!("{}", profile.render_text());
-            }
-            ExitCode::SUCCESS
-        }
-        Err(err) => {
-            eprintln!("obs: malformed trace {path}: {err}");
-            ExitCode::FAILURE
-        }
+    // Tolerant read: a trace cut short by a crash (torn final line, or
+    // garbage past the valid prefix) still profiles — the reader keeps the
+    // valid prefix and reports exactly what it dropped.
+    let (profile, recovery) = mcmap_obs::TraceProfile::from_jsonl_lossy(&text);
+    if recovery.lossy() {
+        eprintln!(
+            "obs: trace {path} is truncated: profiled {} event(s), dropped {} trailing \
+             line(s) ({} byte(s)){}",
+            recovery.parsed_events,
+            recovery.dropped_lines,
+            recovery.dropped_bytes,
+            recovery
+                .error
+                .as_deref()
+                .map(|e| format!(" — first bad line: {e}"))
+                .unwrap_or_default()
+        );
     }
+    if recovery.lossy() && recovery.parsed_events == 0 {
+        eprintln!("obs: no usable events in {path}");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        println!("{}", profile.to_json());
+    } else {
+        print!("{}", profile.render_text());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Strips the eval-engine flags (and their values) out of a `dse` argument
@@ -290,7 +344,13 @@ fn dse_positionals(tail: &[String]) -> Vec<String> {
     let mut i = 0;
     while i < tail.len() {
         let a = tail[i].as_str();
-        if a == "--threads" || a == "--cache-cap" || a == "--trace" {
+        if a == "--threads"
+            || a == "--cache-cap"
+            || a == "--trace"
+            || a == "--checkpoint"
+            || a == "--resume"
+            || a == "--eval-retries"
+        {
             i += 2;
         } else if a == "--eval-stats"
             || a == "--obs-summary"
@@ -349,7 +409,13 @@ fn main() -> ExitCode {
             let budget = |i: usize, default: usize| -> usize {
                 pos.get(i).and_then(|v| v.parse().ok()).unwrap_or(default)
             };
-            cmd_dse(&b, budget(0, 40), budget(1, 40), &knobs)
+            cmd_dse(
+                &b,
+                args.get(1).map_or("cruise", String::as_str),
+                budget(0, 40),
+                budget(1, 40),
+                &knobs,
+            )
         }
         "lint" => cmd_lint(&b, &args[2..]),
         _ => usage(),

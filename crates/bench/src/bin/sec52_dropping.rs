@@ -12,12 +12,14 @@
 //! Budget: `MCMAP_POP` (default 60) × `MCMAP_GENS` (default 150)
 //! generations, seed `MCMAP_SEED` (default 8); the paper used 100 × 5000.
 
-use mcmap_bench::{env_u64, env_usize, EvalKnobs};
+use mcmap_bench::{env_u64, env_usize, hook_interrupts, EvalKnobs, INTERRUPTED_EXIT};
 use mcmap_benchmarks::all_benchmarks;
 use mcmap_core::{explore, DseConfig, ObjectiveMode};
 use mcmap_ga::GaConfig;
+use mcmap_resilience::stop_requested;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let pop = env_usize("MCMAP_POP", 60);
     let gens = env_usize("MCMAP_GENS", 150);
     let seed = env_u64("MCMAP_SEED", 8);
@@ -45,6 +47,7 @@ fn main() {
             ..DseConfig::default()
         };
         knobs.apply(&mut base);
+        hook_interrupts(&mut base);
         base.obs = obs.clone();
 
         let with = explore(
@@ -56,6 +59,11 @@ fn main() {
                 ..base.clone()
             },
         );
+        if with.interrupted {
+            println!("\n(interrupted mid-benchmark — rows above are complete)");
+            knobs.report_obs("sec52", &obs);
+            return ExitCode::from(INTERRUPTED_EXIT);
+        }
         let without = explore(
             &b.apps,
             &b.arch,
@@ -65,6 +73,11 @@ fn main() {
                 ..base
             },
         );
+        if without.interrupted {
+            println!("\n(interrupted mid-benchmark — rows above are complete)");
+            knobs.report_obs("sec52", &obs);
+            return ExitCode::from(INTERRUPTED_EXIT);
+        }
         knobs.report(&format!("{}/with-dropping", b.name), &with.eval_stats);
         knobs.report(&format!("{}/no-dropping", b.name), &without.eval_stats);
         knobs.report_audit(&format!("{}/with-dropping", b.name), &with.audit);
@@ -84,8 +97,14 @@ fn main() {
             with.audit.rescue_ratio() * 100.0,
             with.audit.reexecution_share() * 100.0,
         );
+        if stop_requested() {
+            println!("\n(interrupted — rows above are complete, remaining benchmarks skipped)");
+            knobs.report_obs("sec52", &obs);
+            return ExitCode::from(INTERRUPTED_EXIT);
+        }
     }
     println!("\nrescue% = explored candidates infeasible without dropping but feasible with their");
     println!("decoded dropped set; reexec% = share of re-execution among applied hardenings.");
     knobs.report_obs("sec52", &obs);
+    ExitCode::SUCCESS
 }

@@ -22,11 +22,12 @@
 use mcmap_bench::{env_u64, env_usize, fmt_time, EvalKnobs};
 use mcmap_benchmarks::{cruise, Benchmark};
 use mcmap_core::{adhoc_analysis, analyze, analyze_naive};
-use mcmap_eval::parallel_map;
+use mcmap_eval::parallel_map_caught;
 use mcmap_hardening::{harden, HardenedSystem, HardeningPlan, TaskHardening};
 use mcmap_model::{AppId, ProcId, Time};
 use mcmap_sched::Mapping;
 use mcmap_sim::{monte_carlo, MonteCarloConfig, SimConfig};
+use std::process::ExitCode;
 
 struct Design {
     hsys: HardenedSystem,
@@ -58,7 +59,7 @@ fn design(b: &Benchmark, k: u8, placement: Vec<usize>, priorities: Vec<u32>) -> 
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
     let b = cruise();
     let seed = env_u64("MCMAP_SEED", 11);
     let sim_runs = env_usize("MCMAP_SIM_RUNS", 2_000);
@@ -122,7 +123,7 @@ fn main() {
     );
     let indexed: Vec<(usize, &Design)> = designs.iter().enumerate().collect();
     let t0 = std::time::Instant::now();
-    let per_design: Vec<Vec<[Time; 4]>> = parallel_map(&indexed, knobs.threads, |&(i, d)| {
+    let caught = parallel_map_caught(&indexed, knobs.threads, |&(i, d)| {
         let adhoc = adhoc_analysis(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped);
         let mc = analyze(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped);
         let naive = analyze_naive(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped);
@@ -151,6 +152,33 @@ fn main() {
     });
     let wall = t0.elapsed();
     span.end();
+    // A panicking estimator takes down only its design, not the process:
+    // every surviving column is still reported before the failure exit.
+    let mut per_design: Vec<Vec<[Time; 4]>> = Vec::with_capacity(caught.len());
+    let mut failed = false;
+    for (i, outcome) in caught.into_iter().enumerate() {
+        match outcome {
+            Ok(cells) => per_design.push(cells),
+            Err(payload) => {
+                failed = true;
+                eprintln!(
+                    "table2: mapping {} panicked during analysis: {}",
+                    i + 1,
+                    mcmap_resilience::panic_message(payload.as_ref())
+                );
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "table2: {} of {} mappings analyzed before the failure.",
+            per_design.len(),
+            designs.len()
+        );
+        knobs.report_wall("table2", designs.len(), wall);
+        knobs.report_obs("table2", &obs);
+        return ExitCode::FAILURE;
+    }
     // Per-design bound counters, emitted in design order on the driver
     // thread: the canonical trace is identical for any --threads.
     for (i, cells) in per_design.iter().enumerate() {
@@ -208,4 +236,5 @@ fn main() {
     );
     knobs.report_wall("table2", designs.len(), wall);
     knobs.report_obs("table2", &obs);
+    ExitCode::SUCCESS
 }

@@ -149,6 +149,15 @@ pub struct EvalKnobs {
     /// When set, enable the §5.2 solution audit and print its snapshot
     /// after the run.
     pub audit: Option<StatsFormat>,
+    /// When set, checkpoint the exploration to this path after every
+    /// generation (`--checkpoint` / `MCMAP_CHECKPOINT`).
+    pub checkpoint: Option<String>,
+    /// When set, resume the exploration from this checkpoint
+    /// (`--resume` / `MCMAP_RESUME`).
+    pub resume: Option<String>,
+    /// Retry budget for candidates whose evaluation panics
+    /// (`--eval-retries` / `MCMAP_EVAL_RETRIES`, default 1).
+    pub eval_retries: u32,
 }
 
 impl EvalKnobs {
@@ -194,6 +203,17 @@ impl EvalKnobs {
             obs_summary: format_knob("--obs-summary", "MCMAP_OBS_SUMMARY"),
             gen_stats: format_knob("--gen-stats", "MCMAP_GEN_STATS"),
             audit: format_knob("--audit", "MCMAP_AUDIT"),
+            checkpoint: value_of("--checkpoint")
+                .filter(|v| !v.is_empty())
+                .or_else(|| std::env::var("MCMAP_CHECKPOINT").ok())
+                .filter(|v| !v.is_empty()),
+            resume: value_of("--resume")
+                .filter(|v| !v.is_empty())
+                .or_else(|| std::env::var("MCMAP_RESUME").ok())
+                .filter(|v| !v.is_empty()),
+            eval_retries: value_of("--eval-retries")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| env_u64("MCMAP_EVAL_RETRIES", 1) as u32),
         }
     }
 
@@ -227,7 +247,15 @@ impl EvalKnobs {
             builder = builder.ring(1 << 20);
         }
         if let Some(path) = &self.trace {
-            builder = match builder.jsonl(std::path::Path::new(path)) {
+            let file = std::path::Path::new(path);
+            let attached = match self.resume_trace_seq() {
+                Some(trace_seq) => {
+                    salvage_trace(file, trace_seq);
+                    builder.jsonl_append(file, trace_seq)
+                }
+                None => builder.jsonl(file),
+            };
+            builder = match attached {
                 Ok(b) => b,
                 Err(err) => {
                     eprintln!("mcmap: cannot create trace file {path}: {err}");
@@ -236,6 +264,16 @@ impl EvalKnobs {
             };
         }
         builder.build()
+    }
+
+    /// The checkpoint's trace high-water mark when this run resumes, or
+    /// `None` for a fresh run. An unreadable checkpoint also yields `None`
+    /// here — the exploration itself reports the typed error.
+    fn resume_trace_seq(&self) -> Option<u64> {
+        let resume = self.resume.as_ref()?;
+        mcmap_core::read_checkpoint_with_fallback(std::path::Path::new(resume))
+            .ok()
+            .map(|(ckpt, _)| ckpt.trace_seq)
     }
 
     /// Applies the knobs to an exploration config (threads, cache bound,
@@ -249,6 +287,9 @@ impl EvalKnobs {
         if self.audit.is_some() {
             cfg.audit = true;
         }
+        cfg.resilience.checkpoint = self.checkpoint.as_ref().map(std::path::PathBuf::from);
+        cfg.resilience.resume = self.resume.as_ref().map(std::path::PathBuf::from);
+        cfg.resilience.eval_retries = self.eval_retries;
     }
 
     /// Prints one engine snapshot in the requested format (no-op when
@@ -344,6 +385,56 @@ impl EvalKnobs {
         }
     }
 }
+
+/// Rewrites the trace file at `path` down to its valid prefix of events
+/// with `seq <= trace_seq` — the part the checkpoint being resumed from
+/// vouches for. A crash can leave a torn final line and events past the
+/// checkpoint boundary (the interrupted process kept running); both must
+/// go before the resumed run appends, or the stitched stream would differ
+/// from an uninterrupted run's. The rewrite is atomic (write-temp, fsync,
+/// rename) so a crash *here* cannot make things worse.
+fn salvage_trace(path: &std::path::Path, trace_seq: u64) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let (events, recovery) = mcmap_obs::events_from_jsonl_lossy(&text);
+    let mut out = String::with_capacity(text.len());
+    let mut kept = 0usize;
+    for event in &events {
+        if event.seq <= trace_seq {
+            event.write_jsonl(&mut out);
+            out.push('\n');
+            kept += 1;
+        }
+    }
+    if out == text {
+        return;
+    }
+    let dropped = events.len() - kept;
+    if dropped > 0 || recovery.lossy() {
+        eprintln!(
+            "mcmap: salvaged trace {}: kept {kept} event(s) up to seq {trace_seq}, \
+             dropped {dropped} event(s) past the checkpoint and {} torn byte(s)",
+            path.display(),
+            recovery.dropped_bytes
+        );
+    }
+    if let Err(err) = mcmap_resilience::atomic_write(path, out.as_bytes()) {
+        eprintln!("mcmap: cannot salvage trace {}: {err}", path.display());
+        std::process::exit(2);
+    }
+}
+
+/// Installs the process-wide SIGINT/SIGTERM stop flag and wires it into an
+/// exploration config: a signalled run finishes its current generation,
+/// writes its checkpoint (when enabled), flushes the trace, and returns
+/// with `interrupted = true` instead of dying mid-write.
+pub fn hook_interrupts(cfg: &mut mcmap_core::DseConfig) {
+    cfg.resilience.stop = Some(mcmap_resilience::install_stop_flag());
+}
+
+/// Conventional exit code of a run stopped by SIGINT/SIGTERM (128 + SIGINT).
+pub const INTERRUPTED_EXIT: u8 = 130;
 
 #[cfg(test)]
 mod tests {

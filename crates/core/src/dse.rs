@@ -1,22 +1,29 @@
 //! Design-space exploration (§4 of the paper): the mapping problem as a
 //! multi-objective GA problem, plus the end-to-end [`explore`] driver.
 
+use crate::checkpoint::{read_checkpoint_with_fallback, write_checkpoint, DseCheckpoint};
 use crate::{
     analyze, expected_power, lost_service, repair_reliability, repair_structure,
     repair_structure_logged, Genome, GenomeSpace,
 };
 use mcmap_eval::{EvalCacheConfig, EvalEngine, EvalStats};
-use mcmap_ga::{optimize, Evaluation, GaConfig, GaResult, Problem};
+use mcmap_ga::{
+    optimize_resumable, Evaluation, GaConfig, GaResult, GenerationObserver, GenerationSnapshot,
+    LoopControl, Problem,
+};
 use mcmap_hardening::{harden, Reliability, TechniqueHistogram};
 use mcmap_model::{AppId, AppSet, Architecture, ProcId, Time};
 use mcmap_obs::{Recorder, Value};
+use mcmap_resilience::{EvalFailure, FaultPlan, ResilienceError};
 use mcmap_sched::{uniform_policies, Mapping, SchedPolicy};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Which objective vector the DSE minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,6 +34,47 @@ pub enum ObjectiveMode {
     /// Expected power and lost service — the bi-objective co-optimization
     /// of Fig. 5.
     PowerService,
+}
+
+/// Fault-tolerance knobs of one exploration run (the `mcmap-resilience`
+/// integration): panic isolation with bounded retries, generation-boundary
+/// checkpointing, resume, deterministic chaos injection, and cooperative
+/// stop. None of these affect the search itself — a run with checkpointing
+/// enabled, interrupted anywhere, and resumed produces the same Pareto
+/// front and canonical trace as one that was never interrupted.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Write a checkpoint to this path after every completed generation
+    /// (atomically, rotating the previous one to `<path>.bak`).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from the checkpoint at this path (falling back to its
+    /// `.bak` when the primary is corrupt).
+    pub resume: Option<PathBuf>,
+    /// How many times a candidate whose evaluation panicked is retried
+    /// before it is degraded to an infeasible placeholder (default 1).
+    pub eval_retries: u32,
+    /// Deterministic fault-injection plan for chaos testing.
+    pub chaos: Option<FaultPlan>,
+    /// Cooperative stop flag (e.g. from
+    /// [`mcmap_resilience::install_stop_flag`]): when set, the run stops
+    /// at the next generation boundary after writing its checkpoint.
+    pub stop: Option<&'static AtomicBool>,
+    /// Stop after this generation completes (testing hook for
+    /// deterministic kill-and-resume sweeps).
+    pub stop_after_generation: Option<usize>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            checkpoint: None,
+            resume: None,
+            eval_retries: 1,
+            chaos: None,
+            stop: None,
+            stop_after_generation: None,
+        }
+    }
 }
 
 /// Configuration of one exploration run.
@@ -67,6 +115,9 @@ pub struct DseConfig {
     /// canonical event stream is itself deterministic for any thread
     /// count or cache capacity.
     pub obs: Recorder,
+    /// Fault-tolerance knobs (checkpointing, resume, panic isolation,
+    /// chaos injection). All default off; none affect search results.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for DseConfig {
@@ -83,6 +134,7 @@ impl Default for DseConfig {
             critical_weight: 0.3,
             cache_cap: 65_536,
             obs: Recorder::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -219,6 +271,11 @@ pub struct MappingProblem<'a> {
     policies: Vec<SchedPolicy>,
     counters: Counters,
     engine: EvalEngine<EvalRecord>,
+    /// Batch coordinate for fault addressing: 0 = initial population,
+    /// `g` = generation `g`'s offspring. Restored on resume.
+    batch_index: AtomicU64,
+    /// Candidates degraded after exhausting their evaluation retries.
+    failures: Mutex<Vec<EvalFailure>>,
 }
 
 /// Everything one evaluation produces: the GA-facing [`Evaluation`]
@@ -289,6 +346,27 @@ fn context_fingerprint(
     h.finish()
 }
 
+/// Fingerprint of everything a checkpoint's bit-identical-resume contract
+/// depends on: the evaluation context plus the GA's search-shape
+/// parameters. Speed knobs (threads, cache capacity) and the resilience
+/// configuration itself are deliberately excluded — a run may be resumed
+/// with a different thread count, or with chaos switched off, and still
+/// reproduce the uninterrupted result.
+fn run_fingerprint(apps: &AppSet, arch: &Architecture, cfg: &DseConfig) -> u64 {
+    let policies = cfg
+        .policies
+        .clone()
+        .unwrap_or_else(|| uniform_policies(arch.num_processors(), SchedPolicy::default()));
+    let mut h = DefaultHasher::new();
+    context_fingerprint(apps, arch, &policies, cfg).hash(&mut h);
+    cfg.ga.population.hash(&mut h);
+    cfg.ga.generations.hash(&mut h);
+    cfg.ga.crossover_rate.to_bits().hash(&mut h);
+    cfg.ga.mutation_rate.to_bits().hash(&mut h);
+    format!("{:?}", cfg.ga.selector).hash(&mut h);
+    h.finish()
+}
+
 struct Assessment {
     dropped: Vec<AppId>,
     power: f64,
@@ -325,6 +403,8 @@ impl<'a> MappingProblem<'a> {
             policies,
             counters: Counters::default(),
             engine,
+            batch_index: AtomicU64::new(0),
+            failures: Mutex::new(Vec::new()),
         }
     }
 
@@ -350,6 +430,44 @@ impl<'a> MappingProblem<'a> {
             active_replications: self.counters.active.load(Ordering::Relaxed),
             passive_replications: self.counters.passive.load(Ordering::Relaxed),
         }
+    }
+
+    /// The evaluation failures recorded so far (candidates degraded to
+    /// infeasible placeholders after exhausting their retries).
+    pub fn failures(&self) -> Vec<EvalFailure> {
+        self.failures.lock().expect("failure log poisoned").clone()
+    }
+
+    /// Restores the audit counters from a checkpoint, so the cumulative
+    /// [`AuditSnapshot`] of a resumed run matches the uninterrupted one.
+    pub fn restore_audit(&self, snapshot: &AuditSnapshot) {
+        self.counters
+            .evaluated
+            .store(snapshot.evaluated, Ordering::Relaxed);
+        self.counters
+            .feasible
+            .store(snapshot.feasible, Ordering::Relaxed);
+        self.counters
+            .audited
+            .store(snapshot.audited, Ordering::Relaxed);
+        self.counters
+            .rescued
+            .store(snapshot.rescued_by_dropping, Ordering::Relaxed);
+        self.counters
+            .reexec
+            .store(snapshot.reexecutions, Ordering::Relaxed);
+        self.counters
+            .active
+            .store(snapshot.active_replications, Ordering::Relaxed);
+        self.counters
+            .passive
+            .store(snapshot.passive_replications, Ordering::Relaxed);
+    }
+
+    /// Sets the next batch coordinate for fault addressing (resume path:
+    /// generation `g`'s offspring are batch `g`).
+    pub fn set_next_batch(&self, batch: u64) {
+        self.batch_index.store(batch, Ordering::Relaxed);
     }
 
     /// Runs the deterministic repair pipeline on a genome and returns the
@@ -646,16 +764,55 @@ impl Problem for MappingProblem<'_> {
     }
 
     fn evaluate_batch(&self, genotypes: &[Genome], threads: usize) -> Vec<Evaluation> {
-        let records = self
-            .engine
-            .evaluate_batch(genotypes, threads, |g| self.assess_record(g));
+        let batch = self.batch_index.fetch_add(1, Ordering::Relaxed);
+        let chaos = self.cfg.resilience.chaos.as_ref();
+        let records = self.engine.evaluate_batch_isolated_with(
+            genotypes,
+            threads,
+            self.cfg.resilience.eval_retries,
+            |ctx| {
+                // The injection hook fires before the memo-cache lookup so
+                // chaos faults hit their addressed coordinates regardless
+                // of cache state; it is a no-op without a fault plan.
+                if let Some(plan) = chaos {
+                    let micros = plan.delay_micros(batch, ctx.index);
+                    if micros > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(micros));
+                    }
+                    assert!(
+                        !plan.should_panic(batch, ctx.index, ctx.attempt),
+                        "chaos: injected panic at batch {batch}, item {}, attempt {}",
+                        ctx.index,
+                        ctx.attempt
+                    );
+                }
+            },
+            |g, _ctx| self.assess_record(g),
+        );
         // Audit deltas are replayed sequentially in submission order, so
         // the snapshot is deterministic for any thread count.
         records
             .into_iter()
-            .map(|r| {
-                self.record_audit(&r);
-                r.eval
+            .map(|r| match r {
+                Ok(record) => {
+                    self.record_audit(&record);
+                    record.eval
+                }
+                Err(failure) => {
+                    // A candidate whose evaluation kept panicking degrades
+                    // to a strongly penalized infeasible placeholder: the
+                    // search loses one candidate, not the whole run. It
+                    // still counts as evaluated so the audit stays in sync
+                    // with the driver's evaluation count.
+                    self.counters.evaluated.fetch_add(1, Ordering::Relaxed);
+                    let eval =
+                        Evaluation::infeasible(vec![f64::MAX / 1e6; self.num_objectives()], 1e12);
+                    self.failures
+                        .lock()
+                        .expect("failure log poisoned")
+                        .push(failure);
+                    eval
+                }
             })
             .collect()
     }
@@ -679,6 +836,9 @@ pub enum DseError {
     /// The input system failed the mandatory `mcmap-lint` pre-flight with
     /// error-level diagnostics.
     Preflight(Box<mcmap_lint::LintReport>),
+    /// A checkpoint/resume operation failed: unreadable, corrupt beyond
+    /// the `.bak` fallback, or written for a different configuration.
+    Resilience(ResilienceError),
 }
 
 impl DseError {
@@ -686,6 +846,15 @@ impl DseError {
     pub fn lint_report(&self) -> Option<&mcmap_lint::LintReport> {
         match self {
             DseError::Preflight(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The underlying resilience error, when checkpoint/resume failed.
+    pub fn resilience(&self) -> Option<&ResilienceError> {
+        match self {
+            DseError::Resilience(err) => Some(err),
+            _ => None,
         }
     }
 }
@@ -698,11 +867,19 @@ impl fmt::Display for DseError {
                 "input system rejected by lint pre-flight ({})",
                 report.error_codes().join(", ")
             ),
+            DseError::Resilience(err) => write!(f, "checkpoint/resume failed: {err}"),
         }
     }
 }
 
-impl std::error::Error for DseError {}
+impl std::error::Error for DseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DseError::Preflight(_) => None,
+            DseError::Resilience(err) => Some(err),
+        }
+    }
+}
 
 /// Outcome of one exploration: the GA result, reports for the final Pareto
 /// front, and the audit counters.
@@ -722,6 +899,17 @@ pub struct DseOutcome {
     /// [`Recorder::events`](mcmap_obs::Recorder::events) or render a
     /// profile with [`mcmap_obs::TraceProfile`].
     pub telemetry: Recorder,
+    /// Whether the run was stopped before its generation budget was spent
+    /// (cooperative stop flag, `stop_after_generation`, or a checkpoint
+    /// write failure). The front/audit reflect the last completed
+    /// generation; resuming from the checkpoint continues bit-identically.
+    pub interrupted: bool,
+    /// Candidates degraded to infeasible placeholders after their
+    /// evaluation panicked through every retry.
+    pub failures: Vec<EvalFailure>,
+    /// When this run resumed from a checkpoint, the generation it was
+    /// written at.
+    pub resumed_from: Option<usize>,
 }
 
 impl DseOutcome {
@@ -767,6 +955,26 @@ pub fn explore_checked(
     cfg: DseConfig,
 ) -> Result<DseOutcome, DseError> {
     let obs = cfg.obs.clone();
+    // Resume bookkeeping happens before any event is emitted: the resumed
+    // process re-emits the deterministic trace preamble below (rebuilding
+    // span parentage), then advances its sequence counter past the
+    // checkpoint's high-water mark so part-2 events continue the stream.
+    let resumed = match &cfg.resilience.resume {
+        Some(path) => {
+            let (ckpt, from_backup) =
+                read_checkpoint_with_fallback(path).map_err(DseError::Resilience)?;
+            let fingerprint = run_fingerprint(apps, arch, &cfg);
+            if ckpt.fingerprint != fingerprint {
+                return Err(DseError::Resilience(ResilienceError::ConfigMismatch {
+                    path: path.clone(),
+                    expected: ckpt.fingerprint,
+                    actual: fingerprint,
+                }));
+            }
+            Some((ckpt, from_backup))
+        }
+        None => None,
+    };
     let report = mcmap_lint::Linter::new(apps, arch)
         .with_limits(cfg.max_reexec, cfg.max_replicas)
         .lint();
@@ -809,8 +1017,41 @@ pub fn explore_checked(
             ("audit", Value::from(cfg.audit)),
         ],
     );
+    let fingerprint = run_fingerprint(apps, arch, &cfg);
+    let resilience = cfg.resilience.clone();
     let problem = MappingProblem::new(apps, arch, cfg);
-    let result = optimize(&problem, &ga_cfg);
+    let mut resume_state = None;
+    let mut resumed_from = None;
+    if let Some((ckpt, from_backup)) = resumed {
+        problem.restore_audit(&ckpt.audit);
+        problem.set_next_batch(ckpt.generation as u64 + 1);
+        if from_backup && obs.enabled() {
+            // Suppressed from a resumed trace file (its seq sits below the
+            // high-water mark) but visible in the in-memory ring.
+            obs.mark(
+                "resilience.recover",
+                &[("generation", Value::from(ckpt.generation))],
+            );
+        }
+        obs.advance_seq_to(ckpt.trace_seq);
+        resumed_from = Some(ckpt.generation);
+        resume_state = Some(ckpt.state);
+    }
+    let mut hook = CheckpointHook {
+        problem: &problem,
+        obs: obs.clone(),
+        fingerprint,
+        path: resilience.checkpoint,
+        chaos: resilience.chaos,
+        stop: resilience.stop,
+        stop_after: resilience.stop_after_generation,
+        error: None,
+    };
+    let result = optimize_resumable(&problem, &ga_cfg, resume_state, &mut hook);
+    if let Some(err) = hook.error.take() {
+        obs.flush();
+        return Err(DseError::Resilience(err));
+    }
     let reports: Vec<DesignReport> = result
         .front
         .iter()
@@ -848,9 +1089,74 @@ pub fn explore_checked(
         audit,
         eval_stats: problem.eval_stats(),
         reports,
+        failures: problem.failures(),
+        interrupted: result.interrupted,
         result,
+        resumed_from,
         telemetry: obs,
     })
+}
+
+/// The per-generation resilience hook: checkpoints the driver state at
+/// every generation boundary and honors cooperative stop requests.
+///
+/// The `resilience.checkpoint` mark is emitted (and the trace flushed)
+/// *before* the sequence high-water mark is captured, so the mark itself
+/// is covered by the checkpoint it precedes — a resumed trace contains it
+/// exactly once.
+struct CheckpointHook<'p, 'a> {
+    problem: &'p MappingProblem<'a>,
+    obs: Recorder,
+    fingerprint: u64,
+    path: Option<PathBuf>,
+    chaos: Option<FaultPlan>,
+    stop: Option<&'static AtomicBool>,
+    stop_after: Option<usize>,
+    error: Option<ResilienceError>,
+}
+
+impl GenerationObserver<Genome> for CheckpointHook<'_, '_> {
+    fn after_generation(&mut self, snap: &GenerationSnapshot<'_, Genome>) -> LoopControl {
+        if let Some(path) = &self.path {
+            if self.obs.enabled() {
+                self.obs.mark(
+                    "resilience.checkpoint",
+                    &[("generation", Value::from(snap.generation))],
+                );
+            }
+            self.obs.sync();
+            let ckpt = DseCheckpoint {
+                fingerprint: self.fingerprint,
+                generation: snap.generation,
+                trace_seq: self.obs.emitted(),
+                state: snap.to_state(),
+                audit: self.problem.audit(),
+            };
+            if let Err(err) = write_checkpoint(path, &ckpt) {
+                // Losing durability silently would defeat the point of
+                // checkpointing; stop at this (consistent) boundary and
+                // surface the typed error instead.
+                self.error = Some(err);
+                return LoopControl::Stop;
+            }
+            if let Some(plan) = &self.chaos {
+                if plan.truncate_checkpoint(snap.generation) {
+                    // Simulate a torn write of the primary (the previous
+                    // good checkpoint survived the rotation as `.bak`).
+                    if let Ok(bytes) = std::fs::read(path) {
+                        let _ = std::fs::write(path, &bytes[..bytes.len() / 2]);
+                    }
+                }
+            }
+        }
+        let stop = self.stop.is_some_and(|s| s.load(Ordering::SeqCst))
+            || self.stop_after.is_some_and(|k| snap.generation >= k);
+        if stop {
+            LoopControl::Stop
+        } else {
+            LoopControl::Continue
+        }
+    }
 }
 
 #[cfg(test)]

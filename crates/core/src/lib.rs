@@ -62,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 mod analysis;
+mod checkpoint;
 mod dse;
 mod genome;
 mod objective;
@@ -72,9 +73,12 @@ pub use analysis::{
     adhoc_analysis, analyze, analyze_naive, naive_analysis, normal_state_bounds, proposed_analysis,
     McAnalysis,
 };
+pub use checkpoint::{
+    read_checkpoint, read_checkpoint_with_fallback, write_checkpoint, DseCheckpoint,
+};
 pub use dse::{
     explore, explore_checked, AuditSnapshot, DesignReport, DseConfig, DseError, DseOutcome,
-    MappingProblem, ObjectiveMode,
+    MappingProblem, ObjectiveMode, ResilienceConfig,
 };
 pub use genome::{GeneHardening, Genome, GenomeSpace, TaskGene};
 pub use mcmap_eval::{EvalCacheConfig, EvalStats};

@@ -1,12 +1,25 @@
 //! The evaluation engine: worker pool + memo cache + instrumentation.
 
 use crate::cache::ShardedCache;
-use crate::pool::parallel_map;
+use crate::pool::{parallel_map, parallel_map_caught};
 use crate::stats::{EvalStats, StatCounters};
 use mcmap_obs::{Recorder, Value};
+use mcmap_resilience::{panic_message, EvalFailure};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
+
+/// Where an evaluation attempt sits inside its batch — handed to the
+/// evaluation closure of [`EvalEngine::evaluate_batch_isolated`] so fault
+/// injection (and any retry-aware logic) can address candidates by stable,
+/// scheduling-independent coordinates without polluting the memo keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalContext {
+    /// The candidate's position in the submitted batch.
+    pub index: usize,
+    /// Which attempt this is (0 = first, bumped once per caught panic).
+    pub attempt: u32,
+}
 
 /// Sizing of the memoization cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +186,135 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
         results
     }
 
+    /// The panic-isolated sibling of [`EvalEngine::evaluate_batch`]: a
+    /// panicking evaluation is caught per candidate, retried up to
+    /// `retries` more times, and — if every attempt fails — degraded into
+    /// a typed [`EvalFailure`] instead of unwinding the run.
+    ///
+    /// The evaluation closure additionally receives an [`EvalContext`]
+    /// naming the candidate's batch position and attempt number; memo keys
+    /// are still content-only, so retried successes are cached normally
+    /// and failed attempts are never cached. In the fault-free case the
+    /// emitted `eval.batch` span is identical to the non-isolated path;
+    /// each degraded candidate additionally emits an `eval.failure`
+    /// counter (in batch order, on the calling thread, so traces stay
+    /// deterministic for any thread count).
+    pub fn evaluate_batch_isolated<G, F>(
+        &self,
+        genomes: &[G],
+        threads: usize,
+        retries: u32,
+        eval: F,
+    ) -> Vec<Result<V, EvalFailure>>
+    where
+        G: Hash + Sync,
+        F: Fn(&G, EvalContext) -> V + Sync,
+    {
+        self.evaluate_batch_isolated_with(genomes, threads, retries, |_| {}, eval)
+    }
+
+    /// [`evaluate_batch_isolated`](Self::evaluate_batch_isolated) with an
+    /// explicit fault-injection hook.
+    ///
+    /// `inject` runs inside the panic-isolation boundary but **before**
+    /// the memo-cache lookup, once per attempt. This placement matters for
+    /// deterministic chaos testing: a hook inside the evaluation closure
+    /// would be skipped on cache hits, so whether an injected fault fires
+    /// could depend on cache capacity and on which worker first filled a
+    /// shared key — the hook here fires at exactly its addressed
+    /// `(index, attempt)` coordinates regardless.
+    pub fn evaluate_batch_isolated_with<G, F, I>(
+        &self,
+        genomes: &[G],
+        threads: usize,
+        retries: u32,
+        inject: I,
+        eval: F,
+    ) -> Vec<Result<V, EvalFailure>>
+    where
+        G: Hash + Sync,
+        F: Fn(&G, EvalContext) -> V + Sync,
+        I: Fn(EvalContext) + Sync,
+    {
+        let t0 = Instant::now();
+        let before = self.obs.enabled().then(|| self.stats());
+        let mut span = self
+            .obs
+            .span("eval.batch", &[("genomes", Value::from(genomes.len()))]);
+        span.nondet("threads", threads);
+
+        let mut slots: Vec<Option<Result<V, EvalFailure>>> = std::iter::repeat_with(|| None)
+            .take(genomes.len())
+            .collect();
+        let mut pending: Vec<usize> = (0..genomes.len()).collect();
+        let mut attempt: u32 = 0;
+        while !pending.is_empty() {
+            let wave: Vec<(usize, &G)> = pending.iter().map(|&i| (i, &genomes[i])).collect();
+            let outcomes = parallel_map_caught(&wave, threads, |&(index, g)| {
+                let ctx = EvalContext { index, attempt };
+                inject(ctx);
+                self.evaluate_one(g, |g| eval(g, ctx))
+            });
+            let mut still = Vec::new();
+            for (&(index, g), outcome) in wave.iter().zip(outcomes) {
+                match outcome {
+                    Ok(v) => slots[index] = Some(Ok(v)),
+                    Err(payload) => {
+                        self.counters.add(&self.counters.panics, 1);
+                        if attempt < retries {
+                            still.push(index);
+                        } else {
+                            self.counters.add(&self.counters.degraded, 1);
+                            slots[index] = Some(Err(EvalFailure {
+                                candidate: (self.key_of(g) >> 64) as u64,
+                                index,
+                                attempts: attempt + 1,
+                                message: panic_message(payload.as_ref()),
+                            }));
+                        }
+                    }
+                }
+            }
+            pending = still;
+            attempt += 1;
+        }
+        self.counters.add(&self.counters.batches, 1);
+        self.counters
+            .add(&self.counters.genomes, genomes.len() as u64);
+        self.counters
+            .add(&self.counters.wall_nanos, t0.elapsed().as_nanos() as u64);
+
+        let results: Vec<Result<V, EvalFailure>> = slots
+            .into_iter()
+            .map(|s| s.expect("every index resolved"))
+            .collect();
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        for failure in results.iter().filter_map(|r| r.as_ref().err()) {
+            self.obs.counter(
+                "eval.failure",
+                &[
+                    ("candidate", Value::from(failure.candidate)),
+                    ("index", Value::from(failure.index)),
+                    ("attempts", Value::from(failure.attempts)),
+                ],
+            );
+        }
+        if failures > 0 {
+            span.field("failures", failures);
+        }
+        if let Some(before) = before {
+            let after = self.stats();
+            span.nondet("cache_hits", after.cache_hits - before.cache_hits);
+            span.nondet("cache_misses", after.cache_misses - before.cache_misses);
+            span.nondet("evictions", after.evictions - before.evictions);
+            span.nondet("lookup_ns", after.lookup_nanos - before.lookup_nanos);
+            span.nondet("eval_ns", after.eval_nanos - before.eval_nanos);
+            span.nondet("insert_ns", after.insert_nanos - before.insert_nanos);
+        }
+        span.end();
+        results
+    }
+
     /// Snapshot of the instrumentation counters.
     pub fn stats(&self) -> EvalStats {
         let entries = self.cache.as_ref().map_or(0, ShardedCache::len) as u64;
@@ -271,6 +413,82 @@ mod tests {
         assert_eq!(s.cache_misses, 1000);
         assert!(s.evictions > 900, "tiny cache must churn: {s:?}");
         assert!(s.cache_entries <= 16, "entries bounded near capacity");
+    }
+
+    #[test]
+    fn isolated_batch_degrades_poisoned_candidates_without_unwinding() {
+        let genomes: Vec<u64> = (0..30).collect();
+        for threads in [1, 4] {
+            let e = engine(256);
+            let out = e.evaluate_batch_isolated(&genomes, threads, 0, |g, _ctx| {
+                assert!(g % 9 != 4, "poison {g}");
+                g + 1
+            });
+            for (g, r) in genomes.iter().zip(&out) {
+                if g % 9 == 4 {
+                    let f = r.as_ref().expect_err("poisoned");
+                    assert_eq!(f.index, *g as usize);
+                    assert_eq!(f.attempts, 1);
+                    assert!(f.message.contains(&format!("poison {g}")));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), g + 1);
+                }
+            }
+            let s = e.stats();
+            assert_eq!(s.degraded, 3, "genomes 4, 13, 22 within 0..30");
+            assert_eq!(s.panics, 3);
+            assert_eq!(s.genomes, 30);
+        }
+    }
+
+    #[test]
+    fn isolated_batch_retries_rescue_transient_panics() {
+        use std::sync::atomic::AtomicUsize;
+        let first_attempts = AtomicUsize::new(0);
+        let e = engine(256);
+        let genomes: Vec<u64> = (0..10).collect();
+        let out = e.evaluate_batch_isolated(&genomes, 2, 1, |g, ctx| {
+            if ctx.attempt == 0 && g % 3 == 0 {
+                first_attempts.fetch_add(1, Ordering::Relaxed);
+                panic!("transient");
+            }
+            g * 2
+        });
+        let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, genomes.iter().map(|g| g * 2).collect::<Vec<_>>());
+        assert_eq!(first_attempts.load(Ordering::Relaxed), 4);
+        let s = e.stats();
+        assert_eq!(s.panics, 4, "caught on first attempt");
+        assert_eq!(s.degraded, 0, "all rescued by the retry");
+    }
+
+    #[test]
+    fn failed_attempts_are_never_cached() {
+        let calls = AtomicUsize::new(0);
+        let e = engine(256);
+        let poisoned = [7u64];
+        let out = e.evaluate_batch_isolated(&poisoned, 1, 2, |_g, _ctx| -> u64 {
+            calls.fetch_add(1, Ordering::Relaxed);
+            panic!("always")
+        });
+        assert!(out[0].is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "1 + 2 retries");
+        // The same genome evaluated cleanly afterwards is a miss, not a
+        // stale hit of a poisoned entry.
+        let ok = e.evaluate_batch_isolated(&poisoned, 1, 0, |g, _ctx| g + 1);
+        assert_eq!(*ok[0].as_ref().unwrap(), 8);
+    }
+
+    #[test]
+    fn isolated_batch_matches_plain_batch_when_fault_free() {
+        let genomes: Vec<u64> = (0..100).map(|i| i % 23).collect();
+        let plain = engine(128).evaluate_batch(&genomes, 4, |g| g * 7);
+        let isolated: Vec<u64> = engine(128)
+            .evaluate_batch_isolated(&genomes, 4, 1, |g, _ctx| g * 7)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(plain, isolated);
     }
 
     #[test]

@@ -57,6 +57,6 @@ mod pool;
 mod stats;
 
 pub use cache::ShardedCache;
-pub use engine::{EvalCacheConfig, EvalEngine};
-pub use pool::parallel_map;
+pub use engine::{EvalCacheConfig, EvalContext, EvalEngine};
+pub use pool::{parallel_map, parallel_map_caught};
 pub use stats::EvalStats;

@@ -73,6 +73,84 @@ where
         .collect()
 }
 
+/// The fault-isolated sibling of [`parallel_map`]: a panic in `f` is
+/// caught *per item* instead of unwinding the whole pool, so one poisoned
+/// candidate cannot take down a long batch.
+///
+/// Returns, in input order, `Ok(value)` for items that evaluated and
+/// `Err(payload)` — the raw panic payload — for items whose `f` panicked.
+/// Worker threads survive their items' panics and keep claiming work.
+///
+/// # Examples
+///
+/// ```
+/// let out = mcmap_eval::parallel_map_caught(&[1, 2, 3], 2, |x| {
+///     assert!(*x != 2, "poisoned");
+///     x * 10
+/// });
+/// assert_eq!(out[0].as_ref().unwrap(), &10);
+/// assert!(out[1].is_err());
+/// assert_eq!(out[2].as_ref().unwrap(), &30);
+/// ```
+pub fn parallel_map_caught<T, V, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<Result<V, Box<dyn std::any::Any + Send>>>
+where
+    T: Sync,
+    V: Send,
+    F: Fn(&T) -> V + Sync,
+{
+    // AssertUnwindSafe: the worst a caught panic can leave behind is a
+    // torn memo-cache insert, and the engine never caches failed items —
+    // callers observe either a completed value or an Err, nothing partial.
+    let guarded = |item: &T| std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
+
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return items.iter().map(guarded).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, Result<V, _>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, guarded(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(bucket) => bucket,
+                // Unreachable for panics in `f` (they are caught per
+                // item); only a defect in the pool itself lands here.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<Result<V, _>>> =
+        std::iter::repeat_with(|| None).take(items.len()).collect();
+    for (i, v) in buckets.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
 /// Resolves the requested thread count: 0 = available parallelism, and
 /// never more threads than items.
 pub(crate) fn effective_threads(requested: usize, items: usize) -> usize {
@@ -115,6 +193,27 @@ mod tests {
         assert_eq!(effective_threads(16, 3), 3);
         assert_eq!(effective_threads(2, 100), 2);
         assert_eq!(effective_threads(1, 0), 1);
+    }
+
+    #[test]
+    fn caught_variant_isolates_panics_per_item() {
+        let items: Vec<u32> = (0..40).collect();
+        for threads in [1, 4] {
+            let out = parallel_map_caught(&items, threads, |x| {
+                assert!(x % 7 != 3, "poisoned item {x}");
+                x * 2
+            });
+            assert_eq!(out.len(), 40);
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let payload = r.as_ref().expect_err("poisoned items fail");
+                    let msg = payload.downcast_ref::<String>().unwrap();
+                    assert!(msg.contains(&format!("poisoned item {i}")));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 * 2);
+                }
+            }
+        }
     }
 
     #[test]

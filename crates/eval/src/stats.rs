@@ -10,6 +10,8 @@ pub(crate) struct StatCounters {
     pub hits: AtomicU64,
     pub misses: AtomicU64,
     pub evictions: AtomicU64,
+    pub panics: AtomicU64,
+    pub degraded: AtomicU64,
     pub lookup_nanos: AtomicU64,
     pub eval_nanos: AtomicU64,
     pub insert_nanos: AtomicU64,
@@ -28,6 +30,8 @@ impl StatCounters {
             &self.hits,
             &self.misses,
             &self.evictions,
+            &self.panics,
+            &self.degraded,
             &self.lookup_nanos,
             &self.eval_nanos,
             &self.insert_nanos,
@@ -44,6 +48,8 @@ impl StatCounters {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
             cache_entries,
             lookup_nanos: self.lookup_nanos.load(Ordering::Relaxed),
             eval_nanos: self.eval_nanos.load(Ordering::Relaxed),
@@ -73,6 +79,12 @@ pub struct EvalStats {
     pub cache_misses: u64,
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Worker panics caught by the isolated evaluation path (one per
+    /// failed attempt, including attempts later rescued by a retry).
+    pub panics: u64,
+    /// Candidates that exhausted their retry budget and were degraded to
+    /// a typed failure.
+    pub degraded: u64,
     /// Entries resident in the cache at snapshot time.
     pub cache_entries: u64,
     /// Nanoseconds spent hashing keys and probing the cache.
@@ -107,7 +119,7 @@ impl EvalStats {
 
     /// Multi-line human-readable report.
     pub fn render_text(&self) -> String {
-        format!(
+        let mut out = format!(
             "eval-stats: {} genomes in {} batches ({:.1} genomes/s)\n\
              eval-stats: cache {} hits / {} misses ({:.2} % hit rate), \
              {} evictions, {} resident\n\
@@ -124,14 +136,22 @@ impl EvalStats {
             self.eval_nanos,
             self.insert_nanos,
             self.wall_nanos,
-        )
+        );
+        if self.panics > 0 || self.degraded > 0 {
+            out.push_str(&format!(
+                "eval-stats: resilience: {} panics caught, {} candidates degraded\n",
+                self.panics, self.degraded,
+            ));
+        }
+        out
     }
 
     /// Single-object JSON report (stable keys, for `BENCH_*.json` tooling).
     pub fn to_json(&self) -> String {
         format!(
             "{{\"batches\":{},\"genomes\":{},\"cache_hits\":{},\"cache_misses\":{},\
-             \"hit_rate\":{:.6},\"evictions\":{},\"cache_entries\":{},\
+             \"hit_rate\":{:.6},\"evictions\":{},\"panics\":{},\"degraded\":{},\
+             \"cache_entries\":{},\
              \"lookup_nanos\":{},\"eval_nanos\":{},\"insert_nanos\":{},\
              \"wall_nanos\":{},\"genomes_per_sec\":{:.3}}}",
             self.batches,
@@ -140,6 +160,8 @@ impl EvalStats {
             self.cache_misses,
             self.hit_rate(),
             self.evictions,
+            self.panics,
+            self.degraded,
             self.cache_entries,
             self.lookup_nanos,
             self.eval_nanos,
@@ -169,6 +191,8 @@ mod tests {
             cache_hits: 4,
             cache_misses: 6,
             evictions: 1,
+            panics: 3,
+            degraded: 1,
             cache_entries: 5,
             lookup_nanos: 100,
             eval_nanos: 900,
@@ -178,10 +202,19 @@ mod tests {
         let text = s.render_text();
         assert!(text.contains("4 hits / 6 misses"));
         assert!(text.contains("40.00 % hit rate"));
+        assert!(text.contains("3 panics caught, 1 candidates degraded"));
         let json = s.to_json();
         assert!(json.contains("\"cache_hits\":4"));
         assert!(json.contains("\"hit_rate\":0.400000"));
+        assert!(json.contains("\"panics\":3"));
+        assert!(json.contains("\"degraded\":1"));
         assert!(json.contains("\"genomes_per_sec\":10.000"));
+
+        let clean = EvalStats::default();
+        assert!(
+            !clean.render_text().contains("resilience"),
+            "fault-free runs keep the original report shape"
+        );
     }
 
     #[test]

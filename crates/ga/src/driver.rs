@@ -87,8 +87,108 @@ pub struct GaResult<G> {
     pub archive: Vec<Individual<G>>,
     /// Per-generation statistics, including the initial population.
     pub history: Vec<GenerationStats>,
-    /// Total number of fitness evaluations performed.
+    /// Total number of fitness evaluations performed (this run only — a
+    /// resumed run counts from its [`DriverState`] baseline).
     pub evaluations: usize,
+    /// Whether an observer stopped the run before its generation budget
+    /// was spent. The front/archive are those of the last completed
+    /// generation; resuming from the final [`DriverState`] continues the
+    /// run bit-identically.
+    pub interrupted: bool,
+}
+
+/// The complete, self-contained state of the generational loop at a
+/// generation boundary. Restoring it with [`optimize_resumable`] continues
+/// the run *bit-identically* to one that was never stopped: the raw RNG
+/// words resume the exact variation stream, and the telemetry carry-overs
+/// (hypervolume reference, previous archive evaluations) keep the emitted
+/// per-generation fields byte-stable across the boundary.
+#[derive(Debug, Clone)]
+pub struct DriverState<G> {
+    /// Index of the last completed generation (0 = initial population).
+    pub generation: usize,
+    /// Raw xoshiro256++ words of the variation RNG, captured *after* this
+    /// generation's variation.
+    pub rng_state: [u64; 4],
+    /// Fitness evaluations performed so far.
+    pub evaluations: usize,
+    /// The environmental-selection archive after this generation.
+    pub archive: Vec<Individual<G>>,
+    /// Per-generation statistics so far, including generation 0.
+    pub history: Vec<GenerationStats>,
+    /// The hypervolume reference point, once fixed (telemetry carry-over).
+    pub hv_reference: Option<(f64, f64)>,
+    /// The previous archive's evaluations for churn tracking (telemetry
+    /// carry-over; empty when the run is unobserved).
+    pub prev_evals: Vec<Evaluation>,
+}
+
+/// A borrowed view of the driver state at a generation boundary, handed to
+/// the [`GenerationObserver`] after every completed generation. Borrowing
+/// keeps the hook zero-cost for unobserved runs; an observer that wants to
+/// persist the state clones it via [`GenerationSnapshot::to_state`].
+#[derive(Debug)]
+pub struct GenerationSnapshot<'a, G> {
+    /// Index of the generation that just completed.
+    pub generation: usize,
+    /// Fitness evaluations performed so far.
+    pub evaluations: usize,
+    /// The archive after this generation's environmental selection.
+    pub archive: &'a [Individual<G>],
+    /// Per-generation statistics so far.
+    pub history: &'a [GenerationStats],
+    /// Raw RNG words as of this boundary.
+    pub rng_state: [u64; 4],
+    /// Telemetry carry-over: the fixed hypervolume reference, if any.
+    pub hv_reference: Option<(f64, f64)>,
+    /// Telemetry carry-over: this archive's evaluations (empty when
+    /// unobserved).
+    pub prev_evals: &'a [Evaluation],
+}
+
+impl<G: Clone> GenerationSnapshot<'_, G> {
+    /// Clones the borrowed view into an owned, persistable [`DriverState`].
+    pub fn to_state(&self) -> DriverState<G> {
+        DriverState {
+            generation: self.generation,
+            rng_state: self.rng_state,
+            evaluations: self.evaluations,
+            archive: self.archive.to_vec(),
+            history: self.history.to_vec(),
+            hv_reference: self.hv_reference,
+            prev_evals: self.prev_evals.to_vec(),
+        }
+    }
+}
+
+/// What the loop should do after an observer callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopControl {
+    /// Keep iterating.
+    #[default]
+    Continue,
+    /// Stop cleanly at this generation boundary; the result is marked
+    /// [`GaResult::interrupted`] if the generation budget was not spent.
+    Stop,
+}
+
+/// A hook fired at every generation boundary (including generation 0, the
+/// initial population). Checkpointing, progress reporting, and cooperative
+/// cancellation all hang off this trait.
+pub trait GenerationObserver<G> {
+    /// Called after each completed generation; returning
+    /// [`LoopControl::Stop`] ends the run at this boundary.
+    fn after_generation(&mut self, snapshot: &GenerationSnapshot<'_, G>) -> LoopControl;
+}
+
+/// The do-nothing observer used by [`optimize`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unobserved;
+
+impl<G> GenerationObserver<G> for Unobserved {
+    fn after_generation(&mut self, _snapshot: &GenerationSnapshot<'_, G>) -> LoopControl {
+        LoopControl::Continue
+    }
 }
 
 /// Runs the generational loop: random initial population, binary-tournament
@@ -126,64 +226,128 @@ pub struct GaResult<G> {
 /// assert_eq!(result.front[0].genotype, 3);
 /// ```
 pub fn optimize<P: Problem>(problem: &P, cfg: &GaConfig) -> GaResult<P::Genotype> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut evaluations = 0usize;
+    optimize_resumable(problem, cfg, None, &mut Unobserved)
+}
+
+/// The resumable generational loop behind [`optimize`].
+///
+/// With `resume = Some(state)` the run skips initialization and continues
+/// from the captured generation boundary; with an observer, the loop hands
+/// out a [`GenerationSnapshot`] after every generation (including
+/// generation 0) and honors [`LoopControl::Stop`]. The invariant the
+/// checkpoint/restore machinery is built on: for any `k`, running to
+/// generation `k`, persisting the snapshot, and resuming from it yields a
+/// final archive, front, history, and telemetry stream bit-identical to
+/// the uninterrupted run.
+pub fn optimize_resumable<P: Problem>(
+    problem: &P,
+    cfg: &GaConfig,
+    resume: Option<DriverState<P::Genotype>>,
+    observer: &mut dyn GenerationObserver<P::Genotype>,
+) -> GaResult<P::Genotype> {
     let mut telemetry = GenTelemetry::new(&cfg.obs);
+    let mut stopped_at: Option<usize> = None;
 
-    // Initial population.
-    let span = cfg
-        .obs
-        .span("ga.generation", &[("generation", Value::from(0u64))]);
-    let genotypes: Vec<P::Genotype> = (0..cfg.population.max(2))
-        .map(|_| problem.random(&mut rng))
-        .collect();
-    let evals = problem.evaluate_batch(&genotypes, cfg.threads);
-    evaluations += evals.len();
-    let batch_size = evals.len();
-    let pop: Vec<Individual<P::Genotype>> = genotypes
-        .into_iter()
-        .zip(evals)
-        .map(|(g, e)| Individual::new(g, e))
-        .collect();
+    let (mut rng, mut archive, mut history, mut evaluations, start_gen) = match resume {
+        Some(st) => {
+            telemetry.reference = st.hv_reference;
+            telemetry.prev_evals = st.prev_evals;
+            (
+                StdRng::from_state(st.rng_state),
+                st.archive,
+                st.history,
+                st.evaluations,
+                st.generation + 1,
+            )
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let mut evaluations = 0usize;
 
-    let mut archive = select(&pop, cfg);
-    let mut history = vec![stats(0, &archive)];
-    telemetry.close_generation(span, history.last().unwrap(), batch_size, &archive);
-
-    for gen in 1..=cfg.generations {
-        let span = cfg
-            .obs
-            .span("ga.generation", &[("generation", Value::from(gen))]);
-        // Variation: binary tournaments over the archive.
-        let offspring_genotypes: Vec<P::Genotype> = (0..cfg.population)
-            .map(|_| {
-                let a = tournament(&archive, &mut rng);
-                let b = tournament(&archive, &mut rng);
-                let mut child = if rng.gen_bool(cfg.crossover_rate) {
-                    problem.crossover(&archive[a].genotype, &archive[b].genotype, &mut rng)
-                } else {
-                    archive[a].genotype.clone()
-                };
-                if rng.gen_bool(cfg.mutation_rate) {
-                    problem.mutate(&mut child, &mut rng);
-                }
-                child
-            })
-            .collect();
-        let evals = problem.evaluate_batch(&offspring_genotypes, cfg.threads);
-        evaluations += evals.len();
-        let batch_size = evals.len();
-
-        let mut pool = archive;
-        pool.extend(
-            offspring_genotypes
+            // Initial population.
+            let span = cfg
+                .obs
+                .span("ga.generation", &[("generation", Value::from(0u64))]);
+            let genotypes: Vec<P::Genotype> = (0..cfg.population.max(2))
+                .map(|_| problem.random(&mut rng))
+                .collect();
+            let evals = problem.evaluate_batch(&genotypes, cfg.threads);
+            evaluations += evals.len();
+            let batch_size = evals.len();
+            let pop: Vec<Individual<P::Genotype>> = genotypes
                 .into_iter()
                 .zip(evals)
-                .map(|(g, e)| Individual::new(g, e)),
-        );
-        archive = select(&pool, cfg);
-        history.push(stats(gen, &archive));
-        telemetry.close_generation(span, history.last().unwrap(), batch_size, &archive);
+                .map(|(g, e)| Individual::new(g, e))
+                .collect();
+
+            let archive = select(&pop, cfg);
+            let history = vec![stats(0, &archive)];
+            telemetry.close_generation(span, history.last().unwrap(), batch_size, &archive);
+            if observe(
+                observer,
+                0,
+                &rng,
+                &archive,
+                &history,
+                evaluations,
+                &telemetry,
+            ) == LoopControl::Stop
+            {
+                stopped_at = Some(0);
+            }
+            (rng, archive, history, evaluations, 1)
+        }
+    };
+
+    if stopped_at.is_none() {
+        for gen in start_gen..=cfg.generations {
+            let span = cfg
+                .obs
+                .span("ga.generation", &[("generation", Value::from(gen))]);
+            // Variation: binary tournaments over the archive.
+            let offspring_genotypes: Vec<P::Genotype> = (0..cfg.population)
+                .map(|_| {
+                    let a = tournament(&archive, &mut rng);
+                    let b = tournament(&archive, &mut rng);
+                    let mut child = if rng.gen_bool(cfg.crossover_rate) {
+                        problem.crossover(&archive[a].genotype, &archive[b].genotype, &mut rng)
+                    } else {
+                        archive[a].genotype.clone()
+                    };
+                    if rng.gen_bool(cfg.mutation_rate) {
+                        problem.mutate(&mut child, &mut rng);
+                    }
+                    child
+                })
+                .collect();
+            let evals = problem.evaluate_batch(&offspring_genotypes, cfg.threads);
+            evaluations += evals.len();
+            let batch_size = evals.len();
+
+            let mut pool = archive;
+            pool.extend(
+                offspring_genotypes
+                    .into_iter()
+                    .zip(evals)
+                    .map(|(g, e)| Individual::new(g, e)),
+            );
+            archive = select(&pool, cfg);
+            history.push(stats(gen, &archive));
+            telemetry.close_generation(span, history.last().unwrap(), batch_size, &archive);
+            if observe(
+                observer,
+                gen,
+                &rng,
+                &archive,
+                &history,
+                evaluations,
+                &telemetry,
+            ) == LoopControl::Stop
+            {
+                stopped_at = Some(gen);
+                break;
+            }
+        }
     }
 
     let front = pareto_front(&archive);
@@ -192,7 +356,30 @@ pub fn optimize<P: Problem>(problem: &P, cfg: &GaConfig) -> GaResult<P::Genotype
         archive,
         history,
         evaluations,
+        interrupted: stopped_at.is_some_and(|g| g < cfg.generations),
     }
+}
+
+/// Assembles the boundary snapshot and fires the observer.
+#[allow(clippy::too_many_arguments)]
+fn observe<G>(
+    observer: &mut dyn GenerationObserver<G>,
+    generation: usize,
+    rng: &StdRng,
+    archive: &[Individual<G>],
+    history: &[GenerationStats],
+    evaluations: usize,
+    telemetry: &GenTelemetry,
+) -> LoopControl {
+    observer.after_generation(&GenerationSnapshot {
+        generation,
+        evaluations,
+        archive,
+        history,
+        rng_state: rng.state(),
+        hv_reference: telemetry.reference,
+        prev_evals: &telemetry.prev_evals,
+    })
 }
 
 /// Per-generation telemetry state: the fixed hypervolume reference point
@@ -519,6 +706,94 @@ mod tests {
         );
         assert_eq!(p.0.load(Ordering::Relaxed), r.evaluations);
         assert_eq!(r.evaluations, 5 + 5 * 3);
+    }
+
+    /// Captures every boundary state and stops after a chosen generation.
+    struct StopAt {
+        stop_after: usize,
+        states: Vec<DriverState<u8>>,
+    }
+    impl GenerationObserver<u8> for StopAt {
+        fn after_generation(&mut self, snap: &GenerationSnapshot<'_, u8>) -> LoopControl {
+            self.states.push(snap.to_state());
+            if snap.generation >= self.stop_after {
+                LoopControl::Stop
+            } else {
+                LoopControl::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn observer_fires_at_every_boundary_including_gen_zero() {
+        let cfg = GaConfig {
+            population: 8,
+            generations: 5,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut obs = StopAt {
+            stop_after: usize::MAX,
+            states: Vec::new(),
+        };
+        let r = optimize_resumable(&Tradeoff, &cfg, None, &mut obs);
+        assert!(!r.interrupted);
+        let gens: Vec<usize> = obs.states.iter().map(|s| s.generation).collect();
+        assert_eq!(gens, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(obs.states.last().unwrap().evaluations, r.evaluations);
+    }
+
+    #[test]
+    fn resume_from_any_boundary_is_bit_identical() {
+        let cfg = GaConfig {
+            population: 12,
+            generations: 9,
+            seed: 4242,
+            ..Default::default()
+        };
+        let reference = optimize(&Tradeoff, &cfg);
+        let ref_xs: Vec<u8> = reference.archive.iter().map(|i| i.genotype).collect();
+
+        for stop_after in [0usize, 1, 4, 8, 9] {
+            let mut first = StopAt {
+                stop_after,
+                states: Vec::new(),
+            };
+            let part1 = optimize_resumable(&Tradeoff, &cfg, None, &mut first);
+            assert_eq!(part1.interrupted, stop_after < cfg.generations);
+            let state = first.states.last().unwrap().clone();
+            assert_eq!(state.generation, stop_after);
+
+            let part2 = optimize_resumable(&Tradeoff, &cfg, Some(state), &mut Unobserved);
+            assert!(!part2.interrupted);
+            let xs: Vec<u8> = part2.archive.iter().map(|i| i.genotype).collect();
+            assert_eq!(xs, ref_xs, "stop at {stop_after} diverged");
+            assert_eq!(part2.history, reference.history);
+            assert_eq!(part2.evaluations, reference.evaluations);
+            for (a, b) in part2.front.iter().zip(&reference.front) {
+                assert_eq!(a.genotype, b.genotype);
+                assert_eq!(a.eval, b.eval);
+            }
+        }
+    }
+
+    #[test]
+    fn interrupted_result_reflects_the_last_completed_generation() {
+        let cfg = GaConfig {
+            population: 10,
+            generations: 20,
+            seed: 5,
+            ..Default::default()
+        };
+        let mut obs = StopAt {
+            stop_after: 3,
+            states: Vec::new(),
+        };
+        let r = optimize_resumable(&Constrained, &cfg, None, &mut obs);
+        assert!(r.interrupted);
+        assert_eq!(r.history.len(), 4, "generations 0..=3");
+        assert_eq!(r.evaluations, 10 + 10 * 3);
+        assert!(!r.front.is_empty());
     }
 
     #[test]

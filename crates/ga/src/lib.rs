@@ -30,7 +30,10 @@ mod nsga2;
 mod problem;
 mod spea2;
 
-pub use driver::{optimize, GaConfig, GaResult, GenerationStats, Selector};
+pub use driver::{
+    optimize, optimize_resumable, DriverState, GaConfig, GaResult, GenerationObserver,
+    GenerationSnapshot, GenerationStats, LoopControl, Selector, Unobserved,
+};
 pub use hypervolume::{front_extent, hypervolume_2d};
 pub use nsga2::{crowding_distance, non_dominated_sort, nsga2_selection};
 pub use problem::{

@@ -310,6 +310,63 @@ pub fn events_from_jsonl(text: &str) -> Result<Vec<Event>, String> {
     Ok(events)
 }
 
+/// What [`events_from_jsonl_lossy`] salvaged from a possibly-truncated
+/// trace file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceRecovery {
+    /// Events recovered from the valid prefix.
+    pub parsed_events: usize,
+    /// Lines dropped (the first malformed line and everything after it).
+    pub dropped_lines: usize,
+    /// Bytes dropped with those lines.
+    pub dropped_bytes: usize,
+    /// Why the first dropped line failed to parse (`None` when nothing
+    /// was dropped).
+    pub error: Option<String>,
+}
+
+impl TraceRecovery {
+    /// Whether anything had to be dropped.
+    pub fn lossy(&self) -> bool {
+        self.dropped_lines > 0
+    }
+}
+
+/// The damage-tolerant sibling of [`events_from_jsonl`]: parses the valid
+/// prefix of a trace and *reports* the rest instead of failing. A trace cut
+/// short by a crash or `kill -9` typically ends in one torn line — this
+/// keeps every complete event before it and accounts for the dropped tail
+/// byte-exactly.
+///
+/// Everything from the first malformed line onward is dropped (not just
+/// skipped): a torn line means the writer died mid-stream, so later bytes
+/// are untrustworthy even if they happen to parse.
+pub fn events_from_jsonl_lossy(text: &str) -> (Vec<Event>, TraceRecovery) {
+    let mut events = Vec::new();
+    let mut consumed = 0usize;
+    let mut recovery = TraceRecovery::default();
+    for (line_no, split) in text.split_inclusive('\n').enumerate() {
+        let line = split.trim();
+        if !line.is_empty() {
+            match parse_json(line).and_then(|j| event_from_json(&j)) {
+                Ok(ev) => events.push(ev),
+                Err(e) => {
+                    recovery.error = Some(format!("line {}: {e}", line_no + 1));
+                    break;
+                }
+            }
+        }
+        consumed += split.len();
+    }
+    recovery.parsed_events = events.len();
+    recovery.dropped_bytes = text.len() - consumed;
+    recovery.dropped_lines = text[consumed..]
+        .split_inclusive('\n')
+        .filter(|l| !l.trim().is_empty())
+        .count();
+    (events, recovery)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,5 +423,49 @@ mod tests {
         let err = events_from_jsonl("{\"seq\":1,\"kind\":\"mark\",\"name\":\"a\"}\nnot json\n")
             .unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn lossy_reader_salvages_the_valid_prefix() {
+        let good = "{\"seq\":1,\"kind\":\"mark\",\"name\":\"a\"}\n\
+                    {\"seq\":2,\"kind\":\"mark\",\"name\":\"b\"}\n";
+        // A torn final line, as left behind by `kill -9` mid-write.
+        let torn = "{\"seq\":3,\"kind\":\"ma";
+        let (events, rec) = events_from_jsonl_lossy(&format!("{good}{torn}"));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].seq, 2);
+        assert!(rec.lossy());
+        assert_eq!(rec.parsed_events, 2);
+        assert_eq!(rec.dropped_lines, 1);
+        assert_eq!(rec.dropped_bytes, torn.len());
+        assert!(rec.error.as_deref().unwrap().starts_with("line 3:"));
+    }
+
+    #[test]
+    fn lossy_reader_drops_everything_after_the_first_bad_line() {
+        let text = "{\"seq\":1,\"kind\":\"mark\",\"name\":\"a\"}\n\
+                    garbage\n\
+                    {\"seq\":2,\"kind\":\"mark\",\"name\":\"b\"}\n";
+        let (events, rec) = events_from_jsonl_lossy(text);
+        assert_eq!(events.len(), 1);
+        assert_eq!(rec.dropped_lines, 2, "the bad line and the orphan after");
+        assert!(rec.dropped_bytes > "garbage\n".len());
+    }
+
+    #[test]
+    fn lossy_reader_is_clean_on_intact_traces() {
+        let text = "{\"seq\":1,\"kind\":\"mark\",\"name\":\"a\"}\n";
+        let (events, rec) = events_from_jsonl_lossy(text);
+        assert_eq!(events.len(), 1);
+        assert!(!rec.lossy());
+        assert_eq!(
+            rec,
+            TraceRecovery {
+                parsed_events: 1,
+                ..TraceRecovery::default()
+            }
+        );
+        let (none, rec) = events_from_jsonl_lossy("");
+        assert!(none.is_empty() && !rec.lossy());
     }
 }

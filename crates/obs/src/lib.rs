@@ -52,7 +52,11 @@ mod report;
 mod sink;
 
 pub use event::{Event, EventKind, Key, Value};
-pub use json::{event_from_json, events_from_jsonl, parse_json, Json};
+pub use json::{
+    event_from_json, events_from_jsonl, events_from_jsonl_lossy, parse_json, Json, TraceRecovery,
+};
 pub use recorder::{Recorder, RecorderBuilder, SpanGuard};
-pub use report::{canonical_trace, canonicalize_jsonl, GenRow, SpanAgg, TraceProfile};
+pub use report::{
+    canonical_trace, canonicalize_jsonl, stitch_traces, GenRow, SpanAgg, TraceProfile,
+};
 pub use sink::{JsonlSink, RingSink, Sink};

@@ -84,6 +84,22 @@ impl RecorderBuilder {
         Ok(self)
     }
 
+    /// Streams events to `path` as JSON Lines in *resume* mode: the file
+    /// is opened for appending and events with `seq <= skip_upto` are
+    /// suppressed. Used when continuing an interrupted run whose salvaged
+    /// trace already holds the first `skip_upto` events — the driver
+    /// re-emits the deterministic preamble (to rebuild span parentage)
+    /// without duplicating lines on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be opened.
+    pub fn jsonl_append(mut self, path: &Path, skip_upto: u64) -> std::io::Result<Self> {
+        self.sinks
+            .push(Box::new(JsonlSink::append(path, skip_upto)?));
+        Ok(self)
+    }
+
     /// Attaches a custom sink.
     #[must_use]
     pub fn sink(mut self, sink: Box<dyn Sink>) -> Self {
@@ -235,11 +251,32 @@ impl Recorder {
             .unwrap_or(0)
     }
 
+    /// Fast-forwards the sequence counter so the next event is numbered
+    /// `seq + 1` (no-op if the counter is already past `seq`). Resume uses
+    /// this after re-emitting the trace preamble: subsequent events
+    /// continue the interrupted run's gapless numbering exactly.
+    pub fn advance_seq_to(&self, seq: u64) {
+        if let Some(inner) = &self.inner {
+            inner.seq.fetch_max(seq, Ordering::Relaxed);
+        }
+    }
+
     /// Flushes every sink (JSONL writers in particular).
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
             for sink in &inner.sinks {
                 sink.flush();
+            }
+        }
+    }
+
+    /// Flushes every sink durably (fsync for file-backed sinks). Used at
+    /// checkpoint boundaries, where the trace prefix must survive a crash
+    /// immediately after the checkpoint is written.
+    pub fn sync(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.sync();
             }
         }
     }

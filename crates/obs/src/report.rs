@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use crate::event::{Event, EventKind, Key, Value};
-use crate::json::events_from_jsonl;
+use crate::json::{events_from_jsonl, events_from_jsonl_lossy, TraceRecovery};
 
 /// Canonical rendering of a trace: one [`Event::canonical`] line per event,
 /// sequence order, wall-clock and other non-deterministic fields stripped.
@@ -28,6 +28,18 @@ pub fn canonical_trace(events: &[Event]) -> String {
 /// Propagates the parse error of the first malformed line.
 pub fn canonicalize_jsonl(text: &str) -> Result<String, String> {
     Ok(canonical_trace(&events_from_jsonl(text)?))
+}
+
+/// Merges trace fragments from an interrupted-then-resumed run into one
+/// seq-ordered event stream. Events sharing a sequence number (the
+/// deterministic preamble a resumed run re-emits) are deduplicated — by
+/// the determinism contract their content is identical, so the first
+/// occurrence wins.
+pub fn stitch_traces(parts: &[Vec<Event>]) -> Vec<Event> {
+    let mut merged: Vec<Event> = parts.iter().flatten().cloned().collect();
+    merged.sort_by_key(|e| e.seq);
+    merged.dedup_by_key(|e| e.seq);
+    merged
 }
 
 /// Aggregate of one span name across a trace.
@@ -172,6 +184,15 @@ impl TraceProfile {
     /// Propagates the parse error of the first malformed line.
     pub fn from_jsonl(text: &str) -> Result<TraceProfile, String> {
         Ok(TraceProfile::from_events(&events_from_jsonl(text)?))
+    }
+
+    /// The damage-tolerant sibling of [`TraceProfile::from_jsonl`]:
+    /// profiles the valid prefix of a truncated trace and reports what was
+    /// dropped alongside, instead of refusing the whole file over one torn
+    /// final line.
+    pub fn from_jsonl_lossy(text: &str) -> (TraceProfile, TraceRecovery) {
+        let (events, recovery) = events_from_jsonl_lossy(text);
+        (TraceProfile::from_events(&events), recovery)
     }
 
     /// Human-readable profile report.

@@ -21,6 +21,14 @@ pub trait Sink: Send + Sync {
     fn record(&self, event: &Arc<Event>);
     /// Flushes buffered output (no-op by default).
     fn flush(&self) {}
+    /// Flushes *and* makes the output durable (fsync for file-backed
+    /// sinks). Called at checkpoint boundaries, where the trace prefix
+    /// must survive a crash immediately after; defaults to [`flush`].
+    ///
+    /// [`flush`]: Sink::flush
+    fn sync(&self) {
+        self.flush();
+    }
 }
 
 /// Bounded in-memory buffer keeping the most recent events.
@@ -72,6 +80,11 @@ impl Sink for RingSink {
 #[derive(Debug)]
 pub struct JsonlSink {
     state: Mutex<JsonlState>,
+    /// Events with `seq <= skip_upto` are dropped instead of written —
+    /// used on resume, where the driver re-emits the deterministic trace
+    /// preamble (to rebuild span parentage) that the salvaged file already
+    /// contains.
+    skip_upto: u64,
 }
 
 #[derive(Debug)]
@@ -90,7 +103,23 @@ impl JsonlSink {
     ///
     /// Propagates the I/O error when the file cannot be created.
     pub fn create(path: &Path) -> std::io::Result<Self> {
-        let file = File::create(path)?;
+        Self::from_file(File::create(path)?, 0)
+    }
+
+    /// Opens the trace file at `path` for appending, dropping events whose
+    /// `seq` is at or below `skip_upto`. This is the resume mode: the
+    /// salvaged part-1 trace stays in place, the re-emitted preamble is
+    /// suppressed, and part-2 events continue the line stream seamlessly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be opened.
+    pub fn append(path: &Path, skip_upto: u64) -> std::io::Result<Self> {
+        let file = File::options().create(true).append(true).open(path)?;
+        Self::from_file(file, skip_upto)
+    }
+
+    fn from_file(file: File, skip_upto: u64) -> std::io::Result<Self> {
         Ok(JsonlSink {
             state: Mutex::new(JsonlState {
                 // A generous buffer keeps write syscalls off the emission
@@ -98,12 +127,16 @@ impl JsonlSink {
                 writer: BufWriter::with_capacity(1 << 18, file),
                 line: String::with_capacity(256),
             }),
+            skip_upto,
         })
     }
 }
 
 impl Sink for JsonlSink {
     fn record(&self, event: &Arc<Event>) {
+        if event.seq <= self.skip_upto {
+            return;
+        }
         let state = &mut *self.state.lock().expect("jsonl sink poisoned");
         state.line.clear();
         event.write_jsonl(&mut state.line);
@@ -115,12 +148,17 @@ impl Sink for JsonlSink {
     }
 
     fn flush(&self) {
-        let _ = self
-            .state
-            .lock()
-            .expect("jsonl sink poisoned")
-            .writer
-            .flush();
+        let state = &mut *self.state.lock().expect("jsonl sink poisoned");
+        let _ = state.writer.flush();
+    }
+
+    fn sync(&self) {
+        let state = &mut *self.state.lock().expect("jsonl sink poisoned");
+        let _ = state.writer.flush();
+        // Best-effort durability: a checkpointing run syncs at every
+        // generation boundary and expects the trace prefix to survive a
+        // crash right after; plain flush only reaches the OS page cache.
+        let _ = state.writer.get_ref().sync_data();
     }
 }
 
@@ -158,6 +196,29 @@ mod tests {
         ring.record(&Arc::new(ev(1)));
         ring.record(&Arc::new(ev(2)));
         assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn append_mode_skips_already_persisted_events() {
+        let dir = std::env::temp_dir().join("mcmap_obs_sink_append_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Arc::new(ev(1)));
+        sink.record(&Arc::new(ev(2)));
+        sink.flush();
+        drop(sink);
+        // Resume: re-emitted events 1–2 are suppressed, 3 continues.
+        let sink = JsonlSink::append(&path, 2).unwrap();
+        for seq in 1..=3 {
+            sink.record(&Arc::new(ev(seq)));
+        }
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let seqs: Vec<&str> = text.lines().collect();
+        assert_eq!(seqs.len(), 3);
+        assert!(seqs[2].contains("\"seq\":3"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Torn-write-free file persistence: write temp + fsync + rename.
+
+use crate::error::ResilienceError;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically: the content lands in a sibling
+/// temp file, is fsynced, and is renamed into place, so readers (and a
+/// crash at any instant) see either the old file or the complete new one —
+/// never a torn mix.
+///
+/// # Errors
+///
+/// Returns [`ResilienceError::Io`] naming the failing operation.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), ResilienceError> {
+    let tmp = stage(path, bytes)?;
+    std::fs::rename(&tmp, path).map_err(|e| ResilienceError::io(path, "rename", e))?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Like [`atomic_write`], but first rotates an existing `path` to
+/// [`backup_path`] (`<path>.bak`), so one known-good previous version
+/// survives even if the *new* content later turns out corrupt. Used for
+/// checkpoints: the loader falls back to the `.bak` when the primary fails
+/// its checksum.
+///
+/// # Errors
+///
+/// Returns [`ResilienceError::Io`] naming the failing operation.
+pub fn atomic_write_rotating(path: &Path, bytes: &[u8]) -> Result<(), ResilienceError> {
+    let tmp = stage(path, bytes)?;
+    if path.exists() {
+        let bak = backup_path(path);
+        std::fs::rename(path, &bak).map_err(|e| ResilienceError::io(path, "rotate", e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| ResilienceError::io(path, "rename", e))?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// The sibling path the previous version of `path` is rotated to.
+pub fn backup_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("checkpoint"),
+        |n| n.to_os_string(),
+    );
+    name.push(".bak");
+    path.with_file_name(name)
+}
+
+/// Writes and fsyncs the staging temp file, returning its path.
+fn stage(path: &Path, bytes: &[u8]) -> Result<PathBuf, ResilienceError> {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("artifact"),
+        |n| n.to_os_string(),
+    );
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    let mut file = File::create(&tmp).map_err(|e| ResilienceError::io(&tmp, "create", e))?;
+    file.write_all(bytes)
+        .map_err(|e| ResilienceError::io(&tmp, "write", e))?;
+    file.sync_all()
+        .map_err(|e| ResilienceError::io(&tmp, "sync", e))?;
+    Ok(tmp)
+}
+
+/// Best-effort fsync of the containing directory so the rename itself is
+/// durable. Failure is ignored: some filesystems refuse directory syncs,
+/// and the write is already atomic with respect to readers either way.
+fn sync_parent_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mcmap_resilience_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_temp() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("a.json");
+        atomic_write(&path, b"one").unwrap();
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(leftovers.len(), 1, "no .tmp residue: {leftovers:?}");
+    }
+
+    #[test]
+    fn rotation_keeps_the_previous_version_as_bak() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("ck");
+        atomic_write_rotating(&path, b"gen0").unwrap();
+        assert!(!backup_path(&path).exists(), "first write has no previous");
+        atomic_write_rotating(&path, b"gen1").unwrap();
+        atomic_write_rotating(&path, b"gen2").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"gen2");
+        assert_eq!(std::fs::read(backup_path(&path)).unwrap(), b"gen1");
+    }
+
+    #[test]
+    fn backup_path_appends_bak() {
+        assert_eq!(
+            backup_path(Path::new("/x/run.ckpt")),
+            PathBuf::from("/x/run.ckpt.bak")
+        );
+    }
+}

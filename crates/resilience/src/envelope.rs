@@ -1,0 +1,194 @@
+//! The versioned, checksummed envelope around persisted payloads.
+//!
+//! Format: one ASCII header line, then the raw payload bytes.
+//!
+//! ```text
+//! #mcmap <kind> v1 len=<payload bytes> fnv=<16-hex-digit FNV-1a 64>\n
+//! <payload…>
+//! ```
+//!
+//! The header makes the three crash/corruption classes *detectable*
+//! instead of silently mis-parsed: a version bump refuses old readers, the
+//! length catches truncation (the normal artifact of a crash mid-write),
+//! and the checksum catches bit rot or partial overwrites.
+
+use crate::error::ResilienceError;
+use std::path::Path;
+
+/// The envelope revision this build writes and accepts.
+pub const ENVELOPE_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit content hash — dependency-free, deterministic across
+/// platforms, and plenty for corruption *detection* (not authentication).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps `payload` in a checksummed envelope of the given `kind` (a short
+/// ASCII tag naming the artifact family, e.g. `dse-checkpoint`).
+pub fn seal(kind: &str, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(
+        kind.bytes().all(|b| b.is_ascii_graphic()),
+        "envelope kinds are bare ASCII tags"
+    );
+    let header = format!(
+        "#mcmap {kind} v{ENVELOPE_VERSION} len={} fnv={:016x}\n",
+        payload.len(),
+        fnv1a64(payload)
+    );
+    let mut out = Vec::with_capacity(header.len() + payload.len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates the envelope of `bytes` (as read from `path`, which is only
+/// used for error context) and returns the payload.
+///
+/// # Errors
+///
+/// * [`ResilienceError::Malformed`] — no parseable header line;
+/// * [`ResilienceError::VersionMismatch`] — wrong kind or version;
+/// * [`ResilienceError::Truncated`] — fewer payload bytes than promised;
+/// * [`ResilienceError::ChecksumMismatch`] — content does not hash to the
+///   recorded checksum.
+pub fn unseal(kind: &str, path: &Path, bytes: &[u8]) -> Result<Vec<u8>, ResilienceError> {
+    let malformed = |detail: String| ResilienceError::Malformed {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| malformed("missing envelope header line".into()))?;
+    let header = std::str::from_utf8(&bytes[..nl])
+        .map_err(|_| malformed("non-UTF-8 envelope header".into()))?;
+    let mut words = header.split_ascii_whitespace();
+    if words.next() != Some("#mcmap") {
+        return Err(malformed(format!("not an mcmap envelope: `{header}`")));
+    }
+    let found_kind = words.next().unwrap_or("");
+    let found_version = words.next().unwrap_or("");
+    let expected_version = format!("v{ENVELOPE_VERSION}");
+    if found_kind != kind || found_version != expected_version {
+        return Err(ResilienceError::VersionMismatch {
+            path: path.to_path_buf(),
+            found: format!("{found_kind} {found_version}"),
+            expected: format!("{kind} {expected_version}"),
+        });
+    }
+    let field = |prefix: &str| -> Result<&str, ResilienceError> {
+        words
+            .clone()
+            .find_map(|w| w.strip_prefix(prefix))
+            .ok_or_else(|| malformed(format!("header missing `{prefix}`")))
+    };
+    let len: usize = field("len=")?
+        .parse()
+        .map_err(|_| malformed("unparseable len= field".into()))?;
+    let fnv = u64::from_str_radix(field("fnv=")?, 16)
+        .map_err(|_| malformed("unparseable fnv= field".into()))?;
+
+    let payload = &bytes[nl + 1..];
+    if payload.len() != len {
+        return Err(ResilienceError::Truncated {
+            path: path.to_path_buf(),
+            expected: len,
+            actual: payload.len(),
+        });
+    }
+    let actual = fnv1a64(payload);
+    if actual != fnv {
+        return Err(ResilienceError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            expected: fnv,
+            actual,
+        });
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn p() -> PathBuf {
+        PathBuf::from("/test/ck")
+    }
+
+    #[test]
+    fn seal_unseal_roundtrips_arbitrary_bytes() {
+        for payload in [&b""[..], b"hello", b"\x00\xff\n\n#mcmap fake v1"] {
+            let sealed = seal("dse-checkpoint", payload);
+            assert_eq!(unseal("dse-checkpoint", &p(), &sealed).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let sealed = seal("dse-checkpoint", b"0123456789");
+        let cut = &sealed[..sealed.len() - 4];
+        match unseal("dse-checkpoint", &p(), cut) {
+            Err(ResilienceError::Truncated {
+                expected, actual, ..
+            }) => {
+                assert_eq!((expected, actual), (10, 6));
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut sealed = seal("dse-checkpoint", b"0123456789");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x20;
+        assert!(matches!(
+            unseal("dse-checkpoint", &p(), &sealed),
+            Err(ResilienceError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_or_version_is_refused() {
+        let sealed = seal("memo-cache", b"x");
+        assert!(matches!(
+            unseal("dse-checkpoint", &p(), &sealed),
+            Err(ResilienceError::VersionMismatch { .. })
+        ));
+        let bumped = String::from_utf8(seal("k", b"x"))
+            .unwrap()
+            .replace(" v1 ", " v9 ");
+        assert!(matches!(
+            unseal("k", &p(), bumped.as_bytes()),
+            Err(ResilienceError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        for junk in [
+            &b""[..],
+            b"random\n",
+            b"#mcmap",
+            b"#mcmap k v1 len=x fnv=y\n",
+        ] {
+            let err = unseal("k", &p(), junk).unwrap_err();
+            assert!(err.is_corruption(), "{err}");
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

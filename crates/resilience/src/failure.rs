@@ -1,0 +1,81 @@
+//! Typed diagnostics for candidate evaluations that panicked.
+
+use std::any::Any;
+use std::fmt;
+
+/// What a worker panic during candidate evaluation degrades into.
+///
+/// Instead of unwinding (and killing) a multi-hour exploration, the
+/// evaluation engine catches the panic, retries up to the configured
+/// budget, and — if every attempt fails — records one of these alongside a
+/// maximally-penalized infeasible evaluation. The run keeps going; the
+/// diagnostic survives into [`DseOutcome`]-level reporting.
+///
+/// [`DseOutcome`]: https://docs.rs/mcmap-core
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalFailure {
+    /// Stable hash of the candidate genome that failed (matches the memo
+    /// cache's key stream, so a failure can be correlated with trace
+    /// events without storing the genome itself).
+    pub candidate: u64,
+    /// Position of the candidate inside its evaluation batch.
+    pub index: usize,
+    /// How many evaluation attempts were made (1 + retries).
+    pub attempts: u32,
+    /// The panic payload, rendered to text.
+    pub message: String,
+}
+
+impl fmt::Display for EvalFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "candidate {:016x} (batch index {}) failed after {} attempt{}: {}",
+            self.candidate,
+            self.index,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+/// Renders a panic payload (as captured by `std::panic::catch_unwind`)
+/// into the human-readable message it was raised with, or a placeholder
+/// for non-string payloads.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_payloads_render_to_their_message() {
+        let payload = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "boom 7");
+        let payload = std::panic::catch_unwind(|| std::panic::panic_any(42_u32)).unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn display_names_candidate_and_attempts() {
+        let f = EvalFailure {
+            candidate: 0xdead_beef,
+            index: 3,
+            attempts: 2,
+            message: "division by zero".into(),
+        };
+        let msg = f.to_string();
+        assert!(msg.contains("00000000deadbeef"), "{msg}");
+        assert!(msg.contains("2 attempts"), "{msg}");
+        assert!(msg.contains("division by zero"), "{msg}");
+    }
+}

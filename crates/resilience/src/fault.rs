@@ -1,0 +1,181 @@
+//! Deterministic fault injection for the chaos harness.
+
+/// A seeded, fully deterministic plan of faults to inject into a run.
+///
+/// The chaos harness (`tests/chaos.rs`) builds one of these, threads it
+/// through the exploration config, and asserts that the pipeline completes,
+/// degrades gracefully, and — for a fixed plan — behaves identically across
+/// repeats. Faults are addressed by *(batch, item)* coordinates: batch 0 is
+/// the initial population, batch `g` is the offspring wave of generation
+/// `g`; `item` is the candidate's position inside that batch. Coordinates
+/// are scheduling-independent, so injection is deterministic for any
+/// `--threads`.
+///
+/// Three fault classes are supported:
+///
+/// * **panics** — the evaluation closure panics for the first `attempts`
+///   attempts at that coordinate (so `attempts <= retries` exercises
+///   retry-rescue, `attempts > retries` exercises degradation);
+/// * **delays** — the evaluation sleeps, shaking out scheduling races;
+/// * **checkpoint truncation** — the checkpoint written after a chosen
+///   generation is cut short, exercising corruption detection and `.bak`
+///   fallback on resume.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-million probability of a seeded panic at any coordinate.
+    panic_ppm: u32,
+    /// How many attempts seeded (rate-based) panics poison.
+    panic_rate_attempts: u32,
+    /// Explicit panic sites: (batch, item, attempts poisoned).
+    panics: Vec<(u64, usize, u32)>,
+    /// Explicit delay sites: (batch, item, microseconds).
+    delays: Vec<(u64, usize, u64)>,
+    /// Generations whose checkpoint write should be truncated.
+    truncations: Vec<usize>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults, seeded for rate-based additions.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Injects a panic at `(batch, item)` for the first `attempts`
+    /// evaluation attempts.
+    #[must_use]
+    pub fn panic_at(mut self, batch: u64, item: usize, attempts: u32) -> Self {
+        self.panics.push((batch, item, attempts));
+        self
+    }
+
+    /// Injects a delay of `micros` microseconds at `(batch, item)`.
+    #[must_use]
+    pub fn delay_at(mut self, batch: u64, item: usize, micros: u64) -> Self {
+        self.delays.push((batch, item, micros));
+        self
+    }
+
+    /// Truncates the checkpoint written after `generation`.
+    #[must_use]
+    pub fn truncate_checkpoint_at(mut self, generation: usize) -> Self {
+        self.truncations.push(generation);
+        self
+    }
+
+    /// Makes every coordinate panic with probability `ppm` per million,
+    /// decided by a hash of (seed, batch, item); each such panic poisons
+    /// the first `attempts` attempts.
+    #[must_use]
+    pub fn with_panic_rate(mut self, ppm: u32, attempts: u32) -> Self {
+        self.panic_ppm = ppm.min(1_000_000);
+        self.panic_rate_attempts = attempts;
+        self
+    }
+
+    /// Whether this plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.panic_ppm == 0
+            && self.panics.is_empty()
+            && self.delays.is_empty()
+            && self.truncations.is_empty()
+    }
+
+    /// Whether evaluation attempt `attempt` (0-based) at `(batch, item)`
+    /// should panic.
+    pub fn should_panic(&self, batch: u64, item: usize, attempt: u32) -> bool {
+        for &(b, i, attempts) in &self.panics {
+            if b == batch && i == item && attempt < attempts {
+                return true;
+            }
+        }
+        if self.panic_ppm > 0 && attempt < self.panic_rate_attempts {
+            let roll = mix(self.seed, batch, item as u64) % 1_000_000;
+            return (roll as u32) < self.panic_ppm;
+        }
+        false
+    }
+
+    /// The injected delay at `(batch, item)`, in microseconds (0 = none).
+    pub fn delay_micros(&self, batch: u64, item: usize) -> u64 {
+        self.delays
+            .iter()
+            .filter(|&&(b, i, _)| b == batch && i == item)
+            .map(|&(_, _, us)| us)
+            .sum()
+    }
+
+    /// Whether the checkpoint written after `generation` should be
+    /// truncated.
+    pub fn truncate_checkpoint(&self, generation: usize) -> bool {
+        self.truncations.contains(&generation)
+    }
+}
+
+/// splitmix64-style avalanche over (seed, batch, item) — the same choice
+/// the rest of the workspace uses for cheap deterministic hashing.
+fn mix(seed: u64, batch: u64, item: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(batch.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(item.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_sites_fire_exactly_where_addressed() {
+        let plan = FaultPlan::new(1)
+            .panic_at(2, 5, 1)
+            .delay_at(3, 0, 250)
+            .truncate_checkpoint_at(4);
+        assert!(!plan.is_empty());
+        assert!(plan.should_panic(2, 5, 0));
+        assert!(!plan.should_panic(2, 5, 1), "only the first attempt");
+        assert!(!plan.should_panic(2, 4, 0));
+        assert!(!plan.should_panic(1, 5, 0));
+        assert_eq!(plan.delay_micros(3, 0), 250);
+        assert_eq!(plan.delay_micros(3, 1), 0);
+        assert!(plan.truncate_checkpoint(4));
+        assert!(!plan.truncate_checkpoint(3));
+    }
+
+    #[test]
+    fn rate_based_panics_are_seed_deterministic() {
+        let a = FaultPlan::new(7).with_panic_rate(200_000, 1);
+        let b = FaultPlan::new(7).with_panic_rate(200_000, 1);
+        let hits: Vec<bool> = (0..200).map(|i| a.should_panic(1, i, 0)).collect();
+        assert_eq!(
+            hits,
+            (0..200)
+                .map(|i| b.should_panic(1, i, 0))
+                .collect::<Vec<_>>()
+        );
+        let n = hits.iter().filter(|&&h| h).count();
+        assert!(n > 10 && n < 90, "~20% of 200 expected, got {n}");
+        // A different seed produces a different pattern.
+        let c = FaultPlan::new(8).with_panic_rate(200_000, 1);
+        assert_ne!(
+            hits,
+            (0..200)
+                .map(|i| c.should_panic(1, i, 0))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(!plan.should_panic(0, 0, 0));
+        assert_eq!(plan.delay_micros(0, 0), 0);
+        assert!(!plan.truncate_checkpoint(0));
+    }
+}

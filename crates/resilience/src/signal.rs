@@ -1,0 +1,86 @@
+//! Cooperative-stop plumbing: SIGINT/SIGTERM request a clean stop at the
+//! next generation boundary instead of killing the process mid-write.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-wide stop request. The signal handler may only touch
+/// lock-free state, so this is a plain static atomic.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGINT/SIGTERM handlers (on Unix; a no-op elsewhere) that set
+/// a process-wide stop flag, and returns that flag. The exploration driver
+/// polls it at every generation boundary and, when set, writes a final
+/// checkpoint, flushes the trace, and returns with `interrupted = true`.
+///
+/// Safe to call more than once; later calls just return the same flag.
+pub fn install_stop_flag() -> &'static AtomicBool {
+    #[cfg(unix)]
+    sys::install();
+    &STOP
+}
+
+/// Whether a stop has been requested (by a signal or by
+/// [`request_stop`]).
+pub fn stop_requested() -> bool {
+    STOP.load(Ordering::SeqCst)
+}
+
+/// Requests a stop programmatically — what the signal handler does, but
+/// callable from tests and non-Unix builds.
+pub fn request_stop() {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Clears the stop flag (test isolation only).
+pub fn reset_stop_flag() {
+    STOP.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    //! Raw `signal(2)` binding. The workspace denies `unsafe_code`
+    //! everywhere else; this module is the one place it is allowed, kept
+    //! to the minimum surface: registering a handler that performs a
+    //! single async-signal-safe atomic store.
+
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only lock-free atomics are async-signal-safe; do nothing else.
+        super::STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is the POSIX registration call; the handler
+        // performs a single atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_roundtrip() {
+        let flag = install_stop_flag();
+        reset_stop_flag();
+        assert!(!stop_requested());
+        request_stop();
+        assert!(stop_requested());
+        assert!(flag.load(Ordering::SeqCst));
+        reset_stop_flag();
+        assert!(!stop_requested());
+    }
+}

@@ -21,6 +21,16 @@ cargo test --workspace -q
 # Thread-count / cache invariance of the DSE (bit-identical Pareto fronts).
 cargo test -q --test determinism
 
+# Resilience gates: the chaos harness (seeded fault injection) and the
+# kill-at-every-generation resume sweep.
+cargo test -q --test chaos
+cargo test -q --test resume
+
+# Kill-and-resume smoke over the real CLI: start a checkpointed run,
+# SIGKILL it mid-flight, resume, and require the resumed front to match an
+# uninterrupted run of the same configuration byte-for-byte.
+scripts/smoke_resume.sh
+
 # Engine micro/macro bench; emits results/BENCH_eval.json.
 cargo bench -p mcmap-bench --bench eval_engine
 

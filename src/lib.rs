@@ -18,6 +18,8 @@
 //!   mapping DSE;
 //! * [`lint`] — the static analyzer over models, hardening specs, and
 //!   genomes (structured `MC0xxx` diagnostics);
+//! * [`resilience`] — panic isolation, atomic checkpointing, corruption
+//!   detection, and deterministic fault injection;
 //! * [`benchmarks`] — the Cruise, DT-med/large, and synthetic benchmarks.
 //!
 //! # Examples
@@ -42,5 +44,6 @@ pub use mcmap_hardening as hardening;
 pub use mcmap_lint as lint;
 pub use mcmap_model as model;
 pub use mcmap_obs as obs;
+pub use mcmap_resilience as resilience;
 pub use mcmap_sched as sched;
 pub use mcmap_sim as sim;
