@@ -95,11 +95,16 @@ fn bench_explore_macro(c: &mut Criterion) {
 
     let out_dir = std::env::var("MCMAP_BENCH_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    // With the adaptive dispatcher, a "parallel" run whose batches are too
+    // cheap to amortize a scatter runs serially anyway — record how often,
+    // so a speedup near 1.0 is legible as "fallback engaged", not "engine
+    // regressed".
     let json = format!(
         "{{\"benchmark\":\"dt-med\",\"population\":{pop},\"generations\":{gens},\
          \"threads\":{par},\"wall_secs_1\":{wall_1:.6},\"wall_secs_n\":{wall_n:.6},\
-         \"speedup\":{speedup:.3},\"fronts_identical\":true,\
+         \"speedup\":{speedup:.3},\"serial_fallbacks\":{},\"fronts_identical\":true,\
          \"serial\":{},\"parallel\":{}}}\n",
+        parallel.eval_stats.serial_fallbacks,
         serial.eval_stats.to_json(),
         parallel.eval_stats.to_json()
     );

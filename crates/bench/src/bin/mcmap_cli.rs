@@ -12,6 +12,8 @@
 //!                                [--obs-summary [json]] [--gen-stats [json]]
 //!                                [--audit [json]] [--checkpoint <path>]
 //!                                [--resume <path>] [--eval-retries N]
+//!                                [--scenario-threads N] [--no-warm-start]
+//!                                [--no-prune]
 //!                                                         # power/service exploration
 //! mcmap_cli lint     <benchmark> [--json] [--inject cycle|relbound|inverted]
 //! mcmap_cli obs      <trace.jsonl> [--json]  # profile a recorded trace
@@ -24,7 +26,13 @@
 //! core; results are bit-identical for any thread count), `--cache-cap`
 //! bounds the memoization cache (0 disables it), and `--eval-stats`
 //! prints the engine's instrumentation (cache hit rate, per-phase nanos,
-//! genomes/sec) as text or, with `--eval-stats json`, as JSON.
+//! genomes/sec) as text or, with `--eval-stats json`, as JSON, plus the
+//! WCRT-analysis effort counters (backend calls, fixed-point iterations,
+//! scenarios pruned, warm-start savings). The analysis fast path is on by
+//! default and bit-identical to the cold reference; `--no-warm-start` /
+//! `--no-prune` switch its two halves off for A/B timing and
+//! `--scenario-threads N` fans the per-candidate scenario analyses out
+//! over N workers.
 //!
 //! `dse` can additionally trace itself through `mcmap-obs`: `--trace`
 //! streams every event (spans, counters, per-generation telemetry) to a
@@ -137,10 +145,13 @@ fn cmd_analyze(b: &Benchmark, seed: u64) -> ExitCode {
         );
     }
     println!(
-        "\nschedulable: {} ({} scenarios, {} backend calls)",
+        "\nschedulable: {} ({} scenarios, {} backend calls, {} pruned, \
+         {} warm iterations saved)",
         mc.schedulable(&d.hsys, &d.dropped),
         mc.scenarios,
-        mc.backend_calls
+        mc.backend_calls,
+        mc.scenarios_pruned,
+        mc.warm_iters_saved
     );
     ExitCode::SUCCESS
 }
@@ -280,6 +291,7 @@ fn cmd_dse(b: &Benchmark, key: &str, pop: usize, gens: usize, knobs: &EvalKnobs)
         }
     }
     knobs.report("dse", &outcome.eval_stats);
+    knobs.report_analysis("dse", &outcome.analysis);
     knobs.report_audit("dse", &outcome.audit);
     knobs.report_obs("dse", &outcome.telemetry);
     if outcome.interrupted {
@@ -350,6 +362,7 @@ fn dse_positionals(tail: &[String]) -> Vec<String> {
             || a == "--checkpoint"
             || a == "--resume"
             || a == "--eval-retries"
+            || a == "--scenario-threads"
         {
             i += 2;
         } else if a == "--eval-stats"

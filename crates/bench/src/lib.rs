@@ -123,13 +123,17 @@ pub enum StatsFormat {
 /// `MCMAP_CACHE_CAP`, `--eval-stats [text|json]` /
 /// `MCMAP_EVAL_STATS=text|json`, `--trace <path.jsonl>` / `MCMAP_TRACE`,
 /// `--obs-summary [text|json]` / `MCMAP_OBS_SUMMARY`, `--gen-stats
-/// [text|json]` / `MCMAP_GEN_STATS`, and `--audit [text|json]` /
-/// `MCMAP_AUDIT`.
+/// [text|json]` / `MCMAP_GEN_STATS`, `--audit [text|json]` /
+/// `MCMAP_AUDIT`, plus the analysis fast-path knobs `--scenario-threads N`
+/// / `MCMAP_SCENARIO_THREADS`, `--no-warm-start` / `MCMAP_NO_WARM_START`,
+/// and `--no-prune` / `MCMAP_NO_PRUNE`.
 ///
 /// CLI flags take precedence over environment variables. `threads == 0`
 /// (the default) means one worker per available core — results are
 /// bit-identical for any thread count, so this is purely a speed knob; so
-/// are all the observability flags (tracing never perturbs the search).
+/// are all the observability flags (tracing never perturbs the search) and
+/// the analysis fast-path knobs (warm starts, scenario pruning, and the
+/// scenario thread count all reproduce the cold reference bit-for-bit).
 #[derive(Debug, Clone)]
 pub struct EvalKnobs {
     /// Evaluation worker threads (0 = one per core).
@@ -158,6 +162,16 @@ pub struct EvalKnobs {
     /// Retry budget for candidates whose evaluation panics
     /// (`--eval-retries` / `MCMAP_EVAL_RETRIES`, default 1).
     pub eval_retries: u32,
+    /// Worker threads for the per-candidate scenario fan-out
+    /// (`--scenario-threads` / `MCMAP_SCENARIO_THREADS`, default 1 —
+    /// candidate-level parallelism usually saturates the cores already).
+    pub scenario_threads: usize,
+    /// Disables warm-started scenario fixed points
+    /// (`--no-warm-start` / `MCMAP_NO_WARM_START`).
+    pub no_warm_start: bool,
+    /// Disables dominance pruning of scenario bound-vectors
+    /// (`--no-prune` / `MCMAP_NO_PRUNE`).
+    pub no_prune: bool,
 }
 
 impl EvalKnobs {
@@ -214,6 +228,12 @@ impl EvalKnobs {
             eval_retries: value_of("--eval-retries")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| env_u64("MCMAP_EVAL_RETRIES", 1) as u32),
+            scenario_threads: value_of("--scenario-threads")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| env_usize("MCMAP_SCENARIO_THREADS", 1)),
+            no_warm_start: args.iter().any(|a| a == "--no-warm-start")
+                || env_usize("MCMAP_NO_WARM_START", 0) != 0,
+            no_prune: args.iter().any(|a| a == "--no-prune") || env_usize("MCMAP_NO_PRUNE", 0) != 0,
         }
     }
 
@@ -290,6 +310,11 @@ impl EvalKnobs {
         cfg.resilience.checkpoint = self.checkpoint.as_ref().map(std::path::PathBuf::from);
         cfg.resilience.resume = self.resume.as_ref().map(std::path::PathBuf::from);
         cfg.resilience.eval_retries = self.eval_retries;
+        cfg.analysis = mcmap_core::AnalysisOptions {
+            warm_start: !self.no_warm_start,
+            prune: !self.no_prune,
+            scenario_threads: self.scenario_threads,
+        };
     }
 
     /// Prints one engine snapshot in the requested format (no-op when
@@ -303,6 +328,23 @@ impl EvalKnobs {
             }
             Some(StatsFormat::Json) => {
                 println!("{{\"label\":\"{label}\",\"eval\":{}}}", stats.to_json());
+            }
+        }
+    }
+
+    /// Prints one WCRT-analysis effort snapshot in the requested format
+    /// (no-op when `--eval-stats` was not requested). Piggybacks on the
+    /// `--eval-stats` knob because the analysis counters answer the same
+    /// question — where did the evaluation time go — at the layer below.
+    pub fn report_analysis(&self, label: &str, stats: &mcmap_core::AnalysisStats) {
+        match self.eval_stats {
+            None => {}
+            Some(StatsFormat::Text) => {
+                println!("\n[{label}]");
+                print!("{}", stats.render_text());
+            }
+            Some(StatsFormat::Json) => {
+                println!("{{\"label\":\"{label}\",\"analysis\":{}}}", stats.to_json());
             }
         }
     }
@@ -470,6 +512,9 @@ mod tests {
         assert_eq!(k.threads, 4);
         assert_eq!(k.cache_cap, 128);
         assert_eq!(k.eval_stats, Some(StatsFormat::Json));
+        assert_eq!(k.scenario_threads, 1, "fast-path default");
+        assert!(!k.no_warm_start);
+        assert!(!k.no_prune);
 
         // A bare `--eval-stats` (even as the last flag) means text.
         let k = EvalKnobs::from_args(&["--eval-stats".to_string()]);
@@ -483,6 +528,32 @@ mod tests {
         let k = EvalKnobs::from_args(&args);
         assert_eq!(k.eval_stats, Some(StatsFormat::Text));
         assert_eq!(k.threads, 2);
+    }
+
+    #[test]
+    fn eval_knobs_parse_analysis_flags() {
+        let args: Vec<String> = ["--scenario-threads", "3", "--no-warm-start", "--no-prune"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let k = EvalKnobs::from_args(&args);
+        assert_eq!(k.scenario_threads, 3);
+        assert!(k.no_warm_start);
+        assert!(k.no_prune);
+
+        let mut cfg = mcmap_core::DseConfig::default();
+        k.apply(&mut cfg);
+        assert!(!cfg.analysis.warm_start);
+        assert!(!cfg.analysis.prune);
+        assert_eq!(cfg.analysis.scenario_threads, 3);
+
+        // The defaults leave the fast path on.
+        let k = EvalKnobs::from_args(&[]);
+        let mut cfg = mcmap_core::DseConfig::default();
+        k.apply(&mut cfg);
+        assert!(cfg.analysis.warm_start);
+        assert!(cfg.analysis.prune);
+        assert_eq!(cfg.analysis.scenario_threads, 1);
     }
 
     #[test]

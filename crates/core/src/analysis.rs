@@ -10,6 +10,7 @@
 //! the chronological information of each transition, which is exactly what
 //! removes the pessimism of the naive treatment.
 
+use mcmap_eval::parallel_map;
 use mcmap_hardening::{HTaskId, HardenedSystem};
 use mcmap_model::{AppId, Architecture, ExecBounds, Time};
 use mcmap_sched::{
@@ -17,6 +18,67 @@ use mcmap_sched::{
 };
 use mcmap_sim::{ExhaustiveReexecution, SimConfig, Simulator};
 use std::collections::HashMap;
+
+/// Tuning knobs of the scenario-level WCRT fast path.
+///
+/// Every combination of knobs produces **bit-identical** [`McAnalysis`]
+/// windows and verdicts (see `DESIGN.md` §15 for the argument); the knobs
+/// only trade wall time for backend work, so they are deliberately *not*
+/// part of any result fingerprint. The exceptions are the effort counters
+/// ([`McAnalysis::backend_calls`], [`McAnalysis::fixedpoint_iters`],
+/// [`McAnalysis::scenarios_pruned`], [`McAnalysis::warm_iters_saved`]),
+/// which report the work *actually performed* and therefore change — still
+/// deterministically — with `warm_start`/`prune` (never with
+/// `scenario_threads`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Seed each scenario fixed point from the normal-state solution
+    /// whenever the scenario's bounds pointwise contain the normal-state
+    /// bounds ([`SchedBackend::analyze_from`]).
+    pub warm_start: bool,
+    /// Skip backend runs for scenarios whose bound vector is pointwise
+    /// dominated by another scenario's: by backend monotonicity the
+    /// dominating run's windows contain the dominated one's, so folding the
+    /// dominated scenario into the worst case is a no-op.
+    pub prune: bool,
+    /// Worker threads for independent scenario runs of one candidate
+    /// (`<= 1` runs inline). Results are order-preserved and identical for
+    /// any thread count.
+    pub scenario_threads: usize,
+}
+
+impl Default for AnalysisOptions {
+    /// The fast path: warm starts and pruning on, serial scenario runs.
+    fn default() -> Self {
+        Self {
+            warm_start: true,
+            prune: true,
+            scenario_threads: 1,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// The cold, prune-free reference enumeration — one cold backend run
+    /// per distinct scenario, exactly the pre-fast-path behavior. Used by
+    /// the equivalence proptests and the `wcrt_analysis` bench baseline.
+    pub fn reference() -> Self {
+        Self {
+            warm_start: false,
+            prune: false,
+            scenario_threads: 1,
+        }
+    }
+}
+
+/// `true` when every `[bcet, wcet]` interval of `a` contains the
+/// corresponding interval of `b` — the pointwise-dominance order of the
+/// scenario fast path (`a` dominates `b`).
+fn dominates(a: &[ExecBounds], b: &[ExecBounds]) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| x.bcet <= y.bcet && x.wcet >= y.wcet)
+}
 
 /// Result of the mixed-criticality analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,12 +92,15 @@ pub struct McAnalysis {
     pub worst: TaskWindows,
     /// Number of transition scenarios analyzed (one per trigger task).
     pub scenarios: usize,
-    /// Number of backend invocations actually performed (the normal-state
-    /// run plus one per *distinct* scenario bound-vector — triggers whose
-    /// transitions classify every task identically share one run).
+    /// Number of backend invocations actually performed: the normal-state
+    /// run plus one per *distinct, non-pruned* scenario bound-vector —
+    /// triggers whose transitions classify every task identically share one
+    /// run, and dominated vectors are skipped entirely when pruning is on.
     pub backend_calls: usize,
     /// Per analyzed scenario: the trigger task and the per-application
-    /// worst-case response times of that scenario (diagnostic only).
+    /// worst-case response times of that scenario (diagnostic only). For a
+    /// pruned scenario these are the *dominating* run's response times — a
+    /// safe upper bound on the scenario's own.
     pub scenario_app_wcrt: Vec<(HTaskId, Vec<Time>)>,
     /// Task classifications across all transition scenarios: completed
     /// before the fault could occur (normal bounds kept).
@@ -49,6 +114,16 @@ pub struct McAnalysis {
     /// Total fixed-point iterations across the normal-state run and every
     /// *distinct* scenario the backend actually analyzed.
     pub fixedpoint_iters: usize,
+    /// Distinct scenario bound-vectors whose backend run was skipped
+    /// because another analyzed scenario pointwise dominates them (their
+    /// windows are bounded by — and their diagnostics taken from — the
+    /// dominating run). Always 0 with [`AnalysisOptions::reference`].
+    pub scenarios_pruned: usize,
+    /// Estimated fixed-point sweeps avoided by warm-starting scenario runs
+    /// from the normal-state solution, using the normal-state run's
+    /// iteration count as the cold-run proxy (a cold scenario run starts
+    /// from the same floor). Deterministic; 0 when warm starts are off.
+    pub warm_iters_saved: usize,
 }
 
 impl McAnalysis {
@@ -135,7 +210,10 @@ fn critical_wcet(
 /// The trigger `v` itself executes through its fault: `[bcet_v, Eq. (1)]`.
 ///
 /// Returns the per-task maximum over the normal state and all transitions.
-pub fn proposed_analysis<B: SchedBackend + ?Sized>(
+///
+/// Runs with the default [`AnalysisOptions`] (the fast path); see
+/// [`proposed_analysis_with`] to pick different knobs.
+pub fn proposed_analysis<B: SchedBackend + Sync + ?Sized>(
     backend: &B,
     hsys: &HardenedSystem,
     arch: &Architecture,
@@ -143,24 +221,56 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
     nominal: &[ExecBounds],
     dropped: &[AppId],
 ) -> McAnalysis {
+    proposed_analysis_with(
+        backend,
+        hsys,
+        arch,
+        mapping,
+        nominal,
+        dropped,
+        AnalysisOptions::default(),
+    )
+}
+
+/// [`proposed_analysis`] with explicit fast-path knobs.
+///
+/// The enumeration runs in three deterministic stages: (1) classify every
+/// trigger's transition scenario into a bound vector and deduplicate the
+/// vectors (borrowed-slice lookups — the scratch vector is only cloned into
+/// the table on a miss); (2) when pruning is on, drop every vector that is
+/// pointwise dominated by another and remember its first *maximal*
+/// dominator; (3) run the backend once per surviving vector — warm-started
+/// from the normal-state solution when the vector contains the normal-state
+/// bounds — optionally fanned out over the order-preserving worker pool,
+/// then fold the worst case and resolve per-scenario diagnostics (pruned
+/// scenarios report their dominator's windows).
+pub fn proposed_analysis_with<B: SchedBackend + Sync + ?Sized>(
+    backend: &B,
+    hsys: &HardenedSystem,
+    arch: &Architecture,
+    mapping: &Mapping,
+    nominal: &[ExecBounds],
+    dropped: &[AppId],
+    opts: AnalysisOptions,
+) -> McAnalysis {
     let n = hsys.num_tasks();
     assert_eq!(nominal.len(), n, "one bound per hardened task required");
 
     let normal_bounds = normal_state_bounds(hsys, nominal);
     let normal = backend.analyze(&normal_bounds);
 
-    let mut worst = normal.clone();
     let mut scenarios = 0usize;
-    let mut backend_calls = 1usize; // the normal-state run
-    let mut scenario_app_wcrt = Vec::new();
     let mut class_normal = 0usize;
     let mut class_dropped = 0usize;
     let mut class_transition = 0usize;
     let mut class_critical = 0usize;
-    let mut fixedpoint_iters = normal.outer_iters;
-    // Distinct bound-vectors → cached backend results. Two triggers with
+    // Distinct bound-vectors, in first-occurrence order. Two triggers with
     // identical windows produce identical scenarios; analyzing one suffices.
-    let mut cache: HashMap<Vec<ExecBounds>, TaskWindows> = HashMap::new();
+    let mut index_of: HashMap<Vec<ExecBounds>, usize> = HashMap::new();
+    let mut distinct: Vec<Vec<ExecBounds>> = Vec::new();
+    // Per scenario: the trigger and its distinct-vector index.
+    let mut scenario_vec: Vec<(HTaskId, usize)> = Vec::new();
+    let mut scratch = vec![ExecBounds::ZERO; n];
 
     for (v, vt) in hsys.tasks() {
         if !vt.is_trigger() {
@@ -170,7 +280,6 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
         let v_min_start = normal.min_start[v.index()];
         let v_max_finish = normal.max_finish[v.index()];
 
-        let mut bounds = vec![ExecBounds::ZERO; n];
         for (w, wt) in hsys.tasks() {
             if w == v {
                 // The trigger executes through its fault: full re-execution
@@ -183,7 +292,7 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
                 } else {
                     critical_wcet(hsys, arch, mapping, v)
                 };
-                bounds[w.index()] = ExecBounds::new(
+                scratch[w.index()] = ExecBounds::new(
                     if wt.is_passive() || dropped.contains(&wt.app) {
                         Time::ZERO
                     } else {
@@ -197,16 +306,16 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
             let w_normal = normal_bounds[w.index()];
             if normal.max_finish[w.index()] < v_min_start {
                 // Completed before the fault: normal state.
-                bounds[w.index()] = w_normal;
+                scratch[w.index()] = w_normal;
                 class_normal += 1;
             } else if dropped.contains(&wt.app) {
                 if normal.min_start[w.index()] > v_max_finish {
                     // Starts after the transition completed: never released.
-                    bounds[w.index()] = ExecBounds::ZERO;
+                    scratch[w.index()] = ExecBounds::ZERO;
                     class_dropped += 1;
                 } else {
                     // Transition: either executed or dropped.
-                    bounds[w.index()] = ExecBounds::new(Time::ZERO, nominal[w.index()].wcet);
+                    scratch[w.index()] = ExecBounds::new(Time::ZERO, nominal[w.index()].wcet);
                     class_transition += 1;
                 }
             } else {
@@ -218,43 +327,115 @@ pub fn proposed_analysis<B: SchedBackend + ?Sized>(
                 } else {
                     nominal[w.index()].bcet
                 };
-                bounds[w.index()] = ExecBounds::new(bcet, critical_wcet(hsys, arch, mapping, w));
+                scratch[w.index()] = ExecBounds::new(bcet, critical_wcet(hsys, arch, mapping, w));
             }
         }
 
-        let prior_calls = backend_calls;
-        let scenario = cache.entry(bounds).or_insert_with_key(|b| {
-            backend_calls += 1;
-            backend.analyze(b)
-        });
-        if backend_calls > prior_calls {
-            fixedpoint_iters += scenario.outer_iters;
-        }
-        worst.converged &= scenario.converged;
-        for i in 0..n {
-            worst.max_finish[i] = worst.max_finish[i].max(scenario.max_finish[i]);
-            worst.min_start[i] = worst.min_start[i].min(scenario.min_start[i]);
-        }
-        scenario_app_wcrt.push((
-            v,
-            hsys.apps()
-                .iter()
-                .map(|happ| scenario.app_wcrt(hsys, happ.app))
-                .collect(),
-        ));
+        // Borrowed lookup first; the scratch vector is cloned only when the
+        // vector has not been seen before.
+        let di = match index_of.get(scratch.as_slice()) {
+            Some(&i) => i,
+            None => {
+                let i = distinct.len();
+                distinct.push(scratch.clone());
+                index_of.insert(scratch.clone(), i);
+                i
+            }
+        };
+        scenario_vec.push((v, di));
     }
+    drop(index_of);
+
+    // Dominance pruning: a vector pointwise dominated by another needs no
+    // backend run — by monotonicity the dominating run's windows contain
+    // its own, so its fold into the worst case is a no-op. Dominance over
+    // *distinct* vectors is a strict partial order (mutual dominance would
+    // mean equality), so every dominated vector has a maximal dominator.
+    let m = distinct.len();
+    let mut maximal = vec![true; m];
+    if opts.prune {
+        for i in 0..m {
+            maximal[i] = !(0..m).any(|j| j != i && dominates(&distinct[j], &distinct[i]));
+        }
+    }
+    let to_run: Vec<usize> = (0..m).filter(|&i| maximal[i]).collect();
+
+    // Backend runs for the surviving vectors, warm-started from the
+    // normal-state solution whenever the scenario's bounds pointwise
+    // contain the normal-state bounds (the `analyze_from` contract; the
+    // gate fails exactly for scenarios with certainly-dropped `[0, 0]`
+    // tasks). Identical results for any thread count: the pool preserves
+    // order and each run is a pure function of its vector.
+    let run_one = |&i: &usize| -> (TaskWindows, bool) {
+        let b = &distinct[i];
+        if opts.warm_start && normal.converged && dominates(b, &normal_bounds) {
+            (backend.analyze_from(b, &normal), true)
+        } else {
+            (backend.analyze(b), false)
+        }
+    };
+    let results: Vec<(TaskWindows, bool)> = if opts.scenario_threads > 1 && to_run.len() > 1 {
+        parallel_map(&to_run, opts.scenario_threads, run_one)
+    } else {
+        to_run.iter().map(run_one).collect()
+    };
+
+    // Fold the worst case over the runs actually performed and resolve the
+    // windows each distinct vector is bounded by.
+    let mut worst = normal.clone();
+    let mut fixedpoint_iters = normal.outer_iters;
+    let mut warm_iters_saved = 0usize;
+    let mut resolved: Vec<Option<usize>> = vec![None; m];
+    for (k, &i) in to_run.iter().enumerate() {
+        let (windows, warmed) = &results[k];
+        fixedpoint_iters += windows.outer_iters;
+        if *warmed {
+            warm_iters_saved += normal.outer_iters.saturating_sub(windows.outer_iters);
+        }
+        worst.converged &= windows.converged;
+        for t in 0..n {
+            worst.max_finish[t] = worst.max_finish[t].max(windows.max_finish[t]);
+            worst.min_start[t] = worst.min_start[t].min(windows.min_start[t]);
+        }
+        resolved[i] = Some(k);
+    }
+    for i in 0..m {
+        if resolved[i].is_none() {
+            let dominator = to_run
+                .iter()
+                .position(|&j| dominates(&distinct[j], &distinct[i]))
+                .expect("every pruned vector has a maximal dominator");
+            resolved[i] = Some(dominator);
+        }
+    }
+
+    let scenario_app_wcrt = scenario_vec
+        .iter()
+        .map(|&(v, di)| {
+            let windows = &results[resolved[di].expect("all vectors resolved")].0;
+            (
+                v,
+                hsys.apps()
+                    .iter()
+                    .map(|happ| windows.app_wcrt(hsys, happ.app))
+                    .collect(),
+            )
+        })
+        .collect();
 
     McAnalysis {
         normal,
         worst,
         scenarios,
-        backend_calls,
+        backend_calls: 1 + to_run.len(),
         scenario_app_wcrt,
         class_normal,
         class_dropped,
         class_transition,
         class_critical,
         fixedpoint_iters,
+        scenarios_pruned: m - to_run.len(),
+        warm_iters_saved,
     }
 }
 
@@ -321,9 +502,29 @@ pub fn analyze(
     policies: &[SchedPolicy],
     dropped: &[AppId],
 ) -> McAnalysis {
+    analyze_with(
+        hsys,
+        arch,
+        mapping,
+        policies,
+        dropped,
+        AnalysisOptions::default(),
+    )
+}
+
+/// [`analyze`] with explicit [`AnalysisOptions`] — the entry point the DSE
+/// uses to honor `--no-warm-start`/`--no-prune`/`--scenario-threads`.
+pub fn analyze_with(
+    hsys: &HardenedSystem,
+    arch: &Architecture,
+    mapping: &Mapping,
+    policies: &[SchedPolicy],
+    dropped: &[AppId],
+    opts: AnalysisOptions,
+) -> McAnalysis {
     let backend = HolisticAnalysis::new(hsys, arch, mapping, policies.to_vec());
     let nominal = nominal_bounds(hsys, arch, mapping);
-    proposed_analysis(&backend, hsys, arch, mapping, &nominal, dropped)
+    proposed_analysis_with(&backend, hsys, arch, mapping, &nominal, dropped, opts)
 }
 
 /// Convenience wrapper running [`naive_analysis`] with the library's
@@ -654,7 +855,181 @@ mod dedup_tests {
         let mc = analyze(&hsys, &arch, &mapping, &policies, &[]);
         assert!(mc.backend_calls <= mc.scenarios + 1);
         // Both tasks inflated in both scenarios → identical bound vectors →
-        // exactly one scenario analysis.
+        // exactly one scenario analysis. The second scenario is a *dedup*
+        // hit (borrowed-slice lookup, no key clone), not a prune.
         assert_eq!(mc.backend_calls, 2);
+        assert_eq!(mc.scenarios_pruned, 0);
+    }
+
+    /// A pipelined pair of re-executed tasks across two PEs with a real
+    /// channel delay: the head's scenario classifies everything critical
+    /// and pointwise dominates the tail's (which sees the head finished
+    /// normally), so pruning skips the tail's backend run while the merged
+    /// windows stay bit-identical to the reference enumeration.
+    #[test]
+    fn dominated_scenarios_are_pruned_without_changing_windows() {
+        let arch = Architecture::builder()
+            .homogeneous(2, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-7))
+            .fabric(mcmap_model::Fabric::new(8))
+            .build()
+            .unwrap();
+        let g = TaskGraph::builder("g", Time::from_ticks(1_000))
+            .criticality(Criticality::NonDroppable {
+                max_failure_rate: 0.9,
+            })
+            .task(
+                Task::new("head")
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(40)))
+                    .with_detect_overhead(Time::from_ticks(4)),
+            )
+            .task(
+                Task::new("tail")
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(40)))
+                    .with_detect_overhead(Time::from_ticks(4)),
+            )
+            .channel(0, 1, 64)
+            .build()
+            .unwrap();
+        let apps = AppSet::new(vec![g]).unwrap();
+        let mut plan = HardeningPlan::unhardened(&apps);
+        plan.set_by_flat_index(0, TaskHardening::reexecution(1));
+        plan.set_by_flat_index(1, TaskHardening::reexecution(1));
+        let hsys = harden(&apps, &plan, &arch).unwrap();
+        let mapping = Mapping::new(&hsys, &arch, vec![ProcId::new(0), ProcId::new(1)]).unwrap();
+        let policies = uniform_policies(2, SchedPolicy::FixedPriorityPreemptive);
+
+        let reference = analyze_with(
+            &hsys,
+            &arch,
+            &mapping,
+            &policies,
+            &[],
+            AnalysisOptions::reference(),
+        );
+        let fast = analyze(&hsys, &arch, &mapping, &policies, &[]);
+
+        assert_eq!(fast.normal, reference.normal);
+        assert_eq!(fast.worst, reference.worst);
+        assert_eq!(fast.scenarios, reference.scenarios);
+        assert_eq!(reference.scenarios_pruned, 0);
+        assert!(
+            fast.scenarios_pruned > 0,
+            "the tail scenario must be dominated"
+        );
+        assert!(
+            fast.backend_calls < reference.backend_calls,
+            "pruning must strictly reduce backend work ({} vs {})",
+            fast.backend_calls,
+            reference.backend_calls
+        );
+    }
+
+    /// All knob combinations (and any scenario thread count) produce the
+    /// same windows, verdicts, and classification counts.
+    #[test]
+    fn fast_path_knobs_never_change_the_result() {
+        let arch = Architecture::builder()
+            .homogeneous(2, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-7))
+            .build()
+            .unwrap();
+        let mk = |name: &str, wcet: u64, crit: Criticality| {
+            TaskGraph::builder(name, Time::from_ticks(2_000))
+                .criticality(crit)
+                .task(
+                    Task::new(name)
+                        .with_uniform_exec(
+                            1,
+                            ExecBounds::new(Time::from_ticks(wcet / 2), Time::from_ticks(wcet)),
+                        )
+                        .with_detect_overhead(Time::from_ticks(3)),
+                )
+                .build()
+                .unwrap()
+        };
+        let apps = AppSet::new(vec![
+            mk(
+                "a",
+                60,
+                Criticality::NonDroppable {
+                    max_failure_rate: 0.9,
+                },
+            ),
+            mk("b", 80, Criticality::Droppable { service: 1.0 }),
+            mk(
+                "c",
+                40,
+                Criticality::NonDroppable {
+                    max_failure_rate: 0.9,
+                },
+            ),
+        ])
+        .unwrap();
+        let mut plan = HardeningPlan::unhardened(&apps);
+        plan.set_by_flat_index(0, TaskHardening::reexecution(1));
+        plan.set_by_flat_index(2, TaskHardening::reexecution(2));
+        let hsys = harden(&apps, &plan, &arch).unwrap();
+        let mapping = Mapping::new(
+            &hsys,
+            &arch,
+            vec![ProcId::new(0), ProcId::new(1), ProcId::new(0)],
+        )
+        .unwrap();
+        let policies = uniform_policies(2, SchedPolicy::FixedPriorityPreemptive);
+        let dropped = vec![AppId::new(1)];
+
+        let reference = analyze_with(
+            &hsys,
+            &arch,
+            &mapping,
+            &policies,
+            &dropped,
+            AnalysisOptions::reference(),
+        );
+        for warm_start in [false, true] {
+            for prune in [false, true] {
+                for scenario_threads in [1, 4] {
+                    let opts = AnalysisOptions {
+                        warm_start,
+                        prune,
+                        scenario_threads,
+                    };
+                    let mc = analyze_with(&hsys, &arch, &mapping, &policies, &dropped, opts);
+                    assert_eq!(mc.normal, reference.normal, "{opts:?}");
+                    assert_eq!(mc.worst, reference.worst, "{opts:?}");
+                    assert_eq!(
+                        mc.schedulable(&hsys, &dropped),
+                        reference.schedulable(&hsys, &dropped),
+                        "{opts:?}"
+                    );
+                    assert_eq!(
+                        (
+                            mc.scenarios,
+                            mc.class_normal,
+                            mc.class_dropped,
+                            mc.class_transition,
+                            mc.class_critical
+                        ),
+                        (
+                            reference.scenarios,
+                            reference.class_normal,
+                            reference.class_dropped,
+                            reference.class_transition,
+                            reference.class_critical
+                        ),
+                        "{opts:?}"
+                    );
+                    if !warm_start {
+                        assert_eq!(mc.warm_iters_saved, 0, "{opts:?}");
+                    }
+                    if !prune {
+                        assert_eq!(mc.scenarios_pruned, 0, "{opts:?}");
+                        assert_eq!(
+                            mc.scenario_app_wcrt, reference.scenario_app_wcrt,
+                            "{opts:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

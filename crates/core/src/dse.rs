@@ -3,8 +3,8 @@
 
 use crate::checkpoint::{read_checkpoint_with_fallback, write_checkpoint, DseCheckpoint};
 use crate::{
-    analyze, expected_power, lost_service, repair_reliability, repair_structure,
-    repair_structure_logged, Genome, GenomeSpace,
+    analyze_with, expected_power, lost_service, repair_reliability, repair_structure,
+    repair_structure_logged, AnalysisOptions, Genome, GenomeSpace,
 };
 use mcmap_eval::{EvalCacheConfig, EvalEngine, EvalStats};
 use mcmap_ga::{
@@ -118,6 +118,12 @@ pub struct DseConfig {
     /// Fault-tolerance knobs (checkpointing, resume, panic isolation,
     /// chaos injection). All default off; none affect search results.
     pub resilience: ResilienceConfig,
+    /// Scenario-level WCRT fast-path knobs (warm starts, dominance
+    /// pruning, per-candidate scenario threads). Every combination yields
+    /// bit-identical windows, fronts, and canonical traces, so — like the
+    /// thread and cache knobs — these are excluded from the context and
+    /// run fingerprints.
+    pub analysis: AnalysisOptions,
 }
 
 impl Default for DseConfig {
@@ -135,6 +141,7 @@ impl Default for DseConfig {
             cache_cap: 65_536,
             obs: Recorder::default(),
             resilience: ResilienceConfig::default(),
+            analysis: AnalysisOptions::default(),
         }
     }
 }
@@ -227,6 +234,82 @@ impl AuditSnapshot {
     }
 }
 
+/// Cumulative scenario-analysis effort over every evaluated candidate —
+/// the aggregate view of the per-candidate `sched.analyze` telemetry.
+///
+/// All fields except `analysis_nanos` are deterministic for a fixed
+/// configuration (replayed from cached [`EvalRecord`]s on hits, so thread
+/// count and cache capacity never shift them); `analysis_nanos` is wall
+/// time and varies run to run. Like [`EvalStats`], this aggregate is not
+/// checkpointed: a resumed run reports the effort it actually performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisStats {
+    /// Candidates whose Algorithm 1 analysis was accounted (cache hits
+    /// replay their cached effort and count here too).
+    pub candidates: u64,
+    /// Transition scenarios enumerated across all candidates.
+    pub scenarios: u64,
+    /// Schedulability-backend invocations actually performed.
+    pub backend_calls: u64,
+    /// Fixed-point iterations summed over all backend runs.
+    pub fixedpoint_iters: u64,
+    /// Distinct scenario bound-vectors skipped by dominance pruning.
+    pub scenarios_pruned: u64,
+    /// Estimated fixed-point sweeps avoided by warm-started runs.
+    pub warm_iters_saved: u64,
+    /// Wall nanoseconds inside Algorithm 1 (fresh evaluations only —
+    /// cache hits replay the nanos their miss originally spent).
+    pub analysis_nanos: u64,
+}
+
+impl AnalysisStats {
+    /// Backend runs avoided per enumerated scenario (0 when nothing ran).
+    pub fn prune_rate(&self) -> f64 {
+        if self.scenarios == 0 {
+            0.0
+        } else {
+            self.scenarios_pruned as f64 / self.scenarios as f64
+        }
+    }
+
+    /// Multi-line human-readable report (the CLI's `--eval-stats` sibling).
+    pub fn render_text(&self) -> String {
+        format!(
+            "analysis-stats: {} candidates, {} scenarios, {} backend calls\n\
+             analysis-stats: fast path: {} scenarios pruned ({:.2} %), \
+             {} warm iters saved, {} fixed-point iters total\n\
+             analysis-stats: {} ns inside Algorithm 1\n",
+            self.candidates,
+            self.scenarios,
+            self.backend_calls,
+            self.scenarios_pruned,
+            100.0 * self.prune_rate(),
+            self.warm_iters_saved,
+            self.fixedpoint_iters,
+            self.analysis_nanos,
+        )
+    }
+
+    /// Single-object JSON report, in the same hand-rolled style as
+    /// [`EvalStats::to_json`].
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"candidates\":{},\"scenarios\":{},\"backend_calls\":{},\
+             \"fixedpoint_iters\":{},\"scenarios_pruned\":{},\
+             \"prune_rate\":{:.6},\"warm_iters_saved\":{},\
+             \"analysis_nanos\":{}}}",
+            self.candidates,
+            self.scenarios,
+            self.backend_calls,
+            self.fixedpoint_iters,
+            self.scenarios_pruned,
+            self.prune_rate(),
+            self.warm_iters_saved,
+            self.analysis_nanos,
+        )
+    }
+}
+
 #[derive(Debug, Default)]
 struct Counters {
     evaluated: AtomicUsize,
@@ -236,6 +319,13 @@ struct Counters {
     reexec: AtomicUsize,
     active: AtomicUsize,
     passive: AtomicUsize,
+    an_candidates: AtomicU64,
+    an_scenarios: AtomicU64,
+    an_backend_calls: AtomicU64,
+    an_fixedpoint_iters: AtomicU64,
+    an_pruned: AtomicU64,
+    an_warm_saved: AtomicU64,
+    an_nanos: AtomicU64,
 }
 
 /// Detailed description of one (repaired) design point, for reporting.
@@ -292,6 +382,12 @@ struct EvalRecord {
     passive: usize,
     effort: AnalysisEffort,
     repair_codes: Vec<&'static str>,
+    /// Wall nanoseconds spent inside Algorithm 1 for this candidate
+    /// (protocol analysis plus the optional no-dropping audit run).
+    /// Timing, not content: replayed from the cache on hits, emitted only
+    /// in non-deterministic telemetry payloads, and excluded from
+    /// [`AnalysisEffort`]'s pure-function equality.
+    analysis_nanos: u64,
 }
 
 /// Deterministic effort counters of one candidate's Algorithm 1 analysis.
@@ -317,6 +413,10 @@ struct AnalysisEffort {
     class_transition: usize,
     /// Tasks classified through the critical-mode bounds (Eq. 1).
     class_critical: usize,
+    /// Distinct scenario bound-vectors skipped by dominance pruning.
+    scenarios_pruned: usize,
+    /// Estimated fixed-point sweeps avoided by warm-started runs.
+    warm_iters_saved: usize,
 }
 
 /// Content fingerprint of the non-genome evaluation inputs: the memo key
@@ -378,6 +478,7 @@ struct Assessment {
     app_wcrt: Vec<Time>,
     effort: AnalysisEffort,
     repair_codes: Vec<&'static str>,
+    analysis_nanos: u64,
 }
 
 impl<'a> MappingProblem<'a> {
@@ -417,6 +518,19 @@ impl<'a> MappingProblem<'a> {
     /// misses / evictions, per-phase nanos, genomes/sec).
     pub fn eval_stats(&self) -> EvalStats {
         self.engine.stats()
+    }
+
+    /// A snapshot of the cumulative scenario-analysis effort counters.
+    pub fn analysis_stats(&self) -> AnalysisStats {
+        AnalysisStats {
+            candidates: self.counters.an_candidates.load(Ordering::Relaxed),
+            scenarios: self.counters.an_scenarios.load(Ordering::Relaxed),
+            backend_calls: self.counters.an_backend_calls.load(Ordering::Relaxed),
+            fixedpoint_iters: self.counters.an_fixedpoint_iters.load(Ordering::Relaxed),
+            scenarios_pruned: self.counters.an_pruned.load(Ordering::Relaxed),
+            warm_iters_saved: self.counters.an_warm_saved.load(Ordering::Relaxed),
+            analysis_nanos: self.counters.an_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// A snapshot of the cumulative audit counters.
@@ -556,6 +670,7 @@ impl<'a> MappingProblem<'a> {
             app_wcrt: vec![Time::MAX; self.apps.num_apps()],
             effort: AnalysisEffort::default(),
             repair_codes: repair_codes.clone(),
+            analysis_nanos: 0,
         };
 
         let hsys = match harden(self.apps, &plan, self.arch) {
@@ -589,7 +704,16 @@ impl<'a> MappingProblem<'a> {
             }
         }
 
-        let mc = analyze(&hsys, self.arch, &mapping, &self.policies, &dropped);
+        let t_analysis = std::time::Instant::now();
+        let mc = analyze_with(
+            &hsys,
+            self.arch,
+            &mapping,
+            &self.policies,
+            &dropped,
+            self.cfg.analysis,
+        );
+        let mut analysis_nanos = t_analysis.elapsed().as_nanos() as u64;
         let mut effort = AnalysisEffort {
             scenarios: mc.scenarios,
             backend_calls: mc.backend_calls,
@@ -598,6 +722,8 @@ impl<'a> MappingProblem<'a> {
             class_dropped: mc.class_dropped,
             class_transition: mc.class_transition,
             class_critical: mc.class_critical,
+            scenarios_pruned: mc.scenarios_pruned,
+            warm_iters_saved: mc.warm_iters_saved,
         };
         let app_wcrt: Vec<Time> = self
             .apps
@@ -618,13 +744,24 @@ impl<'a> MappingProblem<'a> {
         }
 
         let rescued = if audit && !dropped.is_empty() {
-            let mc0 = analyze(&hsys, self.arch, &mapping, &self.policies, &[]);
+            let t_audit = std::time::Instant::now();
+            let mc0 = analyze_with(
+                &hsys,
+                self.arch,
+                &mapping,
+                &self.policies,
+                &[],
+                self.cfg.analysis,
+            );
+            analysis_nanos += t_audit.elapsed().as_nanos() as u64;
             // The no-dropping re-analysis is real backend effort; fold it
             // into the enumeration counters (classification counts stay
             // those of the protocol analysis).
             effort.scenarios += mc0.scenarios;
             effort.backend_calls += mc0.backend_calls;
             effort.fixedpoint_iters += mc0.fixedpoint_iters;
+            effort.scenarios_pruned += mc0.scenarios_pruned;
+            effort.warm_iters_saved += mc0.warm_iters_saved;
             let feasible_without = mc0.schedulable(&hsys, &[]);
             Some(schedulable && penalty == 0.0 && !feasible_without)
         } else {
@@ -653,6 +790,7 @@ impl<'a> MappingProblem<'a> {
             app_wcrt,
             effort,
             repair_codes,
+            analysis_nanos,
         }
     }
 
@@ -680,6 +818,7 @@ impl<'a> MappingProblem<'a> {
             passive: a.histogram.passive,
             effort: a.effort,
             repair_codes: a.repair_codes,
+            analysis_nanos: a.analysis_nanos,
         }
     }
 
@@ -703,23 +842,48 @@ impl<'a> MappingProblem<'a> {
         self.counters
             .passive
             .fetch_add(r.passive, Ordering::Relaxed);
+        let e = &r.effort;
+        self.counters.an_candidates.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .an_scenarios
+            .fetch_add(e.scenarios as u64, Ordering::Relaxed);
+        self.counters
+            .an_backend_calls
+            .fetch_add(e.backend_calls as u64, Ordering::Relaxed);
+        self.counters
+            .an_fixedpoint_iters
+            .fetch_add(e.fixedpoint_iters as u64, Ordering::Relaxed);
+        self.counters
+            .an_pruned
+            .fetch_add(e.scenarios_pruned as u64, Ordering::Relaxed);
+        self.counters
+            .an_warm_saved
+            .fetch_add(e.warm_iters_saved as u64, Ordering::Relaxed);
+        self.counters
+            .an_nanos
+            .fetch_add(r.analysis_nanos, Ordering::Relaxed);
         if self.cfg.obs.enabled() {
             // Emitted on the sequential replay path, from cached effort
             // counters: the event stream is identical for hits and misses,
-            // hence for any thread count or cache capacity.
-            let e = &r.effort;
-            self.cfg.obs.counter(
+            // hence for any thread count or cache capacity. The wall time
+            // of the analysis is timing, not content — it rides in the
+            // non-deterministic payload (and replays from the cached
+            // record, like the effort counters).
+            self.cfg.obs.counter_with_nondet(
                 "sched.analyze",
                 &[
                     ("scenarios", Value::from(e.scenarios)),
                     ("backend_calls", Value::from(e.backend_calls)),
                     ("fixedpoint_iters", Value::from(e.fixedpoint_iters)),
+                    ("scenarios_pruned", Value::from(e.scenarios_pruned)),
+                    ("warm_iters_saved", Value::from(e.warm_iters_saved)),
                     ("class_normal", Value::from(e.class_normal)),
                     ("class_dropped", Value::from(e.class_dropped)),
                     ("class_transition", Value::from(e.class_transition)),
                     ("class_critical", Value::from(e.class_critical)),
                     ("feasible", Value::from(r.eval.feasible)),
                 ],
+                &[("analysis_ns", Value::from(r.analysis_nanos))],
             );
             if !r.repair_codes.is_empty() {
                 self.cfg.obs.counter(
@@ -894,6 +1058,9 @@ pub struct DseOutcome {
     /// Evaluation-engine instrumentation (cache traffic, per-phase nanos,
     /// throughput) over the whole run.
     pub eval_stats: EvalStats,
+    /// Scenario-analysis effort (Algorithm 1 enumeration, fast-path
+    /// pruning and warm-start savings) over the whole run.
+    pub analysis: AnalysisStats,
     /// The recorder the run traced into (a clone of `DseConfig::obs`,
     /// already flushed). Query its in-memory ring with
     /// [`Recorder::events`](mcmap_obs::Recorder::events) or render a
@@ -1088,6 +1255,7 @@ pub fn explore_checked(
     Ok(DseOutcome {
         audit,
         eval_stats: problem.eval_stats(),
+        analysis: problem.analysis_stats(),
         reports,
         failures: problem.failures(),
         interrupted: result.interrupted,
@@ -1445,6 +1613,67 @@ mod tests {
         // The untraced run records nothing.
         assert!(!plain.telemetry.enabled());
         assert!(plain.telemetry.events().is_empty());
+    }
+
+    #[test]
+    fn analysis_stats_replay_identically_across_speed_knobs() {
+        let (apps, arch) = small_system();
+        let reference = explore(&apps, &arch, tiny_cfg());
+        assert!(reference.analysis.candidates > 0);
+        assert!(reference.analysis.scenarios > 0);
+        // The deterministic effort counters must not shift with thread
+        // count or cache capacity — cache hits replay their cached effort.
+        for (threads, cache_cap) in [(4usize, 65_536usize), (1, 0), (3, 8)] {
+            let mut cfg = tiny_cfg();
+            cfg.ga.threads = threads;
+            cfg.cache_cap = cache_cap;
+            let run = explore(&apps, &arch, cfg);
+            assert_eq!(
+                (
+                    run.analysis.candidates,
+                    run.analysis.scenarios,
+                    run.analysis.backend_calls,
+                    run.analysis.fixedpoint_iters,
+                    run.analysis.scenarios_pruned,
+                    run.analysis.warm_iters_saved,
+                ),
+                (
+                    reference.analysis.candidates,
+                    reference.analysis.scenarios,
+                    reference.analysis.backend_calls,
+                    reference.analysis.fixedpoint_iters,
+                    reference.analysis.scenarios_pruned,
+                    reference.analysis.warm_iters_saved,
+                ),
+                "threads={threads} cache_cap={cache_cap}"
+            );
+        }
+        // The reference enumeration performs at least as much backend work
+        // and fronts stay identical with the fast path off.
+        let mut cold_cfg = tiny_cfg();
+        cold_cfg.analysis = AnalysisOptions::reference();
+        let cold = explore(&apps, &arch, cold_cfg);
+        assert_eq!(cold.analysis.scenarios_pruned, 0);
+        assert_eq!(cold.analysis.warm_iters_saved, 0);
+        assert!(cold.analysis.backend_calls >= reference.analysis.backend_calls);
+        assert_eq!(cold.result.front.len(), reference.result.front.len());
+        for (a, b) in cold.result.front.iter().zip(&reference.result.front) {
+            assert_eq!(a.eval, b.eval);
+            assert_eq!(a.genotype, b.genotype);
+        }
+        // The report formats carry the fast-path numbers.
+        let text = reference.analysis.render_text();
+        assert!(text.contains("backend calls"));
+        assert!(text.contains("scenarios pruned"));
+        let json = reference.analysis.to_json();
+        let parsed = mcmap_obs::parse_json(&json).expect("analysis JSON parses");
+        assert_eq!(
+            parsed
+                .get("backend_calls")
+                .and_then(mcmap_obs::Json::as_u64),
+            Some(reference.analysis.backend_calls)
+        );
+        assert!(parsed.get("prune_rate").is_some());
     }
 
     #[test]

@@ -70,15 +70,15 @@ mod repair;
 mod sensitivity;
 
 pub use analysis::{
-    adhoc_analysis, analyze, analyze_naive, naive_analysis, normal_state_bounds, proposed_analysis,
-    McAnalysis,
+    adhoc_analysis, analyze, analyze_naive, analyze_with, naive_analysis, normal_state_bounds,
+    proposed_analysis, proposed_analysis_with, AnalysisOptions, McAnalysis,
 };
 pub use checkpoint::{
     read_checkpoint, read_checkpoint_with_fallback, write_checkpoint, DseCheckpoint,
 };
 pub use dse::{
-    explore, explore_checked, AuditSnapshot, DesignReport, DseConfig, DseError, DseOutcome,
-    MappingProblem, ObjectiveMode, ResilienceConfig,
+    explore, explore_checked, AnalysisStats, AuditSnapshot, DesignReport, DseConfig, DseError,
+    DseOutcome, MappingProblem, ObjectiveMode, ResilienceConfig,
 };
 pub use genome::{GeneHardening, Genome, GenomeSpace, TaskGene};
 pub use mcmap_eval::{EvalCacheConfig, EvalStats};

@@ -2,7 +2,10 @@
 //! plumbing — including the headline safety claim: Algorithm 1 upper-bounds
 //! simulated response times on randomized systems and failure profiles.
 
-use mcmap_core::{analyze, analyze_naive, repair_reliability, repair_structure, GenomeSpace};
+use mcmap_core::{
+    analyze, analyze_naive, analyze_with, repair_reliability, repair_structure, AnalysisOptions,
+    GenomeSpace,
+};
 use mcmap_hardening::{harden, HardenedSystem, HardeningPlan, TaskHardening};
 use mcmap_model::{
     AppId, AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcId, ProcKind, Processor,
@@ -174,6 +177,46 @@ proptest! {
         for i in 0..hsys.num_tasks() {
             prop_assert!(mc.worst.max_finish[i] >= mc.normal.max_finish[i]);
             prop_assert!(mc.worst.min_start[i] <= mc.normal.min_start[i]);
+        }
+    }
+
+    /// The analysis fast path (warm-started fixed points, dominance
+    /// pruning, parallel scenario fan-out) is an *optimization*, never an
+    /// approximation: on random systems every knob combination reproduces
+    /// the cold, prune-free reference enumeration bit-for-bit — same
+    /// windows, same verdict, same scenario count — while never *adding*
+    /// backend work.
+    #[test]
+    fn fast_path_is_bit_identical_to_the_cold_reference(d in desc_strategy()) {
+        let (arch, _apps, hsys, mapping, policies, dropped) = build(&d);
+        let reference = analyze_with(
+            &hsys, &arch, &mapping, &policies, &dropped, AnalysisOptions::reference(),
+        );
+        for opts in [
+            AnalysisOptions::default(),
+            AnalysisOptions { warm_start: true, prune: false, scenario_threads: 1 },
+            AnalysisOptions { warm_start: false, prune: true, scenario_threads: 1 },
+            AnalysisOptions { warm_start: true, prune: true, scenario_threads: 3 },
+        ] {
+            let fast = analyze_with(&hsys, &arch, &mapping, &policies, &dropped, opts);
+            prop_assert_eq!(&fast.normal, &reference.normal, "{:?}", opts);
+            prop_assert_eq!(&fast.worst, &reference.worst, "{:?}", opts);
+            prop_assert_eq!(
+                fast.schedulable(&hsys, &dropped),
+                reference.schedulable(&hsys, &dropped),
+                "{:?}", opts
+            );
+            prop_assert_eq!(fast.scenarios, reference.scenarios);
+            prop_assert!(
+                fast.backend_calls <= reference.backend_calls,
+                "{:?}: {} backend calls vs reference {}",
+                opts, fast.backend_calls, reference.backend_calls
+            );
+            prop_assert_eq!(
+                fast.backend_calls + fast.scenarios_pruned,
+                reference.backend_calls,
+                "every skipped run must be accounted to the pruner ({:?})", opts
+            );
         }
     }
 }

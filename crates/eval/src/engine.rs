@@ -7,7 +7,25 @@ use mcmap_obs::{Recorder, Value};
 use mcmap_resilience::{panic_message, EvalFailure};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
 use std::time::Instant;
+
+/// Predicted per-batch work (nanoseconds) below which fanning out to the
+/// worker pool costs more than it saves: thread spawn/join plus contended
+/// sharded-cache traffic sit around the low milliseconds, so a batch whose
+/// *observed* per-candidate cost times its size lands under this bound runs
+/// serially instead. Measured against `results/BENCH_eval.json`, where
+/// dt-med batches of 24 near-always-cached candidates (~90 µs each) were
+/// 1.3× *slower* parallel than serial.
+///
+/// The bound is deliberately ~2× the true serial break-even: the cost
+/// history it is compared against is per-thread accounted, and a batch
+/// that already ran parallel inflates it by the same contention
+/// (allocator, cache shards) the fallback exists to dodge — dt-med
+/// candidates read ~100 µs from a serial batch but ~220 µs from a parallel
+/// one. A threshold at the serial break-even would let that inflation mask
+/// exactly the regressed batches.
+const SERIAL_FALLBACK_NANOS: u64 = 8_000_000;
 
 /// Where an evaluation attempt sits inside its batch — handed to the
 /// evaluation closure of [`EvalEngine::evaluate_batch_isolated`] so fault
@@ -150,6 +168,34 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
         v
     }
 
+    /// Picks the effective worker count for a batch: the requested budget,
+    /// unless the work the batch is *predicted* to carry (observed
+    /// per-candidate cost × batch size) is too small to amortize pool and
+    /// cache-contention overhead — then the batch runs serially and the
+    /// fallback is counted. The first batch has no history and always
+    /// honors the request. Results are bit-identical either way (the
+    /// thread count never shapes values or order), so this timing-driven
+    /// choice stays out of the canonical trace like any other thread knob.
+    fn adaptive_threads(&self, batch: usize, requested: usize) -> usize {
+        if requested == 1 || batch <= 1 {
+            return requested;
+        }
+        let history = self.counters.genomes.load(Ordering::Relaxed);
+        if history == 0 {
+            return requested;
+        }
+        let work = self.counters.lookup_nanos.load(Ordering::Relaxed)
+            + self.counters.eval_nanos.load(Ordering::Relaxed)
+            + self.counters.insert_nanos.load(Ordering::Relaxed);
+        let predicted = (work / history).saturating_mul(batch as u64);
+        if predicted < SERIAL_FALLBACK_NANOS {
+            self.counters.add(&self.counters.serial_fallbacks, 1);
+            1
+        } else {
+            requested
+        }
+    }
+
     /// Evaluates a batch across `threads` workers (0 = one per core),
     /// returning results in input order regardless of thread count.
     pub fn evaluate_batch<G, F>(&self, genomes: &[G], threads: usize, eval: F) -> Vec<V>
@@ -165,7 +211,11 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
             .obs
             .span("eval.batch", &[("genomes", Value::from(genomes.len()))]);
         span.nondet("threads", threads);
-        let results = parallel_map(genomes, threads, |g| self.evaluate_one(g, &eval));
+        let effective = self.adaptive_threads(genomes.len(), threads);
+        if effective != threads {
+            span.nondet("serial_fallback", true);
+        }
+        let results = parallel_map(genomes, effective, |g| self.evaluate_one(g, &eval));
         self.counters.add(&self.counters.batches, 1);
         self.counters
             .add(&self.counters.genomes, genomes.len() as u64);
@@ -242,6 +292,10 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
             .obs
             .span("eval.batch", &[("genomes", Value::from(genomes.len()))]);
         span.nondet("threads", threads);
+        let effective = self.adaptive_threads(genomes.len(), threads);
+        if effective != threads {
+            span.nondet("serial_fallback", true);
+        }
 
         let mut slots: Vec<Option<Result<V, EvalFailure>>> = std::iter::repeat_with(|| None)
             .take(genomes.len())
@@ -250,7 +304,7 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
         let mut attempt: u32 = 0;
         while !pending.is_empty() {
             let wave: Vec<(usize, &G)> = pending.iter().map(|&i| (i, &genomes[i])).collect();
-            let outcomes = parallel_map_caught(&wave, threads, |&(index, g)| {
+            let outcomes = parallel_map_caught(&wave, effective, |&(index, g)| {
                 let ctx = EvalContext { index, attempt };
                 inject(ctx);
                 self.evaluate_one(g, |g| eval(g, ctx))
@@ -489,6 +543,53 @@ mod tests {
             .map(|r| r.unwrap())
             .collect();
         assert_eq!(plain, isolated);
+    }
+
+    #[test]
+    fn small_cheap_batches_fall_back_to_serial_dispatch() {
+        let e = engine(256);
+        let genomes: Vec<u64> = (0..24).collect();
+        // First batch: no cost history, the requested budget is honored.
+        let first = e.evaluate_batch(&genomes, 4, |g| g + 1);
+        assert_eq!(e.stats().serial_fallbacks, 0);
+        // Second batch: observed per-candidate cost is sub-microsecond, so
+        // 24 candidates predict far below the fan-out threshold — the batch
+        // runs serially, with identical results.
+        let second = e.evaluate_batch(&genomes, 4, |g| g + 1);
+        assert_eq!(first, second);
+        assert_eq!(e.stats().serial_fallbacks, 1);
+        // The isolated path takes the same decision.
+        let isolated: Vec<u64> = e
+            .evaluate_batch_isolated(&genomes, 4, 1, |g, _ctx| g + 1)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(isolated, second);
+        assert_eq!(e.stats().serial_fallbacks, 2);
+    }
+
+    #[test]
+    fn expensive_batches_keep_their_thread_budget() {
+        let e = engine(0); // no cache: every candidate pays full cost
+        let genomes: Vec<u64> = (0..4).collect();
+        let slow = |g: &u64| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            *g
+        };
+        let _ = e.evaluate_batch(&genomes, 4, slow);
+        // History now says ~5 ms per candidate → 4 candidates predict
+        // 20 ms, comfortably above the threshold: no fallback.
+        let _ = e.evaluate_batch(&genomes, 4, slow);
+        assert_eq!(e.stats().serial_fallbacks, 0);
+    }
+
+    #[test]
+    fn serial_requests_never_count_as_fallbacks() {
+        let e = engine(256);
+        let genomes: Vec<u64> = (0..10).collect();
+        let _ = e.evaluate_batch(&genomes, 1, |g| *g);
+        let _ = e.evaluate_batch(&genomes, 1, |g| *g);
+        assert_eq!(e.stats().serial_fallbacks, 0);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use mcmap_hardening::{HTaskId, HardenedSystem};
 use mcmap_model::{Architecture, ExecBounds, Time};
+use std::sync::Mutex;
 
 use crate::{hyperperiod, Mapping, SchedBackend, SchedPolicy, TaskWindows};
 
@@ -32,6 +33,23 @@ const MAX_OUTER_ITERS: usize = 256;
 const MAX_RT_ITERS: usize = 4096;
 /// Divergence bound, in hyperperiods.
 const DIVERGENCE_HYPERPERIODS: u64 = 64;
+/// Upper bound on pooled scratch states: one per plausible concurrent
+/// caller; anything beyond that is dropped instead of hoarded.
+const MAX_POOLED_SCRATCH: usize = 16;
+
+/// Reusable iteration buffers of one worst-case fixed-point run.
+///
+/// The mixed-criticality analysis calls the backend once per transition
+/// scenario of every candidate, so the intermediate `latest-release` and
+/// best-case `min_finish` vectors are pooled on the analysis context and
+/// fully re-initialized per run instead of being re-allocated. (The
+/// `min_start`/`max_finish` vectors are the *output* and necessarily
+/// allocated fresh — they are moved into the returned [`TaskWindows`].)
+#[derive(Debug, Default)]
+struct ScratchState {
+    lr: Vec<Time>,
+    min_finish: Vec<Time>,
+}
 
 /// Holistic fixed-priority analysis of one hardened system under one
 /// mapping.
@@ -88,6 +106,8 @@ pub struct HolisticAnalysis<'a> {
     period: Vec<Time>,
     /// Divergence bound.
     limit: Time,
+    /// Pool of reusable iteration buffers (lock-per-run, not per-task).
+    scratch: Mutex<Vec<ScratchState>>,
 }
 
 impl<'a> HolisticAnalysis<'a> {
@@ -164,6 +184,7 @@ impl<'a> HolisticAnalysis<'a> {
             lp_blockers,
             period,
             limit,
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -172,11 +193,19 @@ impl<'a> HolisticAnalysis<'a> {
     }
 
     /// Exact best-case pass: earliest release and earliest finish assuming
-    /// no interference and best-case execution everywhere.
-    fn best_case(&self, bounds: &[ExecBounds]) -> (Vec<Time>, Vec<Time>) {
+    /// no interference and best-case execution everywhere. Writes into the
+    /// caller's buffers, which are fully re-initialized.
+    fn best_case_into(
+        &self,
+        bounds: &[ExecBounds],
+        er: &mut Vec<Time>,
+        min_finish: &mut Vec<Time>,
+    ) {
         let n = self.hsys.num_tasks();
-        let mut er = vec![Time::ZERO; n];
-        let mut min_finish = vec![Time::ZERO; n];
+        er.clear();
+        er.resize(n, Time::ZERO);
+        min_finish.clear();
+        min_finish.resize(n, Time::ZERO);
         for &v in self.hsys.topological_order() {
             let release = self.in_edges[v.index()]
                 .iter()
@@ -186,7 +215,6 @@ impl<'a> HolisticAnalysis<'a> {
             er[v.index()] = release;
             min_finish[v.index()] = release.saturating_add(bounds[v.index()].bcet);
         }
-        (er, min_finish)
     }
 
     /// Busy-period response time of `v` (from its latest release), given the
@@ -247,6 +275,121 @@ impl<'a> HolisticAnalysis<'a> {
             }
         }
     }
+
+    /// One full analysis run: pops a scratch state from the pool, iterates,
+    /// and returns the buffers for reuse.
+    fn run(&self, bounds: &[ExecBounds], seed: Option<&TaskWindows>) -> TaskWindows {
+        assert_eq!(
+            bounds.len(),
+            self.hsys.num_tasks(),
+            "one execution-bound entry per hardened task required"
+        );
+        let mut scratch = self
+            .scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let windows = self.run_with(bounds, seed, &mut scratch);
+        let mut pool = self.scratch.lock().expect("scratch pool poisoned");
+        if pool.len() < MAX_POOLED_SCRATCH {
+            pool.push(scratch);
+        }
+        windows
+    }
+
+    /// The worst-case fixed point, optionally warm-started.
+    ///
+    /// Cold (`seed == None`) this is the classic iteration from
+    /// `lr = er, max_finish = 0`. Warm-started, the latest releases begin
+    /// at `max(er, seed.min_start)` and the finishes at `seed.max_finish`
+    /// — valid whenever the seed came from a pointwise-contained bounds
+    /// vector (see [`SchedBackend::analyze_from`]): the seed then lies at
+    /// or below the least fixed point for `bounds`, and a monotone
+    /// iteration started anywhere between the cold start and the least
+    /// fixed point converges to exactly that same fixed point.
+    fn run_with(
+        &self,
+        bounds: &[ExecBounds],
+        seed: Option<&TaskWindows>,
+        scratch: &mut ScratchState,
+    ) -> TaskWindows {
+        let n = self.hsys.num_tasks();
+        let ScratchState { lr, min_finish } = scratch;
+        let mut er = vec![Time::ZERO; n];
+        self.best_case_into(bounds, &mut er, min_finish);
+
+        let mut max_finish: Vec<Time> = vec![Time::ZERO; n];
+        lr.clear();
+        match seed {
+            None => lr.extend_from_slice(&er),
+            Some(s) => {
+                max_finish.copy_from_slice(&s.max_finish);
+                // Seed the latest releases at the value the seeded finishes
+                // already imply: `lr[v] = max(er[v], arrival over seeded
+                // predecessor finishes)`. The seed's finishes are at or
+                // below the least fixed point for `bounds` (containment),
+                // so this stays between the cold start and the fixed point
+                // — and when the seed *is* the fixed point, the first sweep
+                // is a pure verification pass.
+                for (v, &e) in er.iter().enumerate() {
+                    let arrival = self.in_edges[v]
+                        .iter()
+                        .map(|&(src, delay)| max_finish[src.index()].saturating_add(delay))
+                        .max()
+                        .unwrap_or(Time::ZERO);
+                    lr.push(e.max(arrival));
+                }
+            }
+        }
+
+        let mut converged = false;
+        let mut diverged = false;
+        let mut outer_iters = 0usize;
+        for _ in 0..MAX_OUTER_ITERS {
+            outer_iters += 1;
+            let mut changed = false;
+            for &v in self.hsys.topological_order() {
+                let release = self.in_edges[v.index()]
+                    .iter()
+                    .map(|&(src, delay)| max_finish[src.index()].saturating_add(delay))
+                    .max()
+                    .unwrap_or(Time::ZERO);
+                let release = release.max(lr[v.index()]);
+                let response = self.local_response(v, bounds, &er, lr);
+                let finish = release.saturating_add(response);
+                if release > lr[v.index()] || finish > max_finish[v.index()] {
+                    changed = true;
+                }
+                lr[v.index()] = release.max(lr[v.index()]);
+                max_finish[v.index()] = finish.max(max_finish[v.index()]);
+            }
+            if max_finish.iter().any(|&f| f > self.limit) {
+                diverged = true;
+                break;
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        if diverged {
+            // Diverged: saturate and bail out.
+            for f in &mut max_finish {
+                if *f > self.limit {
+                    *f = Time::MAX;
+                }
+            }
+            converged = false;
+        }
+
+        TaskWindows {
+            min_start: er,
+            max_finish,
+            converged,
+            outer_iters,
+        }
+    }
 }
 
 /// `related[a][b]` ⇔ there is a directed path `a → … → b`.
@@ -281,63 +424,25 @@ fn split_rows(m: &mut [Vec<bool>], a: usize, b: usize) -> (&mut Vec<bool>, &Vec<
 
 impl SchedBackend for HolisticAnalysis<'_> {
     fn analyze(&self, bounds: &[ExecBounds]) -> TaskWindows {
-        assert_eq!(
-            bounds.len(),
-            self.hsys.num_tasks(),
-            "one execution-bound entry per hardened task required"
-        );
-        let n = self.hsys.num_tasks();
-        let (er, _min_finish) = self.best_case(bounds);
+        self.run(bounds, None)
+    }
 
-        // Worst-case fixed point, seeded from the interference-free pass.
-        let mut lr = er.clone();
-        let mut max_finish: Vec<Time> = vec![Time::ZERO; n];
-        let mut converged = false;
-        let mut outer_iters = 0usize;
-        for _ in 0..MAX_OUTER_ITERS {
-            outer_iters += 1;
-            let mut changed = false;
-            for &v in self.hsys.topological_order() {
-                let release = self.in_edges[v.index()]
-                    .iter()
-                    .map(|&(src, delay)| max_finish[src.index()].saturating_add(delay))
-                    .max()
-                    .unwrap_or(Time::ZERO);
-                let release = release.max(lr[v.index()]);
-                let response = self.local_response(v, bounds, &er, &lr);
-                let finish = release.saturating_add(response);
-                if release > lr[v.index()] || finish > max_finish[v.index()] {
-                    changed = true;
-                }
-                lr[v.index()] = release.max(lr[v.index()]);
-                max_finish[v.index()] = finish.max(max_finish[v.index()]);
-            }
-            if max_finish.iter().any(|&f| f > self.limit) {
-                // Diverged: saturate and bail out.
-                for f in &mut max_finish {
-                    if *f > self.limit {
-                        *f = Time::MAX;
-                    }
-                }
-                converged = false;
-                return TaskWindows {
-                    min_start: er,
-                    max_finish,
-                    converged,
-                    outer_iters,
-                };
-            }
-            if !changed {
-                converged = true;
-                break;
-            }
+    fn analyze_from(&self, bounds: &[ExecBounds], seed: &TaskWindows) -> TaskWindows {
+        // A diverged seed carries saturated finishes that are not a valid
+        // lower bound of anything — run cold.
+        if !seed.converged {
+            return self.analyze(bounds);
         }
-
-        TaskWindows {
-            min_start: er,
-            max_finish,
-            converged,
-            outer_iters,
+        let warm = self.run(bounds, Some(seed));
+        if warm.converged {
+            warm
+        } else {
+            // The warm iteration hit the divergence bound (or the sweep
+            // budget). The cold run saturates at a *different* iterate, so
+            // re-run cold to keep the bit-identical-windows contract; the
+            // extra cost only hits unschedulable candidates, whose
+            // iterates grow geometrically and bail out quickly.
+            self.analyze(bounds)
         }
     }
 
@@ -668,6 +773,136 @@ mod tests {
         for i in 0..hsys.num_tasks() {
             assert!(w2.max_finish[i] >= w1.max_finish[i]);
             assert!(w2.min_start[i] == w1.min_start[i]); // bcet untouched
+        }
+    }
+
+    /// Fixture shared by the warm-start tests: three cross-coupled apps on
+    /// two PEs with real interference, nominal vs. ×3-inflated bounds.
+    fn warm_fixture() -> (
+        HardenedSystem,
+        Architecture,
+        crate::Mapping,
+        Vec<ExecBounds>,
+        Vec<ExecBounds>,
+    ) {
+        let mk = |name: &str, period: u64, b: u64, w: u64| {
+            TaskGraph::builder(name, Time::from_ticks(period))
+                .task(task(&format!("{name}0"), b, w))
+                .task(task(&format!("{name}1"), b, w))
+                .channel(0, 1, 16)
+                .build()
+                .unwrap()
+        };
+        let apps = AppSet::new(vec![
+            mk("a", 400, 10, 30),
+            mk("b", 600, 20, 40),
+            mk("c", 1200, 15, 50),
+        ])
+        .unwrap();
+        let arch = arch(2);
+        let hsys = harden(&apps, &HardeningPlan::unhardened(&apps), &arch).unwrap();
+        let placement = vec![
+            ProcId::new(0),
+            ProcId::new(1),
+            ProcId::new(0),
+            ProcId::new(1),
+            ProcId::new(1),
+            ProcId::new(0),
+        ];
+        let mapping = Mapping::new(&hsys, &arch, placement).unwrap();
+        let narrow = nominal_bounds(&hsys, &arch, &mapping);
+        let wide: Vec<ExecBounds> = narrow
+            .iter()
+            .map(|b| ExecBounds::new(b.bcet, b.wcet * 3))
+            .collect();
+        (hsys, arch, mapping, narrow, wide)
+    }
+
+    #[test]
+    fn warm_start_reproduces_the_cold_fixed_point_exactly() {
+        let (hsys, arch, mapping, narrow, wide) = warm_fixture();
+        let analysis = HolisticAnalysis::new(
+            &hsys,
+            &arch,
+            &mapping,
+            uniform_policies(2, SchedPolicy::FixedPriorityPreemptive),
+        );
+        let seed = analysis.analyze(&narrow);
+        assert!(seed.converged);
+        let cold = analysis.analyze(&wide);
+        let warm = analysis.analyze_from(&wide, &seed);
+        assert_eq!(warm.min_start, cold.min_start);
+        assert_eq!(warm.max_finish, cold.max_finish);
+        assert_eq!(warm.converged, cold.converged);
+        assert!(
+            warm.outer_iters <= cold.outer_iters,
+            "warm {} > cold {}",
+            warm.outer_iters,
+            cold.outer_iters
+        );
+    }
+
+    #[test]
+    fn warm_start_from_identical_bounds_converges_in_one_sweep() {
+        let (hsys, arch, mapping, narrow, _) = warm_fixture();
+        let analysis = HolisticAnalysis::new(
+            &hsys,
+            &arch,
+            &mapping,
+            uniform_policies(2, SchedPolicy::FixedPriorityPreemptive),
+        );
+        let seed = analysis.analyze(&narrow);
+        let warm = analysis.analyze_from(&narrow, &seed);
+        assert_eq!(warm.max_finish, seed.max_finish);
+        assert_eq!(
+            warm.outer_iters, 1,
+            "a fixed-point seed needs exactly the verification sweep"
+        );
+    }
+
+    #[test]
+    fn warm_start_with_diverged_seed_falls_back_to_cold() {
+        // Saturated processor from `saturated_processor_diverges`.
+        let mk = |name: &str| {
+            TaskGraph::builder(name, Time::from_ticks(10))
+                .task(task(name, 8, 8))
+                .build()
+                .unwrap()
+        };
+        let apps = AppSet::new(vec![mk("a"), mk("b"), mk("c")]).unwrap();
+        let arch = arch(1);
+        let hsys = harden(&apps, &HardeningPlan::unhardened(&apps), &arch).unwrap();
+        let mapping = Mapping::new(&hsys, &arch, vec![ProcId::new(0); 3]).unwrap();
+        let analysis = HolisticAnalysis::new(
+            &hsys,
+            &arch,
+            &mapping,
+            uniform_policies(1, SchedPolicy::FixedPriorityPreemptive),
+        );
+        let bounds = nominal_bounds(&hsys, &arch, &mapping);
+        let cold = analysis.analyze(&bounds);
+        assert!(!cold.converged);
+        // Both a diverged seed and a divergent warm run must reproduce the
+        // cold result bit-for-bit (including the saturation pattern).
+        let warm = analysis.analyze_from(&bounds, &cold);
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_repeated_analyses_identical() {
+        let (hsys, arch, mapping, narrow, wide) = warm_fixture();
+        let analysis = HolisticAnalysis::new(
+            &hsys,
+            &arch,
+            &mapping,
+            uniform_policies(2, SchedPolicy::FixedPriorityPreemptive),
+        );
+        let first_narrow = analysis.analyze(&narrow);
+        let first_wide = analysis.analyze(&wide);
+        for _ in 0..5 {
+            // Alternate bound vectors so stale buffer contents would show.
+            assert_eq!(analysis.analyze(&wide), first_wide);
+            assert_eq!(analysis.analyze(&narrow), first_narrow);
         }
     }
 

@@ -76,6 +76,27 @@ pub trait SchedBackend {
     /// bounds (indexed by [`HTaskId::index`]).
     fn analyze(&self, bounds: &[ExecBounds]) -> TaskWindows;
 
+    /// Warm-started variant of [`analyze`](Self::analyze): computes the
+    /// **same windows** as `analyze(bounds)` but may seed its fixed point
+    /// from `seed` to converge in fewer iterations.
+    ///
+    /// # Contract
+    ///
+    /// The caller must guarantee that `seed` is the result of analyzing a
+    /// bounds vector that is *pointwise contained* in `bounds` (for every
+    /// task, `seed`'s `[bcet, wcet]` interval lies inside the one in
+    /// `bounds`). Under that precondition a monotone backend's least fixed
+    /// point for `bounds` lies at or above `seed`, so starting there cannot
+    /// change the result — only the iteration count ([`TaskWindows::
+    /// outer_iters`] may be smaller than the cold run's).
+    ///
+    /// The default implementation ignores the seed and runs cold, which is
+    /// always correct; single-pass backends have nothing to warm.
+    fn analyze_from(&self, bounds: &[ExecBounds], seed: &TaskWindows) -> TaskWindows {
+        let _ = seed;
+        self.analyze(bounds)
+    }
+
     /// Number of tasks this backend analyzes (the required bounds length).
     fn num_tasks(&self) -> usize;
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints, the whole test suite, the evaluation
-# engine's determinism suite, and the eval-engine + obs-overhead benches
-# (which write the machine-readable results/BENCH_eval.json and
+# engine's determinism suite, and the eval-engine + wcrt-analysis +
+# obs-overhead benches (which write the machine-readable
+# results/BENCH_eval.json, results/BENCH_sched.json, and
 # results/BENCH_obs.json).
 # Usage: scripts/check.sh [--fix]
 #   --fix   apply rustfmt and clippy suggestions instead of just checking
@@ -33,6 +34,10 @@ scripts/smoke_resume.sh
 
 # Engine micro/macro bench; emits results/BENCH_eval.json.
 cargo bench -p mcmap-bench --bench eval_engine
+
+# Analysis fast-path gate (bit-identical windows, >= 1.5x over the cold
+# enumeration); emits results/BENCH_sched.json.
+cargo bench -p mcmap-bench --bench wcrt_analysis
 
 # Tracing overhead gate (budget 5 %); emits results/BENCH_obs.json.
 cargo bench -p mcmap-bench --bench obs_overhead
