@@ -1,0 +1,167 @@
+//! Criterion-compat harness for the **genome-delta incremental analysis**
+//! (parent fixed-point solution reuse gated by the interference closure),
+//! in two parts:
+//!
+//! 1. a macro A/B run of a mutation-heavy GA over DT-med — the same
+//!    exploration analyzed cold (`delta = false`) against the delta fast
+//!    path (`delta = true`) — asserting a **bit-identical** Pareto front,
+//!    audit, and deterministic effort counters while requiring at least a
+//!    2x reduction in backend runs actually executed;
+//! 2. criterion-timed legs of both variants for per-run figures.
+//!
+//! The macro part writes a machine-readable summary to
+//! `results/BENCH_delta.json` (override the directory with
+//! `MCMAP_BENCH_OUT`). The asserted gate is the *backend-run ratio*, not
+//! wall time: reuse is an exact bit-equality short-circuit, so the counter
+//! ratio is a deterministic algorithmic measurement independent of host
+//! load.
+//!
+//! Budget knobs: `MCMAP_DELTA_POP` (default 24) population and
+//! `MCMAP_DELTA_GENS` (default 12) generations for the GA.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcmap_bench::env_usize;
+use mcmap_benchmarks::dt_med;
+use mcmap_core::{explore, DseConfig, DseOutcome};
+use std::time::Instant;
+
+/// A mutation-heavy exploration: most offspring are mutants of a designated
+/// parent, which is exactly the workload the genome-delta pass is built
+/// for — small diffs whose interference closure stays narrow and whose
+/// repaired phenotypes frequently coincide with the parent's.
+fn cfg(delta: bool, pop: usize, gens: usize) -> DseConfig {
+    let mut cfg = DseConfig {
+        audit: true,
+        delta,
+        repair_iters: 30,
+        // The memo cache is orthogonal reuse machinery (benchmarked by
+        // eval_engine); disabling it on both sides isolates the delta
+        // pass as the only thing that varies between the two runs.
+        cache_cap: 0,
+        ..DseConfig::default()
+    };
+    cfg.ga.population = pop;
+    cfg.ga.generations = gens;
+    cfg.ga.mutation_rate = 0.9;
+    cfg.ga.crossover_rate = 0.2;
+    cfg.ga.threads = 1;
+    cfg.ga.seed = 11;
+    cfg
+}
+
+fn run(delta: bool, pop: usize, gens: usize) -> DseOutcome {
+    let b = dt_med();
+    explore(&b.apps, &b.arch, cfg(delta, pop, gens))
+}
+
+fn bench_delta_macro(c: &mut Criterion) {
+    let pop = env_usize("MCMAP_DELTA_POP", 24).max(4);
+    let gens = env_usize("MCMAP_DELTA_GENS", 12).max(1);
+
+    let cold = run(false, pop, gens);
+    let fast = run(true, pop, gens);
+
+    // The delta pass is an optimization, never an approximation: the front,
+    // the audit, and every deterministic effort counter must match the cold
+    // run bit-for-bit.
+    assert_eq!(
+        cold.result.front.len(),
+        fast.result.front.len(),
+        "front size must match"
+    );
+    for (a, b) in cold.result.front.iter().zip(&fast.result.front) {
+        assert_eq!(a.eval, b.eval, "front evaluations must match");
+        assert_eq!(a.genotype, b.genotype, "front genotypes must match");
+    }
+    assert_eq!(cold.audit, fast.audit, "audit counters must match");
+    assert_eq!(cold.analysis.candidates, fast.analysis.candidates);
+    assert_eq!(cold.analysis.scenarios, fast.analysis.scenarios);
+    assert_eq!(cold.analysis.backend_calls, fast.analysis.backend_calls);
+    assert_eq!(
+        cold.analysis.fixedpoint_iters,
+        fast.analysis.fixedpoint_iters
+    );
+    assert_eq!(
+        cold.analysis.scenarios_pruned,
+        fast.analysis.scenarios_pruned
+    );
+    assert_eq!(
+        cold.analysis.warm_iters_saved,
+        fast.analysis.warm_iters_saved
+    );
+    assert_eq!(
+        cold.analysis.backend_reused, 0,
+        "the cold run must not reuse anything"
+    );
+    assert!(
+        fast.analysis.backend_reused > 0 && fast.analysis.delta_reuses > 0,
+        "the delta run must actually reuse parent solutions"
+    );
+
+    // The asserted gate: backend runs *executed* (as-if-fresh calls minus
+    // reused ones) must drop by at least 2x.
+    let executed_cold = cold.analysis.backend_calls;
+    let executed_fast = fast.analysis.backend_calls - fast.analysis.backend_reused;
+    let ratio = executed_cold as f64 / (executed_fast as f64).max(1.0);
+    println!(
+        "delta_analysis/dt_med: backend runs {executed_cold} -> {executed_fast} \
+         (x{ratio:.2}; {} reuses over {} candidates, {} cold fallbacks, \
+         affect-set sum {})",
+        fast.analysis.delta_reuses,
+        fast.analysis.candidates,
+        fast.analysis.delta_cold_fallbacks,
+        fast.analysis.affect_set_size,
+    );
+    assert!(
+        ratio >= 2.0,
+        "the delta pass must at least halve executed backend runs (got x{ratio:.2})"
+    );
+
+    let out_dir = std::env::var("MCMAP_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    let json = format!(
+        "{{\"benchmark\":\"dt-med-delta\",\"population\":{pop},\"generations\":{gens},\
+         \"candidates\":{},\"backend_calls\":{},\
+         \"backend_executed_cold\":{executed_cold},\
+         \"backend_executed_delta\":{executed_fast},\
+         \"backend_reused\":{},\"delta_reuses\":{},\"delta_cold_fallbacks\":{},\
+         \"affect_set_size\":{},\"reduction\":{ratio:.3},\
+         \"front_identical\":true}}\n",
+        fast.analysis.candidates,
+        fast.analysis.backend_calls,
+        fast.analysis.backend_reused,
+        fast.analysis.delta_reuses,
+        fast.analysis.delta_cold_fallbacks,
+        fast.analysis.affect_set_size,
+    );
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let path = format!("{out_dir}/BENCH_delta.json");
+    mcmap_resilience::atomic_write(std::path::Path::new(&path), json.as_bytes())
+        .expect("write BENCH_delta.json");
+    println!("delta_analysis/dt_med: wrote {path}");
+
+    // Wall-clock figures for context (informational — the counter ratio
+    // above is the gate; a whole-run wall comparison also pays repair,
+    // dominance sorting, and diffing, which delta does not remove).
+    let t0 = Instant::now();
+    black_box(run(false, pop, gens));
+    let wall_cold = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    black_box(run(true, pop, gens));
+    let wall_fast = t1.elapsed().as_secs_f64();
+    println!(
+        "delta_analysis/dt_med: cold {:.1} ms, delta {:.1} ms whole-run wall",
+        wall_cold * 1e3,
+        wall_fast * 1e3
+    );
+
+    // Criterion-timed legs (the asserts above are the real gate).
+    let mut group = c.benchmark_group("delta_analysis");
+    group.sample_size(10);
+    group.bench_function("dt_med/cold", |bench| bench.iter(|| run(false, pop, gens)));
+    group.bench_function("dt_med/delta", |bench| bench.iter(|| run(true, pop, gens)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_macro);
+criterion_main!(benches);

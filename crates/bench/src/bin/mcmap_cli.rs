@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! mcmap_cli list
-//! mcmap_cli analyze  <benchmark> [seed]      # sample a design, print slack
+//! mcmap_cli analyze  <benchmark> [seed] [--json]  # sample a design, print slack
 //! mcmap_cli simulate <benchmark> [runs]      # Monte-Carlo vs. the bound
 //! mcmap_cli gantt    <benchmark> [seed]      # ASCII schedule of one hyperperiod
 //! mcmap_cli dot      <benchmark>             # GraphViz of the application set
@@ -13,9 +13,11 @@
 //!                                [--audit [json]] [--checkpoint <path>]
 //!                                [--resume <path>] [--eval-retries N]
 //!                                [--scenario-threads N] [--no-warm-start]
-//!                                [--no-prune]
+//!                                [--no-prune] [--no-delta]
 //!                                                         # power/service exploration
 //! mcmap_cli lint     <benchmark> [--json] [--inject cycle|relbound|inverted]
+//! mcmap_cli lint     <benchmark> --interference [seed] [--json|--dot]
+//! mcmap_cli lint     --explain <MCxxxx>      # cause/example/fix of one code
 //! mcmap_cli obs      <trace.jsonl> [--json]  # profile a recorded trace
 //! ```
 //!
@@ -58,13 +60,22 @@
 //! `--inject` flag plants a known defect first, which demonstrates the codes
 //! and doubles as an end-to-end check of the DSE pre-flight (the same codes
 //! that make `lint` exit non-zero also make `dse` refuse the input).
+//! `lint --interference` renders the shared-PE interference graph of a
+//! repaired sample chromosome — the structure that bounds the genome-delta
+//! fast path's may-affect sets — and `lint --explain MCxxxx` prints the
+//! cause / example / fix card of any diagnostic code.
 
 use mcmap_bench::{sample_designs, EvalKnobs, SampleDesign};
 use mcmap_benchmarks::Benchmark;
-use mcmap_core::{analyze, explore_checked, DseConfig, ObjectiveMode};
+use mcmap_core::{
+    analyze, explore_checked, repair_reliability, repair_structure, AnalysisStats, DseConfig,
+    GenomeSpace, ObjectiveMode,
+};
 use mcmap_ga::GaConfig;
 use mcmap_model::Time;
 use mcmap_sim::{monte_carlo, MonteCarloConfig, NoFaults, SimConfig, Simulator, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::process::ExitCode;
 
 fn benchmark(name: &str) -> Option<Benchmark> {
@@ -85,8 +96,11 @@ fn usage() -> ExitCode {
          dse flags:  --threads <n>, --cache-cap <n>, --eval-stats [json],\n\
          \u{20}           --trace <path.jsonl>, --obs-summary [json], --gen-stats [json],\n\
          \u{20}           --audit [json], --checkpoint <path>, --resume <path>,\n\
-         \u{20}           --eval-retries <n>\n\
-         lint flags: --json, --inject <cycle|relbound|inverted>\n\
+         \u{20}           --eval-retries <n>, --scenario-threads <n>,\n\
+         \u{20}           --no-warm-start, --no-prune, --no-delta\n\
+         analyze:    mcmap_cli analyze <benchmark> [seed] [--json]\n\
+         lint flags: --json, --inject <cycle|relbound|inverted>,\n\
+         \u{20}           --interference [seed] [--json|--dot], --explain <MCxxxx>\n\
          obs:        mcmap_cli obs <trace.jsonl> [--json]"
     );
     ExitCode::FAILURE
@@ -111,12 +125,61 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_analyze(b: &Benchmark, seed: u64) -> ExitCode {
+fn cmd_analyze(b: &Benchmark, seed: u64, json: bool) -> ExitCode {
     let Some(d) = sampled(b, seed) else {
         eprintln!("could not sample a converging design (try another seed)");
         return ExitCode::FAILURE;
     };
+    let t_analysis = std::time::Instant::now();
     let mc = analyze(&d.hsys, &b.arch, &d.mapping, &b.policies, &d.dropped);
+    let analysis_nanos = t_analysis.elapsed().as_nanos() as u64;
+    if json {
+        // One object per run, with the same `analysis` keys as the DSE's
+        // `--eval-stats json` report (a single candidate, analyzed cold —
+        // the delta counters exist but are necessarily zero here).
+        let stats = AnalysisStats {
+            candidates: 1,
+            scenarios: mc.scenarios as u64,
+            backend_calls: mc.backend_calls as u64,
+            fixedpoint_iters: mc.fixedpoint_iters as u64,
+            scenarios_pruned: mc.scenarios_pruned as u64,
+            warm_iters_saved: mc.warm_iters_saved as u64,
+            analysis_nanos,
+            ..AnalysisStats::default()
+        };
+        let apps: Vec<String> = b
+            .apps
+            .apps()
+            .map(|(id, app)| {
+                let wcrt = mc.app_wcrt(&d.hsys, id, &d.dropped);
+                format!(
+                    "{{\"name\":\"{}\",\"wcrt\":{},\"deadline\":{},\"schedulable\":{}}}",
+                    app.name(),
+                    if wcrt == Time::MAX {
+                        "null".to_string()
+                    } else {
+                        wcrt.ticks().to_string()
+                    },
+                    app.deadline().ticks(),
+                    wcrt <= app.deadline(),
+                )
+            })
+            .collect();
+        let dropped: Vec<String> = d
+            .dropped
+            .iter()
+            .map(|&a| format!("\"{}\"", b.apps.app(a).name()))
+            .collect();
+        println!(
+            "{{\"seed\":{seed},\"schedulable\":{},\"dropped\":[{}],\
+             \"apps\":[{}],\"analysis\":{}}}",
+            mc.schedulable(&d.hsys, &d.dropped),
+            dropped.join(","),
+            apps.join(","),
+            stats.to_json(),
+        );
+        return ExitCode::SUCCESS;
+    }
     println!(
         "sampled design (seed {seed}): {} hardened tasks, T_d = {:?}\n",
         d.hsys.num_tasks(),
@@ -209,8 +272,71 @@ fn cmd_gantt(b: &Benchmark, seed: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `lint --explain MCxxxx`: prints the cause / example / fix card of one
+/// diagnostic code (no benchmark needed).
+fn cmd_explain(code: &str) -> ExitCode {
+    match mcmap_lint::code_doc(code) {
+        Some(doc) => {
+            print!("{}", doc.render_text());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "lint: unknown code {code:?}; known codes are MC0001–MC0015 (model), \
+                 MC0101–MC0113 (hardening/genome), MC0120–MC0122 (interference) — \
+                 see `mcmap_cli lint <benchmark>` or the README code table"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `lint --interference`: samples a repaired chromosome, builds its
+/// interference graph, and renders it (text with diagnostics, `--json`, or
+/// `--dot` for GraphViz).
+fn cmd_interference(b: &Benchmark, flags: &[String]) -> ExitCode {
+    let seed = flags
+        .iter()
+        .find_map(|f| f.parse::<u64>().ok())
+        .unwrap_or(11);
+    let space = GenomeSpace::new(&b.apps, &b.arch);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = space.random(&mut rng);
+    repair_structure(&mut g, &space, &mut rng);
+    let _ = repair_reliability(&mut g, &space, &b.apps, &b.arch, &mut rng, 80);
+    let view = g.lint_view();
+    let Some(ig) = mcmap_lint::InterferenceGraph::build(&b.apps, &b.arch, &view) else {
+        eprintln!("lint: sampled genome does not fit the system (internal error)");
+        return ExitCode::FAILURE;
+    };
+    if flags.iter().any(|f| f == "--dot") {
+        print!("{}", ig.to_dot());
+    } else if flags.iter().any(|f| f == "--json") {
+        println!("{}", ig.to_json());
+    } else {
+        println!("interference graph of a repaired sample (seed {seed}):\n");
+        print!("{}", ig.render_text());
+        let report = mcmap_lint::Linter::new(&b.apps, &b.arch).lint_full(None, Some(&view));
+        let interference: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code.starts_with("MC012"))
+            .collect();
+        if !interference.is_empty() {
+            println!();
+            for d in interference {
+                println!("{d}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_lint(b: &Benchmark, flags: &[String]) -> ExitCode {
     let json = flags.iter().any(|f| f == "--json");
+    if flags.iter().any(|f| f == "--interference") {
+        return cmd_interference(b, flags);
+    }
     let apps = match flags
         .iter()
         .position(|f| f == "--inject")
@@ -401,6 +527,15 @@ fn main() -> ExitCode {
         };
         return cmd_obs(path, args.iter().any(|a| a == "--json"));
     }
+    // `lint --explain MCxxxx` documents a code, no benchmark involved.
+    if cmd == "lint" {
+        if let Some(i) = args.iter().position(|a| a == "--explain") {
+            let Some(code) = args.get(i + 1) else {
+                return usage();
+            };
+            return cmd_explain(code);
+        }
+    }
     let Some(b) = args.get(1).and_then(|n| benchmark(n)) else {
         return usage();
     };
@@ -408,7 +543,7 @@ fn main() -> ExitCode {
         args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default)
     };
     match cmd {
-        "analyze" => cmd_analyze(&b, num(2, 11) as u64),
+        "analyze" => cmd_analyze(&b, num(2, 11) as u64, args.iter().any(|a| a == "--json")),
         "simulate" => cmd_simulate(&b, num(2, 500)),
         "gantt" => cmd_gantt(&b, num(2, 11) as u64),
         "dot" => {

@@ -126,7 +126,7 @@ pub enum StatsFormat {
 /// [text|json]` / `MCMAP_GEN_STATS`, `--audit [text|json]` /
 /// `MCMAP_AUDIT`, plus the analysis fast-path knobs `--scenario-threads N`
 /// / `MCMAP_SCENARIO_THREADS`, `--no-warm-start` / `MCMAP_NO_WARM_START`,
-/// and `--no-prune` / `MCMAP_NO_PRUNE`.
+/// `--no-prune` / `MCMAP_NO_PRUNE`, and `--no-delta` / `MCMAP_NO_DELTA`.
 ///
 /// CLI flags take precedence over environment variables. `threads == 0`
 /// (the default) means one worker per available core — results are
@@ -172,6 +172,9 @@ pub struct EvalKnobs {
     /// Disables dominance pruning of scenario bound-vectors
     /// (`--no-prune` / `MCMAP_NO_PRUNE`).
     pub no_prune: bool,
+    /// Disables the incremental genome-delta analysis
+    /// (`--no-delta` / `MCMAP_NO_DELTA`).
+    pub no_delta: bool,
 }
 
 impl EvalKnobs {
@@ -234,6 +237,7 @@ impl EvalKnobs {
             no_warm_start: args.iter().any(|a| a == "--no-warm-start")
                 || env_usize("MCMAP_NO_WARM_START", 0) != 0,
             no_prune: args.iter().any(|a| a == "--no-prune") || env_usize("MCMAP_NO_PRUNE", 0) != 0,
+            no_delta: args.iter().any(|a| a == "--no-delta") || env_usize("MCMAP_NO_DELTA", 0) != 0,
         }
     }
 
@@ -315,6 +319,7 @@ impl EvalKnobs {
             prune: !self.no_prune,
             scenario_threads: self.scenario_threads,
         };
+        cfg.delta = !self.no_delta;
     }
 
     /// Prints one engine snapshot in the requested format (no-op when
@@ -532,20 +537,28 @@ mod tests {
 
     #[test]
     fn eval_knobs_parse_analysis_flags() {
-        let args: Vec<String> = ["--scenario-threads", "3", "--no-warm-start", "--no-prune"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--scenario-threads",
+            "3",
+            "--no-warm-start",
+            "--no-prune",
+            "--no-delta",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let k = EvalKnobs::from_args(&args);
         assert_eq!(k.scenario_threads, 3);
         assert!(k.no_warm_start);
         assert!(k.no_prune);
+        assert!(k.no_delta);
 
         let mut cfg = mcmap_core::DseConfig::default();
         k.apply(&mut cfg);
         assert!(!cfg.analysis.warm_start);
         assert!(!cfg.analysis.prune);
         assert_eq!(cfg.analysis.scenario_threads, 3);
+        assert!(!cfg.delta);
 
         // The defaults leave the fast path on.
         let k = EvalKnobs::from_args(&[]);
@@ -554,6 +567,7 @@ mod tests {
         assert!(cfg.analysis.warm_start);
         assert!(cfg.analysis.prune);
         assert_eq!(cfg.analysis.scenario_threads, 1);
+        assert!(cfg.delta);
     }
 
     #[test]

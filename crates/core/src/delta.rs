@@ -1,0 +1,369 @@
+//! Genome-delta analysis: diff a child chromosome against its parent and
+//! bound the blast radius of the edit.
+//!
+//! The DSE's inner loop re-decodes and re-analyzes the entire system for
+//! every GA child, even when a mutation touches a single gene. This module
+//! provides the static half of the incremental fast path:
+//!
+//! 1. [`diff_genomes`] decomposes the difference between two chromosomes of
+//!    one [`GenomeSpace`] into elementary [`GenomeEdit`]s (mapping gene,
+//!    hardening degree, drop bit, allocation bit);
+//! 2. [`may_affect`] bounds the **may-affect set** of the edit list — the
+//!    applications whose WCRT analysis could possibly change — via the
+//!    monotone shared-PE closure of [`mcmap_lint::InterferenceGraph`],
+//!    evaluated on *both* endpoint genomes (a moved task interferes at its
+//!    old and its new placement, so the union of the two closures is the
+//!    sound bound).
+//!
+//! The dynamic half lives in [`crate::analysis::analyze_delta`]: the eval
+//! engine threads each child's designated parent through the batch hook,
+//! and the per-candidate reuse is gated on **bit-equality of decoded
+//! artifacts** (repaired genes, then per-run bound vectors), never on the
+//! closure alone. The closure is the *predictor* — it explains, counts, and
+//! lints the coupling structure — while artifact equality is the *verified
+//! gate*, so an imprecision here can cost reuse but never correctness.
+//! (Prediction from the raw genome alone would in fact be unsound: repair
+//! draws from an RNG seeded by the repair-relevant projection of the
+//! chromosome — the allocation bits and the per-task genes — so a keep-bit
+//! edit repairs exactly like its parent, but any gene or allocation edit
+//! rerolls every randomized fix and can shift the phenotype arbitrarily
+//! far from what the edit list suggests.)
+
+use crate::analysis::AnalysisSolutions;
+use crate::genome::{Genome, GenomeSpace};
+use mcmap_lint::{AffectSet, GenomeEdit, InterferenceGraph};
+use mcmap_model::{AppSet, Architecture, ProcId};
+use std::sync::Arc;
+
+/// The decoded artifacts of an evaluated candidate that its children may
+/// reuse: the post-repair chromosome (the reuse eligibility check compares
+/// its genes bit-for-bit) and the captured fixed-point solutions.
+#[derive(Debug, Clone)]
+pub struct ParentArtifacts {
+    /// The candidate's chromosome *after* structural and reliability
+    /// repair — the phenotype the analysis actually evaluated.
+    pub repaired: Genome,
+    /// Every fixed-point solution captured for this phenotype's genes: the
+    /// protocol analysis, the no-dropping audit re-analysis (when one
+    /// ran), and — in the DSE's phenotype pool — the merged runs of every
+    /// earlier keep/alloc variant sharing the same genes. The genes alone
+    /// determine the hardened system and the mapping, so all these runs
+    /// come from one backend and are interchangeable per bound vector.
+    pub solutions: Arc<AnalysisSolutions>,
+}
+
+/// Decomposes the difference between two chromosomes of `space` into
+/// elementary edits, in genome order: allocation bits, then keep bits, then
+/// per-task genes (a gene differing in both binding and hardening yields
+/// both a [`GenomeEdit::MappingGene`] and a [`GenomeEdit::HardeningDegree`]).
+///
+/// Returns an empty vector exactly when the genomes are equal.
+///
+/// # Panics
+///
+/// Panics if either genome's shape does not match `space`.
+pub fn diff_genomes(space: &GenomeSpace, parent: &Genome, child: &Genome) -> Vec<GenomeEdit> {
+    assert_eq!(parent.alloc.len(), space.num_procs(), "parent shape");
+    assert_eq!(child.alloc.len(), space.num_procs(), "child shape");
+    assert_eq!(parent.keep.len(), space.droppable_apps().len());
+    assert_eq!(child.keep.len(), space.droppable_apps().len());
+    assert_eq!(parent.genes.len(), child.genes.len());
+
+    let mut edits = Vec::new();
+    for (i, (pa, ca)) in parent.alloc.iter().zip(&child.alloc).enumerate() {
+        if pa != ca {
+            edits.push(GenomeEdit::AllocBit {
+                proc: ProcId::new(i),
+            });
+        }
+    }
+    for (k, (pk, ck)) in parent.keep.iter().zip(&child.keep).enumerate() {
+        if pk != ck {
+            edits.push(GenomeEdit::DropBit {
+                app: space.droppable_apps()[k],
+            });
+        }
+    }
+    for (flat, (pg, cg)) in parent.genes.iter().zip(&child.genes).enumerate() {
+        if pg.binding != cg.binding {
+            edits.push(GenomeEdit::MappingGene { flat });
+        }
+        if pg.hardening != cg.hardening {
+            edits.push(GenomeEdit::HardeningDegree { flat });
+        }
+    }
+    edits
+}
+
+/// The sound may-affect set of an edit list between two chromosomes: the
+/// union, over every edit, of the edit's affect set in **both** the parent's
+/// and the child's interference graph (a moved task interferes at both its
+/// old and its new placement).
+///
+/// Returns `None` when either genome's shape does not match the system —
+/// the caller must then assume everything is affected (cold analysis).
+pub fn may_affect(
+    apps: &AppSet,
+    arch: &Architecture,
+    parent: &Genome,
+    child: &Genome,
+    edits: &[GenomeEdit],
+) -> Option<AffectSet> {
+    let pg = InterferenceGraph::build(apps, arch, &parent.lint_view())?;
+    let cg = InterferenceGraph::build(apps, arch, &child.lint_view())?;
+    let mut affected = Vec::new();
+    let mut all_scenarios = false;
+    for &edit in edits {
+        for ig in [&pg, &cg] {
+            let a = ig.affect(apps, edit);
+            all_scenarios |= a.all_scenarios;
+            affected.extend(a.apps);
+        }
+    }
+    affected.sort_unstable();
+    affected.dedup();
+    Some(AffectSet {
+        apps: affected,
+        all_scenarios,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{proposed_analysis_delta, AnalysisOptions};
+    use crate::genome::GenomeSpace;
+    use crate::repair::{repair_reliability, repair_structure};
+    use mcmap_hardening::harden;
+    use mcmap_model::{AppId, Criticality, ExecBounds, ProcKind, Processor, Task, TaskGraph, Time};
+    use mcmap_sched::{
+        nominal_bounds, uniform_policies, HolisticAnalysis, Mapping, SchedBackend, SchedPolicy,
+        TaskWindows,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn arch(n: usize) -> Architecture {
+        Architecture::builder()
+            .homogeneous(n, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-7))
+            .build()
+            .unwrap()
+    }
+
+    /// hi (2-task chain, non-droppable) + lo (1 task, droppable), 3 PEs.
+    fn system() -> (AppSet, Architecture) {
+        let hi = TaskGraph::builder("hi", Time::from_ticks(1_000))
+            .criticality(Criticality::NonDroppable {
+                max_failure_rate: 1e-4,
+            })
+            .task(
+                Task::new("h0")
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(10)))
+                    .with_detect_overhead(Time::from_ticks(2))
+                    .with_voting_overhead(Time::from_ticks(2)),
+            )
+            .task(
+                Task::new("h1")
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(10)))
+                    .with_detect_overhead(Time::from_ticks(2))
+                    .with_voting_overhead(Time::from_ticks(2)),
+            )
+            .channel(0, 1, 8)
+            .build()
+            .unwrap();
+        let lo = TaskGraph::builder("lo", Time::from_ticks(1_000))
+            .criticality(Criticality::Droppable { service: 2.0 })
+            .task(Task::new("l0").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(20))))
+            .build()
+            .unwrap();
+        (AppSet::new(vec![hi, lo]).unwrap(), arch(3))
+    }
+
+    #[test]
+    fn identical_parents_diff_to_nothing() {
+        let (apps, arch) = system();
+        let space = GenomeSpace::new(&apps, &arch);
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = space.random(&mut rng);
+        let edits = diff_genomes(&space, &g, &g);
+        assert!(edits.is_empty());
+        let affect = may_affect(&apps, &arch, &g, &g, &edits).unwrap();
+        assert!(affect.apps.is_empty(), "empty diff must affect nothing");
+        assert!(!affect.all_scenarios);
+        assert_eq!(affect.size(), 0);
+    }
+
+    #[test]
+    fn single_gene_edits_classify_correctly() {
+        let (apps, arch) = system();
+        let space = GenomeSpace::new(&apps, &arch);
+        let mut rng = StdRng::seed_from_u64(7);
+        let parent = space.random(&mut rng);
+
+        let mut rebound = parent.clone();
+        rebound.genes[0].binding = space
+            .allowed_procs(0)
+            .iter()
+            .copied()
+            .find(|&p| p != parent.genes[0].binding)
+            .unwrap();
+        assert_eq!(
+            diff_genomes(&space, &parent, &rebound),
+            vec![GenomeEdit::MappingGene { flat: 0 }]
+        );
+
+        let mut dropped = parent.clone();
+        dropped.keep[0] = !dropped.keep[0];
+        assert_eq!(
+            diff_genomes(&space, &parent, &dropped),
+            vec![GenomeEdit::DropBit {
+                app: space.droppable_apps()[0]
+            }]
+        );
+
+        let mut alloc = parent.clone();
+        alloc.alloc[1] = !alloc.alloc[1];
+        let edits = diff_genomes(&space, &parent, &alloc);
+        assert_eq!(
+            edits,
+            vec![GenomeEdit::AllocBit {
+                proc: ProcId::new(1)
+            }]
+        );
+        // Alloc-only edits have an empty analysis-affect set.
+        let affect = may_affect(&apps, &arch, &parent, &alloc, &edits).unwrap();
+        assert!(affect.apps.is_empty());
+    }
+
+    /// A drop-bit flip that empties the (single-task) droppable app's
+    /// contribution still reports the closure from that app.
+    #[test]
+    fn drop_bit_flip_affects_the_shared_pe_closure() {
+        let (apps, arch) = system();
+        let space = GenomeSpace::new(&apps, &arch);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Force everything onto p0 so the closure spans both apps.
+        let mut parent = space.random(&mut rng);
+        for g in &mut parent.genes {
+            g.binding = ProcId::new(0);
+            g.hardening = crate::genome::GeneHardening::None;
+        }
+        let mut child = parent.clone();
+        child.keep[0] = !child.keep[0];
+        let edits = diff_genomes(&space, &parent, &child);
+        let affect = may_affect(&apps, &arch, &parent, &child, &edits).unwrap();
+        assert_eq!(affect.apps, vec![AppId::new(0), AppId::new(1)]);
+        assert!(affect.all_scenarios);
+        assert_eq!(affect.size(), 2);
+    }
+
+    /// Crossover children differ from either parent in many genes at once;
+    /// the diff decomposes every one and the affect set stays within the
+    /// app universe.
+    #[test]
+    fn crossover_produces_multi_gene_diffs() {
+        let (apps, arch) = system();
+        let space = GenomeSpace::new(&apps, &arch);
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = space.random(&mut rng);
+        let b = space.random(&mut rng);
+        let child = space.crossover(&a, &b, &mut rng);
+        let edits = diff_genomes(&space, &a, &child);
+        // Every edit must reference a valid flat index / keep slot / proc.
+        for e in &edits {
+            match *e {
+                GenomeEdit::MappingGene { flat } | GenomeEdit::HardeningDegree { flat } => {
+                    assert!(flat < a.genes.len())
+                }
+                GenomeEdit::DropBit { app } => {
+                    assert!(space.droppable_apps().contains(&app))
+                }
+                GenomeEdit::AllocBit { proc } => assert!(proc.index() < space.num_procs()),
+            }
+        }
+        // The child is a section-wise mix of a and b: any gene difference
+        // from `a` must equal `b`'s gene.
+        for (flat, g) in child.genes.iter().enumerate() {
+            assert!(g == &a.genes[flat] || g == &b.genes[flat]);
+        }
+        if let Some(affect) = may_affect(&apps, &arch, &a, &child, &edits) {
+            assert!(affect.apps.len() <= apps.num_apps());
+        }
+        // Self-crossover is the identity: no edits.
+        let same = space.crossover(&a, &a, &mut rng);
+        assert!(diff_genomes(&space, &a, &same).is_empty());
+    }
+
+    /// A counting backend proving that an identical-parent re-analysis
+    /// performs **zero** backend work while returning bit-identical results.
+    struct CountingBackend<'a> {
+        inner: HolisticAnalysis<'a>,
+        calls: AtomicUsize,
+    }
+
+    impl SchedBackend for CountingBackend<'_> {
+        fn num_tasks(&self) -> usize {
+            self.inner.num_tasks()
+        }
+        fn analyze(&self, bounds: &[ExecBounds]) -> TaskWindows {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.inner.analyze(bounds)
+        }
+        fn analyze_from(&self, bounds: &[ExecBounds], seed: &TaskWindows) -> TaskWindows {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.inner.analyze_from(bounds, seed)
+        }
+    }
+
+    #[test]
+    fn identical_parent_reanalysis_makes_zero_backend_calls() {
+        let (apps, arch) = system();
+        let space = GenomeSpace::new(&apps, &arch);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = space.random(&mut rng);
+        repair_structure(&mut g, &space, &mut rng);
+        repair_reliability(&mut g, &space, &apps, &arch, &mut rng, 10);
+        let (plan, dropped, bindings) = space.decode(&g);
+        let hsys = harden(&apps, &plan, &arch).unwrap();
+        let placement = hsys
+            .tasks()
+            .map(|(_, t)| match t.fixed_proc {
+                Some(p) => p,
+                None => bindings[hsys.flat_of_origin(t.origin).expect("primary origin")],
+            })
+            .collect();
+        let mapping = Mapping::new(&hsys, &arch, placement).unwrap();
+        let policies =
+            uniform_policies(arch.num_processors(), SchedPolicy::FixedPriorityPreemptive);
+        let nominal = nominal_bounds(&hsys, &arch, &mapping);
+        let backend = CountingBackend {
+            inner: HolisticAnalysis::new(&hsys, &arch, &mapping, policies.clone()),
+            calls: AtomicUsize::new(0),
+        };
+        let opts = AnalysisOptions::default();
+        let (cold, sols, _) = proposed_analysis_delta(
+            &backend, &hsys, &arch, &mapping, &nominal, &dropped, opts, None,
+        );
+        let cold_calls = backend.calls.swap(0, Ordering::Relaxed);
+        assert_eq!(cold_calls, cold.backend_calls);
+
+        let (warm, _, reused) = proposed_analysis_delta(
+            &backend,
+            &hsys,
+            &arch,
+            &mapping,
+            &nominal,
+            &dropped,
+            opts,
+            Some(&sols),
+        );
+        assert_eq!(warm, cold, "reuse must be bit-identical");
+        assert_eq!(reused, cold.backend_calls);
+        assert_eq!(
+            backend.calls.load(Ordering::Relaxed),
+            0,
+            "an identical parent must satisfy every run"
+        );
+    }
+}

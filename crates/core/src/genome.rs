@@ -206,6 +206,11 @@ impl GenomeSpace {
         &self.droppable
     }
 
+    /// The application owning the task at `flat` index.
+    pub fn app_of(&self, flat: usize) -> AppId {
+        self.app_of[flat]
+    }
+
     /// Number of processors in the platform.
     pub fn num_procs(&self) -> usize {
         self.num_procs

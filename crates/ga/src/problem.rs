@@ -108,6 +108,30 @@ pub trait Problem: Sync {
             .collect()
     }
 
+    /// Evaluates a whole population with a *designated parent* per genotype
+    /// — the archive member the child was derived from by variation (the
+    /// first tournament pick), or `None` for de-novo candidates.
+    ///
+    /// The parent is a **hint, never an input**: results must be bit-equal
+    /// to [`Problem::evaluate_batch`] on the same genotypes for every
+    /// parent vector, including all-`None`. Problems with an incremental
+    /// fast path (see `mcmap-core`'s genome-delta analysis) override this
+    /// to reuse the parent's already-computed artifacts where provably
+    /// unchanged; the default implementation ignores the hint and
+    /// delegates, so existing problems are unaffected.
+    ///
+    /// `parents.len()` must equal `genotypes.len()`.
+    fn evaluate_batch_with_parents(
+        &self,
+        genotypes: &[Self::Genotype],
+        parents: &[Option<&Self::Genotype>],
+        threads: usize,
+    ) -> Vec<Evaluation> {
+        debug_assert_eq!(genotypes.len(), parents.len());
+        let _ = parents;
+        self.evaluate_batch(genotypes, threads)
+    }
+
     /// Number of objective dimensions produced by [`Problem::evaluate`].
     fn num_objectives(&self) -> usize;
 }

@@ -392,6 +392,268 @@ impl fmt::Display for LintReport {
     }
 }
 
+/// Full documentation for one diagnostic code: what causes it, a concrete
+/// example, and how to fix it. Looked up with [`code_doc`]; rendered by the
+/// CLI's `lint --explain MCxxxx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeDoc {
+    /// The stable `MC0xxx` code.
+    pub code: &'static str,
+    /// One-line summary (identical to the `ALL_CODES` description).
+    pub summary: &'static str,
+    /// What input state triggers the diagnostic.
+    pub cause: &'static str,
+    /// A concrete example of an input that fires it.
+    pub example: &'static str,
+    /// How to repair the input.
+    pub fix: &'static str,
+}
+
+impl CodeDoc {
+    /// Renders the documentation as human-readable text.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}: {}\n\ncause: {}\nexample: {}\nfix: {}\n",
+            self.code, self.summary, self.cause, self.example, self.fix
+        )
+    }
+}
+
+/// Full documentation table, one entry per code in `ALL_CODES`, same order.
+/// (A unit test pins the 1:1 correspondence.)
+pub(crate) const CODE_DOCS: &[CodeDoc] = &[
+    CodeDoc {
+        code: "MC0001",
+        summary: "task graph contains a dependency cycle",
+        cause: "following the channels of an application leads back to an already-visited task, so no topological schedule exists",
+        example: "tasks a -> b -> c with an extra channel c -> a",
+        fix: "remove or reverse one channel on the cycle so the graph is a DAG",
+    },
+    CodeDoc {
+        code: "MC0002",
+        summary: "channel endpoint references a nonexistent task",
+        cause: "a channel's src or dst index is >= the application's task count",
+        example: "a 3-task graph with a channel from task 0 to task 7",
+        fix: "point the channel at existing task indices or delete it",
+    },
+    CodeDoc {
+        code: "MC0003",
+        summary: "channel connects a task to itself",
+        cause: "a channel has src == dst, which the precedence model cannot express",
+        example: "a channel from task 2 to task 2",
+        fix: "delete the self-loop or split the task in two",
+    },
+    CodeDoc {
+        code: "MC0004",
+        summary: "task has no execution profile for any kind",
+        cause: "a task carries zero (kind, exec-bounds) entries, so it can run nowhere",
+        example: "Task::new(\"t\") built without with_uniform_exec or with_exec",
+        fix: "add execution bounds for at least one processor kind",
+    },
+    CodeDoc {
+        code: "MC0005",
+        summary: "task has bcet greater than wcet",
+        cause: "an execution profile's best case exceeds its worst case",
+        example: "ExecBounds with bcet 90 and wcet 40",
+        fix: "swap or correct the bounds so bcet <= wcet",
+    },
+    CodeDoc {
+        code: "MC0006",
+        summary: "task graph period is zero",
+        cause: "an application's period is 0 ticks, making utilization undefined",
+        example: "TaskGraph::builder(\"a\", Time::from_ticks(0))",
+        fix: "set a positive period",
+    },
+    CodeDoc {
+        code: "MC0007",
+        summary: "task graph deadline is zero",
+        cause: "an application's deadline is 0 ticks, so nothing can ever meet it",
+        example: "a graph with .deadline(Time::from_ticks(0))",
+        fix: "set a positive deadline (it defaults to the period)",
+    },
+    CodeDoc {
+        code: "MC0008",
+        summary: "reliability bound is outside (0, 1]",
+        cause: "a non-droppable application's max_failure_rate is <= 0 or > 1",
+        example: "Criticality::NonDroppable { max_failure_rate: 2.0 }",
+        fix: "use a probability in (0, 1], e.g. 1e-5",
+    },
+    CodeDoc {
+        code: "MC0009",
+        summary: "service value is not finite and positive",
+        cause: "a droppable application's service is <= 0, NaN, or infinite",
+        example: "Criticality::Droppable { service: -1.0 }",
+        fix: "use a finite positive service value",
+    },
+    CodeDoc {
+        code: "MC0010",
+        summary: "architecture has no processors",
+        cause: "the architecture builder was finished with zero processors",
+        example: "Architecture::builder().build()",
+        fix: "add at least one processor",
+    },
+    CodeDoc {
+        code: "MC0011",
+        summary: "fabric bandwidth is zero",
+        cause: "the communication fabric's bandwidth is 0 bytes/tick, making channel delays infinite",
+        example: "Fabric::new(0)",
+        fix: "set a positive bandwidth",
+    },
+    CodeDoc {
+        code: "MC0012",
+        summary: "processor fault rate is negative or not finite",
+        cause: "a processor's transient-fault rate is < 0, NaN, or infinite",
+        example: "Processor::new(\"p\", kind, 5.0, 20.0, -1.0)",
+        fix: "use a non-negative finite fault rate",
+    },
+    CodeDoc {
+        code: "MC0013",
+        summary: "processor power figure is negative or not finite",
+        cause: "a processor's idle or busy power is < 0, NaN, or infinite",
+        example: "Processor::new(\"p\", kind, -5.0, 20.0, 1e-7)",
+        fix: "use non-negative finite power figures",
+    },
+    CodeDoc {
+        code: "MC0014",
+        summary: "application set is empty",
+        cause: "AppSet::new was called with zero task graphs",
+        example: "AppSet::new(vec![])",
+        fix: "add at least one application",
+    },
+    CodeDoc {
+        code: "MC0015",
+        summary: "deadline exceeds the period",
+        cause: "an application has D > T; the analyses assume constrained deadlines",
+        example: "period 100 with deadline 150",
+        fix: "lower the deadline to at most the period",
+    },
+    CodeDoc {
+        code: "MC0101",
+        summary: "reliability bound unsatisfiable under the hardening limits",
+        cause: "even the strongest hardening the search may assign (max re-executions and replicas on the most reliable processors) cannot reach a task's failure-rate bound",
+        example: "max_failure_rate 1e-12 on a platform whose every PE has fault rate 1e-3, with limits (2, 2)",
+        fix: "relax the bound, raise the hardening limits, or add more reliable processors",
+    },
+    CodeDoc {
+        code: "MC0102",
+        summary: "critical path exceeds the deadline on every mapping",
+        cause: "the sum of best-possible WCETs along some dependency chain already exceeds the deadline, before any interference",
+        example: "a 3-task chain of WCET 50 each with deadline 100",
+        fix: "shorten the chain, speed up the tasks, or extend the deadline",
+    },
+    CodeDoc {
+        code: "MC0103",
+        summary: "utilization over-commits the platform",
+        cause: "total demand (sum of min-WCET / period) exceeds the number of processors, so no mapping is schedulable",
+        example: "ten tasks of utilization 0.5 on a 4-PE platform",
+        fix: "add processors, drop load, or lengthen periods",
+    },
+    CodeDoc {
+        code: "MC0104",
+        summary: "no task can execute on this processor",
+        cause: "a processor's kind is supported by no task, so it can only ever idle",
+        example: "a DSP-kind PE in a system whose tasks only profile the CPU kind",
+        fix: "remove the processor or add execution profiles for its kind",
+    },
+    CodeDoc {
+        code: "MC0105",
+        summary: "task has a zero WCET profile",
+        cause: "a task's worst-case execution time is 0 ticks on some kind, which usually indicates missing profiling data",
+        example: "ExecBounds::exact(Time::from_ticks(0))",
+        fix: "fill in a measured WCET or drop the profile",
+    },
+    CodeDoc {
+        code: "MC0106",
+        summary: "voter placed on a nonexistent or unallocated processor",
+        cause: "a replicated task's voter is bound to a processor outside the architecture or with a cleared allocation bit",
+        example: "voter on p7 of a 4-PE platform",
+        fix: "bind the voter to an allocated processor",
+    },
+    CodeDoc {
+        code: "MC0107",
+        summary: "replicas colocated on one processor",
+        cause: "two copies of the same task share a processor, so one fault can kill both — the replication buys no reliability",
+        example: "primary and replica both on p1",
+        fix: "spread the copies over distinct processors",
+    },
+    CodeDoc {
+        code: "MC0108",
+        summary: "droppable application carries hardening",
+        cause: "a task of a droppable application is hardened; dropping already sacrifices it under faults, so the overhead is wasted",
+        example: "Reexec(2) on a best-effort video decoder",
+        fix: "remove the hardening or make the application non-droppable",
+    },
+    CodeDoc {
+        code: "MC0109",
+        summary: "plan or genome shape does not match the system",
+        cause: "the hardening plan or chromosome has a different task, keep-bit, or alloc-bit count than the system it is checked against",
+        example: "a 5-gene genome for a 7-task application set",
+        fix: "regenerate the plan/genome from this system's GenomeSpace",
+    },
+    CodeDoc {
+        code: "MC0110",
+        summary: "binding or replica on an invalid processor",
+        cause: "a gene binds a task, replica, or standby to a processor that does not exist, is unallocated, or whose kind the task cannot run on",
+        example: "binding a CPU-only task to a DSP-kind PE",
+        fix: "bind to an allocated processor of a supported kind",
+    },
+    CodeDoc {
+        code: "MC0111",
+        summary: "no processor allocated",
+        cause: "every allocation bit of the chromosome is cleared, leaving nowhere to run",
+        example: "alloc = [false, false, false]",
+        fix: "set at least one allocation bit",
+    },
+    CodeDoc {
+        code: "MC0112",
+        summary: "hardening exceeds the configured limits",
+        cause: "a gene assigns more re-executions or replicas than the search limits allow",
+        example: "Reexec(5) under max_reexec = 2",
+        fix: "clamp the gene or raise the limits",
+    },
+    CodeDoc {
+        code: "MC0113",
+        summary: "task supports no processor kind present on the platform",
+        cause: "a task only profiles kinds that no processor of the architecture has",
+        example: "a GPU-only kernel on a CPU-only platform",
+        fix: "add a processor of a supported kind or profile the task for the present kinds",
+    },
+    CodeDoc {
+        code: "MC0120",
+        summary: "applications form a fully-connected interference clique",
+        cause: "every pair of applications shares at least one processor, so any genome edit forces re-analysis of the whole system and incremental reuse never triggers",
+        example: "three applications all bound to the same two PEs",
+        fix: "spread applications over disjoint processors where the deadlines allow it",
+    },
+    CodeDoc {
+        code: "MC0121",
+        summary: "hardening couples across criticality levels on a shared processor",
+        cause: "a hardened non-droppable task places a copy or voter on a processor that also hosts a droppable application, so the hardening overhead delays best-effort work and dropping decisions feed back into critical response times",
+        example: "a re-executed control task sharing its PE with a droppable video app",
+        fix: "place the hardened task's copies and voter on processors without droppable load",
+    },
+    CodeDoc {
+        code: "MC0122",
+        summary: "application is an interference-free island",
+        cause: "an application shares no processor with any other, so edits to it re-analyze only itself",
+        example: "one application alone on its own PE",
+        fix: "no action needed; this is the ideal shape for incremental re-analysis",
+    },
+];
+
+/// Full documentation for a diagnostic code, if it exists.
+///
+/// # Examples
+///
+/// ```
+/// let doc = mcmap_lint::code_doc("MC0120").unwrap();
+/// assert!(doc.cause.contains("shares"));
+/// assert!(mcmap_lint::code_doc("MC9999").is_none());
+/// ```
+pub fn code_doc(code: &str) -> Option<&'static CodeDoc> {
+    CODE_DOCS.iter().find(|d| d.code == code)
+}
+
 fn push_opt_index(out: &mut String, v: Option<usize>) {
     match v {
         Some(i) => out.push_str(&i.to_string()),
@@ -509,6 +771,27 @@ mod tests {
                 .to_string(),
             "a0/p3"
         );
+    }
+
+    #[test]
+    fn code_docs_match_all_codes_one_to_one() {
+        assert_eq!(CODE_DOCS.len(), crate::ALL_CODES.len());
+        for (doc, (code, summary)) in CODE_DOCS.iter().zip(crate::ALL_CODES) {
+            assert_eq!(doc.code, *code, "CODE_DOCS out of sync with ALL_CODES");
+            assert_eq!(doc.summary, *summary, "summary drifted for {}", code);
+            assert!(!doc.cause.is_empty() && !doc.example.is_empty() && !doc.fix.is_empty());
+        }
+    }
+
+    #[test]
+    fn code_doc_lookup_and_render() {
+        let doc = code_doc("MC0001").unwrap();
+        let text = doc.render_text();
+        assert!(text.starts_with("MC0001: task graph contains a dependency cycle"));
+        assert!(text.contains("cause: "));
+        assert!(text.contains("example: "));
+        assert!(text.contains("fix: "));
+        assert!(code_doc("MC0999").is_none());
     }
 
     #[test]

@@ -1,0 +1,676 @@
+//! Static interference/dependence analysis over a mapped candidate.
+//!
+//! Given a chromosome ([`GenomeView`]) for a system, this pass builds the
+//! **interference graph**: one node per application, one edge per pair of
+//! applications that place work on a shared processor (primary bindings,
+//! replicas, standbys, and voters all count — a preempted voter delays the
+//! hardened task just like a preempted primary). On top of the graph it
+//! computes, via a monotone closure, the sound **may-affect set** of every
+//! class of genome edit: the set of applications whose WCRT analysis could
+//! possibly change when that edit is applied. Everything outside the closure
+//! is provably unaffected, which is what powers the delta-analysis reuse in
+//! `mcmap-core`.
+//!
+//! ## Soundness model
+//!
+//! The WCRT backend couples tasks only through shared-processor preemption
+//! (the fabric models contention-free constant channel delays), and the
+//! mixed-criticality scenario fold couples applications only through the
+//! per-scenario execution-bound vectors. Hence:
+//!
+//! * An edit to a task's gene (binding or hardening) may change the bounds
+//!   and placement of its own application, which may shift busy periods on
+//!   every processor that application touches, which may cascade to any
+//!   application sharing those processors, transitively. The closure over
+//!   shared-PE edges from the owning application is therefore a sound
+//!   over-approximation.
+//! * A drop-bit flip changes the owning application's task rows in **every**
+//!   scenario vector, and cascades identically through shared PEs.
+//! * An allocation-bit flip never changes the WCRT analysis (the analysis
+//!   reads the mapping, not the allocation vector); it only re-weights the
+//!   power objective. Its analysis-affect set is empty.
+//!
+//! The closure `F(S) = S ∪ neighbors(S)` is monotone on the subset lattice
+//! (`S ⊆ T ⇒ F(S) ⊆ F(T)`), so iterating it from the seed terminates at the
+//! least fixed point — the connected component(s) containing the seed.
+//!
+//! The analysis is *advisory by itself*: the core crate verifies every reuse
+//! decision against decoded-artifact equality, so a bug here can cost
+//! precision but never correctness.
+
+use crate::diag::{Diagnostic, EntityRef, LintReport};
+use crate::genome::{GenomeView, HardeningView};
+use mcmap_model::{AppId, AppSet, Architecture, ProcId};
+
+/// Name of the lint pass that surfaces interference diagnostics.
+const PASS: &str = "interference";
+
+/// One class of genome edit, used to query [`InterferenceGraph::affect`].
+///
+/// `MappingGene` and `HardeningDegree` both identify the task by its flat
+/// index in the owning `AppSet`; `DropBit` names the droppable application
+/// whose keep bit flips; `AllocBit` names the processor whose allocation
+/// bit flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenomeEdit {
+    /// The task's primary binding changed.
+    MappingGene {
+        /// Flat task index in the owning `AppSet`.
+        flat: usize,
+    },
+    /// The task's hardening gene (technique, degree, or placement) changed.
+    HardeningDegree {
+        /// Flat task index in the owning `AppSet`.
+        flat: usize,
+    },
+    /// The keep bit of a droppable application flipped.
+    DropBit {
+        /// The droppable application whose keep bit flipped.
+        app: AppId,
+    },
+    /// A processor allocation bit flipped.
+    AllocBit {
+        /// The processor whose allocation bit flipped.
+        proc: ProcId,
+    },
+}
+
+/// The may-affect set of one genome edit: which applications' analyses may
+/// change, and whether the change can reach the scenario fold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffectSet {
+    /// Applications whose WCRT analysis may change, sorted by id.
+    pub apps: Vec<AppId>,
+    /// `true` when every mixed-criticality scenario may be affected (any
+    /// edit that changes an execution-bound row is visible in every
+    /// scenario vector containing that row); `false` when no scenario is
+    /// affected (power-only edits).
+    pub all_scenarios: bool,
+}
+
+impl AffectSet {
+    /// The number of (app, scenario-class) pairs in the set, collapsed to
+    /// the per-app granularity the DSE counters use.
+    pub fn size(&self) -> usize {
+        if self.all_scenarios {
+            self.apps.len()
+        } else {
+            0
+        }
+    }
+}
+
+/// The interference graph of one decoded candidate.
+///
+/// Built with [`InterferenceGraph::build`]; query with
+/// [`affect`](InterferenceGraph::affect) /
+/// [`closure`](InterferenceGraph::closure), render with
+/// [`render_text`](InterferenceGraph::render_text),
+/// [`to_json`](InterferenceGraph::to_json), or
+/// [`to_dot`](InterferenceGraph::to_dot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterferenceGraph {
+    num_procs: usize,
+    /// Per-app placement set: every processor referenced by any gene of the
+    /// app (binding + replicas + standbys + voter), sorted and deduplicated.
+    placement: Vec<Vec<ProcId>>,
+    /// Per-app adjacency (apps sharing at least one processor), sorted.
+    adj: Vec<Vec<usize>>,
+    /// Per-app droppable flag.
+    droppable: Vec<bool>,
+    /// Per-app "carries hardening" flag.
+    hardened: Vec<bool>,
+}
+
+impl InterferenceGraph {
+    /// Builds the interference graph of `genome` over `apps`/`arch`.
+    ///
+    /// Returns `None` when the genome's shape does not match the system
+    /// (wrong gene, keep, or alloc count) — the genome-shape pass reports
+    /// that as MC0109.
+    pub fn build(apps: &AppSet, arch: &Architecture, genome: &GenomeView) -> Option<Self> {
+        let num_apps = apps.num_apps();
+        let num_procs = arch.num_processors();
+        let droppable: Vec<bool> = apps
+            .apps()
+            .map(|(_, g)| g.criticality().is_droppable())
+            .collect();
+        let num_droppable = droppable.iter().filter(|&&d| d).count();
+        if genome.genes.len() != apps.num_tasks()
+            || genome.alloc.len() != num_procs
+            || genome.keep.len() != num_droppable
+        {
+            return None;
+        }
+
+        let mut placement: Vec<Vec<ProcId>> = vec![Vec::new(); num_apps];
+        let mut hardened = vec![false; num_apps];
+        for (flat, gene) in genome.genes.iter().enumerate() {
+            let a = apps.task_refs()[flat].app.index();
+            placement[a].push(gene.binding);
+            placement[a].extend(gene.hardening.referenced_procs());
+            if gene.hardening != HardeningView::None {
+                hardened[a] = true;
+            }
+        }
+        for p in &mut placement {
+            p.sort_unstable();
+            p.dedup();
+        }
+
+        // apps-per-processor index, then pairwise adjacency from it. Genes
+        // may reference nonexistent processors on malformed genomes (the
+        // genome pass reports those as MC0110); such placements still count
+        // as shared when two apps name the same phantom processor.
+        let mut apps_on: Vec<Vec<usize>> = vec![Vec::new(); num_procs];
+        let mut phantom: Vec<(ProcId, Vec<usize>)> = Vec::new();
+        for (a, procs) in placement.iter().enumerate() {
+            for p in procs {
+                if p.index() < num_procs {
+                    apps_on[p.index()].push(a);
+                } else {
+                    match phantom.iter_mut().find(|(q, _)| q == p) {
+                        Some((_, v)) => v.push(a),
+                        None => phantom.push((*p, vec![a])),
+                    }
+                }
+            }
+        }
+        apps_on.extend(phantom.into_iter().map(|(_, v)| v));
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_apps];
+        for colocated in &apps_on {
+            for &a in colocated {
+                for &b in colocated {
+                    if a != b {
+                        adj[a].push(b);
+                    }
+                }
+            }
+        }
+        for n in &mut adj {
+            n.sort_unstable();
+            n.dedup();
+        }
+
+        Some(InterferenceGraph {
+            num_procs,
+            placement,
+            adj,
+            droppable,
+            hardened,
+        })
+    }
+
+    /// Number of applications (graph nodes).
+    pub fn num_apps(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// The placement set of one application: every processor referenced by
+    /// any of its genes, sorted.
+    pub fn placements(&self, app: AppId) -> &[ProcId] {
+        &self.placement[app.index()]
+    }
+
+    /// Returns `true` when the two applications share at least one
+    /// processor (an interference edge).
+    pub fn interferes(&self, a: AppId, b: AppId) -> bool {
+        a != b && self.adj[a.index()].binary_search(&b.index()).is_ok()
+    }
+
+    /// The monotone closure of `seeds` under shared-PE interference: the
+    /// least fixed point of `F(S) = S ∪ neighbors(S)`, i.e. every
+    /// application reachable from a seed through shared processors. Sorted.
+    pub fn closure(&self, seeds: &[AppId]) -> Vec<AppId> {
+        let mut in_set = vec![false; self.num_apps()];
+        let mut work: Vec<usize> = Vec::new();
+        for s in seeds {
+            if !in_set[s.index()] {
+                in_set[s.index()] = true;
+                work.push(s.index());
+            }
+        }
+        while let Some(a) = work.pop() {
+            for &b in &self.adj[a] {
+                if !in_set[b] {
+                    in_set[b] = true;
+                    work.push(b);
+                }
+            }
+        }
+        (0..self.num_apps())
+            .filter(|&a| in_set[a])
+            .map(AppId::new)
+            .collect()
+    }
+
+    /// The sound may-affect set of one genome edit (see the module docs for
+    /// the soundness argument). `apps` maps flat task indices to owners.
+    pub fn affect(&self, apps: &AppSet, edit: GenomeEdit) -> AffectSet {
+        match edit {
+            GenomeEdit::MappingGene { flat } | GenomeEdit::HardeningDegree { flat } => {
+                let owner = apps.task_refs()[flat].app;
+                AffectSet {
+                    apps: self.closure(&[owner]),
+                    all_scenarios: true,
+                }
+            }
+            GenomeEdit::DropBit { app } => AffectSet {
+                apps: self.closure(&[app]),
+                all_scenarios: true,
+            },
+            GenomeEdit::AllocBit { .. } => AffectSet {
+                apps: Vec::new(),
+                all_scenarios: false,
+            },
+        }
+    }
+
+    /// All interference edges as `(a, b, shared processors)` with `a < b`.
+    pub fn edges(&self) -> Vec<(AppId, AppId, Vec<ProcId>)> {
+        let mut edges = Vec::new();
+        for a in 0..self.num_apps() {
+            for &b in &self.adj[a] {
+                if a < b {
+                    let shared: Vec<ProcId> = self.placement[a]
+                        .iter()
+                        .filter(|p| self.placement[b].binary_search(p).is_ok())
+                        .copied()
+                        .collect();
+                    edges.push((AppId::new(a), AppId::new(b), shared));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Appends the MC012x coupling diagnostics to `r`:
+    ///
+    /// * `MC0120` (warning): three or more applications form a
+    ///   fully-connected interference clique — every edit to any of them
+    ///   forces re-analysis of all of them, defeating incremental reuse.
+    /// * `MC0121` (warning): a hardened non-droppable task shares a
+    ///   processor with a droppable application — the hardening overhead
+    ///   couples criticality levels, so dropping decisions and critical-app
+    ///   response times can no longer be reasoned about independently.
+    /// * `MC0122` (hint): an application shares no processor with any
+    ///   other — an interference-free island that re-analyzes alone.
+    pub fn diagnose(&self, apps: &AppSet, genome: &GenomeView, r: &mut LintReport) {
+        let n = self.num_apps();
+        // MC0120: the whole app set forms a clique (pairwise shared PEs).
+        if n >= 3 {
+            let clique = (0..n).all(|a| self.adj[a].len() == n - 1);
+            if clique {
+                r.push(
+                    Diagnostic::warning(
+                        "MC0120",
+                        PASS,
+                        EntityRef::none(),
+                        format!(
+                            "all {n} applications form a fully-connected interference \
+                             clique: every pair shares a processor"
+                        ),
+                    )
+                    .with_suggestion(
+                        "spread applications over disjoint processors so edits \
+                         re-analyze less of the system",
+                    ),
+                );
+            }
+        }
+        // MC0121: hardening on a critical task couples criticality levels.
+        for (flat, gene) in genome.genes.iter().enumerate() {
+            let tr = apps.task_refs()[flat];
+            if self.droppable[tr.app.index()] || gene.hardening == HardeningView::None {
+                continue;
+            }
+            let mut procs = vec![gene.binding];
+            procs.extend(gene.hardening.referenced_procs());
+            procs.sort_unstable();
+            procs.dedup();
+            let coupled = procs.iter().find_map(|p| {
+                (0..n)
+                    .find(|&b| self.droppable[b] && self.placement[b].binary_search(p).is_ok())
+                    .map(|b| (*p, b))
+            });
+            if let Some((p, b)) = coupled {
+                r.push(
+                    Diagnostic::warning(
+                        "MC0121",
+                        PASS,
+                        EntityRef::task(tr.app, tr.task).with_proc(p),
+                        format!(
+                            "hardened critical task shares {p} with droppable \
+                             application a{b}: hardening couples across criticality levels",
+                        ),
+                    )
+                    .with_suggestion(
+                        "place the hardened task's copies and voter on processors \
+                         without droppable load",
+                    ),
+                );
+            }
+        }
+        // MC0122: interference-free islands.
+        if n >= 2 {
+            for a in 0..n {
+                if self.adj[a].is_empty() && !self.placement[a].is_empty() {
+                    r.push(
+                        Diagnostic::hint(
+                            "MC0122",
+                            PASS,
+                            EntityRef::app(AppId::new(a)),
+                            "application shares no processor with any other: an \
+                             interference-free island",
+                        )
+                        .with_suggestion(
+                            "edits to this application re-analyze only itself; no action \
+                             needed",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Human-readable report: per-app placements, interference edges, and
+    /// the per-app closure sizes.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "interference graph: {} app(s), {} processor(s), {} edge(s)\n",
+            self.num_apps(),
+            self.num_procs,
+            self.edges().len()
+        ));
+        for a in 0..self.num_apps() {
+            let procs: Vec<String> = self.placement[a].iter().map(|p| p.to_string()).collect();
+            let closure = self.closure(&[AppId::new(a)]);
+            out.push_str(&format!(
+                "  a{}{}{}: on [{}], closure {} app(s)\n",
+                a,
+                if self.droppable[a] {
+                    " (droppable)"
+                } else {
+                    ""
+                },
+                if self.hardened[a] { " (hardened)" } else { "" },
+                procs.join(", "),
+                closure.len()
+            ));
+        }
+        for (a, b, shared) in self.edges() {
+            let procs: Vec<String> = shared.iter().map(|p| p.to_string()).collect();
+            out.push_str(&format!("  {a} -- {b} via [{}]\n", procs.join(", ")));
+        }
+        out
+    }
+
+    /// Machine-readable JSON report (hand-rolled; the build environment
+    /// vendors no serialization crates).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"apps\":[");
+        for a in 0..self.num_apps() {
+            if a > 0 {
+                out.push(',');
+            }
+            let procs: Vec<String> = self.placement[a]
+                .iter()
+                .map(|p| p.index().to_string())
+                .collect();
+            out.push_str(&format!(
+                "{{\"app\":{},\"droppable\":{},\"hardened\":{},\"procs\":[{}],\"closure\":{}}}",
+                a,
+                self.droppable[a],
+                self.hardened[a],
+                procs.join(","),
+                self.closure(&[AppId::new(a)]).len()
+            ));
+        }
+        out.push_str("],\"edges\":[");
+        for (i, (a, b, shared)) in self.edges().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let procs: Vec<String> = shared.iter().map(|p| p.index().to_string()).collect();
+            out.push_str(&format!(
+                "{{\"a\":{},\"b\":{},\"procs\":[{}]}}",
+                a.index(),
+                b.index(),
+                procs.join(",")
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Graphviz `dot` rendering of the interference graph.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph interference {\n");
+        for a in 0..self.num_apps() {
+            let shape = if self.droppable[a] { "ellipse" } else { "box" };
+            let style = if self.hardened[a] { ",style=bold" } else { "" };
+            out.push_str(&format!("  a{a} [shape={shape}{style}];\n"));
+        }
+        for (a, b, shared) in self.edges() {
+            let procs: Vec<String> = shared.iter().map(|p| p.to_string()).collect();
+            out.push_str(&format!(
+                "  a{} -- a{} [label=\"{}\"];\n",
+                a.index(),
+                b.index(),
+                procs.join(",")
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::GeneView;
+    use mcmap_model::{
+        AppSet, Criticality, ExecBounds, ProcKind, Processor, Task, TaskGraph, Time,
+    };
+
+    fn arch(n: usize) -> Architecture {
+        Architecture::builder()
+            .homogeneous(n, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-7))
+            .build()
+            .unwrap()
+    }
+
+    fn app(name: &str, tasks: usize, droppable: bool) -> TaskGraph {
+        let mut b = TaskGraph::builder(name, Time::from_ticks(1000));
+        b = if droppable {
+            b.criticality(Criticality::Droppable { service: 1.0 })
+        } else {
+            b.criticality(Criticality::NonDroppable {
+                max_failure_rate: 1e-4,
+            })
+        };
+        for i in 0..tasks {
+            b = b.task(
+                Task::new(format!("t{i}"))
+                    .with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(10))),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn gene(p: usize) -> GeneView {
+        GeneView {
+            binding: ProcId::new(p),
+            hardening: HardeningView::None,
+        }
+    }
+
+    /// Three single-task apps on 3 PEs; a0,a1 share p0; a2 alone on p2.
+    fn split_system() -> (AppSet, Architecture, GenomeView) {
+        let apps = AppSet::new_unvalidated(vec![
+            app("a", 1, false),
+            app("b", 1, true),
+            app("c", 1, false),
+        ]);
+        let g = GenomeView {
+            alloc: vec![true; 3],
+            keep: vec![true],
+            genes: vec![gene(0), gene(0), gene(2)],
+        };
+        (apps, arch(3), g)
+    }
+
+    #[test]
+    fn placement_and_edges() {
+        let (apps, arch, g) = split_system();
+        let ig = InterferenceGraph::build(&apps, &arch, &g).unwrap();
+        assert_eq!(ig.placements(AppId::new(0)), &[ProcId::new(0)]);
+        assert!(ig.interferes(AppId::new(0), AppId::new(1)));
+        assert!(!ig.interferes(AppId::new(0), AppId::new(2)));
+        assert!(!ig.interferes(AppId::new(0), AppId::new(0)));
+        let edges = ig.edges();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].2, vec![ProcId::new(0)]);
+    }
+
+    #[test]
+    fn hardening_procs_extend_the_placement() {
+        let apps = AppSet::new_unvalidated(vec![app("a", 1, false), app("b", 1, false)]);
+        let a = arch(3);
+        let g = GenomeView {
+            alloc: vec![true; 3],
+            keep: vec![],
+            genes: vec![
+                GeneView {
+                    binding: ProcId::new(0),
+                    hardening: HardeningView::Active {
+                        replicas: vec![ProcId::new(1)],
+                        voter: ProcId::new(2),
+                    },
+                },
+                gene(2),
+            ],
+        };
+        let ig = InterferenceGraph::build(&apps, &a, &g).unwrap();
+        assert_eq!(
+            ig.placements(AppId::new(0)),
+            &[ProcId::new(0), ProcId::new(1), ProcId::new(2)]
+        );
+        // The voter on p2 couples a0 with a1's binding.
+        assert!(ig.interferes(AppId::new(0), AppId::new(1)));
+    }
+
+    #[test]
+    fn closure_is_the_reachable_component() {
+        let (apps, arch, g) = split_system();
+        let ig = InterferenceGraph::build(&apps, &arch, &g).unwrap();
+        assert_eq!(
+            ig.closure(&[AppId::new(0)]),
+            vec![AppId::new(0), AppId::new(1)]
+        );
+        assert_eq!(ig.closure(&[AppId::new(2)]), vec![AppId::new(2)]);
+        // Monotone: a bigger seed yields a superset.
+        let big = ig.closure(&[AppId::new(0), AppId::new(2)]);
+        assert_eq!(big.len(), 3);
+    }
+
+    #[test]
+    fn affect_sets_per_edit_class() {
+        let (apps, arch, g) = split_system();
+        let ig = InterferenceGraph::build(&apps, &arch, &g).unwrap();
+        let m = ig.affect(&apps, GenomeEdit::MappingGene { flat: 0 });
+        assert_eq!(m.apps, vec![AppId::new(0), AppId::new(1)]);
+        assert!(m.all_scenarios);
+        assert_eq!(m.size(), 2);
+        let h = ig.affect(&apps, GenomeEdit::HardeningDegree { flat: 2 });
+        assert_eq!(h.apps, vec![AppId::new(2)]);
+        let d = ig.affect(&apps, GenomeEdit::DropBit { app: AppId::new(1) });
+        assert_eq!(d.apps, vec![AppId::new(0), AppId::new(1)]);
+        let p = ig.affect(
+            &apps,
+            GenomeEdit::AllocBit {
+                proc: ProcId::new(1),
+            },
+        );
+        assert!(p.apps.is_empty());
+        assert!(!p.all_scenarios);
+        assert_eq!(p.size(), 0);
+    }
+
+    #[test]
+    fn shape_mismatch_yields_none() {
+        let (apps, arch, mut g) = split_system();
+        g.genes.pop();
+        assert!(InterferenceGraph::build(&apps, &arch, &g).is_none());
+    }
+
+    #[test]
+    fn clique_diagnostic_fires_on_full_coupling() {
+        let apps = AppSet::new_unvalidated(vec![
+            app("a", 1, false),
+            app("b", 1, false),
+            app("c", 1, false),
+        ]);
+        let a = arch(2);
+        let g = GenomeView {
+            alloc: vec![true, true],
+            keep: vec![],
+            genes: vec![gene(0), gene(0), gene(0)],
+        };
+        let ig = InterferenceGraph::build(&apps, &a, &g).unwrap();
+        let mut r = LintReport::new();
+        ig.diagnose(&apps, &g, &mut r);
+        r.finalize();
+        assert!(r.has_code("MC0120"));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn cross_criticality_hardening_diagnostic() {
+        let apps = AppSet::new_unvalidated(vec![app("hi", 1, false), app("lo", 1, true)]);
+        let a = arch(3);
+        let g = GenomeView {
+            alloc: vec![true; 3],
+            keep: vec![true],
+            genes: vec![
+                GeneView {
+                    binding: ProcId::new(0),
+                    hardening: HardeningView::Reexec(1),
+                },
+                gene(0),
+            ],
+        };
+        let ig = InterferenceGraph::build(&apps, &a, &g).unwrap();
+        let mut r = LintReport::new();
+        ig.diagnose(&apps, &g, &mut r);
+        assert!(r.has_code("MC0121"));
+        // Moving the droppable app away removes the coupling.
+        let g2 = GenomeView {
+            genes: vec![g.genes[0].clone(), gene(1)],
+            ..g.clone()
+        };
+        let ig2 = InterferenceGraph::build(&apps, &a, &g2).unwrap();
+        let mut r2 = LintReport::new();
+        ig2.diagnose(&apps, &g2, &mut r2);
+        assert!(!r2.has_code("MC0121"));
+        assert!(r2.has_code("MC0122"));
+    }
+
+    #[test]
+    fn renders_are_wellformed() {
+        let (apps, arch, g) = split_system();
+        let ig = InterferenceGraph::build(&apps, &arch, &g).unwrap();
+        let text = ig.render_text();
+        assert!(text.contains("interference graph: 3 app(s)"));
+        assert!(text.contains("a0 -- a1"));
+        let json = ig.to_json();
+        assert!(json.starts_with("{\"apps\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let dot = ig.to_dot();
+        assert!(dot.starts_with("graph interference {"));
+        assert!(dot.contains("a0 -- a1"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -53,10 +53,12 @@
 mod diag;
 mod genome;
 pub mod inject;
+mod interference;
 mod passes;
 
-pub use diag::{Diagnostic, EntityRef, LintReport, Severity};
+pub use diag::{code_doc, CodeDoc, Diagnostic, EntityRef, LintReport, Severity};
 pub use genome::{GeneView, GenomeView, HardeningView};
+pub use interference::{AffectSet, GenomeEdit, InterferenceGraph};
 pub use mcmap_model::ModelError;
 pub use passes::{app_of_flat, kind_present, lint_system, Linter};
 
@@ -103,6 +105,15 @@ pub const ALL_CODES: &[(&str, &str)] = &[
         "MC0113",
         "task supports no processor kind present on the platform",
     ),
+    (
+        "MC0120",
+        "applications form a fully-connected interference clique",
+    ),
+    (
+        "MC0121",
+        "hardening couples across criticality levels on a shared processor",
+    ),
+    ("MC0122", "application is an interference-free island"),
 ];
 
 /// One-line description of a diagnostic code, if it exists.

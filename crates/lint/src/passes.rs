@@ -100,9 +100,22 @@ impl<'a> Linter<'a> {
         }
         if let Some(genome) = genome {
             self.pass_genome(&mut r, genome);
+            self.pass_interference(&mut r, genome);
         }
         r.finalize();
         r
+    }
+
+    /// The interference/coupling pass (MC0120/MC0121/MC0122): builds the
+    /// interference graph of the candidate and reports pathological
+    /// coupling. Skipped silently on shape mismatch (the genome pass
+    /// reports that as MC0109).
+    fn pass_interference(&self, r: &mut LintReport, genome: &GenomeView) {
+        if let Some(ig) =
+            crate::interference::InterferenceGraph::build(self.apps, self.arch, genome)
+        {
+            ig.diagnose(self.apps, genome, r);
+        }
     }
 
     /// The processor kinds present on the platform, as a dense bitmap.

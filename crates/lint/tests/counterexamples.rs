@@ -250,7 +250,70 @@ fn trigger(code: &str) -> LintReport {
                 .unwrap();
             lint_system(&one_app(g), &a2)
         }
+        // -- interference codes (MC0120..) ---------------------------------
+        "MC0120" => {
+            // Three apps all bound to p0: every pair shares a PE.
+            let apps = AppSet::new_unvalidated(vec![
+                clean_app("x", false),
+                clean_app("y", false),
+                clean_app("z", false),
+            ]);
+            Linter::new(&apps, &a2).lint_genome(&GenomeView {
+                alloc: vec![true, true],
+                keep: vec![],
+                genes: vec![bound(0), bound(0), bound(0)],
+            })
+        }
+        "MC0121" => {
+            // A re-executed critical task sharing p0 with a droppable app.
+            let apps = AppSet::new_unvalidated(vec![clean_app("hi", false), clean_app("lo", true)]);
+            Linter::new(&apps, &a2).lint_genome(&GenomeView {
+                alloc: vec![true, true],
+                keep: vec![true],
+                genes: vec![
+                    GeneView {
+                        binding: ProcId::new(0),
+                        hardening: HardeningView::Reexec(1),
+                    },
+                    bound(0),
+                ],
+            })
+        }
+        "MC0122" => {
+            // Two apps on disjoint PEs: each is an interference-free island.
+            let apps = AppSet::new_unvalidated(vec![clean_app("x", false), clean_app("y", false)]);
+            Linter::new(&apps, &a2).lint_genome(&GenomeView {
+                alloc: vec![true, true],
+                keep: vec![],
+                genes: vec![bound(0), bound(1)],
+            })
+        }
         other => panic!("no counterexample for {other}; extend trigger()"),
+    }
+}
+
+/// A clean single-task application with an explicit criticality, for the
+/// interference counterexamples.
+fn clean_app(name: &str, droppable: bool) -> TaskGraph {
+    let crit = if droppable {
+        Criticality::Droppable { service: 1.0 }
+    } else {
+        Criticality::NonDroppable {
+            max_failure_rate: 1e-4,
+        }
+    };
+    TaskGraph::builder(name, Time::from_ticks(1_000))
+        .criticality(crit)
+        .task(task(10))
+        .build()
+        .unwrap()
+}
+
+/// An unhardened gene bound to processor `p`.
+fn bound(p: usize) -> GeneView {
+    GeneView {
+        binding: ProcId::new(p),
+        hardening: HardeningView::None,
     }
 }
 
@@ -382,6 +445,25 @@ fn mc0112_hardening_exceeds_spec() {
 #[test]
 fn mc0113_unmappable_task() {
     assert_fires("MC0113");
+}
+#[test]
+fn mc0120_interference_clique_is_a_warning() {
+    let report = trigger("MC0120");
+    assert!(report.has_code("MC0120"));
+    assert!(!report.has_errors(), "MC0120 must stay below error level");
+}
+#[test]
+fn mc0121_cross_criticality_hardening_is_a_warning() {
+    let report = trigger("MC0121");
+    assert!(report.has_code("MC0121"));
+    assert!(!report.has_errors(), "MC0121 must stay below error level");
+}
+#[test]
+fn mc0122_interference_island_is_a_hint() {
+    let report = trigger("MC0122");
+    assert!(report.has_code("MC0122"));
+    assert!(!report.has_errors());
+    assert!(report.count(Severity::Hint) >= 2, "both apps are islands");
 }
 
 /// The per-code tests above and [`ALL_CODES`] must cover the same set: a

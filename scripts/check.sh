@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints, the whole test suite, the evaluation
 # engine's determinism suite, and the eval-engine + wcrt-analysis +
-# obs-overhead benches (which write the machine-readable
-# results/BENCH_eval.json, results/BENCH_sched.json, and
-# results/BENCH_obs.json).
+# delta-analysis + obs-overhead benches (which write the machine-readable
+# results/BENCH_eval.json, results/BENCH_sched.json, results/BENCH_delta.json,
+# and results/BENCH_obs.json).
 # Usage: scripts/check.sh [--fix]
 #   --fix   apply rustfmt and clippy suggestions instead of just checking
 set -euo pipefail
@@ -38,6 +38,10 @@ cargo bench -p mcmap-bench --bench eval_engine
 # Analysis fast-path gate (bit-identical windows, >= 1.5x over the cold
 # enumeration); emits results/BENCH_sched.json.
 cargo bench -p mcmap-bench --bench wcrt_analysis
+
+# Genome-delta incremental-analysis gate (bit-identical fronts, >= 2x
+# fewer executed backend runs); emits results/BENCH_delta.json.
+cargo bench -p mcmap-bench --bench delta_analysis
 
 # Tracing overhead gate (budget 5 %); emits results/BENCH_obs.json.
 cargo bench -p mcmap-bench --bench obs_overhead
