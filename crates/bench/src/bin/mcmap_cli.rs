@@ -17,8 +17,14 @@
 //!                                                         # power/service exploration
 //! mcmap_cli lint     <benchmark> [--json] [--inject cycle|relbound|inverted]
 //! mcmap_cli lint     <benchmark> --interference [seed] [--json|--dot]
-//! mcmap_cli lint     --explain <MCxxxx>      # cause/example/fix of one code
+//! mcmap_cli lint     --explain [MCxxxx]      # one code's card, or all codes
 //! mcmap_cli obs      <trace.jsonl> [--json]  # profile a recorded trace
+//! mcmap_cli serve    [--addr H:P] [--jobs-dir D] [--workers N] [--slice N]
+//!                    [--cache-cap N] [--job-threads N]
+//!                                            # multi-tenant DSE job server
+//! mcmap_cli client   <addr> submit <benchmark> [pop gens] [--seed N]
+//! mcmap_cli client   <addr> <status|cancel|resume|front|stream|wait> <id>
+//! mcmap_cli client   <addr> <list|stats|shutdown>
 //! ```
 //!
 //! Benchmarks: `cruise`, `dt-med`, `dt-large`, `synth1`, `synth2`.
@@ -63,7 +69,18 @@
 //! `lint --interference` renders the shared-PE interference graph of a
 //! repaired sample chromosome — the structure that bounds the genome-delta
 //! fast path's may-affect sets — and `lint --explain MCxxxx` prints the
-//! cause / example / fix card of any diagnostic code.
+//! cause / example / fix card of any diagnostic code (with no code, it
+//! lists every known code with its one-line summary).
+//!
+//! `serve` turns the same exploration into a long-running multi-tenant job
+//! service (`mcmap-serve`): tenants submit specs over a length-framed JSON
+//! TCP protocol, a bounded worker pool timeslices the jobs fairly at
+//! generation boundaries (each slice checkpointed, so killing the server —
+//! even SIGKILL — loses at most the slice in flight and every job resumes
+//! bit-identically), and identical submissions share a server-wide
+//! evaluation cache. `client` is the matching command-line driver: `wait`
+//! exits 0 only when the job completes, and `stream` prints one line per
+//! finished generation.
 
 use mcmap_bench::{sample_designs, EvalKnobs, SampleDesign};
 use mcmap_benchmarks::Benchmark;
@@ -91,7 +108,7 @@ fn benchmark(name: &str) -> Option<Benchmark> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mcmap_cli <list|analyze|simulate|gantt|dot|dse|lint|obs> [benchmark] [args…]\n\
+        "usage: mcmap_cli <list|analyze|simulate|gantt|dot|dse|lint|obs|serve|client> [args…]\n\
          benchmarks: cruise, dt-med, dt-large, synth1, synth2\n\
          dse flags:  --threads <n>, --cache-cap <n>, --eval-stats [json],\n\
          \u{20}           --trace <path.jsonl>, --obs-summary [json], --gen-stats [json],\n\
@@ -100,8 +117,12 @@ fn usage() -> ExitCode {
          \u{20}           --no-warm-start, --no-prune, --no-delta\n\
          analyze:    mcmap_cli analyze <benchmark> [seed] [--json]\n\
          lint flags: --json, --inject <cycle|relbound|inverted>,\n\
-         \u{20}           --interference [seed] [--json|--dot], --explain <MCxxxx>\n\
-         obs:        mcmap_cli obs <trace.jsonl> [--json]"
+         \u{20}           --interference [seed] [--json|--dot], --explain [MCxxxx]\n\
+         obs:        mcmap_cli obs <trace.jsonl> [--json]\n\
+         serve:      mcmap_cli serve [--addr <host:port>] [--jobs-dir <dir>]\n\
+         \u{20}           [--workers <n>] [--slice <n>] [--cache-cap <n>] [--job-threads <n>]\n\
+         client:     mcmap_cli client <addr> submit <benchmark> [pop gens] [--seed <n>]\n\
+         \u{20}           | <status|cancel|resume|front|stream|wait> <id> | list | stats | shutdown"
     );
     ExitCode::FAILURE
 }
@@ -288,6 +309,213 @@ fn cmd_explain(code: &str) -> ExitCode {
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `lint --explain` with no code: lists every diagnostic code the analyzer
+/// can emit with its one-line summary.
+fn cmd_explain_all() -> ExitCode {
+    for doc in mcmap_lint::all_code_docs() {
+        println!("{}: {}", doc.code, doc.summary);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `serve`: runs the multi-tenant DSE job server until SIGINT/SIGTERM or a
+/// client `shutdown` verb, then drains — running slices stop at their next
+/// checkpointed generation boundary, so every unfinished job resumes
+/// bit-identically.
+fn cmd_serve(tail: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut cfg = mcmap_serve::ServeConfig::default();
+    let mut i = 0;
+    while i < tail.len() {
+        let value = tail.get(i + 1);
+        let parsed = value.and_then(|v| v.parse::<usize>().ok());
+        match tail[i].as_str() {
+            "--addr" => match value {
+                Some(v) => addr = v.clone(),
+                None => return usage(),
+            },
+            "--jobs-dir" => match value {
+                Some(v) => cfg.jobs_dir = std::path::PathBuf::from(v),
+                None => return usage(),
+            },
+            "--workers" => match parsed {
+                Some(n) => cfg.workers = n,
+                None => return usage(),
+            },
+            "--slice" => match parsed {
+                Some(n) if n > 0 => cfg.slice = n,
+                _ => return usage(),
+            },
+            "--cache-cap" => match parsed {
+                Some(n) => cfg.cache_cap = n,
+                None => return usage(),
+            },
+            "--job-threads" => match parsed {
+                Some(n) => cfg.job_threads = n,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let jobs_dir = cfg.jobs_dir.clone();
+    let server = match mcmap_serve::Server::bind(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot start on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = server.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    // Bridge SIGINT/SIGTERM into the server's shutdown latch so a plain
+    // `kill` drains gracefully (checkpoints written at the next boundary).
+    let shutdown = server.shutdown_handle();
+    let signal = mcmap_resilience::install_stop_flag();
+    std::thread::spawn(move || loop {
+        if signal.load(std::sync::atomic::Ordering::SeqCst) {
+            shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+            return;
+        }
+        if shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+    println!(
+        "mcmap-serve listening on {local} ({} workers, jobs in {})",
+        server.registry().worker_count(),
+        jobs_dir.display(),
+    );
+    server.run();
+    println!("serve: drained — unfinished jobs are checkpointed and resumable");
+    ExitCode::SUCCESS
+}
+
+/// `client`: one verb against a running server.
+fn cmd_client(tail: &[String]) -> ExitCode {
+    let Some(addr) = tail.first() else {
+        return usage();
+    };
+    let Some(verb) = tail.get(1).map(String::as_str) else {
+        return usage();
+    };
+    let mut c = match mcmap_serve::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("client: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fail = |e: String| -> ExitCode {
+        eprintln!("client: {e}");
+        ExitCode::FAILURE
+    };
+    let arg = tail.get(2).map(String::as_str);
+    match verb {
+        "submit" => {
+            let Some(bench) = arg else {
+                return usage();
+            };
+            let mut pos = Vec::new();
+            let mut seed = 8u64;
+            let mut i = 3;
+            while i < tail.len() {
+                if tail[i] == "--seed" {
+                    match tail.get(i + 1).and_then(|v| v.parse().ok()) {
+                        Some(s) => seed = s,
+                        None => return usage(),
+                    }
+                    i += 2;
+                } else {
+                    pos.push(tail[i].as_str());
+                    i += 1;
+                }
+            }
+            let budget = |i: usize| pos.get(i).and_then(|v| v.parse().ok()).unwrap_or(40);
+            let spec = mcmap_serve::JobSpec {
+                benchmark: bench.to_string(),
+                population: budget(0),
+                generations: budget(1),
+                seed,
+            };
+            match c.submit(&spec) {
+                Ok(id) => {
+                    println!("{id}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "status" | "front" => {
+            let Some(id) = arg else {
+                return usage();
+            };
+            match c.verb_raw(verb, Some(id)) {
+                Ok(text) => {
+                    println!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "list" | "stats" => match c.verb_raw(verb, None) {
+            Ok(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "cancel" | "resume" => {
+            let Some(id) = arg else {
+                return usage();
+            };
+            match c.verb_raw(verb, Some(id)) {
+                Ok(_) => {
+                    println!("ok");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "stream" => {
+            let Some(id) = arg else {
+                return usage();
+            };
+            match c.stream(id, |g| println!("generation {g}")) {
+                Ok(state) => {
+                    println!("done: {state}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "wait" => {
+            let Some(id) = arg else {
+                return usage();
+            };
+            match c.wait(id) {
+                Ok(state) => {
+                    println!("{state}");
+                    if state == "completed" {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "shutdown" => match c.shutdown() {
+            Ok(()) => {
+                println!("ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        _ => usage(),
     }
 }
 
@@ -527,13 +755,20 @@ fn main() -> ExitCode {
         };
         return cmd_obs(path, args.iter().any(|a| a == "--json"));
     }
-    // `lint --explain MCxxxx` documents a code, no benchmark involved.
+    if cmd == "serve" {
+        return cmd_serve(&args[1..]);
+    }
+    if cmd == "client" {
+        return cmd_client(&args[1..]);
+    }
+    // `lint --explain [MCxxxx]` documents one code (or lists them all), no
+    // benchmark involved.
     if cmd == "lint" {
         if let Some(i) = args.iter().position(|a| a == "--explain") {
-            let Some(code) = args.get(i + 1) else {
-                return usage();
+            return match args.get(i + 1).filter(|c| !c.starts_with("--")) {
+                Some(code) => cmd_explain(code),
+                None => cmd_explain_all(),
             };
-            return cmd_explain(code);
         }
     }
     let Some(b) = args.get(1).and_then(|n| benchmark(n)) else {

@@ -51,6 +51,12 @@ pub struct DseCheckpoint {
     /// Audit counters at the boundary, restored into the problem so the
     /// final [`AuditSnapshot`] matches the uninterrupted run.
     pub audit: AuditSnapshot,
+    /// Labeled summary of the fingerprinted configuration fields (see
+    /// `config_summary` in the DSE module), so a fingerprint mismatch on
+    /// resume can report *which* fields diverged. Empty for checkpoints
+    /// written before this field existed; purely diagnostic — the
+    /// fingerprint remains the gate.
+    pub config: Vec<(String, String)>,
 }
 
 impl DseCheckpoint {
@@ -253,8 +259,39 @@ fn encode(ckpt: &DseCheckpoint) -> String {
     out.push_str("],\"audit\":[");
     let a = &ckpt.audit;
     push_audit_fields(&mut out, a);
-    out.push_str("]}");
+    out.push(']');
+    // Written only when present so pre-summary checkpoints (empty vec)
+    // keep their exact byte stream through a decode/encode round trip.
+    if !ckpt.config.is_empty() {
+        out.push_str(",\"config\":{");
+        for (i, (k, v)) in ckpt.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            push_json_str(&mut out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
     out
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 fn push_audit_fields(out: &mut String, a: &AuditSnapshot) {
@@ -438,6 +475,22 @@ fn decode(path: &Path, text: &str) -> Result<DseCheckpoint, ResilienceError> {
         passive_replications: audit_fields[6] as usize,
     };
 
+    // Optional: absent in checkpoints written before the summary existed.
+    let mut config = Vec::new();
+    if let Some(obj) = root.get("config") {
+        match obj {
+            Json::Obj(members) => {
+                for (k, v) in members {
+                    match v {
+                        Json::Str(s) => config.push((k.clone(), s.clone())),
+                        _ => return Err(malformed(path, "config: expected string values")),
+                    }
+                }
+            }
+            _ => return Err(malformed(path, "config: expected object")),
+        }
+    }
+
     let generation = as_usize(path, get(path, &root, "generation")?, "generation")?;
     Ok(DseCheckpoint {
         fingerprint: as_u64(path, get(path, &root, "fingerprint")?, "fingerprint")?,
@@ -453,6 +506,7 @@ fn decode(path: &Path, text: &str) -> Result<DseCheckpoint, ResilienceError> {
             prev_evals,
         },
         audit,
+        config,
     })
 }
 
@@ -525,6 +579,10 @@ mod tests {
                 active_replications: 12,
                 passive_replications: 3,
             },
+            config: vec![
+                ("ga.seed".into(), "8".into()),
+                ("ga.selector".into(), "Spea2 \"quoted\\path\"\n".into()),
+            ],
         }
     }
 
@@ -559,6 +617,7 @@ mod tests {
         for (a, b) in back.state.prev_evals.iter().zip(&ckpt.state.prev_evals) {
             assert_eq!(bits_of(a), bits_of(b));
         }
+        assert_eq!(back.config, ckpt.config);
     }
 
     fn bits_of(eval: &Evaluation) -> (Vec<u64>, bool, u64) {
@@ -634,6 +693,21 @@ mod tests {
         ckpt.state.prev_evals.clear();
         ckpt.state.history.clear();
         ckpt.state.hv_reference = None;
+        ckpt.config.clear();
         assert_round_trips(&ckpt);
+    }
+
+    #[test]
+    fn pre_summary_checkpoints_decode_with_empty_config() {
+        // A checkpoint without a `config` member (the format before the
+        // summary existed) must still load — diagnostics degrade, the
+        // fingerprint gate does not.
+        let mut ckpt = sample();
+        ckpt.config.clear();
+        let bytes = ckpt.to_bytes();
+        let back = DseCheckpoint::from_bytes(Path::new("test.ckpt"), &bytes).unwrap();
+        assert!(back.config.is_empty());
+        // And a decode → encode round trip reproduces the exact bytes.
+        assert_eq!(back.to_bytes(), bytes);
     }
 }

@@ -24,7 +24,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Which objective vector the DSE minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,12 +57,24 @@ pub struct ResilienceConfig {
     /// Deterministic fault-injection plan for chaos testing.
     pub chaos: Option<FaultPlan>,
     /// Cooperative stop flag (e.g. from
-    /// [`mcmap_resilience::install_stop_flag`]): when set, the run stops
-    /// at the next generation boundary after writing its checkpoint.
-    pub stop: Option<&'static AtomicBool>,
+    /// [`mcmap_resilience::install_stop_flag`], or a per-job flag handed
+    /// out by a job server): when set, the run stops at the next
+    /// generation boundary after writing its checkpoint.
+    pub stop: Option<Arc<AtomicBool>>,
     /// Stop after this generation completes (testing hook for
     /// deterministic kill-and-resume sweeps).
     pub stop_after_generation: Option<usize>,
+    /// Stop after this many generation boundaries have been observed *by
+    /// this process* — the budget-slice primitive of the job server's
+    /// round-robin scheduler. Unlike [`stop_after_generation`], which is
+    /// an absolute generation index, this counts boundaries relative to
+    /// where the (possibly resumed) run started, so a sequence of
+    /// one-slice runs walks the exact same boundaries as one long run.
+    /// The initial-population boundary (generation 0) of a fresh run
+    /// counts as a slice boundary too.
+    ///
+    /// [`stop_after_generation`]: ResilienceConfig::stop_after_generation
+    pub stop_after_slice: Option<usize>,
 }
 
 impl Default for ResilienceConfig {
@@ -74,6 +86,7 @@ impl Default for ResilienceConfig {
             chaos: None,
             stop: None,
             stop_after_generation: None,
+            stop_after_slice: None,
         }
     }
 }
@@ -133,6 +146,14 @@ pub struct DseConfig {
     /// canonical traces never change and, like [`DseConfig::analysis`],
     /// this is excluded from the context and run fingerprints.
     pub delta: bool,
+    /// An externally owned memoization store shared across runs (the job
+    /// server's cross-tenant cache). When set, [`DseConfig::cache_cap`] is
+    /// ignored and the exploration's evaluation engine reads and writes
+    /// this store instead of building its own. Memo keys mix the run's
+    /// context fingerprint, so two runs only ever exchange records when
+    /// their model, configuration, and seed are identical — a pure speed
+    /// knob, excluded from the fingerprints like `cache_cap`.
+    pub shared_cache: Option<SharedEvalCache>,
 }
 
 impl Default for DseConfig {
@@ -152,7 +173,42 @@ impl Default for DseConfig {
             resilience: ResilienceConfig::default(),
             analysis: AnalysisOptions::default(),
             delta: true,
+            shared_cache: None,
         }
+    }
+}
+
+/// A process-wide candidate-evaluation store shared across exploration
+/// runs — the [`ShardedCache`] promoted to a server-wide resource so that
+/// identical candidates submitted by different tenants evaluate once.
+///
+/// The cached record type is internal to this crate, so the handle is
+/// opaque: build one with [`SharedEvalCache::with_capacity`], clone it
+/// into each run's [`DseConfig::shared_cache`], and read the global
+/// traffic counters with [`SharedEvalCache::stats`]. Per-run hit/miss
+/// counters stay on each run's own [`EvalStats`].
+///
+/// Sharing is always sound: memo keys embed each run's context
+/// fingerprint (model, configuration, seed), so runs with different
+/// inputs can collide on capacity but never on content.
+#[derive(Debug, Clone)]
+pub struct SharedEvalCache {
+    cache: Arc<ShardedCache<EvalRecord>>,
+}
+
+impl SharedEvalCache {
+    /// Builds a store bounded to roughly `capacity` records with the
+    /// engine's default shard count.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedEvalCache {
+            cache: Arc::new(ShardedCache::new(capacity.max(1), 16)),
+        }
+    }
+
+    /// Global traffic counters, aggregated over every run that used this
+    /// store (hits, misses, insertions, evictions, resident entries).
+    pub fn stats(&self) -> mcmap_eval::CacheStats {
+        self.cache.global_stats()
     }
 }
 
@@ -537,6 +593,85 @@ fn run_fingerprint(apps: &AppSet, arch: &Architecture, cfg: &DseConfig) -> u64 {
     h.finish()
 }
 
+fn hash_of(value: &impl fmt::Debug) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{value:?}").hash(&mut h);
+    h.finish()
+}
+
+/// The labeled, human-readable projection of everything
+/// [`run_fingerprint`] hashes. Stored alongside the fingerprint in each
+/// checkpoint so a resume refused for a mismatching fingerprint can name
+/// *which* fields diverged instead of two opaque hashes. The model inputs
+/// are summarized as content hashes (their full `Debug` renderings would
+/// bloat every checkpoint); the scalar knobs are stored verbatim.
+pub(crate) fn config_summary(
+    apps: &AppSet,
+    arch: &Architecture,
+    cfg: &DseConfig,
+) -> Vec<(String, String)> {
+    let policies = cfg
+        .policies
+        .clone()
+        .unwrap_or_else(|| uniform_policies(arch.num_processors(), SchedPolicy::default()));
+    let entries: Vec<(&str, String)> = vec![
+        ("model.apps", format!("{:016x}", hash_of(apps))),
+        ("model.arch", format!("{:016x}", hash_of(arch))),
+        ("model.policies", format!("{:016x}", hash_of(&policies))),
+        ("ga.seed", cfg.ga.seed.to_string()),
+        ("ga.population", cfg.ga.population.to_string()),
+        ("ga.generations", cfg.ga.generations.to_string()),
+        (
+            "ga.crossover_rate",
+            format!("{:016x}", cfg.ga.crossover_rate.to_bits()),
+        ),
+        (
+            "ga.mutation_rate",
+            format!("{:016x}", cfg.ga.mutation_rate.to_bits()),
+        ),
+        ("ga.selector", format!("{:?}", cfg.ga.selector)),
+        ("objectives", format!("{:?}", cfg.objectives)),
+        ("allow_dropping", cfg.allow_dropping.to_string()),
+        ("audit", cfg.audit.to_string()),
+        ("max_reexec", cfg.max_reexec.to_string()),
+        ("max_replicas", cfg.max_replicas.to_string()),
+        ("repair_iters", cfg.repair_iters.to_string()),
+        (
+            "critical_weight",
+            format!("{:016x}", cfg.critical_weight.to_bits()),
+        ),
+    ];
+    entries
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+/// Field-level differences between a checkpoint's recorded configuration
+/// summary and the current one, one rendered line per diverging field.
+/// Fields present on only one side (older checkpoint formats, or a future
+/// summary revision) render as `<absent>`.
+fn diff_config_summaries(
+    checkpoint: &[(String, String)],
+    current: &[(String, String)],
+) -> Vec<String> {
+    let mut diff = Vec::new();
+    for (key, new) in current {
+        match checkpoint.iter().find(|(k, _)| k == key) {
+            Some((_, old)) if old == new => {}
+            Some((_, old)) => diff.push(format!("{key}: checkpoint={old} current={new}")),
+            None if checkpoint.is_empty() => {} // pre-summary checkpoint: no field info
+            None => diff.push(format!("{key}: checkpoint=<absent> current={new}")),
+        }
+    }
+    for (key, old) in checkpoint {
+        if !current.iter().any(|(k, _)| k == key) {
+            diff.push(format!("{key}: checkpoint={old} current=<absent>"));
+        }
+    }
+    diff
+}
+
 struct Assessment {
     dropped: Vec<AppId>,
     power: f64,
@@ -569,10 +704,11 @@ impl<'a> MappingProblem<'a> {
             .policies
             .clone()
             .unwrap_or_else(|| uniform_policies(arch.num_processors(), SchedPolicy::default()));
-        let engine = EvalEngine::new(
-            EvalCacheConfig::with_capacity(cfg.cache_cap),
-            &context_fingerprint(apps, arch, &policies, &cfg),
-        )
+        let context = context_fingerprint(apps, arch, &policies, &cfg);
+        let engine = match &cfg.shared_cache {
+            Some(shared) => EvalEngine::with_shared_cache(Arc::clone(&shared.cache), &context),
+            None => EvalEngine::new(EvalCacheConfig::with_capacity(cfg.cache_cap), &context),
+        }
         .with_recorder(cfg.obs.clone());
         MappingProblem {
             apps,
@@ -1398,6 +1534,7 @@ pub fn explore_checked(
                     path: path.clone(),
                     expected: ckpt.fingerprint,
                     actual: fingerprint,
+                    diff: diff_config_summaries(&ckpt.config, &config_summary(apps, arch, &cfg)),
                 }));
             }
             Some((ckpt, from_backup))
@@ -1466,14 +1603,18 @@ pub fn explore_checked(
         resumed_from = Some(ckpt.generation);
         resume_state = Some(ckpt.state);
     }
+    let config = config_summary(apps, arch, &problem.cfg);
     let mut hook = CheckpointHook {
         problem: &problem,
         obs: obs.clone(),
         fingerprint,
+        config,
         path: resilience.checkpoint,
         chaos: resilience.chaos,
         stop: resilience.stop,
         stop_after: resilience.stop_after_generation,
+        stop_after_slice: resilience.stop_after_slice,
+        boundaries: 0,
         error: None,
     };
     let result = optimize_resumable(&problem, &ga_cfg, resume_state, &mut hook);
@@ -1538,15 +1679,19 @@ struct CheckpointHook<'p, 'a> {
     problem: &'p MappingProblem<'a>,
     obs: Recorder,
     fingerprint: u64,
+    config: Vec<(String, String)>,
     path: Option<PathBuf>,
     chaos: Option<FaultPlan>,
-    stop: Option<&'static AtomicBool>,
+    stop: Option<Arc<AtomicBool>>,
     stop_after: Option<usize>,
+    stop_after_slice: Option<usize>,
+    boundaries: usize,
     error: Option<ResilienceError>,
 }
 
 impl GenerationObserver<Genome> for CheckpointHook<'_, '_> {
     fn after_generation(&mut self, snap: &GenerationSnapshot<'_, Genome>) -> LoopControl {
+        self.boundaries += 1;
         if let Some(path) = &self.path {
             if self.obs.enabled() {
                 self.obs.mark(
@@ -1561,6 +1706,7 @@ impl GenerationObserver<Genome> for CheckpointHook<'_, '_> {
                 trace_seq: self.obs.emitted(),
                 state: snap.to_state(),
                 audit: self.problem.audit(),
+                config: self.config.clone(),
             };
             if let Err(err) = write_checkpoint(path, &ckpt) {
                 // Losing durability silently would defeat the point of
@@ -1579,8 +1725,9 @@ impl GenerationObserver<Genome> for CheckpointHook<'_, '_> {
                 }
             }
         }
-        let stop = self.stop.is_some_and(|s| s.load(Ordering::SeqCst))
-            || self.stop_after.is_some_and(|k| snap.generation >= k);
+        let stop = self.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst))
+            || self.stop_after.is_some_and(|k| snap.generation >= k)
+            || self.stop_after_slice.is_some_and(|k| self.boundaries >= k);
         if stop {
             LoopControl::Stop
         } else {
@@ -2019,6 +2166,109 @@ mod tests {
             Some(outcome.audit.evaluated as u64)
         );
         assert!(parsed.get("rescue_ratio").is_some());
+    }
+
+    #[test]
+    fn slice_scheduling_reconverges_to_the_uninterrupted_run() {
+        let (apps, arch) = small_system();
+        let solo = explore(&apps, &arch, tiny_cfg());
+        let path =
+            std::env::temp_dir().join(format!("mcmap_dse_slice_test_{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Drive the same run as a chain of one-boundary slices, the way a
+        // job server timeslices tenants: each slice resumes the previous
+        // checkpoint, observes exactly one generation boundary, and stops.
+        let mut slices = 0;
+        let mut resume = None;
+        loop {
+            let mut cfg = tiny_cfg();
+            cfg.resilience.checkpoint = Some(path.clone());
+            cfg.resilience.resume = resume.clone();
+            cfg.resilience.stop_after_slice = Some(1);
+            let out = explore(&apps, &arch, cfg);
+            slices += 1;
+            assert!(slices <= tiny_cfg().ga.generations + 1, "must terminate");
+            if !out.interrupted {
+                assert_eq!(
+                    format!("{:?}", out.reports),
+                    format!("{:?}", solo.reports),
+                    "sliced run must reproduce the solo front"
+                );
+                assert_eq!(out.audit, solo.audit);
+                break;
+            }
+            resume = Some(path.clone());
+        }
+        // One boundary per slice: initial population + one per generation.
+        assert_eq!(slices, tiny_cfg().ga.generations + 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(mcmap_resilience::backup_path(&path));
+    }
+
+    #[test]
+    fn shared_cache_dedupes_identical_runs_without_changing_results() {
+        let (apps, arch) = small_system();
+        let shared = SharedEvalCache::with_capacity(65_536);
+        let mk = || DseConfig {
+            shared_cache: Some(shared.clone()),
+            ..tiny_cfg()
+        };
+        let first = explore(&apps, &arch, mk());
+        let second = explore(&apps, &arch, mk());
+        assert_eq!(
+            format!("{:?}", second.reports),
+            format!("{:?}", first.reports),
+            "a warm shared cache must not perturb results"
+        );
+        assert_eq!(second.audit, first.audit);
+        // The second tenant's identical run resolves entirely from the
+        // first tenant's work.
+        assert_eq!(second.eval_stats.cache_misses, 0);
+        assert_eq!(second.eval_stats.cache_hits, second.eval_stats.genomes);
+        let g = shared.stats();
+        assert!(g.hits >= second.eval_stats.cache_hits);
+        assert_eq!(g.insertions, first.eval_stats.cache_misses);
+        assert!(g.entries > 0);
+    }
+
+    #[test]
+    fn config_mismatch_on_resume_names_the_diverging_fields() {
+        let (apps, arch) = small_system();
+        let path = std::env::temp_dir().join(format!(
+            "mcmap_dse_mismatch_test_{}.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = tiny_cfg();
+        cfg.resilience.checkpoint = Some(path.clone());
+        cfg.resilience.stop_after_generation = Some(1);
+        let _ = explore(&apps, &arch, cfg);
+
+        let mut resumed = tiny_cfg();
+        resumed.ga.population = 24;
+        resumed.ga.seed = 99;
+        resumed.resilience.resume = Some(path.clone());
+        let err = explore_checked(&apps, &arch, resumed).expect_err("mismatch must refuse");
+        let Some(ResilienceError::ConfigMismatch { diff, .. }) = err.resilience() else {
+            panic!("expected ConfigMismatch, got {err}");
+        };
+        assert!(
+            diff.iter().any(|d| d.starts_with("ga.population:")),
+            "diff names the population change: {diff:?}"
+        );
+        assert!(
+            diff.iter().any(|d| d.starts_with("ga.seed:")),
+            "diff names the seed change: {diff:?}"
+        );
+        assert!(
+            !diff.iter().any(|d| d.starts_with("ga.generations:")),
+            "unchanged fields stay out of the diff: {diff:?}"
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("mismatching fields"));
+        assert!(rendered.contains("ga.seed"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(mcmap_resilience::backup_path(&path));
     }
 
     #[test]

@@ -81,10 +81,10 @@ pub use checkpoint::{
 pub use delta::{diff_genomes, may_affect, ParentArtifacts};
 pub use dse::{
     explore, explore_checked, AnalysisStats, AuditSnapshot, DesignReport, DseConfig, DseError,
-    DseOutcome, MappingProblem, ObjectiveMode, ResilienceConfig,
+    DseOutcome, MappingProblem, ObjectiveMode, ResilienceConfig, SharedEvalCache,
 };
 pub use genome::{GeneHardening, Genome, GenomeSpace, TaskGene};
-pub use mcmap_eval::{EvalCacheConfig, EvalStats};
+pub use mcmap_eval::{CacheStats, EvalCacheConfig, EvalStats};
 pub use objective::{expected_power, lost_service, service_after_dropping};
 pub use repair::{repair_reliability, repair_structure, repair_structure_logged};
 pub use sensitivity::{uniform_reexec_plan, AppSlack, Sensitivity, WhatIf};

@@ -1,7 +1,42 @@
 //! The sharded, capacity-bounded memoization cache.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Lifetime traffic counters of one [`ShardedCache`].
+///
+/// Unlike the per-engine [`EvalStats`](crate::EvalStats), these accumulate
+/// over every client of the cache — when several engines share one cache
+/// (the server's cross-job store), this is the global view: how many
+/// lookups any tenant resolved from work another tenant already did, and
+/// how much the bounded capacity churned. Timing-free and monotone; purely
+/// observational (never part of any determinism contract).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident across all shards.
+    pub entries: u64,
+    /// Lookups that found a value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values inserted (including refreshes of an existing key).
+    pub insertions: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// A concurrent map from 128-bit content keys to cached evaluations.
 ///
@@ -18,6 +53,10 @@ use std::sync::Mutex;
 pub struct ShardedCache<V> {
     shards: Vec<Mutex<Shard<V>>>,
     cap_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
 }
 
 struct Shard<V> {
@@ -41,6 +80,10 @@ impl<V: Clone> ShardedCache<V> {
                 })
                 .collect(),
             cap_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -51,7 +94,12 @@ impl<V: Clone> ShardedCache<V> {
     /// Returns a clone of the cached value, if present.
     pub fn get(&self, key: u128) -> Option<V> {
         let shard = self.shard(key).lock().expect("cache shard poisoned");
-        shard.map.get(&key).cloned()
+        let hit = shard.map.get(&key).cloned();
+        match hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
     }
 
     /// Inserts (or refreshes) a value and returns how many entries were
@@ -70,6 +118,8 @@ impl<V: Clone> ShardedCache<V> {
                 evicted += 1;
             }
         }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
         evicted
     }
 
@@ -89,6 +139,18 @@ impl<V: Clone> ShardedCache<V> {
     /// The per-shard entry bound.
     pub fn capacity_per_shard(&self) -> usize {
         self.cap_per_shard
+    }
+
+    /// Lifetime traffic counters, aggregated over every client of this
+    /// cache instance.
+    pub fn global_stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -140,6 +202,25 @@ mod tests {
         }
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(1), Some(7));
+    }
+
+    #[test]
+    fn global_stats_accumulate_across_clients() {
+        let c: ShardedCache<u8> = ShardedCache::new(2, 1);
+        assert_eq!(c.global_stats(), CacheStats::default());
+        assert_eq!(c.get(1), None);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30); // evicts key 1
+        assert_eq!(c.get(2), Some(20));
+        assert_eq!(c.get(1), None);
+        let s = c.global_stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.insertions, 3);
+        assert_eq!(s.evictions, 1);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

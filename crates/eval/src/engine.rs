@@ -8,6 +8,7 @@ use mcmap_resilience::{panic_message, EvalFailure};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Predicted per-batch work (nanoseconds) below which fanning out to the
@@ -89,7 +90,7 @@ impl EvalCacheConfig {
 /// over *which* of them computes a value, never over what the value is or
 /// where it lands.
 pub struct EvalEngine<V> {
-    cache: Option<ShardedCache<V>>,
+    cache: Option<Arc<ShardedCache<V>>>,
     context: u64,
     counters: StatCounters,
     obs: Recorder,
@@ -101,7 +102,27 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
         let mut h = DefaultHasher::new();
         context.hash(&mut h);
         EvalEngine {
-            cache: (cfg.capacity > 0).then(|| ShardedCache::new(cfg.capacity, cfg.shards)),
+            cache: (cfg.capacity > 0)
+                .then(|| Arc::new(ShardedCache::new(cfg.capacity, cfg.shards))),
+            context: h.finish(),
+            counters: StatCounters::default(),
+            obs: Recorder::default(),
+        }
+    }
+
+    /// Builds an engine backed by an externally owned cache, so several
+    /// engines (e.g. one per tenant of a job server) dedupe evaluations
+    /// through one capacity-bounded store. Safe by construction: keys mix
+    /// the per-engine context fingerprint, so two engines only ever
+    /// exchange values when their contexts — and hence their evaluation
+    /// functions' semantics — are identical. Each engine still keeps its
+    /// own [`EvalStats`] counters; the shared store's global view is
+    /// [`ShardedCache::global_stats`].
+    pub fn with_shared_cache(cache: Arc<ShardedCache<V>>, context: &impl Hash) -> Self {
+        let mut h = DefaultHasher::new();
+        context.hash(&mut h);
+        EvalEngine {
+            cache: Some(cache),
             context: h.finish(),
             counters: StatCounters::default(),
             obs: Recorder::default(),
@@ -371,7 +392,7 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
 
     /// Snapshot of the instrumentation counters.
     pub fn stats(&self) -> EvalStats {
-        let entries = self.cache.as_ref().map_or(0, ShardedCache::len) as u64;
+        let entries = self.cache.as_ref().map_or(0, |c| c.len()) as u64;
         self.counters.snapshot(entries)
     }
 
@@ -590,6 +611,33 @@ mod tests {
         let _ = e.evaluate_batch(&genomes, 1, |g| *g);
         let _ = e.evaluate_batch(&genomes, 1, |g| *g);
         assert_eq!(e.stats().serial_fallbacks, 0);
+    }
+
+    #[test]
+    fn shared_cache_dedupes_across_engines_with_equal_context() {
+        let store: Arc<ShardedCache<u64>> = Arc::new(ShardedCache::new(256, 4));
+        let calls = AtomicUsize::new(0);
+        let genomes = vec![1u64, 2, 3];
+        let a = EvalEngine::with_shared_cache(Arc::clone(&store), &"tenant-ctx");
+        let b = EvalEngine::with_shared_cache(Arc::clone(&store), &"tenant-ctx");
+        let eval = |g: &u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            g * 10
+        };
+        let first = a.evaluate_batch(&genomes, 1, eval);
+        let second = b.evaluate_batch(&genomes, 1, eval);
+        assert_eq!(first, second);
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "b reuses a's work");
+        // Per-engine counters stay per-tenant; the store sees the union.
+        assert_eq!(a.stats().cache_misses, 3);
+        assert_eq!(b.stats().cache_hits, 3);
+        let g = store.global_stats();
+        assert_eq!((g.hits, g.misses, g.insertions), (3, 3, 3));
+        // A different context on the same store must never exchange values.
+        let c = EvalEngine::with_shared_cache(Arc::clone(&store), &"other-ctx");
+        let _ = c.evaluate_batch(&genomes, 1, eval);
+        assert_eq!(c.stats().cache_hits, 0);
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod engine;
 mod pool;
 mod stats;
 
-pub use cache::ShardedCache;
+pub use cache::{CacheStats, ShardedCache};
 pub use engine::{EvalCacheConfig, EvalContext, EvalEngine};
 pub use pool::{parallel_map, parallel_map_caught};
 pub use stats::EvalStats;

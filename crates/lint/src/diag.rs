@@ -654,6 +654,20 @@ pub fn code_doc(code: &str) -> Option<&'static CodeDoc> {
     CODE_DOCS.iter().find(|d| d.code == code)
 }
 
+/// The full documentation table, one entry per registered diagnostic code,
+/// in code order. Backs the CLI's bare `lint --explain` listing.
+///
+/// # Examples
+///
+/// ```
+/// let docs = mcmap_lint::all_code_docs();
+/// assert!(docs.iter().any(|d| d.code == "MC0001"));
+/// assert!(docs.windows(2).all(|w| w[0].code < w[1].code));
+/// ```
+pub fn all_code_docs() -> &'static [CodeDoc] {
+    CODE_DOCS
+}
+
 fn push_opt_index(out: &mut String, v: Option<usize>) {
     match v {
         Some(i) => out.push_str(&i.to_string()),

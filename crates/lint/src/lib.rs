@@ -56,7 +56,7 @@ pub mod inject;
 mod interference;
 mod passes;
 
-pub use diag::{code_doc, CodeDoc, Diagnostic, EntityRef, LintReport, Severity};
+pub use diag::{all_code_docs, code_doc, CodeDoc, Diagnostic, EntityRef, LintReport, Severity};
 pub use genome::{GeneView, GenomeView, HardeningView};
 pub use interference::{AffectSet, GenomeEdit, InterferenceGraph};
 pub use mcmap_model::ModelError;

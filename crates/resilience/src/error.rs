@@ -63,6 +63,12 @@ pub enum ResilienceError {
         expected: u64,
         /// Fingerprint recorded in the checkpoint.
         actual: u64,
+        /// Human-readable per-field differences between the checkpoint's
+        /// recorded configuration summary and the current one, each line
+        /// shaped `field: checkpoint=<old> current=<new>`. Empty when the
+        /// checkpoint predates config summaries or the divergence is
+        /// outside the summarized fields (e.g. the model itself changed).
+        diff: Vec<String>,
     },
 }
 
@@ -106,12 +112,19 @@ impl fmt::Display for ResilienceError {
                 path,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "{}: checkpoint belongs to a different run configuration \
-                 (expected fingerprint {expected:016x}, found {actual:016x})",
-                path.display()
-            ),
+                diff,
+            } => {
+                write!(
+                    f,
+                    "{}: checkpoint belongs to a different run configuration \
+                     (expected fingerprint {expected:016x}, found {actual:016x})",
+                    path.display()
+                )?;
+                if !diff.is_empty() {
+                    write!(f, "; mismatching fields: {}", diff.join(", "))?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -175,8 +188,27 @@ mod tests {
             path: "/tmp/ck".into(),
             expected: 1,
             actual: 2,
+            diff: vec![],
         };
         assert!(e.to_string().contains("different run configuration"));
+        assert!(!e.to_string().contains("mismatching fields"));
         assert!(!e.is_corruption());
+    }
+
+    #[test]
+    fn config_mismatch_renders_its_field_diff() {
+        let e = ResilienceError::ConfigMismatch {
+            path: "/tmp/ck".into(),
+            expected: 1,
+            actual: 2,
+            diff: vec![
+                "ga.population: checkpoint=12 current=24".into(),
+                "ga.seed: checkpoint=8 current=9".into(),
+            ],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("mismatching fields"));
+        assert!(msg.contains("ga.population: checkpoint=12 current=24"));
+        assert!(msg.contains("ga.seed: checkpoint=8 current=9"));
     }
 }

@@ -2,10 +2,18 @@
 //! next generation boundary instead of killing the process mid-write.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
-/// The process-wide stop request. The signal handler may only touch
-/// lock-free state, so this is a plain static atomic.
-static STOP: AtomicBool = AtomicBool::new(false);
+/// The process-wide stop request. Shared as an `Arc` so the same flag type
+/// also serves per-job cancellation (a job server hands every exploration
+/// its own `Arc<AtomicBool>`); the signal handler may only touch lock-free
+/// state, so the `Arc` lives in a `OnceLock` that is initialized before the
+/// handler is registered and read with a plain atomic load afterwards.
+static STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+fn flag() -> &'static Arc<AtomicBool> {
+    STOP.get_or_init(|| Arc::new(AtomicBool::new(false)))
+}
 
 /// Installs SIGINT/SIGTERM handlers (on Unix; a no-op elsewhere) that set
 /// a process-wide stop flag, and returns that flag. The exploration driver
@@ -13,27 +21,28 @@ static STOP: AtomicBool = AtomicBool::new(false);
 /// checkpoint, flushes the trace, and returns with `interrupted = true`.
 ///
 /// Safe to call more than once; later calls just return the same flag.
-pub fn install_stop_flag() -> &'static AtomicBool {
+pub fn install_stop_flag() -> Arc<AtomicBool> {
+    let f = Arc::clone(flag());
     #[cfg(unix)]
     sys::install();
-    &STOP
+    f
 }
 
 /// Whether a stop has been requested (by a signal or by
 /// [`request_stop`]).
 pub fn stop_requested() -> bool {
-    STOP.load(Ordering::SeqCst)
+    flag().load(Ordering::SeqCst)
 }
 
 /// Requests a stop programmatically — what the signal handler does, but
 /// callable from tests and non-Unix builds.
 pub fn request_stop() {
-    STOP.store(true, Ordering::SeqCst);
+    flag().store(true, Ordering::SeqCst);
 }
 
 /// Clears the stop flag (test isolation only).
 pub fn reset_stop_flag() {
-    STOP.store(false, Ordering::SeqCst);
+    flag().store(false, Ordering::SeqCst);
 }
 
 #[cfg(unix)]
@@ -54,8 +63,12 @@ mod sys {
     }
 
     extern "C" fn on_signal(_signum: i32) {
-        // Only lock-free atomics are async-signal-safe; do nothing else.
-        super::STOP.store(true, Ordering::SeqCst);
+        // Only lock-free operations are async-signal-safe: `OnceLock::get`
+        // is a single acquire load (the cell is always initialized before
+        // `install` registers this handler), and the store is atomic.
+        if let Some(f) = super::STOP.get() {
+            f.store(true, Ordering::SeqCst);
+        }
     }
 
     pub(super) fn install() {
@@ -82,5 +95,7 @@ mod tests {
         assert!(flag.load(Ordering::SeqCst));
         reset_stop_flag();
         assert!(!stop_requested());
+        // Every caller sees the same flag.
+        assert!(Arc::ptr_eq(&flag, &install_stop_flag()));
     }
 }

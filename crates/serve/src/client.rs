@@ -1,0 +1,310 @@
+//! The typed blocking client: one TCP connection, one frame in flight.
+//!
+//! Every method round-trips a single verb; `ok:false` responses surface as
+//! `Err(String)` carrying the server's message. Streaming uses the same
+//! connection but hands each pushed frame to a callback until the `done`
+//! frame arrives — open a second [`Client`] for concurrent control verbs.
+
+use crate::job::JobSpec;
+use crate::proto::{push_json_str, read_frame, write_frame};
+use mcmap_obs::Json;
+use std::net::TcpStream;
+
+/// A blocking connection to an `mcmap-serve` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7421`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one raw request frame and returns the parsed `ok:true`
+    /// response object.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message on `ok:false`, or a transport
+    /// description when the connection fails mid-exchange.
+    pub fn request(&mut self, frame: &str) -> Result<Json, String> {
+        let text = self.request_raw(frame)?;
+        mcmap_obs::parse_json(&text).map_err(|e| format!("bad response: {e}"))
+    }
+
+    /// Like [`Client::request`], but returns the raw `ok:true` response
+    /// text — for passthrough printing (the CLI's `status --json` style
+    /// output) without a serializer round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn request_raw(&mut self, frame: &str) -> Result<String, String> {
+        write_frame(&mut self.stream, frame).map_err(|e| format!("send: {e}"))?;
+        let Some(text) = read_frame(&mut self.stream).map_err(|e| format!("recv: {e}"))? else {
+            return Err("server closed the connection".into());
+        };
+        let json = mcmap_obs::parse_json(&text).map_err(|e| format!("bad response: {e}"))?;
+        match json.get("ok") {
+            Some(Json::Bool(true)) => Ok(text),
+            _ => Err(json
+                .get("error")
+                .and_then(|v| v.as_str())
+                .unwrap_or("unspecified server error")
+                .to_string()),
+        }
+    }
+
+    /// Sends one verb (optionally with an `id` member) and returns the raw
+    /// response frame.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn verb_raw(&mut self, verb: &str, id: Option<&str>) -> Result<String, String> {
+        let mut frame = String::from("{\"verb\":");
+        push_json_str(&mut frame, verb);
+        if let Some(id) = id {
+            frame.push_str(",\"id\":");
+            push_json_str(&mut frame, id);
+        }
+        frame.push('}');
+        self.request_raw(&frame)
+    }
+
+    fn id_verb(&mut self, verb: &str, id: &str) -> Result<Json, String> {
+        let mut frame = String::from("{\"verb\":");
+        push_json_str(&mut frame, verb);
+        frame.push_str(",\"id\":");
+        push_json_str(&mut frame, id);
+        frame.push('}');
+        self.request(&frame)
+    }
+
+    /// Submits a job spec; returns the assigned job id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's rejection message (unknown benchmark,
+    /// draining server) or a transport error.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<String, String> {
+        let frame = format!("{{\"verb\":\"submit\",\"spec\":{}}}", spec.to_json());
+        let resp = self.request(&frame)?;
+        resp.get("id")
+            .and_then(|v| v.as_str())
+            .map(String::from)
+            .ok_or_else(|| "submit response has no id".into())
+    }
+
+    /// The job's full status document (state, spec, per-tenant counters).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's message for unknown ids, or a transport error.
+    pub fn status(&mut self, id: &str) -> Result<Json, String> {
+        let resp = self.id_verb("status", id)?;
+        resp.get("job")
+            .cloned()
+            .ok_or_else(|| "status response has no job".into())
+    }
+
+    /// One summary object per job on the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport or protocol error.
+    pub fn list(&mut self) -> Result<Json, String> {
+        let resp = self.request("{\"verb\":\"list\"}")?;
+        resp.get("jobs")
+            .cloned()
+            .ok_or_else(|| "list response has no jobs".into())
+    }
+
+    /// Requests cancellation at the job's next generation boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's message for unknown ids or terminal jobs.
+    pub fn cancel(&mut self, id: &str) -> Result<(), String> {
+        self.id_verb("cancel", id).map(|_| ())
+    }
+
+    /// Re-enqueues an interrupted or cancelled job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's message for non-resumable states.
+    pub fn resume(&mut self, id: &str) -> Result<(), String> {
+        self.id_verb("resume", id).map(|_| ())
+    }
+
+    /// The persisted final front of a completed job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's message when the job has not completed.
+    pub fn front(&mut self, id: &str) -> Result<Json, String> {
+        let resp = self.id_verb("front", id)?;
+        resp.get("front")
+            .cloned()
+            .ok_or_else(|| "front response has no front".into())
+    }
+
+    /// Server-wide statistics: shared-cache counters and job population.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport or protocol error.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        let resp = self.request("{\"verb\":\"stats\"}")?;
+        resp.get("stats")
+            .cloned()
+            .ok_or_else(|| "stats response has no stats".into())
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.request("{\"verb\":\"shutdown\"}").map(|_| ())
+    }
+
+    /// Streams the job's progress on this connection: `on_generation` is
+    /// called once per pushed boundary, and the job's terminal state name
+    /// is returned when the `done` frame arrives. The connection stays
+    /// usable for further verbs afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's message for unknown ids, or a transport error
+    /// if the stream breaks before `done`.
+    pub fn stream(
+        &mut self,
+        id: &str,
+        mut on_generation: impl FnMut(u64),
+    ) -> Result<String, String> {
+        let mut frame = String::from("{\"verb\":\"stream\",\"id\":");
+        push_json_str(&mut frame, id);
+        frame.push('}');
+        let ack = self.request(&frame)?;
+        if ack.get("streaming").is_none() {
+            return Err("stream response has no streaming acknowledgement".into());
+        }
+        loop {
+            let Some(text) =
+                read_frame(&mut self.stream).map_err(|e| format!("stream recv: {e}"))?
+            else {
+                return Err("stream ended without a done frame".into());
+            };
+            let json = mcmap_obs::parse_json(&text).map_err(|e| format!("bad frame: {e}"))?;
+            match json.get("event").and_then(|v| v.as_str()) {
+                Some("generation") => {
+                    if let Some(g) = json.get("generation").and_then(|v| v.as_u64()) {
+                        on_generation(g);
+                    }
+                }
+                Some("done") => {
+                    return json
+                        .get("state")
+                        .and_then(|v| v.as_str())
+                        .map(String::from)
+                        .ok_or_else(|| "done frame has no state".into());
+                }
+                _ => return Err(format!("unexpected stream frame: {text}")),
+            }
+        }
+    }
+
+    /// Streams until the job is terminal, discarding progress frames.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::stream`].
+    pub fn wait(&mut self, id: &str) -> Result<String, String> {
+        self.stream(id, |_| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ServeConfig;
+    use crate::server::spawn_local;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("mcmap_serve_client_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn end_to_end_submit_stream_front_stats_shutdown() {
+        let dir = scratch("end_to_end");
+        let handle = spawn_local(ServeConfig {
+            jobs_dir: dir.clone(),
+            workers: 2,
+            slice: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr.to_string();
+        let mut c = Client::connect(&addr).unwrap();
+        let spec = JobSpec {
+            benchmark: "cruise".into(),
+            population: 8,
+            generations: 2,
+            seed: 8,
+        };
+        let id = c.submit(&spec).unwrap();
+        assert!(id.starts_with("job-"));
+        // Stream on a second connection while this one polls verbs.
+        let mut streamer = Client::connect(&addr).unwrap();
+        let mut boundaries = Vec::new();
+        let state = streamer.stream(&id, |g| boundaries.push(g)).unwrap();
+        assert_eq!(state, "completed");
+        assert!(
+            boundaries.contains(&(spec.generations as u64)),
+            "stream never reported the final generation: {boundaries:?}"
+        );
+        let status = c.status(&id).unwrap();
+        assert_eq!(
+            status.get("state").and_then(|v| v.as_str()),
+            Some("completed")
+        );
+        assert!(
+            status
+                .get("eval")
+                .and_then(|e| e.get("genomes"))
+                .and_then(|v| v.as_u64())
+                .is_some_and(|g| g > 0),
+            "status must expose per-job eval counters"
+        );
+        let front = c.front(&id).unwrap();
+        assert!(front
+            .get("reports")
+            .is_some_and(|r| matches!(r, Json::Arr(v) if !v.is_empty())));
+        let jobs = c.list().unwrap();
+        assert!(matches!(jobs, Json::Arr(ref v) if v.len() == 1));
+        let stats = c.stats().unwrap();
+        assert!(stats.get("cache").is_some());
+        // Unknown verbs and ids produce typed errors, not hangups.
+        assert!(c.request("{\"verb\":\"bogus\"}").is_err());
+        assert!(c.status("job-999999").is_err());
+        c.shutdown().unwrap();
+        handle.thread.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

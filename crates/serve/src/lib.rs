@@ -1,0 +1,45 @@
+//! # mcmap-serve
+//!
+//! The design-space exploration as a long-running, multi-tenant job
+//! service: a dependency-light TCP server speaking a length-framed JSON
+//! protocol, a bounded worker pool that timeslices many explorations
+//! fairly, and a server-wide candidate-evaluation cache so identical
+//! work submitted by different tenants evaluates once.
+//!
+//! Three properties carry over unchanged from the batch pipeline:
+//!
+//! * **Determinism** — a job is a sequence of budget slices, each one a
+//!   resumed [`mcmap_core::explore_checked`] call stopped cooperatively at
+//!   a generation boundary. The checkpoint/resume machinery guarantees the
+//!   sliced run walks the exact same boundaries as an uninterrupted run,
+//!   so fronts, audit counters, and canonical traces are bit-identical no
+//!   matter how the scheduler interleaves tenants.
+//! * **Durability** — every slice ends with an atomic sealed-envelope
+//!   checkpoint in the job's directory. Killing the server (SIGTERM or
+//!   SIGKILL) loses at most the slice in flight; on restart, unfinished
+//!   jobs surface as `interrupted` and resume bit-identically.
+//! * **Sharing soundness** — the cross-job memo cache keys every record by
+//!   the submitting run's context fingerprint (model, configuration,
+//!   seed), so tenants with different inputs can contend on capacity but
+//!   never exchange content.
+//!
+//! The module split mirrors the data flow: [`proto`] (frames and verbs) →
+//! [`server`] (connection handling) → [`registry`] (job table, worker
+//! pool, shared cache) → [`job`] (specs, states, persistence), with
+//! [`progress`] tapping the observability stream for per-generation
+//! progress frames and [`client`] as the typed blocking driver.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod job;
+pub mod progress;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use client::Client;
+pub use job::{JobSpec, JobState};
+pub use registry::{Registry, ServeConfig};
+pub use server::Server;

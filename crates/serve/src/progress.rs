@@ -1,0 +1,95 @@
+//! The per-generation progress tap: a custom [`Sink`] attached to each
+//! slice's recorder that forwards `ga.generation` span-ends to stream
+//! subscribers.
+//!
+//! The tap never perturbs the trace — it observes the same event stream
+//! the JSONL sink writes (under the recorder's emission lock, in sequence
+//! order) and pushes a plain generation number into each subscriber's
+//! channel. Slow or dead subscribers are dropped, not waited on: progress
+//! streaming is a convenience view, the checkpoint is the durable record.
+
+use mcmap_obs::{Event, EventKind, Sink};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// One job's progress fan-out point. Lives as long as the job's registry
+/// entry; each slice's recorder gets a [`TapSink`] handle.
+#[derive(Debug, Default)]
+pub struct ProgressTap {
+    subscribers: Mutex<Vec<Sender<u64>>>,
+}
+
+impl ProgressTap {
+    /// Registers a subscriber; the returned receiver yields one generation
+    /// number per completed boundary from now on.
+    pub fn subscribe(&self) -> Receiver<u64> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.subscribers
+            .lock()
+            .expect("progress tap poisoned")
+            .push(tx);
+        rx
+    }
+
+    /// Pushes one generation number to every live subscriber, pruning the
+    /// disconnected ones.
+    pub fn publish(&self, generation: u64) {
+        self.subscribers
+            .lock()
+            .expect("progress tap poisoned")
+            .retain(|tx| tx.send(generation).is_ok());
+    }
+}
+
+/// Adapter letting a shared [`ProgressTap`] ride in a recorder's sink list.
+#[derive(Debug)]
+pub struct TapSink(pub Arc<ProgressTap>);
+
+impl Sink for TapSink {
+    fn record(&self, event: &Arc<Event>) {
+        if event.kind != EventKind::SpanEnd || event.name != "ga.generation" {
+            return;
+        }
+        let generation = event
+            .fields
+            .iter()
+            .find(|(k, _)| k == "generation")
+            .and_then(|(_, v)| v.as_u64());
+        if let Some(g) = generation {
+            self.0.publish(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmap_obs::{RecorderBuilder, Value};
+
+    #[test]
+    fn tap_forwards_generation_boundaries_only() {
+        let tap = Arc::new(ProgressTap::default());
+        let rx = tap.subscribe();
+        let rec = RecorderBuilder::new()
+            .sink(Box::new(TapSink(Arc::clone(&tap))))
+            .build();
+        rec.span("dse.run", &[]).end();
+        for g in 0u64..2 {
+            let mut span = rec.span("ga.generation", &[("generation", Value::from(g))]);
+            span.field("generation", g);
+            span.end();
+        }
+        let got: Vec<u64> = rx.try_iter().collect();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn dead_subscribers_are_pruned() {
+        let tap = ProgressTap::default();
+        let rx = tap.subscribe();
+        drop(rx);
+        let rx2 = tap.subscribe();
+        tap.publish(7);
+        assert_eq!(rx2.try_iter().collect::<Vec<_>>(), vec![7]);
+    }
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints, the whole test suite, the evaluation
-# engine's determinism suite, and the eval-engine + wcrt-analysis +
-# delta-analysis + obs-overhead benches (which write the machine-readable
-# results/BENCH_eval.json, results/BENCH_sched.json, results/BENCH_delta.json,
-# and results/BENCH_obs.json).
+# engine's determinism suite, the server kill-and-resume smoke, and the
+# eval-engine + wcrt-analysis + delta-analysis + obs-overhead + serve-load
+# benches (which write the machine-readable results/BENCH_eval.json,
+# results/BENCH_sched.json, results/BENCH_delta.json, results/BENCH_obs.json,
+# and results/BENCH_serve.json).
 # Usage: scripts/check.sh [--fix]
 #   --fix   apply rustfmt and clippy suggestions instead of just checking
 set -euo pipefail
@@ -32,6 +33,12 @@ cargo test -q --test resume
 # uninterrupted run of the same configuration byte-for-byte.
 scripts/smoke_resume.sh
 
+# Job-server smoke over the serve/client CLI: SIGTERM and SIGKILL a server
+# mid-flight, restart it on the same jobs directory, resume every job, and
+# require the resumed fronts to match an uninterrupted server's
+# byte-for-byte.
+scripts/smoke_serve.sh
+
 # Engine micro/macro bench; emits results/BENCH_eval.json.
 cargo bench -p mcmap-bench --bench eval_engine
 
@@ -45,5 +52,9 @@ cargo bench -p mcmap-bench --bench delta_analysis
 
 # Tracing overhead gate (budget 5 %); emits results/BENCH_obs.json.
 cargo bench -p mcmap-bench --bench obs_overhead
+
+# Multi-tenant serve load gate (100 concurrent jobs, zero failures,
+# nonzero cross-job cache hits); emits results/BENCH_serve.json.
+cargo bench -p mcmap-bench --bench serve_load
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke over the job server's real CLI surface.
+#
+# Three servers, one jobs directory each, same two job specs (cruise,
+# seeds 8 and 9):
+#   1. a baseline server that runs both jobs to completion — their fronts
+#      are the reference;
+#   2. a server SIGTERMed mid-flight (graceful drain: running slices stop
+#      at their next generation boundary, checkpoints written), then
+#      restarted on the same directory — both jobs surface as interrupted,
+#      resume, and must reproduce the reference fronts byte-for-byte;
+#   3. the same with SIGKILL (no cleanup whatsoever, possibly a torn trace
+#      line and a stale `running` status on disk).
+#
+# Race-proof by construction: if a signal lands after a job already
+# completed, its resume degenerates to a no-op (the client tolerates the
+# "not resumable" error and `wait` still returns `completed`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+POP=12
+GENS=12
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+cargo build -q -p mcmap-bench --bin mcmap_cli
+CLI=target/debug/mcmap_cli
+
+# Polls until the server accepts connections.
+wait_ready() {
+    local addr="$1"
+    for _ in $(seq 1 100); do
+        "$CLI" client "$addr" list > /dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "smoke_serve: server on $addr never became ready"
+    exit 1
+}
+
+start_server() {
+    local addr="$1" dir="$2"
+    "$CLI" serve --addr "$addr" --jobs-dir "$dir" --workers 2 --slice 1 \
+        > /dev/null 2>&1 &
+    SERVER_PID=$!
+    wait_ready "$addr"
+}
+
+submit_two() {
+    local addr="$1"
+    "$CLI" client "$addr" submit cruise "$POP" "$GENS" --seed 8 > /dev/null
+    "$CLI" client "$addr" submit cruise "$POP" "$GENS" --seed 9 > /dev/null
+}
+
+wait_completed() {
+    local addr="$1" tag="$2"
+    for id in job-000001 job-000002; do
+        local state
+        state=$("$CLI" client "$addr" wait "$id") \
+            || { echo "smoke_serve: $tag: $id ended $state, not completed"; exit 1; }
+    done
+}
+
+fronts() {
+    local addr="$1" out_prefix="$2"
+    "$CLI" client "$addr" front job-000001 > "${out_prefix}1.json"
+    "$CLI" client "$addr" front job-000002 > "${out_prefix}2.json"
+}
+
+# Interrupts a mid-flight server with $1, restarts it on the same jobs
+# directory, resumes every job, and compares the fronts to the baseline.
+interrupt_and_resume() {
+    local sig="$1" tag="$2" port="$3"
+    local addr="127.0.0.1:$port" dir="$TMP/$tag"
+
+    start_server "$addr" "$dir"
+    submit_two "$addr"
+    # Wait until the first job has at least one checkpointed boundary, so
+    # the signal lands mid-exploration rather than before any work.
+    for _ in $(seq 1 200); do
+        "$CLI" client "$addr" status job-000001 2>/dev/null \
+            | grep -q '"generation_done":[0-9]' && break
+        sleep 0.05
+    done
+    kill "-$sig" "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+
+    # Restart on the same directory: unfinished jobs must surface as
+    # interrupted (even after SIGKILL left a stale `running` on disk) and
+    # resume bit-identically.
+    start_server "$addr" "$dir"
+    for id in job-000001 job-000002; do
+        "$CLI" client "$addr" resume "$id" > /dev/null 2>&1 \
+            || true # already completed before the signal landed
+    done
+    wait_completed "$addr" "$tag"
+    fronts "$addr" "$TMP/${tag}_front"
+    "$CLI" client "$addr" shutdown > /dev/null
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+
+    for j in 1 2; do
+        diff "$TMP/baseline_front$j.json" "$TMP/${tag}_front$j.json" \
+            || { echo "smoke_serve: $tag: resumed front of job $j differs from the baseline"; exit 1; }
+    done
+    echo "smoke_serve: $tag: both resumed jobs match the baseline fronts"
+}
+
+# Baseline: both jobs run to completion uninterrupted.
+BASE_ADDR="127.0.0.1:$((20000 + RANDOM % 20000))"
+start_server "$BASE_ADDR" "$TMP/baseline"
+submit_two "$BASE_ADDR"
+wait_completed "$BASE_ADDR" baseline
+fronts "$BASE_ADDR" "$TMP/baseline_front"
+"$CLI" client "$BASE_ADDR" shutdown > /dev/null
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+interrupt_and_resume TERM sigterm "$((20000 + RANDOM % 20000))"
+interrupt_and_resume KILL sigkill "$((20000 + RANDOM % 20000))"
+echo "smoke_serve: all server kill-and-resume smokes passed"

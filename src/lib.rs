@@ -20,6 +20,9 @@
 //!   genomes (structured `MC0xxx` diagnostics);
 //! * [`resilience`] — panic isolation, atomic checkpointing, corruption
 //!   detection, and deterministic fault injection;
+//! * [`serve`] — the DSE as a long-running multi-tenant job service
+//!   (framed-JSON TCP protocol, sliced fair scheduling, cross-job
+//!   evaluation cache);
 //! * [`benchmarks`] — the Cruise, DT-med/large, and synthetic benchmarks.
 //!
 //! # Examples
@@ -46,4 +49,5 @@ pub use mcmap_model as model;
 pub use mcmap_obs as obs;
 pub use mcmap_resilience as resilience;
 pub use mcmap_sched as sched;
+pub use mcmap_serve as serve;
 pub use mcmap_sim as sim;

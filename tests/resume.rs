@@ -209,6 +209,113 @@ fn resume_is_independent_of_threads_and_cache_capacity() {
     cleanup(&path);
 }
 
+/// The multi-tenant scheduling claim behind `mcmap-serve`, proved at the
+/// library level: two jobs timesliced one generation at a time through the
+/// same process — each slice a checkpoint-resume-stop cycle — produce the
+/// same fronts, audit counters, and canonical traces as each job run solo
+/// and uninterrupted. The interleaving itself is what's adversarial here:
+/// every boundary of job A has job B's slices (and their allocator/cache
+/// side effects) between it and the next.
+#[test]
+fn two_interleaved_jobs_match_their_solo_runs_at_every_slice_boundary() {
+    let seeds = [8u64, 9u64];
+    // The solo references checkpoint too (without ever stopping): the
+    // `resilience.checkpoint` boundary marks are part of the trace, so the
+    // comparison needs them on both sides.
+    let solos: Vec<DseOutcome> = seeds
+        .iter()
+        .map(|&seed| {
+            let path = scratch(&format!("interleave_solo_{seed}.ckpt"));
+            cleanup(&path);
+            let out = Run {
+                threads: 2,
+                cache_cap: 65_536,
+                seed,
+                traced: true,
+                resilience: ResilienceConfig {
+                    checkpoint: Some(path.clone()),
+                    ..ResilienceConfig::default()
+                },
+            }
+            .go();
+            cleanup(&path);
+            out
+        })
+        .collect();
+    let solo_traces: Vec<String> = solos
+        .iter()
+        .map(|o| canonical_trace(&o.telemetry.events()))
+        .collect();
+
+    let paths = [scratch("interleave_a.ckpt"), scratch("interleave_b.ckpt")];
+    for p in &paths {
+        cleanup(p);
+    }
+    let mut parts: [Vec<Vec<Event>>; 2] = [Vec::new(), Vec::new()];
+    let mut finals: [Option<DseOutcome>; 2] = [None, None];
+    let mut slices = [0usize; 2];
+    while finals.iter().any(Option::is_none) {
+        for j in 0..2 {
+            if finals[j].is_some() {
+                continue;
+            }
+            let out = Run {
+                threads: 2,
+                cache_cap: 65_536,
+                seed: seeds[j],
+                traced: true,
+                resilience: ResilienceConfig {
+                    checkpoint: Some(paths[j].clone()),
+                    resume: paths[j].exists().then(|| paths[j].clone()),
+                    stop_after_slice: Some(1),
+                    ..ResilienceConfig::default()
+                },
+            }
+            .go();
+            slices[j] += 1;
+            assert!(slices[j] <= GENS + 1, "job {j} never finished");
+            if out.interrupted {
+                // Keep only what the slice's checkpoint vouches for — the
+                // same trim the server applies to the on-disk trace.
+                let ckpt = read_checkpoint(&paths[j]).expect("slice checkpoint");
+                parts[j].push(
+                    out.telemetry
+                        .events()
+                        .into_iter()
+                        .filter(|e| e.seq <= ckpt.trace_seq)
+                        .collect(),
+                );
+            } else {
+                parts[j].push(out.telemetry.events());
+                finals[j] = Some(out);
+            }
+        }
+    }
+    for j in 0..2 {
+        assert_eq!(
+            slices[j],
+            GENS + 1,
+            "one-generation slices must walk every boundary exactly once"
+        );
+        let fin = finals[j].take().expect("finished above");
+        assert_eq!(
+            fingerprint(&fin),
+            fingerprint(&solos[j]),
+            "interleaved job {j}: front differs from its solo run"
+        );
+        assert_eq!(
+            fin.audit, solos[j].audit,
+            "interleaved job {j}: audit counters differ from its solo run"
+        );
+        assert_eq!(
+            canonical_trace(&stitch_traces(&parts[j])),
+            solo_traces[j],
+            "interleaved job {j}: stitched trace differs from its solo run"
+        );
+        cleanup(&paths[j]);
+    }
+}
+
 proptest! {
     // Each case is a small exploration plus a resume, so keep the count
     // modest — the fixed sweep above covers the boundaries exhaustively.
