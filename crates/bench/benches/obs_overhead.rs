@@ -111,7 +111,7 @@ fn main() {
                 want,
                 "tracing changed the Pareto front"
             );
-            *events = traced.telemetry.emitted();
+            *events = traced.obs.emitted();
             assert!(*events > 0, "traced run produced no events");
             *wall_on = wall_on.min(t_on);
             t_on

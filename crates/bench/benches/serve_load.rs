@@ -132,7 +132,46 @@ fn main() {
         "status document lacks per-job eval counters"
     );
 
+    // The metrics verb must expose per-verb request latencies and per-job
+    // slice-duration histograms with quantiles after real load.
+    let metrics = control.metrics().expect("metrics");
+    let entries = match metrics.get("metrics") {
+        Some(mcmap_obs::Json::Arr(a)) => a.as_slice(),
+        other => panic!("metrics snapshot is not an array: {other:?}"),
+    };
+    let histogram_p95 = |name: &str| {
+        entries
+            .iter()
+            .filter(|m| m.get("name").and_then(|v| v.as_str()) == Some(name))
+            .filter_map(|m| {
+                m.get("value")
+                    .and_then(|v| v.get("p95"))
+                    .and_then(|v| v.as_u64())
+            })
+            .max()
+    };
+    assert!(
+        histogram_p95("serve.request_ns").is_some(),
+        "metrics lack per-verb request-latency quantiles under load"
+    );
+    assert!(
+        histogram_p95("serve.slice_ns").is_some(),
+        "metrics lack slice-duration quantiles under load"
+    );
+    let prom = control.metrics_prometheus().expect("prometheus");
+    assert!(
+        prom.contains("# TYPE mcmap_serve_request_ns histogram"),
+        "prometheus exposition lacks the request-latency family"
+    );
+
     let stats = control.stats().expect("stats");
+    assert!(
+        stats
+            .get("dropped_events")
+            .and_then(|v| v.as_u64())
+            .is_some(),
+        "stats document lacks the dropped-events counter"
+    );
     let cache = stats.get("cache").expect("stats.cache");
     let hits = cache.get("hits").and_then(|v| v.as_u64()).unwrap_or(0);
     let misses = cache.get("misses").and_then(|v| v.as_u64()).unwrap_or(0);

@@ -84,7 +84,7 @@ fn main() -> ExitCode {
     }
     knobs.report("fig5/dt-med", &outcome.eval_stats);
     knobs.report_audit("fig5/dt-med", &outcome.audit);
-    knobs.report_obs("fig5/dt-med", &outcome.telemetry);
+    knobs.report_obs("fig5/dt-med", &outcome.obs);
     if outcome.interrupted {
         return ExitCode::from(INTERRUPTED_EXIT);
     }

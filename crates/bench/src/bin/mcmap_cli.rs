@@ -19,12 +19,19 @@
 //! mcmap_cli lint     <benchmark> --interference [seed] [--json|--dot]
 //! mcmap_cli lint     --explain [MCxxxx]      # one code's card, or all codes
 //! mcmap_cli obs      <trace.jsonl> [--json]  # profile a recorded trace
+//! mcmap_cli obs      query <trace> [--name S] [--kind K] [--field K[=V]]
+//!                    [--generation N] [--json]
+//! mcmap_cli obs      critical-path <trace> [--json]
+//! mcmap_cli obs      flame <trace>           # folded stacks for flamegraphs
+//! mcmap_cli obs      diff <a.jsonl> <b.jsonl> [--json]
 //! mcmap_cli serve    [--addr H:P] [--jobs-dir D] [--workers N] [--slice N]
 //!                    [--cache-cap N] [--job-threads N]
 //!                                            # multi-tenant DSE job server
 //! mcmap_cli client   <addr> submit <benchmark> [pop gens] [--seed N]
 //! mcmap_cli client   <addr> <status|cancel|resume|front|stream|wait> <id>
-//! mcmap_cli client   <addr> <list|stats|shutdown>
+//! mcmap_cli client   <addr> <list|shutdown>
+//! mcmap_cli client   <addr> stats [--json]   # aligned table, or raw frame
+//! mcmap_cli client   <addr> metrics [--prometheus]
 //! ```
 //!
 //! Benchmarks: `cruise`, `dt-med`, `dt-large`, `synth1`, `synth2`.
@@ -119,10 +126,15 @@ fn usage() -> ExitCode {
          lint flags: --json, --inject <cycle|relbound|inverted>,\n\
          \u{20}           --interference [seed] [--json|--dot], --explain [MCxxxx]\n\
          obs:        mcmap_cli obs <trace.jsonl> [--json]\n\
+         \u{20}           | obs query <trace> [--name <s>] [--kind <k>] [--field <k[=v]>]\n\
+         \u{20}             [--generation <n>] [--json]\n\
+         \u{20}           | obs critical-path <trace> [--json] | obs flame <trace>\n\
+         \u{20}           | obs diff <a.jsonl> <b.jsonl> [--json]\n\
          serve:      mcmap_cli serve [--addr <host:port>] [--jobs-dir <dir>]\n\
          \u{20}           [--workers <n>] [--slice <n>] [--cache-cap <n>] [--job-threads <n>]\n\
          client:     mcmap_cli client <addr> submit <benchmark> [pop gens] [--seed <n>]\n\
-         \u{20}           | <status|cancel|resume|front|stream|wait> <id> | list | stats | shutdown"
+         \u{20}           | <status|cancel|resume|front|stream|wait> <id> | list | shutdown\n\
+         \u{20}           | stats [--json] | status <id> [--json] | metrics [--prometheus]"
     );
     ExitCode::FAILURE
 }
@@ -449,7 +461,29 @@ fn cmd_client(tail: &[String]) -> ExitCode {
                 Err(e) => fail(e),
             }
         }
-        "status" | "front" => {
+        "status" => {
+            let Some(id) = arg else {
+                return usage();
+            };
+            if tail.iter().any(|a| a == "--json") {
+                match c.verb_raw(verb, Some(id)) {
+                    Ok(text) => {
+                        println!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e),
+                }
+            } else {
+                match c.status(id) {
+                    Ok(job) => {
+                        print!("{}", mcmap_serve::render::render_status(&job));
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e),
+                }
+            }
+        }
+        "front" => {
             let Some(id) = arg else {
                 return usage();
             };
@@ -461,7 +495,45 @@ fn cmd_client(tail: &[String]) -> ExitCode {
                 Err(e) => fail(e),
             }
         }
-        "list" | "stats" => match c.verb_raw(verb, None) {
+        "stats" => {
+            if tail.iter().any(|a| a == "--json") {
+                match c.verb_raw(verb, None) {
+                    Ok(text) => {
+                        println!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e),
+                }
+            } else {
+                match c.stats() {
+                    Ok(stats) => {
+                        print!("{}", mcmap_serve::render::render_stats(&stats));
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e),
+                }
+            }
+        }
+        "metrics" => {
+            if tail.iter().any(|a| a == "--prometheus") {
+                match c.metrics_prometheus() {
+                    Ok(text) => {
+                        print!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e),
+                }
+            } else {
+                match c.verb_raw(verb, None) {
+                    Ok(text) => {
+                        println!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e),
+                }
+            }
+        }
+        "list" => match c.verb_raw(verb, None) {
             Ok(text) => {
                 println!("{text}");
                 ExitCode::SUCCESS
@@ -647,7 +719,7 @@ fn cmd_dse(b: &Benchmark, key: &str, pop: usize, gens: usize, knobs: &EvalKnobs)
     knobs.report("dse", &outcome.eval_stats);
     knobs.report_analysis("dse", &outcome.analysis);
     knobs.report_audit("dse", &outcome.audit);
-    knobs.report_obs("dse", &outcome.telemetry);
+    knobs.report_obs("dse", &outcome.obs);
     if outcome.interrupted {
         let done = outcome
             .result
@@ -703,6 +775,204 @@ fn cmd_obs(path: &str, json: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Loads a JSONL trace for the analytics subverbs, tolerating a torn tail
+/// the same way `cmd_obs` does.
+fn load_trace(path: &str) -> Result<Vec<mcmap_obs::Event>, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("obs: cannot read {path}: {err}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let (events, recovery) = mcmap_obs::events_from_jsonl_lossy(&text);
+    if recovery.lossy() {
+        eprintln!(
+            "obs: trace {path} is truncated: kept {} event(s), dropped {} trailing line(s)",
+            recovery.parsed_events, recovery.dropped_lines
+        );
+    }
+    if events.is_empty() {
+        eprintln!("obs: no usable events in {path}");
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(events)
+}
+
+/// `obs query`: filter a trace by name substring, event kind, field
+/// presence/value, and generation; print matches as a table or JSONL.
+fn cmd_obs_query(path: &str, tail: &[String]) -> ExitCode {
+    let mut q = mcmap_obs::TraceQuery::default();
+    let mut json = false;
+    let mut i = 0;
+    while i < tail.len() {
+        let value = tail.get(i + 1).map(String::as_str);
+        match tail[i].as_str() {
+            "--name" => match value {
+                Some(v) => {
+                    q.name = Some(v.to_string());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--kind" => match value.and_then(mcmap_obs::EventKind::parse) {
+                Some(k) => {
+                    q.kind = Some(k);
+                    i += 2;
+                }
+                None => {
+                    eprintln!("obs query: --kind takes span_begin|span_end|counter|mark");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--field" => match value {
+                Some(v) => {
+                    q.field = Some(match v.split_once('=') {
+                        Some((k, val)) => (k.to_string(), Some(val.to_string())),
+                        None => (v.to_string(), None),
+                    });
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--generation" => match value.and_then(|v| v.parse().ok()) {
+                Some(g) => {
+                    q.generation = Some(g);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let events = match load_trace(path) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let hits = mcmap_obs::query(&events, &q);
+    for e in &hits {
+        if json {
+            println!("{}", e.to_jsonl());
+        } else {
+            let fields: Vec<String> = e
+                .fields
+                .iter()
+                .map(|(k, v)| {
+                    let mut s = String::new();
+                    v.write_json(&mut s);
+                    format!("{k}={s}")
+                })
+                .collect();
+            println!(
+                "{:>6}  {:<10}  {:<24}  {}",
+                e.seq,
+                e.kind.as_str(),
+                e.name,
+                fields.join(" ")
+            );
+        }
+    }
+    if !json {
+        eprintln!(
+            "obs query: {} of {} event(s) matched",
+            hits.len(),
+            events.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `obs critical-path`: the slowest span chain of every generation.
+fn cmd_obs_critical_path(path: &str, json: bool) -> ExitCode {
+    let events = match load_trace(path) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let paths = mcmap_obs::critical_paths(&events);
+    if paths.is_empty() {
+        eprintln!("obs critical-path: trace has no generation spans with wall times");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        let mut out = String::from("[");
+        for (i, p) in paths.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"generation\":{},\"total_ns\":{},\"steps\":[",
+                p.generation, p.total_ns
+            ));
+            for (j, s) in p.steps.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"wall_ns\":{},\"self_ns\":{}}}",
+                    s.name, s.wall_ns, s.self_ns
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        for p in &paths {
+            println!("generation {:<4} total {} ns", p.generation, p.total_ns);
+            for s in &p.steps {
+                println!(
+                    "  {:<28} wall {:>12} ns  self {:>12} ns",
+                    s.name, s.wall_ns, s.self_ns
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `obs flame`: folded-stack lines (`a;b;c self_ns`) ready for any
+/// flame-graph renderer that eats the Brendan Gregg collapsed format.
+fn cmd_obs_flame(path: &str) -> ExitCode {
+    let events = match load_trace(path) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let stacks = mcmap_obs::folded_stacks(&events);
+    if stacks.is_empty() {
+        eprintln!("obs flame: trace has no spans with wall times");
+        return ExitCode::FAILURE;
+    }
+    for (stack, self_ns) in &stacks {
+        println!("{stack} {self_ns}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `obs diff`: compare two traces — canonical event streams, counter
+/// sums, span populations. Exits nonzero when the deterministic portions
+/// differ, so it doubles as a replay-identity check in scripts.
+fn cmd_obs_diff(path_a: &str, path_b: &str, json: bool) -> ExitCode {
+    let (a, b) = match (load_trace(path_a), load_trace(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let diff = mcmap_obs::diff_traces(&a, &b);
+    if json {
+        println!("{}", diff.to_json());
+    } else {
+        print!("{}", diff.render_text());
+    }
+    if diff.deterministically_identical() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Strips the eval-engine flags (and their values) out of a `dse` argument
 /// tail, leaving the positional `[pop gens]` budget.
 fn dse_positionals(tail: &[String]) -> Vec<String> {
@@ -750,10 +1020,29 @@ fn main() -> ExitCode {
         return cmd_list();
     }
     if cmd == "obs" {
-        let Some(path) = args.get(1) else {
-            return usage();
+        let json = args.iter().any(|a| a == "--json");
+        // Analytics subverbs first; anything else is a trace path for the
+        // classic profile rendering.
+        return match args.get(1).map(String::as_str) {
+            Some("query") => match args.get(2) {
+                Some(path) => cmd_obs_query(path, &args[3..]),
+                None => usage(),
+            },
+            Some("critical-path") => match args.get(2) {
+                Some(path) => cmd_obs_critical_path(path, json),
+                None => usage(),
+            },
+            Some("flame") => match args.get(2) {
+                Some(path) => cmd_obs_flame(path),
+                None => usage(),
+            },
+            Some("diff") => match (args.get(2), args.get(3)) {
+                (Some(a), Some(b)) if !b.starts_with("--") => cmd_obs_diff(a, b, json),
+                _ => usage(),
+            },
+            Some(path) => cmd_obs(path, json),
+            None => usage(),
         };
-        return cmd_obs(path, args.iter().any(|a| a == "--json"));
     }
     if cmd == "serve" {
         return cmd_serve(&args[1..]);

@@ -359,6 +359,15 @@ impl EvalKnobs {
     /// `--gen-stats` convergence table (no-op when none was requested).
     pub fn report_obs(&self, label: &str, telemetry: &mcmap_obs::Recorder) {
         telemetry.flush();
+        // A lossy trace is worse than no trace when it goes unnoticed:
+        // surface ring overwrites and JSONL write failures unconditionally.
+        let dropped = telemetry.dropped_events();
+        if dropped > 0 {
+            eprintln!(
+                "[{label}] WARNING: {dropped} event(s) dropped (ring overwritten or \
+                 trace-file write failed) — the recorded trace is incomplete"
+            );
+        }
         if let Some(path) = &self.trace {
             println!(
                 "[{label}] trace written to {path} ({} events)",

@@ -17,6 +17,7 @@ use mcmap_model::{AppId, AppSet, Architecture, ProcId, Time};
 use mcmap_obs::{Recorder, Value};
 use mcmap_resilience::{EvalFailure, FaultPlan, ResilienceError};
 use mcmap_sched::{uniform_policies, Mapping, SchedPolicy};
+use mcmap_telemetry::{Class, Counter, Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
@@ -154,6 +155,14 @@ pub struct DseConfig {
     /// their model, configuration, and seed are identical — a pure speed
     /// knob, excluded from the fingerprints like `cache_cap`.
     pub shared_cache: Option<SharedEvalCache>,
+    /// Telemetry registry. The disabled default meters nothing; an enabled
+    /// registry accumulates fleet metrics (`eval.*` batch/cache counters,
+    /// `sched.*` analysis-effort counters and histograms) alongside — and
+    /// under the same determinism contract as — the [`DseConfig::obs`]
+    /// trace: `Class::Det` instruments are replay-stable for any thread
+    /// count or cache capacity, timing rides in `Class::Nondet`. Like the
+    /// recorder, it never changes a result.
+    pub telemetry: Registry,
 }
 
 impl Default for DseConfig {
@@ -174,6 +183,7 @@ impl Default for DseConfig {
             analysis: AnalysisOptions::default(),
             delta: true,
             shared_cache: None,
+            telemetry: Registry::default(),
         }
     }
 }
@@ -480,6 +490,48 @@ pub struct MappingProblem<'a> {
     batch_index: AtomicU64,
     /// Candidates degraded after exhausting their evaluation retries.
     failures: Mutex<Vec<EvalFailure>>,
+    /// Registered scheduling-analysis instruments (`None` when the
+    /// config's telemetry registry is disabled).
+    metrics: Option<SchedMetrics>,
+}
+
+/// The scheduling-analysis telemetry instruments. All observations happen
+/// in [`MappingProblem::record_audit`] — the sequential per-submitted-
+/// candidate replay path, with values carried in cached evaluation
+/// records — so every `Class::Det` instrument accumulates identically for
+/// any thread count or cache capacity. Analysis wall time is host timing
+/// and rides in `Class::Nondet`.
+#[derive(Debug)]
+struct SchedMetrics {
+    candidates: Arc<Counter>,
+    scenarios: Arc<Counter>,
+    backend_calls: Arc<Counter>,
+    warm_iters_saved: Arc<Counter>,
+    fixedpoint_iters: Arc<Histogram>,
+    analysis_ns: Arc<Histogram>,
+}
+
+impl SchedMetrics {
+    fn register(registry: &Registry) -> Self {
+        SchedMetrics {
+            candidates: registry.counter("sched.candidates", Class::Det),
+            scenarios: registry.counter("sched.scenarios", Class::Det),
+            backend_calls: registry.counter("sched.backend_calls", Class::Det),
+            warm_iters_saved: registry.counter("sched.warm_iters_saved", Class::Det),
+            fixedpoint_iters: registry.histogram("sched.fixedpoint_iters", Class::Det),
+            analysis_ns: registry.histogram("sched.analysis_ns", Class::Nondet),
+        }
+    }
+
+    fn observe_candidate(&self, r: &EvalRecord) {
+        let e = &r.effort;
+        self.candidates.inc();
+        self.scenarios.add(e.scenarios as u64);
+        self.backend_calls.add(e.backend_calls as u64);
+        self.warm_iters_saved.add(e.warm_iters_saved as u64);
+        self.fixedpoint_iters.observe(e.fixedpoint_iters as u64);
+        self.analysis_ns.observe(r.analysis_nanos);
+    }
 }
 
 /// Everything one evaluation produces: the GA-facing [`Evaluation`]
@@ -709,7 +761,12 @@ impl<'a> MappingProblem<'a> {
             Some(shared) => EvalEngine::with_shared_cache(Arc::clone(&shared.cache), &context),
             None => EvalEngine::new(EvalCacheConfig::with_capacity(cfg.cache_cap), &context),
         }
-        .with_recorder(cfg.obs.clone());
+        .with_recorder(cfg.obs.clone())
+        .with_metrics(&cfg.telemetry);
+        let metrics = cfg
+            .telemetry
+            .enabled()
+            .then(|| SchedMetrics::register(&cfg.telemetry));
         MappingProblem {
             apps,
             arch,
@@ -722,6 +779,7 @@ impl<'a> MappingProblem<'a> {
             pool: ShardedCache::new(4096, 16),
             batch_index: AtomicU64::new(0),
             failures: Mutex::new(Vec::new()),
+            metrics,
         }
     }
 
@@ -1216,6 +1274,9 @@ impl<'a> MappingProblem<'a> {
         self.counters
             .an_affect_size
             .fetch_add(r.affect_set_size as u64, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.observe_candidate(r);
+        }
         if self.cfg.obs.enabled() {
             // Emitted on the sequential replay path, from cached effort
             // counters: the event stream is identical for hits and misses,
@@ -1463,7 +1524,7 @@ pub struct DseOutcome {
     /// already flushed). Query its in-memory ring with
     /// [`Recorder::events`](mcmap_obs::Recorder::events) or render a
     /// profile with [`mcmap_obs::TraceProfile`].
-    pub telemetry: Recorder,
+    pub obs: Recorder,
     /// Whether the run was stopped before its generation budget was spent
     /// (cooperative stop flag, `stop_after_generation`, or a checkpoint
     /// write failure). The front/audit reflect the last completed
@@ -1664,7 +1725,7 @@ pub fn explore_checked(
         interrupted: result.interrupted,
         result,
         resumed_from,
-        telemetry: obs,
+        obs,
     })
 }
 
@@ -1996,7 +2057,7 @@ mod tests {
         }
         assert_eq!(traced.audit, audited.audit);
 
-        let events = traced.telemetry.events();
+        let events = traced.obs.events();
         for name in [
             "lint.preflight",
             "dse.explore",
@@ -2020,8 +2081,8 @@ mod tests {
             assert_eq!(e.seq, i as u64 + 1);
         }
         // The untraced run records nothing.
-        assert!(!plain.telemetry.enabled());
-        assert!(plain.telemetry.events().is_empty());
+        assert!(!plain.obs.enabled());
+        assert!(plain.obs.events().is_empty());
     }
 
     #[test]

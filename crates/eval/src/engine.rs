@@ -5,6 +5,7 @@ use crate::pool::{parallel_map, parallel_map_caught};
 use crate::stats::{EvalStats, StatCounters};
 use mcmap_obs::{Recorder, Value};
 use mcmap_resilience::{panic_message, EvalFailure};
+use mcmap_telemetry::{Class, Counter, Histogram, Registry};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::Ordering;
@@ -94,6 +95,46 @@ pub struct EvalEngine<V> {
     context: u64,
     counters: StatCounters,
     obs: Recorder,
+    metrics: Option<EvalMetrics>,
+}
+
+/// The engine's registered telemetry instruments. Batch/genome counts are
+/// deterministic functions of the submitted work; everything else (the
+/// hit/miss split, wall latency, the timing-driven serial fallback) is
+/// thread-racy and registered as [`Class::Nondet`].
+struct EvalMetrics {
+    batches: Arc<Counter>,
+    genomes: Arc<Counter>,
+    batch_wall: Arc<Histogram>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    serial_fallbacks: Arc<Counter>,
+}
+
+impl EvalMetrics {
+    fn register(registry: &Registry) -> Self {
+        EvalMetrics {
+            batches: registry.counter("eval.batches", Class::Det),
+            genomes: registry.counter("eval.genomes", Class::Det),
+            batch_wall: registry.histogram("eval.batch_wall_ns", Class::Nondet),
+            cache_hits: registry.counter("eval.cache_hits", Class::Nondet),
+            cache_misses: registry.counter("eval.cache_misses", Class::Nondet),
+            serial_fallbacks: registry.counter("eval.serial_fallbacks", Class::Nondet),
+        }
+    }
+
+    /// Folds one batch into the instruments from the engine's own stats
+    /// deltas — the same source the `eval.batch` span reports.
+    fn observe_batch(&self, genomes: u64, wall_ns: u64, before: &EvalStats, after: &EvalStats) {
+        self.batches.inc();
+        self.genomes.add(genomes);
+        self.batch_wall.observe(wall_ns);
+        self.cache_hits.add(after.cache_hits - before.cache_hits);
+        self.cache_misses
+            .add(after.cache_misses - before.cache_misses);
+        self.serial_fallbacks
+            .add(after.serial_fallbacks - before.serial_fallbacks);
+    }
 }
 
 impl<V: Clone + Send + Sync> EvalEngine<V> {
@@ -107,6 +148,7 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
             context: h.finish(),
             counters: StatCounters::default(),
             obs: Recorder::default(),
+            metrics: None,
         }
     }
 
@@ -126,6 +168,7 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
             context: h.finish(),
             counters: StatCounters::default(),
             obs: Recorder::default(),
+            metrics: None,
         }
     }
 
@@ -137,6 +180,18 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
     #[must_use]
     pub fn with_recorder(mut self, obs: Recorder) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Attaches a telemetry registry: the engine registers its fleet
+    /// metrics (`eval.batches` / `eval.genomes` as deterministic counters;
+    /// batch wall-latency histogram, cache hit/miss split, and
+    /// serial-fallback count as non-deterministic) and folds every batch
+    /// into them. A disabled registry leaves the engine unmetered — the
+    /// hot path carries no extra work. Results are identical either way.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = registry.enabled().then(|| EvalMetrics::register(registry));
         self
     }
 
@@ -225,7 +280,7 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
         F: Fn(&G) -> V + Sync,
     {
         let t0 = Instant::now();
-        let before = self.obs.enabled().then(|| self.stats());
+        let before = (self.obs.enabled() || self.metrics.is_some()).then(|| self.stats());
         // The thread budget is a speed knob that must not shape the
         // canonical trace, so it rides in the non-deterministic payload.
         let mut span = self
@@ -252,6 +307,14 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
             span.nondet("lookup_ns", after.lookup_nanos - before.lookup_nanos);
             span.nondet("eval_ns", after.eval_nanos - before.eval_nanos);
             span.nondet("insert_ns", after.insert_nanos - before.insert_nanos);
+            if let Some(m) = &self.metrics {
+                m.observe_batch(
+                    genomes.len() as u64,
+                    t0.elapsed().as_nanos() as u64,
+                    &before,
+                    &after,
+                );
+            }
         }
         span.end();
         results
@@ -308,7 +371,7 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
         I: Fn(EvalContext) + Sync,
     {
         let t0 = Instant::now();
-        let before = self.obs.enabled().then(|| self.stats());
+        let before = (self.obs.enabled() || self.metrics.is_some()).then(|| self.stats());
         let mut span = self
             .obs
             .span("eval.batch", &[("genomes", Value::from(genomes.len()))]);
@@ -385,6 +448,14 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
             span.nondet("lookup_ns", after.lookup_nanos - before.lookup_nanos);
             span.nondet("eval_ns", after.eval_nanos - before.eval_nanos);
             span.nondet("insert_ns", after.insert_nanos - before.insert_nanos);
+            if let Some(m) = &self.metrics {
+                m.observe_batch(
+                    genomes.len() as u64,
+                    t0.elapsed().as_nanos() as u64,
+                    &before,
+                    &after,
+                );
+            }
         }
         span.end();
         results
@@ -656,5 +727,52 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 1, "second pass is a hit");
         let s = e.stats();
         assert_eq!((s.cache_hits, s.cache_misses), (1, 0));
+    }
+
+    #[test]
+    fn telemetry_registry_observes_every_batch_path() {
+        use mcmap_telemetry::{Registry, SampleValue};
+        let registry = Registry::new();
+        let e = engine(256).with_metrics(&registry);
+        let genomes = vec![1u64, 2, 3, 1, 2, 3];
+        let _ = e.evaluate_batch(&genomes, 1, |g| *g);
+        let _ = e
+            .evaluate_batch_isolated(&genomes, 1, 0, |g, _ctx| *g)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect::<Vec<_>>();
+        let snap = registry.snapshot();
+        let counter = |name: &str| {
+            snap.metrics
+                .iter()
+                .find(|m| m.id.name == name)
+                .and_then(|m| match &m.value {
+                    SampleValue::Counter(v) => Some(*v),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(counter("eval.batches"), 2);
+        assert_eq!(counter("eval.genomes"), 12);
+        // Second batch replays entirely from cache: 3 misses + 9 hits.
+        assert_eq!(
+            counter("eval.cache_hits") + counter("eval.cache_misses"),
+            12
+        );
+        let wall = snap
+            .metrics
+            .iter()
+            .find(|m| m.id.name == "eval.batch_wall_ns")
+            .expect("wall histogram registered");
+        match &wall.value {
+            SampleValue::Histogram(h) => assert_eq!(h.count(), 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // A disabled registry leaves the engine unmetered but unchanged.
+        let quiet = Registry::default();
+        let q = engine(256).with_metrics(&quiet);
+        let out = q.evaluate_batch(&genomes, 1, |g| *g);
+        assert_eq!(out, genomes);
+        assert!(quiet.snapshot().metrics.is_empty());
     }
 }

@@ -45,12 +45,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod analytics;
 mod event;
 mod json;
 mod recorder;
 mod report;
 mod sink;
 
+pub use analytics::{
+    critical_paths, diff_traces, folded_stacks, query, CounterDelta, CriticalPath, PathStep,
+    SpanDelta, TraceDiff, TraceQuery,
+};
 pub use event::{Event, EventKind, Key, Value};
 pub use json::{
     event_from_json, events_from_jsonl, events_from_jsonl_lossy, parse_json, Json, TraceRecovery,

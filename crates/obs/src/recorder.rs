@@ -136,6 +136,10 @@ impl Sink for SharedRing {
     fn record(&self, event: &Arc<Event>) {
         self.0.record(event);
     }
+
+    fn dropped(&self) -> u64 {
+        self.0.dropped()
+    }
 }
 
 impl Recorder {
@@ -259,6 +263,18 @@ impl Recorder {
         if let Some(inner) = &self.inner {
             inner.seq.fetch_max(seq, Ordering::Relaxed);
         }
+    }
+
+    /// Total events silently lost across all sinks: ring evictions plus
+    /// failed trace-file writes ([`Sink::dropped`]). Zero for a disabled
+    /// recorder. A nonzero value means the in-memory ring or the on-disk
+    /// trace is an incomplete view of the emitted stream — profile
+    /// tooling and serve stats surface it so the loss is never invisible.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.sinks.iter().map(|s| s.dropped()).sum())
+            .unwrap_or(0)
     }
 
     /// Flushes every sink (JSONL writers in particular).

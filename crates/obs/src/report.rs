@@ -91,6 +91,9 @@ pub struct TraceProfile {
     pub counters: Vec<(String, f64)>,
     /// Per-generation convergence rows in generation order.
     pub generations: Vec<GenRow>,
+    /// Events missing from the gapless `1..=max_seq` sequence — evidence
+    /// of ring-buffer overwrites or trace-file write failures upstream.
+    pub dropped: u64,
 }
 
 impl TraceProfile {
@@ -169,11 +172,20 @@ impl TraceProfile {
 
         let generations = gen_rows(&sorted);
 
+        // seq is gapless per recorder, so any hole in 1..=max_seq means an
+        // event was lost before reaching this profile (ring overwrite or a
+        // failed trace write).
+        let dropped = sorted
+            .last()
+            .map(|e| e.seq.saturating_sub(sorted.len() as u64))
+            .unwrap_or(0);
+
         TraceProfile {
             events: sorted.len(),
             spans,
             counters: counter_rows,
             generations,
+            dropped,
         }
     }
 
@@ -199,6 +211,12 @@ impl TraceProfile {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("trace profile · {} events\n", self.events));
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "WARNING: {} event(s) dropped before recording — totals below undercount\n",
+                self.dropped
+            ));
+        }
 
         if !self.spans.is_empty() {
             out.push_str("\nspans (by self time)\n");
@@ -287,7 +305,10 @@ impl TraceProfile {
     /// Machine-readable profile report.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{");
-        s.push_str(&format!("\"events\":{}", self.events));
+        s.push_str(&format!(
+            "\"events\":{},\"dropped\":{}",
+            self.events, self.dropped
+        ));
         s.push_str(",\"spans\":[");
         for (i, span) in self.spans.iter().enumerate() {
             if i > 0 {

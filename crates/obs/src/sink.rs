@@ -6,6 +6,7 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::event::Event;
@@ -28,6 +29,12 @@ pub trait Sink: Send + Sync {
     /// [`flush`]: Sink::flush
     fn sync(&self) {
         self.flush();
+    }
+    /// How many events this sink has silently lost so far — ring
+    /// evictions, failed file writes, anything that makes the sink's view
+    /// of the trace incomplete. Defaults to 0 (lossless sinks).
+    fn dropped(&self) -> u64 {
+        0
     }
 }
 
@@ -74,6 +81,10 @@ impl Sink for RingSink {
         }
         state.events.push_back(Arc::clone(event));
     }
+
+    fn dropped(&self) -> u64 {
+        RingSink::dropped(self)
+    }
 }
 
 /// Streams events to a file as JSON Lines, one event per line.
@@ -85,6 +96,10 @@ pub struct JsonlSink {
     /// preamble (to rebuild span parentage) that the salvaged file already
     /// contains.
     skip_upto: u64,
+    /// Events whose line could not be written (disk full, revoked handle).
+    /// Trace I/O stays best-effort, but the loss is no longer invisible:
+    /// [`Sink::dropped`] surfaces it to profile output and serve stats.
+    write_errors: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -128,7 +143,13 @@ impl JsonlSink {
                 line: String::with_capacity(256),
             }),
             skip_upto,
+            write_errors: AtomicU64::new(0),
         })
+    }
+
+    /// How many events failed to reach the file.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
     }
 }
 
@@ -142,19 +163,29 @@ impl Sink for JsonlSink {
         event.write_jsonl(&mut state.line);
         state.line.push('\n');
         // Trace I/O is best-effort: an exploration must never fail because
-        // the trace disk filled up. Errors surface at flush time via the
-        // next explicit flush() caller if they care.
-        let _ = state.writer.write_all(state.line.as_bytes());
+        // the trace disk filled up. The failure is counted instead, so
+        // profile output and serve stats can report the incomplete trace.
+        if state.writer.write_all(state.line.as_bytes()).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn flush(&self) {
         let state = &mut *self.state.lock().expect("jsonl sink poisoned");
-        let _ = state.writer.flush();
+        if state.writer.flush().is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.write_errors()
     }
 
     fn sync(&self) {
         let state = &mut *self.state.lock().expect("jsonl sink poisoned");
-        let _ = state.writer.flush();
+        if state.writer.flush().is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
         // Best-effort durability: a checkpointing run syncs at every
         // generation boundary and expects the trace prefix to survive a
         // crash right after; plain flush only reaches the OS page cache.

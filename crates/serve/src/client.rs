@@ -170,6 +170,34 @@ impl Client {
             .ok_or_else(|| "stats response has no stats".into())
     }
 
+    /// The server's metrics snapshot as a JSON document: one entry per
+    /// instrument, with per-verb request-latency and per-job
+    /// slice-duration histograms carrying `p50`/`p95`/`p99` members.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport or protocol error.
+    pub fn metrics(&mut self) -> Result<Json, String> {
+        let resp = self.request("{\"verb\":\"metrics\"}")?;
+        resp.get("metrics")
+            .cloned()
+            .ok_or_else(|| "metrics response has no metrics".into())
+    }
+
+    /// The server's metrics snapshot in the Prometheus text exposition
+    /// format, ready to serve to a scraper.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport or protocol error.
+    pub fn metrics_prometheus(&mut self) -> Result<String, String> {
+        let resp = self.request("{\"verb\":\"metrics\",\"format\":\"prometheus\"}")?;
+        resp.get("prometheus")
+            .and_then(|v| v.as_str())
+            .map(String::from)
+            .ok_or_else(|| "metrics response has no prometheus text".into())
+    }
+
     /// Asks the server to drain and exit.
     ///
     /// # Errors
@@ -300,6 +328,49 @@ mod tests {
         assert!(matches!(jobs, Json::Arr(ref v) if v.len() == 1));
         let stats = c.stats().unwrap();
         assert!(stats.get("cache").is_some());
+        assert!(
+            stats
+                .get("dropped_events")
+                .and_then(|v| v.as_u64())
+                .is_some(),
+            "stats must report the silent-loss counter"
+        );
+        // Metrics snapshot: per-verb request latencies, per-job slice
+        // histograms (with quantiles), and the exploration's own meters.
+        let metrics = c.metrics().unwrap();
+        let Some(Json::Arr(entries)) = metrics.get("metrics") else {
+            panic!("metrics response has no entries: {metrics:?}");
+        };
+        let by_name = |name: &str| {
+            entries
+                .iter()
+                .filter(|m| m.get("name").and_then(|v| v.as_str()) == Some(name))
+                .collect::<Vec<_>>()
+        };
+        assert!(!by_name("serve.request_ns").is_empty(), "verb latencies");
+        assert!(!by_name("eval.batches").is_empty(), "exploration meters");
+        let slice = by_name("serve.slice_ns");
+        let per_job = slice
+            .iter()
+            .find(|m| {
+                m.get("labels")
+                    .and_then(|l| l.get("job"))
+                    .and_then(|v| v.as_str())
+                    == Some(id.as_str())
+            })
+            .expect("per-job slice histogram");
+        assert!(
+            per_job
+                .get("value")
+                .and_then(|v| v.get("p95"))
+                .and_then(|v| v.as_u64())
+                .is_some(),
+            "slice histogram carries quantiles: {per_job:?}"
+        );
+        let prom = c.metrics_prometheus().unwrap();
+        assert!(prom.contains("# TYPE mcmap_serve_slice_ns histogram"));
+        assert!(prom.contains("mcmap_eval_batches_total"));
+        assert!(prom.contains("mcmap_serve_request_ns_bucket{"));
         // Unknown verbs and ids produce typed errors, not hangups.
         assert!(c.request("{\"verb\":\"bogus\"}").is_err());
         assert!(c.status("job-999999").is_err());

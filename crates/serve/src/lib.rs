@@ -37,6 +37,7 @@ pub mod job;
 pub mod progress;
 pub mod proto;
 pub mod registry;
+pub mod render;
 pub mod server;
 
 pub use client::Client;

@@ -21,11 +21,13 @@ use mcmap_core::{
 use mcmap_ga::GaConfig;
 use mcmap_obs::RecorderBuilder;
 use mcmap_resilience::atomic_write;
+use mcmap_telemetry::{Class, Counter, Gauge, Histogram, Registry as MetricsRegistry};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Server-side knobs.
 #[derive(Debug, Clone)]
@@ -90,6 +92,19 @@ pub struct Registry {
     work: Condvar,
     /// Signalled when a worker finishes a slice (drain waits on this).
     idle: Condvar,
+    /// The server's metrics registry. Every slice's exploration runs with
+    /// it attached, so `eval.*` / `sched.*` instruments aggregate across
+    /// all tenants; the serve layer adds its own `serve.*` instruments
+    /// (request latency, queue depth, slice duration) — all timing, hence
+    /// `Class::Nondet`.
+    metrics: MetricsRegistry,
+    /// Runnable-queue length (all timing-dependent: `Class::Nondet`).
+    queue_depth: Arc<Gauge>,
+    /// Trace events lost server-wide: ring evictions and failed JSONL
+    /// writes, summed from every finished slice's recorder.
+    dropped_events: Arc<Counter>,
+    /// Server-wide slice duration (per-job siblings carry a `job` label).
+    slice_wall: Arc<Histogram>,
 }
 
 /// What one slice produced, handed back to the worker loop for the state
@@ -176,6 +191,10 @@ impl Registry {
             );
         }
         let shared = SharedEvalCache::with_capacity(cfg.cache_cap);
+        let metrics = MetricsRegistry::new();
+        let queue_depth = metrics.gauge("serve.queue_depth", Class::Nondet);
+        let dropped_events = metrics.counter("telemetry.dropped_events", Class::Nondet);
+        let slice_wall = metrics.histogram("serve.slice_ns", Class::Nondet);
         Ok(Arc::new(Registry {
             cfg,
             shared,
@@ -187,7 +206,22 @@ impl Registry {
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
+            metrics,
+            queue_depth,
+            dropped_events,
+            slice_wall,
         }))
+    }
+
+    /// The server's metrics registry (the `metrics` verb payload source).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Keeps the `serve.queue_depth` gauge in step with the queue. Called
+    /// under the registry lock after every queue mutation.
+    fn note_queue_depth(&self, inner: &Inner) {
+        self.queue_depth.set(inner.queue.len() as i64);
     }
 
     /// The effective worker-pool size.
@@ -255,6 +289,7 @@ impl Registry {
             },
         );
         inner.queue.push_back(id.clone());
+        self.note_queue_depth(&inner);
         drop(inner);
         self.work.notify_one();
         Ok(id)
@@ -279,6 +314,7 @@ impl Registry {
                 let generation = entry.generation_done;
                 self.persist_status(id, JobState::Cancelled, generation, None);
                 inner.queue.retain(|q| q != id);
+                self.note_queue_depth(&inner);
                 Ok(())
             }
             JobState::Running => {
@@ -314,6 +350,7 @@ impl Registry {
                 let generation = entry.generation_done;
                 self.persist_status(id, JobState::Queued, generation, None);
                 inner.queue.push_back(id.to_string());
+                self.note_queue_depth(&inner);
                 drop(inner);
                 self.work.notify_one();
                 Ok(())
@@ -410,9 +447,12 @@ impl Registry {
         }
         let jobs: Vec<String> = counts.iter().map(|(s, n)| format!("\"{s}\":{n}")).collect();
         format!(
-            "{{\"cache\":{},\"workers\":{},\"jobs\":{{{}}}}}",
+            "{{\"cache\":{},\"workers\":{},\"queue_depth\":{},\"dropped_events\":{},\
+             \"jobs\":{{{}}}}}",
             cache_stats_json(&stats),
             self.worker_count(),
+            inner.queue.len(),
+            self.dropped_events.get(),
             jobs.join(","),
         )
     }
@@ -451,6 +491,7 @@ impl Registry {
             self.persist_status(&id, JobState::Interrupted, generation, None);
         }
         inner.queue.clear();
+        self.note_queue_depth(&inner);
     }
 
     /// Whether [`Registry::drain`] has started.
@@ -483,6 +524,7 @@ impl Registry {
                         return;
                     }
                     if let Some(id) = inner.queue.pop_front() {
+                        self.note_queue_depth(&inner);
                         let e = inner.jobs.get_mut(&id).expect("queued job exists");
                         e.state = JobState::Running;
                         let out = (
@@ -498,7 +540,13 @@ impl Registry {
                     inner = self.work.wait(inner).expect("registry poisoned");
                 }
             };
+            let t0 = Instant::now();
             let (verdict, stats) = self.run_slice(&id, &spec, stop, tap);
+            let slice_ns = t0.elapsed().as_nanos() as u64;
+            self.slice_wall.observe(slice_ns);
+            self.metrics
+                .histogram_with("serve.slice_ns", &[("job", &id)], Class::Nondet)
+                .observe(slice_ns);
             let mut inner = self.lock();
             let draining = inner.draining;
             let e = inner.jobs.get_mut(&id).expect("running job exists");
@@ -522,6 +570,7 @@ impl Registry {
             self.persist_status(&id, next, generation, error.as_deref());
             if next == JobState::Queued {
                 inner.queue.push_back(id);
+                self.note_queue_depth(&inner);
                 drop(inner);
                 self.work.notify_one();
             } else {
@@ -594,6 +643,7 @@ impl Registry {
             repair_iters: 80,
             shared_cache: Some(self.shared.clone()),
             obs: builder.build(),
+            telemetry: self.metrics.clone(),
             ..DseConfig::default()
         };
         cfg.resilience.checkpoint = Some(ckpt);
@@ -602,6 +652,10 @@ impl Registry {
         cfg.resilience.stop_after_slice = Some(self.cfg.slice.max(1));
         match explore_checked(&b.apps, &b.arch, cfg) {
             Ok(outcome) => {
+                // The slice's recorder is done emitting: whatever its sinks
+                // lost (ring evictions, failed trace writes) is final, and
+                // silent loss becomes a visible server-wide counter.
+                self.dropped_events.add(outcome.obs.dropped_events());
                 let generation = outcome.result.history.last().map(|row| row.generation);
                 let stats = Some((outcome.eval_stats.clone(), outcome.analysis, generation));
                 if outcome.interrupted {

@@ -12,6 +12,7 @@ use crate::job::JobSpec;
 use crate::proto::{error_frame, ok_frame, read_frame, write_frame};
 use crate::registry::{Registry, ServeConfig};
 use mcmap_obs::Json;
+use mcmap_telemetry::Class;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -104,7 +105,16 @@ fn handle_connection(mut stream: TcpStream, registry: &Arc<Registry>, shutdown: 
             Ok(None) | Err(_) => return,
         };
         let response = match mcmap_obs::parse_json(&frame) {
-            Ok(req) => dispatch(&req, registry, shutdown, &mut stream),
+            Ok(req) => {
+                let verb = known_verb(req.get("verb").and_then(|v| v.as_str()));
+                let t0 = std::time::Instant::now();
+                let response = dispatch(&req, registry, shutdown, &mut stream);
+                registry
+                    .metrics()
+                    .histogram_with("serve.request_ns", &[("verb", verb)], Class::Nondet)
+                    .observe(t0.elapsed().as_nanos() as u64);
+                response
+            }
             Err(e) => Some(error_frame(&format!("malformed request: {e}"))),
         };
         match response {
@@ -174,6 +184,20 @@ fn dispatch(
             Err(e) => error_frame(&e),
         },
         "stats" => ok_frame(&format!(",\"stats\":{}", registry.server_stats_json())),
+        "metrics" => {
+            let snap = registry.metrics().snapshot();
+            match req.get("format").and_then(|v| v.as_str()) {
+                // The Prometheus exposition is plain text, so it ships as
+                // one JSON string member — scrape bridges unwrap it.
+                Some("prometheus") => {
+                    let mut payload = String::from(",\"prometheus\":");
+                    crate::proto::push_json_str(&mut payload, &snap.to_prometheus());
+                    ok_frame(&payload)
+                }
+                Some(other) => error_frame(&format!("unknown metrics format {other:?}")),
+                None => ok_frame(&format!(",\"metrics\":{}", snap.to_json())),
+            }
+        }
         "shutdown" => {
             shutdown.store(true, Ordering::SeqCst);
             ok_frame("")
@@ -187,6 +211,25 @@ fn dispatch(
         }
         other => error_frame(&format!("unknown verb {other:?}")),
     })
+}
+
+/// The request-latency label for a verb: the verb itself when it is one
+/// the protocol knows, `"other"` otherwise — so a client probing with
+/// garbage verbs cannot grow the metric family without bound.
+fn known_verb(verb: Option<&str>) -> &'static str {
+    match verb {
+        Some("submit") => "submit",
+        Some("status") => "status",
+        Some("list") => "list",
+        Some("cancel") => "cancel",
+        Some("resume") => "resume",
+        Some("front") => "front",
+        Some("stats") => "stats",
+        Some("metrics") => "metrics",
+        Some("shutdown") => "shutdown",
+        Some("stream") => "stream",
+        _ => "other",
+    }
 }
 
 /// The `stream` verb body: acknowledge, then push one frame per completed

@@ -1,0 +1,61 @@
+//! # mcmap-telemetry
+//!
+//! Fleet-grade metrics for the mcmap DSE stack: counters, gauges, and
+//! log2-bucketed histograms behind a cloneable [`Registry`] handle, with
+//! deterministic JSON snapshots and Prometheus text exposition.
+//! Dependency-free (std only).
+//!
+//! ## Determinism contract
+//!
+//! The crate extends `mcmap-obs`'s deterministic-vs-nondeterministic
+//! split to metrics: every instrument is registered with a [`Class`].
+//!
+//! * [`Class::Det`] — a deterministic function of the run (backend
+//!   calls, fixed-point iterations, batch counts). For a fixed
+//!   benchmark/seed/config, the canonical snapshot
+//!   ([`Registry::snapshot_canonical`]) is identical regardless of
+//!   `--threads`, `--scenario-threads`, or cache capacity.
+//! * [`Class::Nondet`] — timing and thread-racy measurements (wall-time
+//!   histograms, cache hit/miss splits, queue depths). Excluded from the
+//!   canonical snapshot; operational only.
+//!
+//! Metrics never feed back into search results or the obs event stream,
+//! so enabling a registry cannot perturb fronts or canonical traces.
+//!
+//! ## Histogram semantics
+//!
+//! [`Histogram`] buckets are exact powers of two: bucket 0 holds the
+//! value 0 and bucket `k ≥ 1` holds `[2^(k-1), 2^k - 1]` — 65 buckets
+//! covering all of `u64`. Bucketing is a pure function of the value, so
+//! two histograms over the same observations are bit-identical, and
+//! [`HistogramSnapshot::merge`] is associative and commutative with the
+//! empty snapshot as identity: merging equals observing the concatenated
+//! stream.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcmap_telemetry::{Class, Registry};
+//!
+//! let reg = Registry::new();
+//! let batches = reg.counter("eval.batches", Class::Det);
+//! let latency = reg.histogram("eval.batch_wall_ns", Class::Nondet);
+//! batches.inc();
+//! latency.observe(1_250);
+//! let snap = reg.snapshot();
+//! assert!(snap.to_json().contains("\"eval.batches\""));
+//! assert!(snap.to_prometheus().contains("mcmap_eval_batches_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hist;
+mod registry;
+mod render;
+
+pub use hist::{bucket_lower, bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{
+    Class, Counter, Gauge, MetricId, MetricSample, Registry, SampleValue, Snapshot,
+};
+pub use render::prom_name;

@@ -1,0 +1,106 @@
+//! Property tests for the log2 histogram: merge associativity against the
+//! concatenated stream, quantile monotonicity, and bucket-edge bounds.
+
+use mcmap_telemetry::{bucket_lower, bucket_of, bucket_upper, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Observation streams that exercise every bucket-size regime: zeros, the
+/// exact power-of-two edges, and arbitrary magnitudes.
+fn arb_stream() -> impl Strategy<Value = Vec<u64>> {
+    let v = prop_oneof![
+        Just(0u64),
+        1u64..16,
+        (0u32..63).prop_map(|s| 1u64 << s),
+        (0u32..63).prop_map(|s| (1u64 << s).wrapping_sub(1)),
+        any::<u64>(),
+    ];
+    prop::collection::vec(v, 0..64)
+}
+
+fn observed(stream: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in stream {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// `merge(a, b)` is exactly the histogram of the concatenated stream —
+    /// the property that makes per-shard collection sound.
+    #[test]
+    fn merge_equals_concatenated_stream(a in arb_stream(), b in arb_stream()) {
+        let mut merged = observed(&a);
+        merged.merge(&observed(&b));
+
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let whole = observed(&concat);
+
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.sum(), whole.sum());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert_eq!(merged.buckets(), whole.buckets());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// Quantile estimates never decrease as `q` grows, and every estimate
+    /// stays inside the observed `[min, max]` range.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(stream in arb_stream()) {
+        let snap = observed(&stream);
+        if stream.is_empty() {
+            prop_assert_eq!(snap.quantile(0.5), None);
+            return Ok(());
+        }
+        let min = *stream.iter().min().unwrap();
+        let max = *stream.iter().max().unwrap();
+        let mut last = None;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = snap.quantile(q).expect("non-empty");
+            prop_assert!(v >= min && v <= max, "quantile {} = {} outside [{}, {}]", q, v, min, max);
+            if let Some(prev) = last {
+                prop_assert!(v >= prev, "quantile not monotone: q={} gave {} after {}", q, v, prev);
+            }
+            last = Some(v);
+        }
+    }
+
+    /// The quantile estimate lies within the edges of the bucket that holds
+    /// the rank-`ceil(q·count)` observation.
+    #[test]
+    fn quantile_within_selected_bucket_edges(stream in arb_stream(), q in 0.0f64..1.0) {
+        if stream.is_empty() {
+            return Ok(());
+        }
+        let snap = observed(&stream);
+        let v = snap.quantile(q).expect("non-empty");
+        // Recompute the selected bucket independently from the raw stream.
+        let mut sorted = stream.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let bucket = bucket_of(sorted[rank - 1]);
+        // Clamping to [min, max] can only tighten toward the true value,
+        // never escape the bucket's theoretical edges by more than the
+        // observed extremes allow.
+        let lo = bucket_lower(bucket).min(snap.max().unwrap());
+        let hi = bucket_upper(bucket).max(snap.min().unwrap());
+        prop_assert!(
+            v >= lo.min(snap.min().unwrap()) && v <= hi,
+            "quantile {} = {} escapes bucket {} edges [{}, {}]",
+            q, v, bucket, bucket_lower(bucket), bucket_upper(bucket)
+        );
+    }
+
+    /// Every value lands in the bucket whose edges contain it — the exact
+    /// deterministic bucket semantics the snapshot format promises.
+    #[test]
+    fn bucket_edges_contain_their_values(v in any::<u64>()) {
+        let i = bucket_of(v);
+        prop_assert!(v >= bucket_lower(i));
+        prop_assert!(v <= bucket_upper(i));
+    }
+}

@@ -1,0 +1,53 @@
+//! Golden-file snapshot of the Prometheus text exposition: a fixed
+//! registry must render byte-identically to `tests/golden/metrics.prom`.
+//! Regenerate after an intentional format change with
+//! `MCMAP_UPDATE_GOLDEN=1 cargo test -p mcmap-telemetry prometheus_golden`.
+
+use mcmap_telemetry::{Class, Registry};
+
+/// A registry exercising every exposition shape: unlabelled and labelled
+/// counters, a gauge, and histograms with and without labels.
+fn reference_registry() -> Registry {
+    let reg = Registry::new();
+    reg.counter("eval.batches", Class::Det).add(3);
+    reg.counter("eval.genomes", Class::Det).add(96);
+    reg.counter_with("serve.requests", &[("verb", "stats")], Class::Nondet)
+        .add(2);
+    reg.counter_with("serve.requests", &[("verb", "submit")], Class::Nondet)
+        .inc();
+    reg.gauge("serve.queue_depth", Class::Nondet).set(4);
+    let h = reg.histogram("sched.fixedpoint_iters", Class::Det);
+    for v in [1u64, 2, 2, 3, 7] {
+        h.observe(v);
+    }
+    let labelled = reg.histogram_with("serve.slice_ns", &[("job", "job-000001")], Class::Nondet);
+    for v in [900u64, 1_500, 70_000] {
+        labelled.observe(v);
+    }
+    reg
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let text = reference_registry().snapshot().to_prometheus();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    if std::env::var_os("MCMAP_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &text).expect("update golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("read golden metrics.prom");
+    assert_eq!(
+        text, want,
+        "Prometheus exposition drifted from tests/golden/metrics.prom — \
+         if intentional, regenerate with MCMAP_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn json_snapshot_is_stable_across_identical_registries() {
+    // Two registries fed identically render byte-identical JSON too — the
+    // snapshot order is (name, labels), never insertion order.
+    let a = reference_registry().snapshot().to_json();
+    let b = reference_registry().snapshot().to_json();
+    assert_eq!(a, b);
+}

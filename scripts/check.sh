@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints, the whole test suite, the evaluation
 # engine's determinism suite, the server kill-and-resume smoke, and the
-# eval-engine + wcrt-analysis + delta-analysis + obs-overhead + serve-load
-# benches (which write the machine-readable results/BENCH_eval.json,
-# results/BENCH_sched.json, results/BENCH_delta.json, results/BENCH_obs.json,
-# and results/BENCH_serve.json).
+# eval-engine + wcrt-analysis + delta-analysis + obs-overhead +
+# telemetry-overhead + serve-load benches (which write the machine-readable
+# results/BENCH_eval.json, results/BENCH_sched.json, results/BENCH_delta.json,
+# results/BENCH_obs.json, results/BENCH_telemetry.json, and
+# results/BENCH_serve.json).
 # Usage: scripts/check.sh [--fix]
 #   --fix   apply rustfmt and clippy suggestions instead of just checking
 set -euo pipefail
@@ -52,6 +53,10 @@ cargo bench -p mcmap-bench --bench delta_analysis
 
 # Tracing overhead gate (budget 5 %); emits results/BENCH_obs.json.
 cargo bench -p mcmap-bench --bench obs_overhead
+
+# Metrics-collection overhead gate (budget 5 %); emits
+# results/BENCH_telemetry.json.
+cargo bench -p mcmap-bench --bench telemetry_overhead
 
 # Multi-tenant serve load gate (100 concurrent jobs, zero failures,
 # nonzero cross-job cache hits); emits results/BENCH_serve.json.

@@ -51,3 +51,4 @@ pub use mcmap_resilience as resilience;
 pub use mcmap_sched as sched;
 pub use mcmap_serve as serve;
 pub use mcmap_sim as sim;
+pub use mcmap_telemetry as telemetry;

@@ -10,6 +10,7 @@ use mcmap::benchmarks::cruise;
 use mcmap::core::{explore, DseConfig, DseOutcome, ObjectiveMode};
 use mcmap::ga::GaConfig;
 use mcmap::obs::{canonical_trace, Recorder};
+use mcmap::telemetry::Registry;
 use proptest::prelude::*;
 
 fn outcome_with(threads: usize, cache_cap: usize, seed: u64) -> DseOutcome {
@@ -17,8 +18,26 @@ fn outcome_with(threads: usize, cache_cap: usize, seed: u64) -> DseOutcome {
 }
 
 fn outcome_traced(threads: usize, cache_cap: usize, seed: u64, traced: bool) -> DseOutcome {
+    outcome_full(threads, 1, cache_cap, seed, traced, Registry::default()).0
+}
+
+/// The fully-knobbed exploration: worker threads, scenario threads, cache
+/// capacity, optional tracing, and an optional metrics registry (returned
+/// alongside so callers can snapshot it).
+fn outcome_full(
+    threads: usize,
+    scenario_threads: usize,
+    cache_cap: usize,
+    seed: u64,
+    traced: bool,
+    telemetry: Registry,
+) -> (DseOutcome, Registry) {
     let b = cruise();
-    explore(
+    let analysis = mcmap::core::AnalysisOptions {
+        scenario_threads,
+        ..mcmap::core::AnalysisOptions::default()
+    };
+    let outcome = explore(
         &b.apps,
         &b.arch,
         DseConfig {
@@ -34,20 +53,23 @@ fn outcome_traced(threads: usize, cache_cap: usize, seed: u64, traced: bool) -> 
             policies: Some(b.policies.clone()),
             repair_iters: 40,
             cache_cap,
+            analysis,
             obs: if traced {
                 Recorder::ring(1 << 18)
             } else {
                 Recorder::default()
             },
+            telemetry: telemetry.clone(),
             ..DseConfig::default()
         },
-    )
+    );
+    (outcome, telemetry)
 }
 
 /// The canonicalized trace of an outcome (non-deterministic payload such as
 /// wall-clock and cache hit/miss splits stripped).
 fn trace_of(o: &DseOutcome) -> String {
-    canonical_trace(&o.telemetry.events())
+    canonical_trace(&o.obs.events())
 }
 
 /// The full comparable state of an exploration: every front report
@@ -137,6 +159,67 @@ fn canonical_trace_is_identical_for_any_cache_capacity() {
         trace_of(&bare),
         "disabling the cache changed the canonical trace"
     );
+}
+
+/// The deterministic half of a metrics snapshot rendered as JSON — what
+/// must be invariant across thread counts.
+fn det_snapshot_of(reg: &Registry) -> String {
+    reg.snapshot_canonical().to_json()
+}
+
+#[test]
+fn canonical_trace_is_identical_with_telemetry_enabled_at_any_threads() {
+    // Metrics collection must be a read-only observer exactly like
+    // tracing: same front, same canonical trace, for any combination of
+    // worker and scenario threads.
+    let (serial, reg_serial) = outcome_full(1, 1, 65_536, 8, true, Registry::new());
+    let (eight, reg_eight) = outcome_full(8, 1, 65_536, 8, true, Registry::new());
+    let (scen, reg_scen) = outcome_full(2, 4, 65_536, 8, true, Registry::new());
+
+    let untraced = outcome_with(1, 65_536, 8);
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&untraced),
+        "metrics collection changed the Pareto front"
+    );
+    assert_eq!(fingerprint(&serial), fingerprint(&eight));
+    assert_eq!(fingerprint(&serial), fingerprint(&scen));
+
+    let reference = trace_of(&serial);
+    assert!(!reference.is_empty(), "traced run produced no events");
+    assert_eq!(
+        reference,
+        trace_of(&eight),
+        "metrics collection broke canonical-trace identity at 8 threads"
+    );
+    assert_eq!(
+        reference,
+        trace_of(&scen),
+        "metrics collection broke canonical-trace identity with scenario threads"
+    );
+
+    // The deterministic metric classes themselves replay identically:
+    // counters like eval.genomes and sched.candidates, and the
+    // fixedpoint-iteration histogram, are functions of the run — not of
+    // the schedule that executed it.
+    let det = det_snapshot_of(&reg_serial);
+    assert!(
+        det.contains("eval.genomes") && det.contains("sched.candidates"),
+        "canonical snapshot lost its deterministic instruments: {det}"
+    );
+    assert_eq!(
+        det,
+        det_snapshot_of(&reg_eight),
+        "8 worker threads changed a deterministic metric"
+    );
+    assert_eq!(
+        det,
+        det_snapshot_of(&reg_scen),
+        "scenario threads changed a deterministic metric"
+    );
+    // And the nondet classes stayed out of the canonical snapshot.
+    assert!(!det.contains("batch_wall_ns"));
+    assert!(!det.contains("analysis_ns"));
 }
 
 #[test]

@@ -79,12 +79,12 @@ fn fingerprint(o: &DseOutcome) -> String {
 /// end-of-run events), then part 2 (whose re-emitted preamble dedups away).
 fn stitched(part1: &DseOutcome, part2: &DseOutcome, trace_seq: u64) -> Vec<Event> {
     let prefix: Vec<Event> = part1
-        .telemetry
+        .obs
         .events()
         .into_iter()
         .filter(|e| e.seq <= trace_seq)
         .collect();
-    stitch_traces(&[prefix, part2.telemetry.events()])
+    stitch_traces(&[prefix, part2.obs.events()])
 }
 
 #[test]
@@ -102,7 +102,7 @@ fn kill_at_every_generation_resumes_bit_identically() {
         },
     }
     .go();
-    let baseline_trace = canonical_trace(&baseline.telemetry.events());
+    let baseline_trace = canonical_trace(&baseline.obs.events());
 
     // k = 1 (first boundary after the initial population), mid, and the
     // final generation (resume is then a pure no-op replay).
@@ -244,7 +244,7 @@ fn two_interleaved_jobs_match_their_solo_runs_at_every_slice_boundary() {
         .collect();
     let solo_traces: Vec<String> = solos
         .iter()
-        .map(|o| canonical_trace(&o.telemetry.events()))
+        .map(|o| canonical_trace(&o.obs.events()))
         .collect();
 
     let paths = [scratch("interleave_a.ckpt"), scratch("interleave_b.ckpt")];
@@ -279,14 +279,14 @@ fn two_interleaved_jobs_match_their_solo_runs_at_every_slice_boundary() {
                 // same trim the server applies to the on-disk trace.
                 let ckpt = read_checkpoint(&paths[j]).expect("slice checkpoint");
                 parts[j].push(
-                    out.telemetry
+                    out.obs
                         .events()
                         .into_iter()
                         .filter(|e| e.seq <= ckpt.trace_seq)
                         .collect(),
                 );
             } else {
-                parts[j].push(out.telemetry.events());
+                parts[j].push(out.obs.events());
                 finals[j] = Some(out);
             }
         }
