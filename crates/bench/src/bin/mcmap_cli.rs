@@ -15,6 +15,10 @@
 //!                                [--scenario-threads N] [--no-warm-start]
 //!                                [--no-prune] [--no-delta]
 //!                                                         # power/service exploration
+//! mcmap_cli validate <benchmark> [pop gens] [--profiles N] [--seed N]
+//!                                [--boost F] [--threads N] [--json]
+//!                                [--portfolio <path>] [--checkpoint <path>]
+//!                                [--resume]         # Monte-Carlo bound validation
 //! mcmap_cli lint     <benchmark> [--json] [--inject cycle|relbound|inverted]
 //! mcmap_cli lint     <benchmark> --interference [seed] [--json|--dot]
 //! mcmap_cli lint     --explain [MCxxxx]      # one code's card, or all codes
@@ -92,11 +96,13 @@
 use mcmap_bench::{sample_designs, EvalKnobs, SampleDesign};
 use mcmap_benchmarks::Benchmark;
 use mcmap_core::{
-    analyze, explore_checked, repair_reliability, repair_structure, AnalysisStats, DseConfig,
-    GenomeSpace, ObjectiveMode,
+    analyze, explore_checked, read_portfolio, repair_reliability, repair_structure,
+    write_portfolio, AnalysisStats, DseConfig, GenomeSpace, MappingProblem, ObjectiveMode,
+    Portfolio,
 };
 use mcmap_ga::GaConfig;
 use mcmap_model::Time;
+use mcmap_runtime::{run_campaign, CampaignConfig};
 use mcmap_sim::{monte_carlo, MonteCarloConfig, NoFaults, SimConfig, Simulator, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,8 +127,11 @@ fn usage() -> ExitCode {
          \u{20}           --trace <path.jsonl>, --obs-summary [json], --gen-stats [json],\n\
          \u{20}           --audit [json], --checkpoint <path>, --resume <path>,\n\
          \u{20}           --eval-retries <n>, --scenario-threads <n>,\n\
-         \u{20}           --no-warm-start, --no-prune, --no-delta\n\
+         \u{20}           --no-warm-start, --no-prune, --no-delta, --validate [n]\n\
          analyze:    mcmap_cli analyze <benchmark> [seed] [--json]\n\
+         validate:   mcmap_cli validate <benchmark> [pop gens] [--profiles <n>]\n\
+         \u{20}           [--seed <n>] [--boost <f>] [--threads <n>] [--json]\n\
+         \u{20}           [--portfolio <path>] [--checkpoint <path>] [--resume]\n\
          lint flags: --json, --inject <cycle|relbound|inverted>,\n\
          \u{20}           --interference [seed] [--json|--dot], --explain [MCxxxx]\n\
          obs:        mcmap_cli obs <trace.jsonl> [--json]\n\
@@ -661,7 +670,14 @@ fn cmd_lint(b: &Benchmark, flags: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_dse(b: &Benchmark, key: &str, pop: usize, gens: usize, knobs: &EvalKnobs) -> ExitCode {
+fn cmd_dse(
+    b: &Benchmark,
+    key: &str,
+    pop: usize,
+    gens: usize,
+    knobs: &EvalKnobs,
+    validate: Option<u64>,
+) -> ExitCode {
     let mut cfg = DseConfig {
         ga: GaConfig {
             population: pop,
@@ -734,7 +750,242 @@ fn cmd_dse(b: &Benchmark, key: &str, pop: usize, gens: usize, knobs: &EvalKnobs)
         }
         return ExitCode::from(mcmap_bench::INTERRUPTED_EXIT);
     }
+    if let Some(profiles) = validate {
+        println!();
+        let problem = MappingProblem::new(&b.apps, &b.arch, explore_config(b, pop, gens));
+        let portfolio = Portfolio::extract(&problem, &outcome.result.front);
+        println!(
+            "portfolio: {} operating point(s) (context {:016x})",
+            portfolio.points.len(),
+            portfolio.context
+        );
+        if portfolio.points.is_empty() {
+            eprintln!("dse --validate: no feasible operating point to validate");
+            return ExitCode::FAILURE;
+        }
+        let ccfg = CampaignConfig {
+            profiles,
+            threads: knobs.threads,
+            ..CampaignConfig::default()
+        };
+        return run_validation(b, key, pop, gens, &portfolio, &ccfg, false);
+    }
     ExitCode::SUCCESS
+}
+
+/// The `dse`-shaped exploration configuration shared by `dse`,
+/// `validate`, and `dse --validate`: the portfolio a campaign validates
+/// must be decoded under the exact configuration (seed included) that
+/// evaluated it.
+fn explore_config(b: &Benchmark, pop: usize, gens: usize) -> DseConfig {
+    DseConfig {
+        ga: GaConfig {
+            population: pop,
+            generations: gens,
+            seed: 8,
+            ..GaConfig::default()
+        },
+        objectives: ObjectiveMode::PowerService,
+        policies: Some(b.policies.clone()),
+        repair_iters: 80,
+        ..DseConfig::default()
+    }
+}
+
+/// Extracts the portfolio, runs the Monte-Carlo campaign, prints the
+/// deterministic summary to stdout (runs/sec goes to stderr — wall time
+/// must not break summary byte-identity), and returns the exit code.
+#[allow(clippy::too_many_arguments)]
+fn run_validation(
+    b: &Benchmark,
+    key: &str,
+    pop: usize,
+    gens: usize,
+    portfolio: &Portfolio,
+    ccfg: &CampaignConfig,
+    json: bool,
+) -> ExitCode {
+    let problem = MappingProblem::new(&b.apps, &b.arch, explore_config(b, pop, gens));
+    let points = match portfolio.materialize(&problem) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("validate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if points.is_empty() {
+        eprintln!("validate: the portfolio has no feasible operating point");
+        return ExitCode::FAILURE;
+    }
+    let started = std::time::Instant::now();
+    let summary = match run_campaign(&points, &b.arch, &b.policies, ccfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("validate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{}", summary.render_text());
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let fresh = summary
+        .total_runs()
+        .saturating_sub(summary.resumed_from.unwrap_or(0) * points.len() as u64);
+    if secs > 0.0 {
+        eprintln!(
+            "{} simulation runs in {:.2}s ({:.0} runs/sec)",
+            fresh,
+            secs,
+            fresh as f64 / secs
+        );
+    }
+    if summary.interrupted {
+        if let Some(path) = ccfg.checkpoint.as_ref().and_then(|p| p.to_str()) {
+            eprintln!(
+                "interrupted after {} of {} profiles; resume with: \
+                 mcmap_cli validate {key} {pop} {gens} --checkpoint {path} --resume",
+                summary.done, summary.profiles
+            );
+        }
+        return ExitCode::from(mcmap_bench::INTERRUPTED_EXIT);
+    }
+    if summary.total_violations() > 0 {
+        eprintln!(
+            "validate: {} WCRT-bound violation(s) — the analysis is refuted on this portfolio",
+            summary.total_violations()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_validate(b: &Benchmark, key: &str, tail: &[String]) -> ExitCode {
+    let mut profiles: u64 = 1000;
+    let mut seed: u64 = 0xC0FFEE;
+    let mut boost: f64 = 1e3;
+    let mut threads: usize = 0;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
+    let mut portfolio_path: Option<String> = None;
+    let mut json = false;
+    let mut pos: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < tail.len() {
+        let a = tail[i].as_str();
+        let mut value = |what: &str| -> Option<String> {
+            i += 1;
+            let v = tail.get(i).cloned();
+            if v.is_none() {
+                eprintln!("validate: {what} needs a value");
+            }
+            v
+        };
+        match a {
+            "--profiles" => match value("--profiles").and_then(|v| v.parse().ok()) {
+                Some(v) => profiles = v,
+                None => return usage(),
+            },
+            "--seed" => match value("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--boost" => match value("--boost").and_then(|v| v.parse().ok()) {
+                Some(v) => boost = v,
+                None => return usage(),
+            },
+            "--threads" => match value("--threads").and_then(|v| v.parse().ok()) {
+                Some(v) => threads = v,
+                None => return usage(),
+            },
+            "--checkpoint" => match value("--checkpoint") {
+                Some(v) => checkpoint = Some(v),
+                None => return usage(),
+            },
+            "--portfolio" => match value("--portfolio") {
+                Some(v) => portfolio_path = Some(v),
+                None => return usage(),
+            },
+            "--resume" => resume = true,
+            "--json" => json = true,
+            _ if a.starts_with("--") => {
+                eprintln!("validate: unknown flag {a}");
+                return usage();
+            }
+            _ => match a.parse() {
+                Ok(v) => pos.push(v),
+                Err(_) => return usage(),
+            },
+        }
+        i += 1;
+    }
+    let pop = pos.first().copied().unwrap_or(24);
+    let gens = pos.get(1).copied().unwrap_or(24);
+
+    let stop = mcmap_resilience::install_stop_flag();
+
+    // The portfolio: loaded from --portfolio when the file exists,
+    // otherwise extracted from a fresh (deterministic, seed-8)
+    // exploration and saved there for the next invocation.
+    let stored = portfolio_path
+        .as_ref()
+        .filter(|p| std::path::Path::new(p).exists());
+    let portfolio = match stored {
+        Some(path) => match read_portfolio(std::path::Path::new(path)) {
+            Ok((p, recovered)) => {
+                if recovered {
+                    eprintln!("validate: portfolio recovered from {path}.bak");
+                }
+                p
+            }
+            Err(e) => {
+                eprintln!("validate: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut cfg = explore_config(b, pop, gens);
+            cfg.resilience.stop = Some(stop.clone());
+            let outcome = match explore_checked(&b.apps, &b.arch, cfg) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("validate: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if outcome.interrupted {
+                eprintln!("validate: interrupted during exploration; nothing to validate yet");
+                return ExitCode::from(mcmap_bench::INTERRUPTED_EXIT);
+            }
+            let problem = MappingProblem::new(&b.apps, &b.arch, explore_config(b, pop, gens));
+            let portfolio = Portfolio::extract(&problem, &outcome.result.front);
+            if let Some(path) = &portfolio_path {
+                if let Err(e) = write_portfolio(std::path::Path::new(path), &portfolio) {
+                    eprintln!("validate: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            portfolio
+        }
+    };
+    println!(
+        "portfolio: {} operating point(s) (context {:016x})",
+        portfolio.points.len(),
+        portfolio.context
+    );
+    let ccfg = CampaignConfig {
+        profiles,
+        seed,
+        boost,
+        threads,
+        checkpoint: checkpoint.map(std::path::PathBuf::from),
+        resume,
+        stop: Some(stop),
+        ..CampaignConfig::default()
+    };
+    run_validation(b, key, pop, gens, &portfolio, &ccfg, json)
 }
 
 fn cmd_obs(path: &str, json: bool) -> ExitCode {
@@ -1001,6 +1252,11 @@ fn dse_positionals(tail: &[String]) -> Vec<String> {
             ) {
                 i += 1;
             }
+        } else if a == "--validate" {
+            i += 1;
+            if tail.get(i).is_some_and(|v| v.parse::<u64>().is_ok()) {
+                i += 1;
+            }
         } else if a.starts_with("--") {
             i += 1;
         } else {
@@ -1081,15 +1337,22 @@ fn main() -> ExitCode {
             let budget = |i: usize, default: usize| -> usize {
                 pos.get(i).and_then(|v| v.parse().ok()).unwrap_or(default)
             };
+            let validate = tail.iter().position(|a| a == "--validate").map(|i| {
+                tail.get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(256u64)
+            });
             cmd_dse(
                 &b,
                 args.get(1).map_or("cruise", String::as_str),
                 budget(0, 40),
                 budget(1, 40),
                 &knobs,
+                validate,
             )
         }
         "lint" => cmd_lint(&b, &args[2..]),
+        "validate" => cmd_validate(&b, args.get(1).map_or("cruise", String::as_str), &args[2..]),
         _ => usage(),
     }
 }

@@ -134,7 +134,7 @@ pub fn read_checkpoint_with_fallback(
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn push_u64s(out: &mut String, values: impl IntoIterator<Item = u64>) {
+pub(crate) fn push_u64s(out: &mut String, values: impl IntoIterator<Item = u64>) {
     out.push('[');
     for (i, v) in values.into_iter().enumerate() {
         if i > 0 {
@@ -159,7 +159,7 @@ fn push_eval(out: &mut String, eval: &Evaluation) {
     out.push('}');
 }
 
-fn push_genome(out: &mut String, genome: &Genome) {
+pub(crate) fn push_genome(out: &mut String, genome: &Genome) {
     out.push_str("{\"alloc\":");
     push_u64s(out, genome.alloc.iter().map(|&b| u64::from(b)));
     out.push_str(",\"keep\":");
@@ -278,7 +278,7 @@ fn encode(ckpt: &DseCheckpoint) -> String {
     out
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -316,35 +316,39 @@ fn push_audit_fields(out: &mut String, a: &AuditSnapshot) {
 // Decoding
 // ---------------------------------------------------------------------------
 
-fn malformed(path: &Path, detail: impl Into<String>) -> ResilienceError {
+pub(crate) fn malformed(path: &Path, detail: impl Into<String>) -> ResilienceError {
     ResilienceError::Malformed {
         path: path.to_path_buf(),
         detail: detail.into(),
     }
 }
 
-fn get<'a>(path: &Path, obj: &'a Json, key: &str) -> Result<&'a Json, ResilienceError> {
+pub(crate) fn get<'a>(path: &Path, obj: &'a Json, key: &str) -> Result<&'a Json, ResilienceError> {
     obj.get(key)
         .ok_or_else(|| malformed(path, format!("missing key `{key}`")))
 }
 
-fn as_u64(path: &Path, v: &Json, what: &str) -> Result<u64, ResilienceError> {
+pub(crate) fn as_u64(path: &Path, v: &Json, what: &str) -> Result<u64, ResilienceError> {
     v.as_u64()
         .ok_or_else(|| malformed(path, format!("{what}: expected unsigned integer")))
 }
 
-fn as_usize(path: &Path, v: &Json, what: &str) -> Result<usize, ResilienceError> {
+pub(crate) fn as_usize(path: &Path, v: &Json, what: &str) -> Result<usize, ResilienceError> {
     Ok(as_u64(path, v, what)? as usize)
 }
 
-fn as_arr<'a>(path: &Path, v: &'a Json, what: &str) -> Result<&'a [Json], ResilienceError> {
+pub(crate) fn as_arr<'a>(
+    path: &Path,
+    v: &'a Json,
+    what: &str,
+) -> Result<&'a [Json], ResilienceError> {
     match v {
         Json::Arr(items) => Ok(items),
         _ => Err(malformed(path, format!("{what}: expected array"))),
     }
 }
 
-fn u64_list(path: &Path, v: &Json, what: &str) -> Result<Vec<u64>, ResilienceError> {
+pub(crate) fn u64_list(path: &Path, v: &Json, what: &str) -> Result<Vec<u64>, ResilienceError> {
     as_arr(path, v, what)?
         .iter()
         .map(|item| as_u64(path, item, what))
@@ -379,7 +383,7 @@ fn proc_list(path: &Path, v: &Json, what: &str) -> Result<Vec<ProcId>, Resilienc
         .collect())
 }
 
-fn decode_genome(path: &Path, v: &Json) -> Result<Genome, ResilienceError> {
+pub(crate) fn decode_genome(path: &Path, v: &Json) -> Result<Genome, ResilienceError> {
     let alloc = u64_list(path, get(path, v, "alloc")?, "alloc")?
         .into_iter()
         .map(|b| b != 0)

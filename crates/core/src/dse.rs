@@ -469,6 +469,7 @@ pub struct MappingProblem<'a> {
     cfg: DseConfig,
     space: GenomeSpace,
     policies: Vec<SchedPolicy>,
+    context: u64,
     counters: Counters,
     engine: EvalEngine<EvalRecord>,
     /// Parent-artifact store of the genome-delta fast path: the repaired
@@ -773,6 +774,7 @@ impl<'a> MappingProblem<'a> {
             cfg,
             space,
             policies,
+            context,
             counters: Counters::default(),
             engine,
             parents: ShardedCache::new(4096, 16),
@@ -786,6 +788,25 @@ impl<'a> MappingProblem<'a> {
     /// The chromosome space (useful for seeding or inspecting candidates).
     pub fn space(&self) -> &GenomeSpace {
         &self.space
+    }
+
+    /// The application set this problem maps.
+    pub fn apps(&self) -> &AppSet {
+        self.apps
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &Architecture {
+        self.arch
+    }
+
+    /// The 64-bit evaluation-context fingerprint (model, policies,
+    /// configuration, seed). Two problems share a fingerprint exactly when
+    /// their genomes decode to identical designs, which is what lets a
+    /// sealed [`Portfolio`](crate::Portfolio) refuse to materialize
+    /// against a problem it was not extracted from.
+    pub fn context(&self) -> u64 {
+        self.context
     }
 
     /// A snapshot of the evaluation-engine instrumentation (cache hits /

@@ -67,6 +67,7 @@ mod delta;
 mod dse;
 mod genome;
 mod objective;
+mod portfolio;
 mod repair;
 mod sensitivity;
 
@@ -86,5 +87,8 @@ pub use dse::{
 pub use genome::{GeneHardening, Genome, GenomeSpace, TaskGene};
 pub use mcmap_eval::{CacheStats, EvalCacheConfig, EvalStats};
 pub use objective::{expected_power, lost_service, service_after_dropping};
+pub use portfolio::{
+    read_portfolio, write_portfolio, MaterializedPoint, OperatingPoint, Portfolio,
+};
 pub use repair::{repair_reliability, repair_structure, repair_structure_logged};
 pub use sensitivity::{uniform_reexec_plan, AppSlack, Sensitivity, WhatIf};

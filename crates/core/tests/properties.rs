@@ -119,6 +119,53 @@ fn build(
     )
 }
 
+/// Like [`build`], but exercising the full hardening vocabulary: the
+/// technique of each task cycles with its flat index through
+/// re-execution, active replication (one replica + voter), and passive
+/// replication (one standby + voter), with replica/voter placements on
+/// the other processors.
+fn build_replicated(
+    d: &Desc,
+) -> (
+    Architecture,
+    AppSet,
+    HardenedSystem,
+    Mapping,
+    Vec<SchedPolicy>,
+    Vec<AppId>,
+) {
+    let (arch, apps, _, _, policies, dropped) = build(d);
+    let mut plan = HardeningPlan::unhardened(&apps);
+    for flat in 0..apps.num_tasks() {
+        let home = d.placements[flat % d.placements.len()];
+        let other = ProcId::new((home + 1) % 3);
+        let third = ProcId::new((home + 2) % 3);
+        match d.reexec[flat % d.reexec.len()] % 3 {
+            0 => plan.set_by_flat_index(flat, TaskHardening::reexecution(1)),
+            1 => plan.set_by_flat_index(flat, TaskHardening::active(vec![other], third)),
+            _ => plan.set_by_flat_index(
+                flat,
+                TaskHardening::passive(vec![other], vec![third], ProcId::new(home)),
+            ),
+        }
+    }
+    let hsys = harden(&apps, &plan, &arch).expect("replicated plan is valid");
+    // Replicas and voters come with fixed placements; primaries keep the
+    // descriptor's placement by origin.
+    let placement: Vec<ProcId> = hsys
+        .tasks()
+        .map(|(_, t)| match t.fixed_proc {
+            Some(p) => p,
+            None => {
+                let flat = hsys.flat_of_origin(t.origin).expect("primary origin");
+                ProcId::new(d.placements[flat % d.placements.len()])
+            }
+        })
+        .collect();
+    let mapping = Mapping::new(&hsys, &arch, placement).expect("kind 0 everywhere");
+    (arch, apps, hsys, mapping, policies, dropped)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -149,6 +196,57 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The same safety claim under the full hardening vocabulary — and
+    /// under the *coverage* semantics the Monte-Carlo validation campaign
+    /// uses. Every task is hardened with a technique cycled from its flat
+    /// index (re-execution, active replication + voter, passive
+    /// replication + standby + voter), faults are boosted to moderate
+    /// rates so some profiles exhaust their masking budget, and the
+    /// analyzed bound is asserted exactly for the profiles *within
+    /// coverage* (no post-masking corrupted output): simulated response
+    /// times never exceed the analyzed WCRT there.
+    #[test]
+    fn analysis_bounds_covered_simulation_under_replication(
+        d in desc_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let (arch, apps, hsys, mapping, policies, dropped) = build_replicated(&d);
+        let mc = analyze(&hsys, &arch, &mapping, &policies, &dropped);
+        prop_assume!(mc.schedulable(&hsys, &dropped));
+
+        let sim = Simulator::new(&hsys, &arch, &mapping, policies.clone());
+        let mut covered = 0u32;
+        for i in 0..8u64 {
+            let mut faults =
+                RandomFaults::new(&hsys, &arch, &mapping, seed.wrapping_add(i)).with_boost(1e3);
+            let r = sim.run(&SimConfig::worst_case(dropped.clone()), &mut faults);
+            // The campaign's coverage filter: a profile whose masking
+            // budget was exceeded somewhere carries no bound promise.
+            if r.unsafe_instances.iter().sum::<u64>() != 0 {
+                continue;
+            }
+            covered += 1;
+            for id in apps.app_ids() {
+                if dropped.contains(&id) {
+                    continue;
+                }
+                prop_assert!(
+                    r.app_wcrt[id.index()] <= mc.app_wcrt(&hsys, id, &dropped),
+                    "app {} (covered profile {i}): simulated {} > bound {}",
+                    apps.app(id).name(),
+                    r.app_wcrt[id.index()],
+                    mc.app_wcrt(&hsys, id, &dropped)
+                );
+            }
+        }
+        // Not a per-case guarantee, but a sanity anchor: the filter must
+        // not silently discard everything on a fault-free seed.
+        let mut quiet = mcmap_sim::NoFaults;
+        let r = sim.run(&SimConfig::worst_case(dropped.clone()), &mut quiet);
+        prop_assert_eq!(r.unsafe_instances.iter().sum::<u64>(), 0);
+        let _ = covered;
     }
 
     /// §5.1: the naive estimate is safe but at least as pessimistic as the

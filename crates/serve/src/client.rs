@@ -8,16 +8,83 @@
 use crate::job::JobSpec;
 use crate::proto::{push_json_str, read_frame, write_frame};
 use mcmap_obs::Json;
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Reconnection policy: bounded attempts with exponentially growing,
+/// deterministically jittered backoff, and a per-attempt connect
+/// timeout.
+///
+/// The jitter is seeded, not wall-clock driven: the k-th reconnect delay
+/// of two clients built with the same seed is identical, which keeps
+/// retry behavior reproducible in tests and keeps a fleet of clients
+/// with *different* seeds from thundering against a restarting server in
+/// lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total connection attempts per operation (>= 1). `1` means no
+    /// retry — the pre-policy behavior.
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Jitter seed (see type docs).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single-attempt policy: fail on the first transport error.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The deterministic backoff schedule: the delay before retry `k`
+    /// (0-based), jittered into the upper half of the exponential step.
+    /// Pure in `(self, k)` — two equally-seeded policies sleep the same.
+    pub fn delay(&self, k: u32) -> Duration {
+        let base = self.base_delay.as_millis().max(1) as u64;
+        let cap = self.max_delay.as_millis().max(1) as u64;
+        let full = base.checked_shl(k.min(16)).unwrap_or(u64::MAX).min(cap);
+        // SplitMix64 on (seed, k): cheap, stateless, well distributed.
+        let mut z = self.seed ^ (u64::from(k)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let half = full / 2;
+        Duration::from_millis(half + z % (full - half + 1))
+    }
+}
 
 /// A blocking connection to an `mcmap-serve` server.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    addr: String,
+    retry: RetryPolicy,
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `127.0.0.1:7421`).
+    /// Connects to `addr` (e.g. `127.0.0.1:7421`) with a single attempt
+    /// and no reconnection (equivalent to
+    /// [`Client::connect_with`]`(addr, RetryPolicy::none())`).
     ///
     /// # Errors
     ///
@@ -25,7 +92,63 @@ impl Client {
     pub fn connect(addr: &str) -> std::io::Result<Client> {
         Ok(Client {
             stream: TcpStream::connect(addr)?,
+            addr: addr.to_string(),
+            retry: RetryPolicy::none(),
         })
+    }
+
+    /// Connects under a retry policy: up to `policy.attempts` timed
+    /// connection attempts separated by the policy's backoff schedule.
+    /// The policy stays attached to the client, so [`Client::stream`] and
+    /// [`Client::wait`] transparently reconnect and re-subscribe when the
+    /// server restarts mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last attempt's connection error once the attempt
+    /// budget is exhausted.
+    pub fn connect_with(addr: &str, policy: RetryPolicy) -> std::io::Result<Client> {
+        let mut last_err = None;
+        for k in 0..policy.attempts.max(1) {
+            if k > 0 {
+                std::thread::sleep(policy.delay(k - 1));
+            }
+            match connect_timed(addr, policy.connect_timeout) {
+                Ok(stream) => {
+                    return Ok(Client {
+                        stream,
+                        addr: addr.to_string(),
+                        retry: policy,
+                    })
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+
+    /// Replaces the attached retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client {
+        self.retry = policy;
+        self
+    }
+
+    /// Tears down the current connection and dials again under the
+    /// attached policy.
+    fn reconnect(&mut self) -> Result<(), String> {
+        let mut last_err = String::from("no attempt made");
+        for k in 0..self.retry.attempts.max(1) {
+            std::thread::sleep(self.retry.delay(k));
+            match connect_timed(&self.addr, self.retry.connect_timeout) {
+                Ok(stream) => {
+                    self.stream = stream;
+                    return Ok(());
+                }
+                Err(e) => last_err = format!("reconnect to {}: {e}", self.addr),
+            }
+        }
+        Err(last_err)
     }
 
     /// Sends one raw request frame and returns the parsed `ok:true`
@@ -221,24 +344,80 @@ impl Client {
         id: &str,
         mut on_generation: impl FnMut(u64),
     ) -> Result<String, String> {
+        // Monotonic dedup across reconnects: a re-subscription replays
+        // boundaries the first subscription already delivered.
+        let mut last_seen: Option<u64> = None;
+        let mut resubscriptions = 0u32;
+        loop {
+            match self.stream_once(id, &mut last_seen, &mut on_generation) {
+                Ok(state) => return Ok(state),
+                Err(Hiccup::Fatal(msg)) => return Err(msg),
+                Err(Hiccup::Transport(msg)) => {
+                    resubscriptions += 1;
+                    if self.retry.attempts <= 1 || resubscriptions >= self.retry.attempts {
+                        return Err(msg);
+                    }
+                    // Jobs and their terminal states are persisted, so
+                    // after a server restart a re-subscription lands on
+                    // the same stream (or an immediate `done`).
+                    self.reconnect().map_err(|e| format!("{msg}; {e}"))?;
+                }
+            }
+        }
+    }
+
+    /// One subscription attempt: subscribe, forward strictly increasing
+    /// generation boundaries, and return the terminal state.
+    fn stream_once(
+        &mut self,
+        id: &str,
+        last_seen: &mut Option<u64>,
+        on_generation: &mut impl FnMut(u64),
+    ) -> Result<String, Hiccup> {
         let mut frame = String::from("{\"verb\":\"stream\",\"id\":");
         push_json_str(&mut frame, id);
         frame.push('}');
-        let ack = self.request(&frame)?;
+        write_frame(&mut self.stream, &frame)
+            .map_err(|e| Hiccup::Transport(format!("send: {e}")))?;
+        let Some(text) =
+            read_frame(&mut self.stream).map_err(|e| Hiccup::Transport(format!("recv: {e}")))?
+        else {
+            return Err(Hiccup::Transport("server closed the connection".into()));
+        };
+        let ack = mcmap_obs::parse_json(&text)
+            .map_err(|e| Hiccup::Fatal(format!("bad response: {e}")))?;
+        if ack.get("ok") != Some(&Json::Bool(true)) {
+            // The server answered: an unknown id (or other refusal) is
+            // authoritative, not a transport wobble — do not retry it.
+            return Err(Hiccup::Fatal(
+                ack.get("error")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("unspecified server error")
+                    .to_string(),
+            ));
+        }
         if ack.get("streaming").is_none() {
-            return Err("stream response has no streaming acknowledgement".into());
+            return Err(Hiccup::Fatal(
+                "stream response has no streaming acknowledgement".into(),
+            ));
         }
         loop {
-            let Some(text) =
-                read_frame(&mut self.stream).map_err(|e| format!("stream recv: {e}"))?
+            let Some(text) = read_frame(&mut self.stream)
+                .map_err(|e| Hiccup::Transport(format!("stream recv: {e}")))?
             else {
-                return Err("stream ended without a done frame".into());
+                return Err(Hiccup::Transport(
+                    "stream ended without a done frame".into(),
+                ));
             };
-            let json = mcmap_obs::parse_json(&text).map_err(|e| format!("bad frame: {e}"))?;
+            let json = mcmap_obs::parse_json(&text)
+                .map_err(|e| Hiccup::Fatal(format!("bad frame: {e}")))?;
             match json.get("event").and_then(|v| v.as_str()) {
                 Some("generation") => {
                     if let Some(g) = json.get("generation").and_then(|v| v.as_u64()) {
-                        on_generation(g);
+                        if last_seen.is_none_or(|seen| g > seen) {
+                            *last_seen = Some(g);
+                            on_generation(g);
+                        }
                     }
                 }
                 Some("done") => {
@@ -246,9 +425,9 @@ impl Client {
                         .get("state")
                         .and_then(|v| v.as_str())
                         .map(String::from)
-                        .ok_or_else(|| "done frame has no state".into());
+                        .ok_or_else(|| Hiccup::Fatal("done frame has no state".into()));
                 }
-                _ => return Err(format!("unexpected stream frame: {text}")),
+                _ => return Err(Hiccup::Fatal(format!("unexpected stream frame: {text}"))),
             }
         }
     }
@@ -261,6 +440,32 @@ impl Client {
     pub fn wait(&mut self, id: &str) -> Result<String, String> {
         self.stream(id, |_| {})
     }
+}
+
+/// A mid-operation failure, split by whether retrying can help.
+enum Hiccup {
+    /// The connection failed — the server may just be restarting.
+    Transport(String),
+    /// The server (or the protocol) answered authoritatively.
+    Fatal(String),
+}
+
+/// One timed TCP connection attempt: resolve `addr` and try every
+/// resolved address under the timeout.
+fn connect_timed(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let mut last_err = None;
+    for sock in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sock, timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        )
+    }))
 }
 
 #[cfg(test)]
@@ -376,6 +581,118 @@ mod tests {
         assert!(c.status("job-999999").is_err());
         c.shutdown().unwrap();
         handle.thread.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay: std::time::Duration::from_millis(10),
+            max_delay: std::time::Duration::from_millis(200),
+            ..RetryPolicy::default()
+        };
+        let twin = policy.clone();
+        for k in 0..policy.attempts {
+            let d = policy.delay(k);
+            assert_eq!(d, twin.delay(k), "same seed, same schedule");
+            let full = (10u64 << k.min(16)).min(200);
+            assert!(d.as_millis() as u64 >= full / 2, "at least half the step");
+            assert!(d.as_millis() as u64 <= full, "never above the cap");
+        }
+        // A different seed shifts the jitter (with overwhelming
+        // probability over 8 draws).
+        let other = RetryPolicy {
+            seed: policy.seed ^ 0xFFFF,
+            ..policy.clone()
+        };
+        assert!(
+            (0..8).any(|k| other.delay(k) != policy.delay(k)),
+            "jitter must depend on the seed"
+        );
+    }
+
+    #[test]
+    fn connect_with_gives_up_after_bounded_attempts() {
+        // A port nobody listens on: bind, learn the port, drop the
+        // listener.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: std::time::Duration::from_millis(1),
+            max_delay: std::time::Duration::from_millis(2),
+            connect_timeout: std::time::Duration::from_millis(100),
+            seed: 7,
+        };
+        let t0 = std::time::Instant::now();
+        let err = Client::connect_with(&format!("127.0.0.1:{port}"), policy);
+        assert!(err.is_err(), "nothing listens there");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "three bounded attempts must not hang"
+        );
+    }
+
+    #[test]
+    fn wait_survives_a_server_restart() {
+        use crate::server::Server;
+        let dir = scratch("restart");
+        let handle = spawn_local(ServeConfig {
+            jobs_dir: dir.clone(),
+            workers: 1,
+            slice: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr.to_string();
+        let spec = JobSpec {
+            benchmark: "cruise".into(),
+            population: 8,
+            generations: 2,
+            seed: 8,
+        };
+        let mut c = Client::connect_with(&addr, RetryPolicy::default()).unwrap();
+        let id = c.submit(&spec).unwrap();
+        assert_eq!(c.wait(&id).unwrap(), "completed");
+
+        // Bounce the server: drain it (on a fresh control connection),
+        // then bring a new instance up on the same address and jobs
+        // directory after a beat.
+        Client::connect(&addr).unwrap().shutdown().unwrap();
+        handle.thread.join().unwrap();
+        let restarter = {
+            let addr = addr.clone();
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(150));
+                let server = Server::bind(
+                    &addr,
+                    ServeConfig {
+                        jobs_dir: dir,
+                        workers: 1,
+                        slice: 1,
+                        ..ServeConfig::default()
+                    },
+                )
+                .unwrap();
+                let shutdown = server.shutdown_handle();
+                let t = std::thread::spawn(move || server.run());
+                (shutdown, t)
+            })
+        };
+
+        // The old connection is dead; `wait` must reconnect under the
+        // policy, re-subscribe, and land on the persisted terminal state.
+        let state = c.wait(&id).expect("wait must survive the restart");
+        assert_eq!(state, "completed");
+
+        let (_shutdown, server_thread) = restarter.join().unwrap();
+        let mut c2 = Client::connect_with(&addr, RetryPolicy::default()).unwrap();
+        c2.shutdown().unwrap();
+        server_thread.join().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

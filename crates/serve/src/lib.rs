@@ -40,7 +40,7 @@ pub mod registry;
 pub mod render;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use job::{JobSpec, JobState};
 pub use registry::{Registry, ServeConfig};
 pub use server::Server;

@@ -14,6 +14,50 @@ use std::io::{Read, Write};
 /// prefix from allocating gigabytes.
 pub const MAX_FRAME: usize = 16 << 20;
 
+/// A typed frame-decode failure. Both variants are detected from the
+/// 4-byte length prefix alone, *before* any payload buffer is allocated,
+/// so a corrupt or adversarial prefix can neither panic the decoder nor
+/// reserve gigabytes. `read_frame` wraps these in
+/// [`std::io::ErrorKind::InvalidData`]; recover the typed value with
+/// [`FrameError::from_io`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// A zero-length frame. No valid request or response is empty (the
+    /// smallest legal frame is `{}`), so an empty frame means the peer is
+    /// desynchronized and the connection must be dropped.
+    Empty,
+    /// The length prefix promises more than [`MAX_FRAME`] bytes.
+    Oversized {
+        /// The advertised frame length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Empty => write!(f, "zero-length frame (desynchronized peer)"),
+            FrameError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// Recovers the typed frame error carried inside an I/O error, if
+    /// any.
+    pub fn from_io(e: &std::io::Error) -> Option<FrameError> {
+        e.get_ref()?.downcast_ref::<FrameError>().copied()
+    }
+
+    fn into_io(self) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, self)
+    }
+}
+
 /// Writes one length-prefixed frame.
 ///
 /// # Errors
@@ -33,8 +77,10 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors; a frame longer than [`MAX_FRAME`] or holding
-/// invalid UTF-8 yields `InvalidData`.
+/// Propagates I/O errors. A zero-length or over-[`MAX_FRAME`] prefix
+/// yields `InvalidData` carrying a typed [`FrameError`] — both are
+/// rejected before the payload buffer is allocated — and an invalid-UTF-8
+/// payload yields plain `InvalidData`.
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<String>> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
@@ -43,11 +89,11 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<String>> {
         Err(e) => return Err(e),
     }
     let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(FrameError::Empty.into_io());
+    }
     if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte bound"),
-        ));
+        return Err(FrameError::Oversized { len }.into_io());
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
@@ -117,9 +163,13 @@ mod tests {
     fn oversized_and_torn_frames_are_rejected() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert_eq!(
-            read_frame(&mut buf.as_slice()).unwrap_err().kind(),
-            std::io::ErrorKind::InvalidData
+            FrameError::from_io(&err),
+            Some(FrameError::Oversized {
+                len: u32::MAX as usize
+            })
         );
         // A length prefix promising more bytes than present is an
         // unexpected EOF, not a clean close.
@@ -127,6 +177,16 @@ mod tests {
         torn.extend_from_slice(&8u32.to_be_bytes());
         torn.extend_from_slice(b"abc");
         assert!(read_frame(&mut torn.as_slice()).is_err());
+    }
+
+    #[test]
+    fn zero_length_frames_are_a_typed_desync_error() {
+        let buf = 0u32.to_be_bytes();
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(FrameError::from_io(&err), Some(FrameError::Empty));
+        // The error survives the usual stringly transport wrapping.
+        assert!(err.to_string().contains("zero-length"));
     }
 
     #[test]

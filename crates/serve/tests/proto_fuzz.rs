@@ -1,0 +1,72 @@
+//! Fuzz-style properties of the frame decoder: arbitrary byte prefixes
+//! must never panic, never mis-classify, and always round-trip what the
+//! encoder produced.
+
+use mcmap_serve::proto::{read_frame, write_frame, FrameError, MAX_FRAME};
+use proptest::prelude::*;
+
+proptest! {
+    /// Feeding the decoder an arbitrary byte prefix (as a torn TCP stream
+    /// would) yields a clean EOF, a frame, or an error — never a panic,
+    /// and never an allocation driven by a hostile length prefix.
+    #[test]
+    fn random_prefixes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = bytes.as_slice();
+        match read_frame(&mut r) {
+            Ok(None) => prop_assert!(bytes.len() < 4, "clean EOF only before a full prefix"),
+            Ok(Some(frame)) => {
+                let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+                prop_assert!((1..=MAX_FRAME).contains(&len));
+                prop_assert_eq!(frame.len(), len);
+            }
+            Err(e) => {
+                // Typed errors only for the two prefix classes.
+                if let Some(fe) = FrameError::from_io(&e) {
+                    let len =
+                        u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+                    match fe {
+                        FrameError::Empty => prop_assert_eq!(len, 0),
+                        FrameError::Oversized { len: l } => {
+                            prop_assert_eq!(l, len);
+                            prop_assert!(len > MAX_FRAME);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every frame the encoder writes decodes back to the same payload,
+    /// and trailing garbage after the frame is left untouched.
+    #[test]
+    fn encoded_frames_round_trip(
+        payload in proptest::collection::vec(0x20u8..0x7f, 1..256)
+            .prop_map(|v| String::from_utf8(v).unwrap()),
+        trailing in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        buf.extend_from_slice(&trailing);
+        let mut r = buf.as_slice();
+        let decoded = read_frame(&mut r).unwrap();
+        prop_assert_eq!(decoded.as_deref(), Some(payload.as_str()));
+        prop_assert_eq!(r, trailing.as_slice());
+    }
+
+    /// An over-cap length prefix is rejected from the prefix alone: the
+    /// body bytes (whatever few are present) are irrelevant.
+    #[test]
+    fn oversized_prefixes_reject_before_reading_the_body(
+        extra in (MAX_FRAME as u32 + 1)..=u32::MAX,
+        body in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&extra.to_be_bytes());
+        buf.extend_from_slice(&body);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        prop_assert_eq!(
+            FrameError::from_io(&err),
+            Some(FrameError::Oversized { len: extra as usize })
+        );
+    }
+}

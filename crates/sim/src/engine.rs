@@ -506,6 +506,15 @@ impl<'s, 'a> Run<'s, 'a> {
             }
         }
         let exec = self.sim.exec_time(key.task, self.config.exec_model);
+        if exec == Time::ZERO {
+            // A zero-execution job (e.g. a voter whose voting overhead is
+            // not modeled) needs no processor time, so it must not queue
+            // behind a running lower-urgency job: the response-time fixed
+            // point for C = 0 is the release instant, and the analysis
+            // bounds it that way.
+            self.complete_instantly(key, t);
+            return;
+        }
         {
             let job = self.job_mut(key);
             job.state = JobState::Ready;
@@ -514,6 +523,35 @@ impl<'s, 'a> Run<'s, 'a> {
         let pe = self.sim.mapping.proc_of(task_id).index();
         self.pes[pe].ready.push(key);
         self.dirty[pe] = true;
+    }
+
+    /// Runs a zero-execution job to completion at `t` without occupying
+    /// the processor, preserving the fault/re-execution semantics of
+    /// [`Run::on_finish`]: every attempt is still charged to the fault
+    /// model, detected faults still enter the critical state.
+    fn complete_instantly(&mut self, key: JobKey, t: Time) {
+        let task_id = HTaskId::new(key.task);
+        let task = self.sim.hsys.task(task_id);
+        loop {
+            let attempt = self.job(key).attempts;
+            let faulty = self.faults.faulty(task_id, key.inst, attempt);
+            if faulty && attempt < task.reexec {
+                self.enter_critical(t);
+                self.job_mut(key).attempts += 1;
+                if self.is_dropped_app(self.app_of(key)) {
+                    self.job_mut(key).state = JobState::Dropped;
+                    self.record_job(key, t, JobOutcome::Dropped);
+                    return;
+                }
+                continue;
+            }
+            if faulty && task.reexec > 0 {
+                // Budget exhausted: the final fault is still detected.
+                self.enter_critical(t);
+            }
+            break;
+        }
+        self.complete(key, t, false);
     }
 
     /// Flat index (in the original application set) of the origin of a
@@ -1112,6 +1150,47 @@ mod tests {
         // tick; voter runs 6 ticks → 47. The standby adds nothing.
         assert_eq!(r.app_wcrt[0], Time::from_ticks(47));
         assert_eq!(r.critical_entries, 0);
+    }
+
+    #[test]
+    fn zero_overhead_voter_completes_at_its_ready_instant() {
+        // A voter with unmodeled (zero) voting overhead must finish the
+        // instant its inputs arrive, even when a lower-urgency job holds
+        // its processor: C = 0 means it needs no processor time, and the
+        // analysis's response-time fixed point bounds it at the release
+        // instant. Regression: the voter used to queue behind the running
+        // job and inherit its finish time.
+        let arch = arch(3);
+        let replicated = TaskGraph::builder("rep", Time::from_ticks(1_000))
+            .task(Task::new("a").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(40))))
+            .build()
+            .unwrap();
+        let hog = TaskGraph::builder("hog", Time::from_ticks(1_000))
+            .task(Task::new("b").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(60))))
+            .build()
+            .unwrap();
+        let apps = AppSet::new(vec![replicated, hog]).unwrap();
+        let mut plan = HardeningPlan::unhardened(&apps);
+        plan.set_by_flat_index(
+            0,
+            TaskHardening::passive(vec![ProcId::new(1)], vec![ProcId::new(2)], ProcId::new(0)),
+        );
+        let hsys = harden(&apps, &plan, &arch).unwrap();
+        let placement: Vec<ProcId> = hsys
+            .tasks()
+            .map(|(_, t)| t.fixed_proc.unwrap_or(ProcId::new(0)))
+            .collect();
+        let mapping = Mapping::new(&hsys, &arch, placement).unwrap();
+        let policies = uniform_policies(3, SchedPolicy::FixedPriorityPreemptive);
+        let sim = Simulator::new(&hsys, &arch, &mapping, policies);
+        let r = sim.run(&SimConfig::default(), &mut NoFaults);
+        // Primary runs 0..40 on p0; hog (released at 0, queued behind the
+        // primary) runs 40..100; the remote copy's vote arrives at 41 and
+        // the zero-cost voter completes right there, not at 100.
+        assert_eq!(r.app_wcrt[0], Time::from_ticks(41));
+        assert_eq!(r.app_wcrt[1], Time::from_ticks(100));
+        assert_eq!(r.critical_entries, 0);
+        assert_eq!(r.unsafe_instances, vec![0, 0]);
     }
 
     #[test]

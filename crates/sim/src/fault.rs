@@ -10,10 +10,31 @@ use std::hash::{Hash, Hasher};
 /// Decides whether a given execution attempt of a job is hit by a transient
 /// fault.
 ///
-/// The simulator queries the model with `(task, instance, attempt)`; the
-/// model must answer *deterministically* for repeated queries with the same
-/// arguments within one simulation run (the engine may ask twice, e.g. when
-/// resolving a standby's final value).
+/// # Determinism contract
+///
+/// The simulator queries the model with `(task, instance, attempt)` and
+/// every implementation must be a *pure function of that triple* (plus
+/// its own construction-time state, e.g. a seed). Concretely:
+///
+/// 1. **Repeated queries agree** — asking the same triple twice within
+///    one run returns the same verdict. The engine does re-ask: a
+///    passive standby's final value is resolved by replaying its
+///    attempt's verdict, and the validation campaigns re-simulate
+///    configurations while bisecting a violation.
+/// 2. **Query order is irrelevant** — the verdict must not depend on
+///    which triples were asked before it. Two simulations that drop
+///    different application sets (and therefore interleave queries very
+///    differently) must face the *same* fault profile, otherwise
+///    degraded-mode runs would not be comparable to the analysis.
+/// 3. **Equal construction, equal profile** — two models built with the
+///    same inputs (same seed for the random model) answer identically,
+///    which is what makes a campaign profile reproducible from
+///    `(campaign seed + profile index)` alone.
+///
+/// `&mut self` exists so models *may* keep caches or statistics, not so
+/// verdicts may drift: anything mutated must be invisible in the answers.
+/// The `fault_model_contract` test module checks all three properties for
+/// every model shipped by this crate.
 pub trait FaultModel {
     /// Returns `true` if attempt `attempt` of instance `instance` of `task`
     /// is faulty.
@@ -233,6 +254,109 @@ mod tests {
         let mapping = Mapping::new(&hsys, &arch, vec![ProcId::new(0)]).unwrap();
         let mut f = RandomFaults::new(&hsys, &arch, &mapping, 3).with_boost(1e9);
         assert!((0..100).all(|i| !f.faulty(HTaskId::new(0), i, 0)));
+    }
+}
+
+#[cfg(test)]
+mod fault_model_contract {
+    use super::*;
+    use mcmap_hardening::{harden, HardeningPlan};
+    use mcmap_model::{
+        AppSet, Architecture, ExecBounds, ProcId, ProcKind, Processor, Task, TaskGraph,
+    };
+
+    fn fixture() -> (Architecture, HardenedSystem, Mapping) {
+        let arch = Architecture::builder()
+            .homogeneous(1, Processor::new("p", ProcKind::new(0), 5.0, 20.0, 1e-3))
+            .build()
+            .unwrap();
+        let g = TaskGraph::builder("g", Time::from_ticks(100))
+            .task(Task::new("t").with_uniform_exec(1, ExecBounds::exact(Time::from_ticks(50))))
+            .build()
+            .unwrap();
+        let apps = AppSet::new(vec![g]).unwrap();
+        let hsys = harden(&apps, &HardeningPlan::unhardened(&apps), &arch).unwrap();
+        let mapping = Mapping::new(&hsys, &arch, vec![ProcId::new(0)]).unwrap();
+        (arch, hsys, mapping)
+    }
+
+    /// The query universe the contract is exercised over.
+    fn triples() -> Vec<(HTaskId, u64, u8)> {
+        let mut v = Vec::new();
+        for inst in 0..40 {
+            for attempt in 0..3 {
+                v.push((HTaskId::new(0), inst, attempt));
+            }
+        }
+        v
+    }
+
+    /// Contract checks 1 and 2 for any model: the full verdict table is
+    /// identical when queried forward, backward, and with every triple
+    /// repeated three times in a row.
+    fn assert_contract(mut make: impl FnMut() -> Box<dyn FaultModel>) {
+        let ts = triples();
+        let forward: Vec<bool> = {
+            let mut m = make();
+            ts.iter().map(|&(t, i, a)| m.faulty(t, i, a)).collect()
+        };
+        let backward: Vec<bool> = {
+            let mut m = make();
+            let mut v: Vec<bool> = ts
+                .iter()
+                .rev()
+                .map(|&(t, i, a)| m.faulty(t, i, a))
+                .collect();
+            v.reverse();
+            v
+        };
+        assert_eq!(forward, backward, "verdicts must not depend on query order");
+        let mut m = make();
+        for (k, &(t, i, a)) in ts.iter().enumerate() {
+            for repeat in 0..3 {
+                assert_eq!(
+                    m.faulty(t, i, a),
+                    forward[k],
+                    "repeat {repeat} of {t:?}/{i}/{a} drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_shipped_models_obey_the_contract() {
+        let (arch, hsys, mapping) = fixture();
+        assert_contract(|| Box::new(NoFaults));
+        assert_contract(|| {
+            Box::new(
+                ScriptedFaults::new()
+                    .with_fault(HTaskId::new(0), 2, 0)
+                    .with_fault(HTaskId::new(0), 17, 1),
+            )
+        });
+        assert_contract(|| {
+            Box::new(RandomFaults::new(&hsys, &arch, &mapping, 42).with_boost(500.0))
+        });
+        assert_contract(|| Box::new(ExhaustiveReexecution::new(&hsys)));
+    }
+
+    /// Contract check 3 for the random model: the profile is a function
+    /// of the seed alone — equal seeds agree everywhere, and different
+    /// seeds disagree somewhere (at a boost that makes faults common).
+    #[test]
+    fn random_profiles_are_seed_functions() {
+        let (arch, hsys, mapping) = fixture();
+        // Boost 5 puts the per-attempt probability near 0.25 — faults are
+        // common but far from certain, so distinct seeds can diverge.
+        let table = |seed: u64| -> Vec<bool> {
+            let mut m = RandomFaults::new(&hsys, &arch, &mapping, seed).with_boost(5.0);
+            triples()
+                .iter()
+                .map(|&(t, i, a)| m.faulty(t, i, a))
+                .collect()
+        };
+        assert_eq!(table(9), table(9));
+        assert_ne!(table(9), table(10), "distinct seeds must diverge");
     }
 }
 

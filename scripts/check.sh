@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints, the whole test suite, the evaluation
-# engine's determinism suite, the server kill-and-resume smoke, and the
-# eval-engine + wcrt-analysis + delta-analysis + obs-overhead +
-# telemetry-overhead + serve-load benches (which write the machine-readable
+# engine's determinism suite, the server and validation-campaign
+# kill-and-resume smokes, and the eval-engine + wcrt-analysis +
+# delta-analysis + obs-overhead + telemetry-overhead + serve-load +
+# sim-validation benches (which write the machine-readable
 # results/BENCH_eval.json, results/BENCH_sched.json, results/BENCH_delta.json,
-# results/BENCH_obs.json, results/BENCH_telemetry.json, and
-# results/BENCH_serve.json).
+# results/BENCH_obs.json, results/BENCH_telemetry.json,
+# results/BENCH_serve.json, and results/BENCH_sim.json).
 # Usage: scripts/check.sh [--fix]
 #   --fix   apply rustfmt and clippy suggestions instead of just checking
 set -euo pipefail
@@ -40,6 +41,11 @@ scripts/smoke_resume.sh
 # byte-for-byte.
 scripts/smoke_serve.sh
 
+# Validation-campaign smoke: SIGTERM a checkpointed Monte-Carlo campaign
+# mid-flight, resume it on a different thread count, and require the
+# resumed summary to match an uninterrupted run's byte-for-byte.
+scripts/smoke_validate.sh
+
 # Engine micro/macro bench; emits results/BENCH_eval.json.
 cargo bench -p mcmap-bench --bench eval_engine
 
@@ -61,5 +67,11 @@ cargo bench -p mcmap-bench --bench telemetry_overhead
 # Multi-tenant serve load gate (100 concurrent jobs, zero failures,
 # nonzero cross-job cache hits); emits results/BENCH_serve.json.
 cargo bench -p mcmap-bench --bench serve_load
+
+# Monte-Carlo validation gate: 1000 fault profiles against the cruise
+# portfolio, zero WCRT-bound violations within coverage, thread-invariant
+# summaries, and the closed-loop reaction mission holding bounds in every
+# visited mode; emits results/BENCH_sim.json.
+cargo bench -p mcmap-bench --bench sim_validation
 
 echo "check.sh: all gates passed"
