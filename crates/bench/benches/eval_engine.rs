@@ -9,10 +9,16 @@
 //!
 //! The macro part writes a machine-readable summary to
 //! `results/BENCH_eval.json` (override the directory with
-//! `MCMAP_BENCH_OUT`). The speedup is *reported, not asserted*: on a
-//! single-core host the parallel run cannot be faster, and the engine's
-//! determinism guarantee is exactly that thread count never changes
-//! results, only wall-clock.
+//! `MCMAP_BENCH_OUT`). The *upside* of parallelism is reported, not
+//! asserted — on a single-core host the parallel run cannot be faster,
+//! and the engine's determinism guarantee is exactly that thread count
+//! never changes results, only wall-clock. The *downside* IS asserted:
+//! a multi-threaded run of a small workload must never thrash. Whether
+//! the adaptive dispatcher falls back to serial or the persistent pool
+//! absorbs the dispatch, the parallel leg must stay within 5 % of serial
+//! (speedup ≥ 0.95×, min-of-3 walls to shed scheduler noise), and the
+//! dispatcher's decision is recorded in the JSON so a ≈1.0× speedup is
+//! legible as "small-batch fallback engaged", not "engine regressed".
 //!
 //! Budget knobs: `MCMAP_POP` (default 24), `MCMAP_GENS` (default 6),
 //! `MCMAP_THREADS` (default 4) for the parallel leg.
@@ -42,11 +48,19 @@ fn dse_cfg(b: &Benchmark, threads: usize, pop: usize, gens: usize) -> DseConfig 
     }
 }
 
-/// Runs one exploration and returns the outcome plus its wall time.
+/// Runs one exploration five times and returns the last outcome plus
+/// the *minimum* wall time — the standard way to measure a short run
+/// without scheduler noise dominating the figure.
 fn timed_explore(b: &Benchmark, threads: usize, pop: usize, gens: usize) -> (DseOutcome, f64) {
-    let t0 = Instant::now();
-    let outcome = explore(&b.apps, &b.arch, dse_cfg(b, threads, pop, gens));
-    (outcome, t0.elapsed().as_secs_f64())
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let o = explore(&b.apps, &b.arch, dse_cfg(b, threads, pop, gens));
+        best = best.min(t0.elapsed().as_secs_f64());
+        outcome = Some(o);
+    }
+    (outcome.expect("at least one rep"), best)
 }
 
 /// The comparable fingerprint of an exploration: the full report list
@@ -87,24 +101,39 @@ fn bench_explore_macro(c: &mut Criterion) {
 
     let speedup = wall_1 / wall_n.max(1e-9);
     let hit_rate = parallel.eval_stats.hit_rate();
+    // The small-batch regression gate: a multi-threaded run of a workload
+    // this small must cost no more than serial — whether because the cost
+    // model fell back to the serial path or because persistent-pool
+    // dispatch is cheap enough not to matter. min-of-3 walls make the 5 %
+    // tolerance about dispatch overhead, not scheduler noise.
+    let fallback_engaged = parallel.eval_stats.serial_fallbacks > 0;
+    assert!(
+        speedup >= 0.95,
+        "parallel dispatch thrashed a small workload: x{speedup:.2} < x0.95 \
+         ({} of {} batches fell back to serial)",
+        parallel.eval_stats.serial_fallbacks,
+        parallel.eval_stats.batches,
+    );
     println!(
         "eval_engine/explore: {wall_1:.3} s at 1 thread, {wall_n:.3} s at {par} threads \
-         (speedup x{speedup:.2}, cache hit rate {:.1}%, fronts identical)",
+         (speedup x{speedup:.2} >= x0.95, cache hit rate {:.1}%, fallback engaged: \
+         {fallback_engaged}, fronts identical)",
         hit_rate * 100.0
     );
 
     let out_dir = std::env::var("MCMAP_BENCH_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
-    // With the adaptive dispatcher, a "parallel" run whose batches are too
-    // cheap to amortize a scatter runs serially anyway — record how often,
-    // so a speedup near 1.0 is legible as "fallback engaged", not "engine
-    // regressed".
+    // Record the dispatcher's decision so a speedup near 1.0 is legible as
+    // "fallback engaged" (or "pool had no helpers"), not "engine regressed".
     let json = format!(
         "{{\"benchmark\":\"dt-med\",\"population\":{pop},\"generations\":{gens},\
          \"threads\":{par},\"wall_secs_1\":{wall_1:.6},\"wall_secs_n\":{wall_n:.6},\
-         \"speedup\":{speedup:.3},\"serial_fallbacks\":{},\"fronts_identical\":true,\
+         \"speedup\":{speedup:.3},\"speedup_floor\":0.95,\
+         \"serial_fallbacks\":{},\"fallback_engaged\":{fallback_engaged},\
+         \"pool_capacity\":{},\"fronts_identical\":true,\
          \"serial\":{},\"parallel\":{}}}\n",
         parallel.eval_stats.serial_fallbacks,
+        mcmap_eval::pool_capacity(),
         serial.eval_stats.to_json(),
         parallel.eval_stats.to_json()
     );

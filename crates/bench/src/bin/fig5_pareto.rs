@@ -18,7 +18,7 @@ fn main() -> ExitCode {
     let seed = env_u64("MCMAP_SEED", 8);
     let knobs = EvalKnobs::parse();
 
-    let b = dt_med();
+    let b = knobs.fleet_or(seed, dt_med());
     let mut cfg = DseConfig {
         ga: GaConfig {
             population: pop,
@@ -59,7 +59,10 @@ fn main() -> ExitCode {
     points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite power"));
     points.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
 
-    println!("Fig. 5: power-service Pareto front of DT-med (budget {pop}x{gens}, seed {seed})\n");
+    println!(
+        "Fig. 5: power-service Pareto front of {} (budget {pop}x{gens}, seed {seed})\n",
+        b.name
+    );
     println!("{:>12} {:>10}  dropped set T_d", "power [mW]", "service");
     println!("{}", "-".repeat(58));
     for (power, service, label) in &points {
@@ -82,9 +85,10 @@ fn main() -> ExitCode {
             lo.0, lo.1, hi.0, hi.1
         );
     }
-    knobs.report("fig5/dt-med", &outcome.eval_stats);
-    knobs.report_audit("fig5/dt-med", &outcome.audit);
-    knobs.report_obs("fig5/dt-med", &outcome.obs);
+    let label = format!("fig5/{}", b.name);
+    knobs.report(&label, &outcome.eval_stats);
+    knobs.report_audit(&label, &outcome.audit);
+    knobs.report_obs(&label, &outcome.obs);
     if outcome.interrupted {
         return ExitCode::from(INTERRUPTED_EXIT);
     }

@@ -38,7 +38,12 @@
 //! mcmap_cli client   <addr> metrics [--prometheus]
 //! ```
 //!
-//! Benchmarks: `cruise`, `dt-med`, `dt-large`, `synth1`, `synth2`.
+//! Benchmarks: `cruise`, `dt-med`, `dt-large`, `synth1`, `synth2`, plus
+//! the generated fleet presets `fleet-small` / `fleet-med` / `fleet-large`
+//! (500–5000-task layered-DAG sets on 16–64-PE interference-aware
+//! platforms; a fleet name also deepens the explored hardening space to
+//! the preset's re-execution/replica bounds). The experiment binaries
+//! accept the same presets through `--fleet <preset>` / `MCMAP_FLEET`.
 //!
 //! `dse` runs the candidate-evaluation engine (`mcmap-eval`) underneath:
 //! `--threads` spreads each generation across a worker pool (0 = one per
@@ -115,14 +120,17 @@ fn benchmark(name: &str) -> Option<Benchmark> {
         "dt-large" => Some(mcmap_benchmarks::dt_large()),
         "synth1" => Some(mcmap_benchmarks::synth1(42)),
         "synth2" => Some(mcmap_benchmarks::synth2(42)),
-        _ => None,
+        // The fleet presets are generated workloads; like synth1/2 they
+        // use a fixed seed here so every invocation sees the same system.
+        _ => mcmap_benchmarks::fleet_benchmark(name, 42),
     }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mcmap_cli <list|analyze|simulate|gantt|dot|dse|lint|obs|serve|client> [args…]\n\
-         benchmarks: cruise, dt-med, dt-large, synth1, synth2\n\
+         benchmarks: cruise, dt-med, dt-large, synth1, synth2,\n\
+         \u{20}           fleet-small, fleet-med, fleet-large\n\
          dse flags:  --threads <n>, --cache-cap <n>, --eval-stats [json],\n\
          \u{20}           --trace <path.jsonl>, --obs-summary [json], --gen-stats [json],\n\
          \u{20}           --audit [json], --checkpoint <path>, --resume <path>,\n\
@@ -153,7 +161,16 @@ fn sampled(b: &Benchmark, seed: u64) -> Option<SampleDesign> {
 }
 
 fn cmd_list() -> ExitCode {
-    for name in ["cruise", "dt-med", "dt-large", "synth1", "synth2"] {
+    for name in [
+        "cruise",
+        "dt-med",
+        "dt-large",
+        "synth1",
+        "synth2",
+        "fleet-small",
+        "fleet-med",
+        "fleet-large",
+    ] {
         let b = benchmark(name).expect("known name");
         println!(
             "{name:9} {:2} apps ({} critical), {:2} tasks, {} PEs, hyperperiod {}",
@@ -690,6 +707,11 @@ fn cmd_dse(
         repair_iters: 80,
         ..DseConfig::default()
     };
+    // A fleet benchmark brings its own hardening-space depth.
+    if let Some(fleet) = mcmap_benchmarks::fleet_preset(key) {
+        cfg.max_reexec = fleet.max_reexec;
+        cfg.max_replicas = fleet.max_replicas;
+    }
     knobs.apply(&mut cfg);
     mcmap_bench::hook_interrupts(&mut cfg);
     cfg.obs = knobs.recorder();

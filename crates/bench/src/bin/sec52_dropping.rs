@@ -33,7 +33,12 @@ fn main() -> ExitCode {
     );
     println!("{}", "-".repeat(70));
 
-    for b in all_benchmarks(42) {
+    // `--fleet <preset>` narrows the sweep to that one generated workload.
+    let benchmarks = match knobs.fleet_config() {
+        Some(cfg) => vec![mcmap_benchmarks::fleet(&cfg, 42)],
+        None => all_benchmarks(42),
+    };
+    for b in benchmarks {
         let mut base = DseConfig {
             ga: GaConfig {
                 population: pop,

@@ -126,7 +126,8 @@ pub enum StatsFormat {
 /// [text|json]` / `MCMAP_GEN_STATS`, `--audit [text|json]` /
 /// `MCMAP_AUDIT`, plus the analysis fast-path knobs `--scenario-threads N`
 /// / `MCMAP_SCENARIO_THREADS`, `--no-warm-start` / `MCMAP_NO_WARM_START`,
-/// `--no-prune` / `MCMAP_NO_PRUNE`, and `--no-delta` / `MCMAP_NO_DELTA`.
+/// `--no-prune` / `MCMAP_NO_PRUNE`, `--no-delta` / `MCMAP_NO_DELTA`, and
+/// the workload override `--fleet <preset>` / `MCMAP_FLEET`.
 ///
 /// CLI flags take precedence over environment variables. `threads == 0`
 /// (the default) means one worker per available core — results are
@@ -175,6 +176,11 @@ pub struct EvalKnobs {
     /// Disables the incremental genome-delta analysis
     /// (`--no-delta` / `MCMAP_NO_DELTA`).
     pub no_delta: bool,
+    /// When set, swap the experiment's benchmark for a generated fleet
+    /// preset (`--fleet <fleet-small|fleet-med|fleet-large>` /
+    /// `MCMAP_FLEET`) — the 500–5000-task workloads the parallel
+    /// evaluation path is sized against.
+    pub fleet: Option<String>,
 }
 
 impl EvalKnobs {
@@ -238,6 +244,39 @@ impl EvalKnobs {
                 || env_usize("MCMAP_NO_WARM_START", 0) != 0,
             no_prune: args.iter().any(|a| a == "--no-prune") || env_usize("MCMAP_NO_PRUNE", 0) != 0,
             no_delta: args.iter().any(|a| a == "--no-delta") || env_usize("MCMAP_NO_DELTA", 0) != 0,
+            fleet: value_of("--fleet")
+                .filter(|v| !v.is_empty())
+                .or_else(|| std::env::var("MCMAP_FLEET").ok())
+                .filter(|v| !v.is_empty()),
+        }
+    }
+
+    /// Resolves the `--fleet` knob into its preset configuration, or
+    /// `None` when the knob is unset. Exits the process (code 2) on an
+    /// unknown preset name — silently running the wrong workload would be
+    /// worse.
+    pub fn fleet_config(&self) -> Option<mcmap_benchmarks::FleetConfig> {
+        let name = self.fleet.as_deref()?;
+        match mcmap_benchmarks::fleet_preset(name) {
+            Some(cfg) => Some(cfg),
+            None => {
+                eprintln!(
+                    "mcmap: unknown fleet preset {name:?} \
+                     (known: fleet-small, fleet-med, fleet-large)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Swaps `fallback` for the generated `--fleet` benchmark when the
+    /// knob is set. Experiment binaries call this right after picking
+    /// their paper benchmark, so every DSE-driven experiment can run at
+    /// fleet scale without new plumbing.
+    pub fn fleet_or(&self, seed: u64, fallback: Benchmark) -> Benchmark {
+        match self.fleet_config() {
+            Some(cfg) => mcmap_benchmarks::fleet(&cfg, seed),
+            None => fallback,
         }
     }
 
@@ -320,6 +359,12 @@ impl EvalKnobs {
             scenario_threads: self.scenario_threads,
         };
         cfg.delta = !self.no_delta;
+        // A fleet run also deepens the hardening space to the preset's
+        // bounds — that is part of what makes the workload fleet-scale.
+        if let Some(fleet) = self.fleet_config() {
+            cfg.max_reexec = fleet.max_reexec;
+            cfg.max_replicas = fleet.max_replicas;
+        }
     }
 
     /// Prints one engine snapshot in the requested format (no-op when
@@ -617,6 +662,33 @@ mod tests {
         let k = EvalKnobs::from_args(&["--audit".to_string()]);
         k.apply(&mut cfg);
         assert!(cfg.audit);
+    }
+
+    #[test]
+    fn fleet_knob_swaps_the_benchmark_and_deepens_hardening() {
+        let args: Vec<String> = ["--fleet", "fleet-small"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let k = EvalKnobs::from_args(&args);
+        assert_eq!(k.fleet.as_deref(), Some("fleet-small"));
+        let b = k.fleet_or(7, mcmap_benchmarks::cruise());
+        assert!(b.name.starts_with("fleet-small"), "got {}", b.name);
+        assert_eq!(b.arch.num_processors(), 16);
+        let mut cfg = mcmap_core::DseConfig::default();
+        k.apply(&mut cfg);
+        let preset = mcmap_benchmarks::fleet_small_config();
+        assert_eq!(cfg.max_reexec, preset.max_reexec);
+        assert_eq!(cfg.max_replicas, preset.max_replicas);
+
+        // Unset knob: the fallback benchmark and config pass through.
+        let k = EvalKnobs::from_args(&[]);
+        assert_eq!(k.fleet, None);
+        assert_eq!(k.fleet_or(7, mcmap_benchmarks::cruise()).name, "Cruise");
+        let mut cfg = mcmap_core::DseConfig::default();
+        let (reexec, replicas) = (cfg.max_reexec, cfg.max_replicas);
+        k.apply(&mut cfg);
+        assert_eq!((cfg.max_reexec, cfg.max_replicas), (reexec, replicas));
     }
 
     #[test]

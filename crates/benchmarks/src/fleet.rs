@@ -1,0 +1,410 @@
+//! The fleet generator: workloads big enough that parallelism pays.
+//!
+//! The paper scales its evaluation by multiplying the DT benchmark ×20
+//! (§5); the fleet generator pushes further in the same TGFF-like tradition
+//! as [`synth`](crate::synth): seeded, fully deterministic generation of
+//! 500–5000-task layered-DAG application sets mapped onto 16–64-PE
+//! heterogeneous platforms. Platforms are built from [`PeClass`]es — each
+//! class is one [`ProcKind`](mcmap_model::ProcKind) with its own WCET
+//! scaling and an **interference-aware slowdown**: tasks on a class pay a
+//! WCET surcharge per sibling core in that class, the classic shared
+//! memory/interconnect contention model of many-PE MPSoCs (Hassan's survey,
+//! PAPERS.md). Deep hardening spaces come from the per-preset
+//! [`FleetConfig::max_reexec`]/[`FleetConfig::max_replicas`] bounds that the
+//! experiment drivers feed into the DSE config.
+//!
+//! Everything is determined by `(config, seed)`: the generator draws from a
+//! single [`StdRng`] stream, uses no host properties, and therefore emits
+//! bit-identical models across runs and platforms (property-tested in
+//! `tests/fleet_props.rs`).
+
+use crate::Benchmark;
+use mcmap_model::{
+    AppSet, Architecture, Criticality, ExecBounds, Fabric, ProcKind, Processor, Task, TaskGraph,
+    Time,
+};
+use mcmap_sched::{uniform_policies, SchedPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One processor class of a fleet platform: `count` identical cores
+/// sharing a [`ProcKind`], an execution-speed scale, and an interference
+/// surcharge that grows with the class's own size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeClass {
+    /// Class name; cores are named `{name}{i}`.
+    pub name: &'static str,
+    /// Number of cores in the class.
+    pub count: usize,
+    /// WCET scale relative to the reference class, in percent
+    /// (100 = reference speed, 180 = 1.8× slower).
+    pub speed_pct: u64,
+    /// Interference-aware slowdown: basis points of extra WCET per
+    /// *additional* core in the class (shared-memory contention grows with
+    /// the number of siblings hammering the same interconnect). A class of
+    /// one core pays nothing.
+    pub interference_bp: u64,
+    /// Static power draw of each core.
+    pub stat_power: f64,
+    /// Dynamic power draw of each core.
+    pub dyn_power: f64,
+    /// Per-tick transient-fault rate of each core.
+    pub fault_rate: f64,
+}
+
+impl PeClass {
+    /// The effective WCET multiplier of this class in percent: speed scale
+    /// times the contention surcharge of `count - 1` sibling cores.
+    pub fn effective_slowdown_pct(&self) -> u64 {
+        let contention = 10_000 + self.interference_bp * (self.count.saturating_sub(1) as u64);
+        self.speed_pct * contention / 10_000
+    }
+}
+
+/// Parameters of the fleet generator. The DAG-shape fields mirror
+/// [`SynthConfig`](crate::SynthConfig); the platform is described by
+/// [`PeClass`]es instead of a fixed-size preset, and the hardening bounds
+/// size the per-task design space the DSE explores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Preset name (`"fleet-med"` …), used for display.
+    pub name: &'static str,
+    /// Number of applications.
+    pub num_apps: usize,
+    /// Inclusive range of tasks per application.
+    pub tasks_per_app: (usize, usize),
+    /// Maximum tasks per DAG layer.
+    pub max_layer_width: usize,
+    /// Candidate invocation periods (picked uniformly per app). Keep these
+    /// harmonic — the hyperperiod bounds several analysis loops.
+    pub periods: Vec<u64>,
+    /// Inclusive WCET range on the reference class; BCET is drawn as a
+    /// fraction of the WCET.
+    pub wcet_range: (u64, u64),
+    /// Deadline as a percentage of the period.
+    pub deadline_pct: u64,
+    /// Fraction of applications that are droppable (at least one
+    /// application always stays non-droppable).
+    pub droppable_fraction: f64,
+    /// Reliability bound for non-droppable applications.
+    pub max_failure_rate: f64,
+    /// The platform, one [`ProcKind`] per class, in kind order.
+    pub classes: Vec<PeClass>,
+    /// Shared-fabric bandwidth (bytes per tick).
+    pub fabric_bandwidth: u64,
+    /// Re-execution bound the DSE should explore for this fleet.
+    pub max_reexec: u8,
+    /// Replica bound the DSE should explore for this fleet.
+    pub max_replicas: u8,
+}
+
+/// The `fleet-small` preset: ~500 tasks over 36 apps on 16 PEs.
+pub fn fleet_small_config() -> FleetConfig {
+    FleetConfig {
+        name: "fleet-small",
+        num_apps: 36,
+        tasks_per_app: (12, 16),
+        max_layer_width: 4,
+        periods: vec![6_000, 12_000, 24_000],
+        // Light per-task WCETs relative to the period: with ~30 tasks per
+        // core the end-to-end response of a layered app accumulates one
+        // core's worth of same-or-higher-priority interference per layer,
+        // so heavy tasks would push every chain past its implicit deadline
+        // before the DSE had anything to optimize.
+        wcet_range: (16, 64),
+        deadline_pct: 100,
+        droppable_fraction: 0.75,
+        max_failure_rate: 1e-5,
+        classes: vec![
+            PeClass {
+                name: "perf",
+                count: 6,
+                speed_pct: 100,
+                interference_bp: 150,
+                stat_power: 18.0,
+                dyn_power: 140.0,
+                fault_rate: 5e-8,
+            },
+            PeClass {
+                name: "eff",
+                count: 6,
+                speed_pct: 170,
+                interference_bp: 250,
+                stat_power: 6.0,
+                dyn_power: 55.0,
+                fault_rate: 8e-8,
+            },
+            PeClass {
+                name: "safe",
+                count: 4,
+                speed_pct: 140,
+                interference_bp: 80,
+                stat_power: 10.0,
+                dyn_power: 80.0,
+                fault_rate: 1e-8,
+            },
+        ],
+        fabric_bandwidth: 128,
+        max_reexec: 3,
+        max_replicas: 3,
+    }
+}
+
+/// The `fleet-med` preset: ~1400 tasks over 84 apps on 32 PEs. This is the
+/// `BENCH_scale` reference workload.
+pub fn fleet_med_config() -> FleetConfig {
+    let mut cfg = fleet_small_config();
+    cfg.name = "fleet-med";
+    cfg.num_apps = 84;
+    cfg.tasks_per_app = (14, 20);
+    cfg.max_layer_width = 6;
+    // Density rises to ~44 tasks/core (fleet-small: ~31), so per-task
+    // WCETs shrink roughly in proportion to keep end-to-end responses
+    // optimizer-reachable.
+    cfg.wcet_range = (12, 48);
+    // Larger classes would pay ruinous contention at fleet-small's rates
+    // (250 bp × 11 siblings alone is +27.5 % WCET), so the surcharge per
+    // sibling shrinks as the clusters grow — per-class totals still exceed
+    // fleet-small's.
+    for (class, (count, interference_bp)) in
+        cfg.classes
+            .iter_mut()
+            .zip([(12usize, 100u64), (12, 150), (8, 60)])
+    {
+        class.count = count;
+        class.interference_bp = interference_bp;
+    }
+    cfg.fabric_bandwidth = 256;
+    cfg
+}
+
+/// The `fleet-large` preset: ~5000 tasks over 260 apps on 64 PEs. With
+/// ~80 tasks per core, per-layer interference dominates end-to-end
+/// response, so WCETs are much lighter than the smaller presets' and the
+/// contention surcharge per sibling is milder still (a 24-core cluster at
+/// `fleet-small`'s rates would pay 1.6× on contention alone) — the
+/// per-class totals still exceed the smaller presets'.
+pub fn fleet_large_config() -> FleetConfig {
+    let mut cfg = fleet_small_config();
+    cfg.name = "fleet-large";
+    cfg.num_apps = 260;
+    cfg.tasks_per_app = (17, 22);
+    cfg.max_layer_width = 7;
+    cfg.wcet_range = (6, 24);
+    for (class, (count, interference_bp)) in
+        cfg.classes
+            .iter_mut()
+            .zip([(24usize, 50u64), (24, 75), (16, 30)])
+    {
+        class.count = count;
+        class.interference_bp = interference_bp;
+    }
+    cfg.fabric_bandwidth = 512;
+    cfg.max_reexec = 4;
+    cfg.max_replicas = 4;
+    cfg
+}
+
+/// Looks up a preset by its CLI name (`fleet-small` / `fleet-med` /
+/// `fleet-large`).
+pub fn fleet_preset(name: &str) -> Option<FleetConfig> {
+    match name {
+        "fleet-small" => Some(fleet_small_config()),
+        "fleet-med" => Some(fleet_med_config()),
+        "fleet-large" => Some(fleet_large_config()),
+        _ => None,
+    }
+}
+
+/// Convenience: generates a preset fleet by name.
+pub fn fleet_benchmark(name: &str, seed: u64) -> Option<Benchmark> {
+    fleet_preset(name).map(|cfg| fleet(&cfg, seed))
+}
+
+/// Builds the platform of a fleet: `count` cores per class, kind `k` for
+/// class index `k`, on one shared fabric.
+fn fleet_arch(cfg: &FleetConfig) -> Architecture {
+    let mut b = Architecture::builder();
+    for (k, class) in cfg.classes.iter().enumerate() {
+        for i in 0..class.count {
+            b = b.processor(Processor::new(
+                format!("{}{i}", class.name),
+                ProcKind::new(k as u16),
+                class.stat_power,
+                class.dyn_power,
+                class.fault_rate,
+            ));
+        }
+    }
+    b.fabric(Fabric::new(cfg.fabric_bandwidth).with_base_latency(Time::from_ticks(1)))
+        .build()
+        .expect("fleet platforms are valid by construction")
+}
+
+/// Builds one fleet task: the drawn bounds on the reference class, scaled
+/// by each class's effective (speed × interference) slowdown elsewhere.
+fn fleet_task(name: &str, bcet: u64, wcet: u64, classes: &[PeClass]) -> Task {
+    let mut t = Task::new(name)
+        .with_detect_overhead(Time::from_ticks(wcet / 20 + 1))
+        .with_voting_overhead(Time::from_ticks(wcet / 25 + 1));
+    for (k, class) in classes.iter().enumerate() {
+        let pct = class.effective_slowdown_pct();
+        t = t.with_exec(
+            ProcKind::new(k as u16),
+            ExecBounds::new(
+                Time::from_ticks((bcet * pct / 100).max(1)),
+                Time::from_ticks((wcet * pct / 100).max(1)),
+            ),
+        );
+    }
+    t
+}
+
+/// Generates a fleet benchmark. Identical `(config, seed)` pairs produce
+/// identical benchmarks, bit for bit, on every host.
+pub fn fleet(cfg: &FleetConfig, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_droppable = ((cfg.num_apps as f64 * cfg.droppable_fraction) as usize)
+        .min(cfg.num_apps.saturating_sub(1));
+
+    let mut graphs = Vec::with_capacity(cfg.num_apps);
+    for a in 0..cfg.num_apps {
+        let period = cfg.periods[rng.gen_range(0..cfg.periods.len())];
+        let droppable = a >= cfg.num_apps - num_droppable;
+        let criticality = if droppable {
+            Criticality::Droppable {
+                service: rng.gen_range(1..=4) as f64,
+            }
+        } else {
+            Criticality::NonDroppable {
+                max_failure_rate: cfg.max_failure_rate,
+            }
+        };
+        let n = rng.gen_range(cfg.tasks_per_app.0..=cfg.tasks_per_app.1);
+        let mut builder = TaskGraph::builder(format!("fleet-app{a}"), Time::from_ticks(period))
+            .deadline(Time::from_ticks(period * cfg.deadline_pct / 100))
+            .criticality(criticality);
+
+        let mut layers: Vec<Vec<usize>> = Vec::new();
+        let mut placed = 0usize;
+        while placed < n {
+            let width = rng.gen_range(1..=cfg.max_layer_width).min(n - placed);
+            layers.push((placed..placed + width).collect());
+            placed += width;
+        }
+        for t in 0..n {
+            let wcet = rng.gen_range(cfg.wcet_range.0..=cfg.wcet_range.1);
+            let bcet = (wcet * rng.gen_range(40..=90) / 100).max(1);
+            builder = builder.task(fleet_task(&format!("a{a}t{t}"), bcet, wcet, &cfg.classes));
+        }
+        // Layered wiring, as in synth: ≥1 predecessor from the previous
+        // layer per non-source task, plus occasional diamond edges.
+        for l in 1..layers.len() {
+            let prev = layers[l - 1].clone();
+            for &t in &layers[l] {
+                let src = prev[rng.gen_range(0..prev.len())];
+                builder = builder.channel(src, t, rng.gen_range(8..=128));
+                if prev.len() > 1 && rng.gen_bool(0.3) {
+                    let extra = prev[rng.gen_range(0..prev.len())];
+                    if extra != src {
+                        builder = builder.channel(extra, t, rng.gen_range(8..=128));
+                    }
+                }
+            }
+        }
+        graphs.push(builder.build().expect("generator emits valid graphs"));
+    }
+
+    let apps = AppSet::new(graphs).expect("generator emits at least one app");
+    let arch = fleet_arch(cfg);
+    let policies = uniform_policies(arch.num_processors(), SchedPolicy::FixedPriorityPreemptive);
+    Benchmark {
+        name: format!("{}(seed={seed})", cfg.name),
+        apps,
+        arch,
+        policies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_hit_their_scale_targets() {
+        let small = fleet(&fleet_small_config(), 1);
+        assert!(
+            (400..=700).contains(&small.apps.num_tasks()),
+            "small: {} tasks",
+            small.apps.num_tasks()
+        );
+        assert_eq!(small.arch.num_processors(), 16);
+
+        let med = fleet(&fleet_med_config(), 1);
+        assert!(
+            (1100..=1800).contains(&med.apps.num_tasks()),
+            "med: {} tasks",
+            med.apps.num_tasks()
+        );
+        assert_eq!(med.arch.num_processors(), 32);
+
+        let large = fleet(&fleet_large_config(), 1);
+        assert!(
+            (4400..=6000).contains(&large.apps.num_tasks()),
+            "large: {} tasks",
+            large.apps.num_tasks()
+        );
+        assert_eq!(large.arch.num_processors(), 64);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = fleet(&fleet_med_config(), 42);
+        let b = fleet(&fleet_med_config(), 42);
+        assert_eq!(a.apps, b.apps);
+        let c = fleet(&fleet_med_config(), 43);
+        assert_ne!(a.apps, c.apps);
+    }
+
+    #[test]
+    fn interference_scales_with_class_size() {
+        let lonely = PeClass {
+            count: 1,
+            ..fleet_small_config().classes[0].clone()
+        };
+        assert_eq!(lonely.effective_slowdown_pct(), 100);
+        let crowded = PeClass {
+            count: 11,
+            ..lonely.clone()
+        };
+        // 150 bp × 10 siblings = +15 %.
+        assert_eq!(crowded.effective_slowdown_pct(), 115);
+    }
+
+    #[test]
+    fn every_task_runs_on_every_class() {
+        let cfg = fleet_small_config();
+        let b = fleet(&cfg, 3);
+        for (_, app) in b.apps.apps() {
+            for t in app.task_ids() {
+                let task = app.task(t);
+                for k in 0..cfg.classes.len() {
+                    let exec = task
+                        .exec_on(ProcKind::new(k as u16))
+                        .expect("profile for every class");
+                    assert!(exec.wcet >= exec.bcet && exec.bcet > Time::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preset_lookup_matches_names() {
+        for name in ["fleet-small", "fleet-med", "fleet-large"] {
+            assert_eq!(fleet_preset(name).unwrap().name, name);
+        }
+        assert!(fleet_preset("fleet-xl").is_none());
+        let b = fleet_benchmark("fleet-small", 8).unwrap();
+        assert!(b.name.starts_with("fleet-small"));
+    }
+}

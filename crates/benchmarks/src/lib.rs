@@ -9,7 +9,11 @@
 //!   applications (after the DREAM models \[21\]) with the paper's ×20
 //!   period/WCET scaling;
 //! * [`synth`] with the [`synth1`] / [`synth2`] presets — seeded random
-//!   layered-DAG benchmarks for controlled sweeps.
+//!   layered-DAG benchmarks for controlled sweeps;
+//! * [`fleet`] with the `fleet-small` / `fleet-med` / `fleet-large`
+//!   presets — 500–5000-task application sets on 16–64-PE
+//!   interference-aware heterogeneous platforms, the workloads the
+//!   parallel evaluation path is tuned against (`BENCH_scale.json`).
 //!
 //! The original models are not redistributable; these are structural
 //! reconstructions from the public descriptions (see DESIGN.md §3), kept in
@@ -30,12 +34,17 @@
 mod arch;
 mod cruise;
 mod dt;
+mod fleet;
 mod synth;
 mod util;
 
 pub use arch::{arch_large, arch_medium, arch_small};
 pub use cruise::cruise;
 pub use dt::{dt_large, dt_med};
+pub use fleet::{
+    fleet, fleet_benchmark, fleet_large_config, fleet_med_config, fleet_preset, fleet_small_config,
+    FleetConfig, PeClass,
+};
 pub use synth::{synth, synth1, synth2, SynthConfig};
 
 use mcmap_model::{AppSet, Architecture};

@@ -1,0 +1,81 @@
+//! Property tests of the fleet generator: for ANY preset and seed the
+//! emitted system must be a valid model (lint-clean — no error-severity
+//! diagnostics), its task graphs must be layered DAGs, and generation must
+//! be bit-identical across repeated runs — the determinism the whole
+//! benchmarking story (checkpoint resume, cross-host reproduction,
+//! `BENCH_scale` fingerprint comparison) leans on.
+
+use mcmap_benchmarks::{fleet, fleet_preset};
+use mcmap_lint::{Linter, Severity};
+use proptest::prelude::*;
+
+fn preset_names() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("fleet-small"), Just("fleet-med"), Just("fleet-large"),]
+}
+
+proptest! {
+    // Each case generates a full fleet (up to ~5000 tasks for fleet-large)
+    // and lints it, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_preset_and_seed_is_lint_clean(
+        name in preset_names(),
+        seed in 0u64..10_000,
+    ) {
+        let cfg = fleet_preset(name).expect("known preset");
+        let b = fleet(&cfg, seed);
+        let report = Linter::new(&b.apps, &b.arch).lint();
+        let errors: Vec<String> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| format!("{}: {}", d.code, d.message))
+            .collect();
+        prop_assert!(
+            errors.is_empty(),
+            "{name} seed {seed} emitted an invalid model: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn graphs_are_layered_dags(
+        name in preset_names(),
+        seed in 0u64..10_000,
+    ) {
+        let cfg = fleet_preset(name).expect("known preset");
+        let b = fleet(&cfg, seed);
+        for (_, app) in b.apps.apps() {
+            // Every channel goes from a lower task index to a higher one
+            // (layers are emitted in topological order), so the graph is
+            // acyclic by construction — verify the invariant held.
+            for (_, ch) in app.channels() {
+                prop_assert!(
+                    ch.src.index() < ch.dst.index(),
+                    "{name} seed {seed}: channel {} -> {} breaks layering",
+                    ch.src.index(),
+                    ch.dst.index()
+                );
+            }
+            // And no task may exceed the configured layer width in
+            // predecessors (1 structural + at most 1 diamond edge).
+            for t in app.task_ids() {
+                let preds = app.channels().filter(|(_, ch)| ch.dst == t).count();
+                prop_assert!(preds <= 2, "task has {preds} predecessors");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_bit_identical_across_runs(
+        name in preset_names(),
+        seed in 0u64..10_000,
+    ) {
+        let cfg = fleet_preset(name).expect("known preset");
+        let a = fleet(&cfg, seed);
+        let b = fleet(&cfg, seed);
+        prop_assert_eq!(a.apps, b.apps);
+        prop_assert_eq!(a.arch, b.arch);
+        prop_assert_eq!(a.name, b.name);
+    }
+}

@@ -1,7 +1,7 @@
 //! The evaluation engine: worker pool + memo cache + instrumentation.
 
 use crate::cache::ShardedCache;
-use crate::pool::{parallel_map, parallel_map_caught};
+use crate::pool::{parallel_map_caught_timed, parallel_map_timed};
 use crate::stats::{EvalStats, StatCounters};
 use mcmap_obs::{Recorder, Value};
 use mcmap_resilience::{panic_message, EvalFailure};
@@ -13,21 +13,21 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Predicted per-batch work (nanoseconds) below which fanning out to the
-/// worker pool costs more than it saves: thread spawn/join plus contended
-/// sharded-cache traffic sit around the low milliseconds, so a batch whose
-/// *observed* per-candidate cost times its size lands under this bound runs
-/// serially instead. Measured against `results/BENCH_eval.json`, where
-/// dt-med batches of 24 near-always-cached candidates (~90 µs each) were
-/// 1.3× *slower* parallel than serial.
+/// worker pool costs more than it saves. Retuned for the persistent pool
+/// (PR 10): dispatch no longer spawns threads per batch, it enqueues one
+/// ticket and wakes already-parked helpers, so the fixed cost dropped from
+/// low milliseconds to tens of microseconds of wake-up latency plus
+/// contended sharded-cache traffic. A batch whose *observed* per-candidate
+/// cost times its size lands under this bound runs serially instead.
 ///
-/// The bound is deliberately ~2× the true serial break-even: the cost
-/// history it is compared against is per-thread accounted, and a batch
-/// that already ran parallel inflates it by the same contention
-/// (allocator, cache shards) the fallback exists to dodge — dt-med
-/// candidates read ~100 µs from a serial batch but ~220 µs from a parallel
-/// one. A threshold at the serial break-even would let that inflation mask
-/// exactly the regressed batches.
-const SERIAL_FALLBACK_NANOS: u64 = 8_000_000;
+/// The bound keeps a ~2× margin over the measured break-even for the same
+/// reason as before: the cost history it consults is per-thread accounted,
+/// and a batch that already ran parallel inflates it by the very
+/// contention (allocator, cache shards) the fallback exists to dodge. With
+/// the old 8 ms bound dt-med batches (~2 ms of real work) were *always*
+/// rescued serially; at 750 µs they fan out, and only genuinely tiny
+/// (near-fully-cached) batches fall back.
+const SERIAL_FALLBACK_NANOS: u64 = 750_000;
 
 /// Where an evaluation attempt sits inside its batch — handed to the
 /// evaluation closure of [`EvalEngine::evaluate_batch_isolated`] so fault
@@ -291,7 +291,9 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
         if effective != threads {
             span.nondet("serial_fallback", true);
         }
-        let results = parallel_map(genomes, effective, |g| self.evaluate_one(g, &eval));
+        let (results, loads) =
+            parallel_map_timed(genomes, effective, |g| self.evaluate_one(g, &eval));
+        self.counters.merge_loads(&loads);
         self.counters.add(&self.counters.batches, 1);
         self.counters
             .add(&self.counters.genomes, genomes.len() as u64);
@@ -388,11 +390,12 @@ impl<V: Clone + Send + Sync> EvalEngine<V> {
         let mut attempt: u32 = 0;
         while !pending.is_empty() {
             let wave: Vec<(usize, &G)> = pending.iter().map(|&i| (i, &genomes[i])).collect();
-            let outcomes = parallel_map_caught(&wave, effective, |&(index, g)| {
+            let (outcomes, loads) = parallel_map_caught_timed(&wave, effective, |&(index, g)| {
                 let ctx = EvalContext { index, attempt };
                 inject(ctx);
                 self.evaluate_one(g, |g| eval(g, ctx))
             });
+            self.counters.merge_loads(&loads);
             let mut still = Vec::new();
             for (&(index, g), outcome) in wave.iter().zip(outcomes) {
                 match outcome {

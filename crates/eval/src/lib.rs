@@ -58,5 +58,8 @@ mod stats;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use engine::{EvalCacheConfig, EvalContext, EvalEngine};
-pub use pool::{parallel_map, parallel_map_caught};
+pub use pool::{
+    parallel_map, parallel_map_caught, parallel_map_caught_timed, parallel_map_timed,
+    pool_capacity, CaughtResult, WorkerLoad,
+};
 pub use stats::EvalStats;

@@ -1,6 +1,8 @@
 //! Free-running instrumentation counters and their report formats.
 
+use crate::pool::WorkerLoad;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Internal atomic counters, bumped lock-free from worker threads.
 #[derive(Debug, Default)]
@@ -17,11 +19,28 @@ pub(crate) struct StatCounters {
     pub eval_nanos: AtomicU64,
     pub insert_nanos: AtomicU64,
     pub wall_nanos: AtomicU64,
+    /// Per-participant dispatch ledger, merged batch by batch: slot `i`
+    /// accumulates what participant `i` (0 = the submitting thread)
+    /// contributed across all batches. Cold path — touched once per batch,
+    /// not per candidate — so a mutex is fine.
+    pub workers: Mutex<Vec<WorkerLoad>>,
 }
 
 impl StatCounters {
     pub fn add(&self, field: &AtomicU64, v: u64) {
         field.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Folds one batch's per-participant loads into the cumulative ledger.
+    pub fn merge_loads(&self, loads: &[WorkerLoad]) {
+        let mut workers = self.workers.lock().expect("worker ledger");
+        if workers.len() < loads.len() {
+            workers.resize(loads.len(), WorkerLoad::default());
+        }
+        for (slot, load) in workers.iter_mut().zip(loads) {
+            slot.busy_nanos += load.busy_nanos;
+            slot.items += load.items;
+        }
     }
 
     pub fn reset(&self) {
@@ -41,10 +60,12 @@ impl StatCounters {
         ] {
             f.store(0, Ordering::Relaxed);
         }
+        self.workers.lock().expect("worker ledger").clear();
     }
 
     pub fn snapshot(&self, cache_entries: u64) -> EvalStats {
         EvalStats {
+            worker_loads: self.workers.lock().expect("worker ledger").clone(),
             batches: self.batches.load(Ordering::Relaxed),
             genomes: self.genomes.load(Ordering::Relaxed),
             cache_hits: self.hits.load(Ordering::Relaxed),
@@ -103,6 +124,12 @@ pub struct EvalStats {
     pub insert_nanos: u64,
     /// Wall-clock nanoseconds across all batches (caller-side).
     pub wall_nanos: u64,
+    /// Cumulative per-participant dispatch ledger: entry `i` is what
+    /// participant `i` (0 = the submitting thread, 1.. = pool helpers)
+    /// spent inside batch claim loops and how many candidates it
+    /// completed. Timing observation — non-deterministic across runs, like
+    /// the phase nanos.
+    pub worker_loads: Vec<WorkerLoad>,
 }
 
 impl EvalStats {
@@ -122,6 +149,20 @@ impl EvalStats {
         } else {
             self.genomes as f64 * 1e9 / self.wall_nanos as f64
         }
+    }
+
+    /// Per-worker utilization: each participant's busy nanoseconds over
+    /// the total batch wall time. On a well-scattered workload every entry
+    /// sits near 1.0; helpers near 0.0 mean the fan-out paid for threads
+    /// it could not feed.
+    pub fn utilization(&self) -> Vec<f64> {
+        if self.wall_nanos == 0 {
+            return vec![0.0; self.worker_loads.len()];
+        }
+        self.worker_loads
+            .iter()
+            .map(|w| w.busy_nanos as f64 / self.wall_nanos as f64)
+            .collect()
     }
 
     /// Multi-line human-readable report.
@@ -150,6 +191,19 @@ impl EvalStats {
                 self.serial_fallbacks,
             ));
         }
+        if !self.worker_loads.is_empty() {
+            let util = self.utilization();
+            let rendered: Vec<String> = self
+                .worker_loads
+                .iter()
+                .zip(&util)
+                .map(|(w, u)| format!("{} ({:.0} %)", w.items, u * 100.0))
+                .collect();
+            out.push_str(&format!(
+                "eval-stats: worker items (busy/wall): {}\n",
+                rendered.join(", "),
+            ));
+        }
         if self.panics > 0 || self.degraded > 0 {
             out.push_str(&format!(
                 "eval-stats: resilience: {} panics caught, {} candidates degraded\n",
@@ -161,12 +215,24 @@ impl EvalStats {
 
     /// Single-object JSON report (stable keys, for `BENCH_*.json` tooling).
     pub fn to_json(&self) -> String {
+        let util = self.utilization();
+        let workers: Vec<String> = self
+            .worker_loads
+            .iter()
+            .zip(&util)
+            .map(|(w, u)| {
+                format!(
+                    "{{\"busy_nanos\":{},\"items\":{},\"utilization\":{:.6}}}",
+                    w.busy_nanos, w.items, u,
+                )
+            })
+            .collect();
         format!(
             "{{\"batches\":{},\"genomes\":{},\"cache_hits\":{},\"cache_misses\":{},\
              \"hit_rate\":{:.6},\"evictions\":{},\"panics\":{},\"degraded\":{},\
              \"serial_fallbacks\":{},\"cache_entries\":{},\
              \"lookup_nanos\":{},\"eval_nanos\":{},\"insert_nanos\":{},\
-             \"wall_nanos\":{},\"genomes_per_sec\":{:.3}}}",
+             \"wall_nanos\":{},\"genomes_per_sec\":{:.3},\"workers\":[{}]}}",
             self.batches,
             self.genomes,
             self.cache_hits,
@@ -182,6 +248,7 @@ impl EvalStats {
             self.insert_nanos,
             self.wall_nanos,
             self.genomes_per_sec(),
+            workers.join(","),
         )
     }
 }
@@ -213,6 +280,16 @@ mod tests {
             eval_nanos: 900,
             insert_nanos: 50,
             wall_nanos: 1_000_000_000,
+            worker_loads: vec![
+                WorkerLoad {
+                    busy_nanos: 900_000_000,
+                    items: 7,
+                },
+                WorkerLoad {
+                    busy_nanos: 250_000_000,
+                    items: 3,
+                },
+            ],
         };
         let text = s.render_text();
         assert!(text.contains("4 hits / 6 misses"));
@@ -226,6 +303,11 @@ mod tests {
         assert!(json.contains("\"serial_fallbacks\":2"));
         assert!(text.contains("2 small batches ran serially"));
         assert!(json.contains("\"genomes_per_sec\":10.000"));
+        assert!(text.contains("7 (90 %), 3 (25 %)"), "got: {text}");
+        assert!(json.contains(
+            "\"workers\":[{\"busy_nanos\":900000000,\"items\":7,\"utilization\":0.900000}"
+        ));
+        assert_eq!(s.utilization(), vec![0.9, 0.25]);
 
         let clean = EvalStats::default();
         assert!(
@@ -239,8 +321,48 @@ mod tests {
         let c = StatCounters::default();
         c.add(&c.genomes, 5);
         c.add(&c.hits, 2);
+        c.merge_loads(&[WorkerLoad {
+            busy_nanos: 10,
+            items: 5,
+        }]);
         assert_eq!(c.snapshot(0).genomes, 5);
+        assert_eq!(c.snapshot(0).worker_loads.len(), 1);
         c.reset();
         assert_eq!(c.snapshot(0), EvalStats::default());
+    }
+
+    #[test]
+    fn worker_ledger_merges_by_participant_index() {
+        let c = StatCounters::default();
+        c.merge_loads(&[
+            WorkerLoad {
+                busy_nanos: 100,
+                items: 4,
+            },
+            WorkerLoad {
+                busy_nanos: 50,
+                items: 2,
+            },
+        ]);
+        // A later serial batch only touches participant 0; the ledger
+        // keeps the wider shape.
+        c.merge_loads(&[WorkerLoad {
+            busy_nanos: 25,
+            items: 1,
+        }]);
+        let s = c.snapshot(0);
+        assert_eq!(
+            s.worker_loads,
+            vec![
+                WorkerLoad {
+                    busy_nanos: 125,
+                    items: 5,
+                },
+                WorkerLoad {
+                    busy_nanos: 50,
+                    items: 2,
+                },
+            ]
+        );
     }
 }

@@ -198,6 +198,14 @@ impl JobTotals {
         e.eval_nanos += eval.eval_nanos;
         e.insert_nanos += eval.insert_nanos;
         e.wall_nanos += eval.wall_nanos;
+        if e.worker_loads.len() < eval.worker_loads.len() {
+            e.worker_loads
+                .resize(eval.worker_loads.len(), Default::default());
+        }
+        for (slot, load) in e.worker_loads.iter_mut().zip(&eval.worker_loads) {
+            slot.busy_nanos += load.busy_nanos;
+            slot.items += load.items;
+        }
         let a = &mut self.analysis;
         a.candidates += analysis.candidates;
         a.scenarios += analysis.scenarios;

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints, the whole test suite, the evaluation
 # engine's determinism suite, the server and validation-campaign
-# kill-and-resume smokes, and the eval-engine + wcrt-analysis +
-# delta-analysis + obs-overhead + telemetry-overhead + serve-load +
+# kill-and-resume smokes, and the eval-engine + fleet-scale + wcrt-analysis
+# + delta-analysis + obs-overhead + telemetry-overhead + serve-load +
 # sim-validation benches (which write the machine-readable
-# results/BENCH_eval.json, results/BENCH_sched.json, results/BENCH_delta.json,
+# results/BENCH_eval.json, results/BENCH_scale.json,
+# results/BENCH_sched.json, results/BENCH_delta.json,
 # results/BENCH_obs.json, results/BENCH_telemetry.json,
-# results/BENCH_serve.json, and results/BENCH_sim.json).
+# results/BENCH_serve.json, and results/BENCH_sim.json — the fleet-scale
+# smoke writes its JSON to a temp dir so the committed fleet-med artifact
+# is regenerated only by scripts/bench_all.sh).
 # Usage: scripts/check.sh [--fix]
 #   --fix   apply rustfmt and clippy suggestions instead of just checking
 set -euo pipefail
@@ -46,8 +49,18 @@ scripts/smoke_serve.sh
 # resumed summary to match an uninterrupted run's byte-for-byte.
 scripts/smoke_validate.sh
 
-# Engine micro/macro bench; emits results/BENCH_eval.json.
+# Engine micro/macro bench; emits results/BENCH_eval.json and asserts the
+# small-batch no-thrash floor (parallel >= 0.95x serial on DT-med).
 cargo bench -p mcmap-bench --bench eval_engine
+
+# Fleet scaling gate: serial vs. parallel exploration of a generated
+# fleet workload with bit-identical fronts asserted, and >2x wall speedup
+# asserted when the persistent pool has >= 4 participants; emits
+# results/BENCH_scale.json. Smoke budget here — run the bench with its
+# defaults (fleet-med, pop 8 x gens 2) for the committed artifact.
+MCMAP_FLEET=fleet-small MCMAP_POP=6 MCMAP_GENS=1 \
+MCMAP_BENCH_OUT="$(mktemp -d)" \
+  cargo bench -p mcmap-bench --bench fleet_scale
 
 # Analysis fast-path gate (bit-identical windows, >= 1.5x over the cold
 # enumeration); emits results/BENCH_sched.json.

@@ -222,6 +222,59 @@ fn canonical_trace_is_identical_with_telemetry_enabled_at_any_threads() {
     assert!(!det.contains("analysis_ns"));
 }
 
+/// A smoke-budget exploration of a generated fleet preset: the same
+/// determinism contract must hold on the workloads the persistent pool
+/// was built for, including their deeper hardening spaces and composed
+/// batch- + scenario-level fan-out.
+fn fleet_outcome(threads: usize, scenario_threads: usize, seed: u64) -> DseOutcome {
+    let preset = mcmap::benchmarks::fleet_small_config();
+    let b = mcmap::benchmarks::fleet(&preset, 7);
+    explore(
+        &b.apps,
+        &b.arch,
+        DseConfig {
+            ga: GaConfig {
+                population: 8,
+                generations: 2,
+                seed,
+                threads,
+                ..GaConfig::default()
+            },
+            objectives: ObjectiveMode::PowerService,
+            allow_dropping: true,
+            policies: Some(b.policies.clone()),
+            repair_iters: 40,
+            max_reexec: preset.max_reexec,
+            max_replicas: preset.max_replicas,
+            analysis: mcmap::core::AnalysisOptions {
+                scenario_threads,
+                ..mcmap::core::AnalysisOptions::default()
+            },
+            ..DseConfig::default()
+        },
+    )
+}
+
+#[test]
+fn fleet_front_is_identical_for_any_thread_count() {
+    let serial = fleet_outcome(1, 1, 8);
+    let four = fleet_outcome(4, 1, 8);
+    let composed = fleet_outcome(2, 4, 8);
+
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&four),
+        "4 worker threads changed the fleet Pareto front"
+    );
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&composed),
+        "composed batch x scenario fan-out changed the fleet Pareto front"
+    );
+    assert_eq!(serial.eval_stats.genomes, four.eval_stats.genomes);
+    assert_eq!(serial.audit.evaluated, composed.audit.evaluated);
+}
+
 #[test]
 fn multi_generation_run_hits_the_cache() {
     let outcome = outcome_with(2, 65_536, 8);
